@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Figure 7: water_spatial communication matrices before/after taboo
+ * thread mapping, and the corresponding 2-mode power-topology maps.
+ * Emits four PGM heatmaps plus CSV matrices, and prints the summary
+ * statistics (flow-weighted communication distance, low-mode traffic
+ * coverage).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/csv.hh"
+#include "common/pgm.hh"
+#include "common/table.hh"
+#include "harness.hh"
+
+using namespace mnoc;
+
+namespace {
+
+/** Flow-weighted mean |src - dst| index distance. */
+double
+weightedDistance(const FlowMatrix &flow)
+{
+    double dist = 0.0;
+    double total = 0.0;
+    int n = static_cast<int>(flow.rows());
+    for (int s = 0; s < n; ++s)
+        for (int d = 0; d < n; ++d) {
+            dist += flow(s, d) * std::abs(s - d);
+            total += flow(s, d);
+        }
+    return total > 0.0 ? dist / total : 0.0;
+}
+
+/** Flow-weighted mean source distance from the waveguide middle
+ *  (Figure 7's "hot traffic clusters around the middle nodes"). */
+double
+weightedCenterDistance(const FlowMatrix &flow)
+{
+    double dist = 0.0;
+    double total = 0.0;
+    int n = static_cast<int>(flow.rows());
+    double center = (n - 1) / 2.0;
+    for (int s = 0; s < n; ++s) {
+        double row = flow.rowTotal(s);
+        dist += row * std::fabs(s - center);
+        total += row;
+    }
+    return total > 0.0 ? dist / total : 0.0;
+}
+
+/** Fraction of traffic that the low mode of a 2-mode design carries. */
+double
+lowModeCoverage(const core::GlobalPowerTopology &topo,
+                const FlowMatrix &flow)
+{
+    double low = 0.0;
+    double total = 0.0;
+    for (int s = 0; s < topo.numNodes; ++s)
+        for (int d = 0; d < topo.numNodes; ++d) {
+            if (s == d)
+                continue;
+            total += flow(s, d);
+            if (topo.local(s).modeOfDest[d] == 0)
+                low += flow(s, d);
+        }
+    return total > 0.0 ? low / total : 0.0;
+}
+
+/** Render a 2-mode assignment as a matrix (1 = low mode = dark). */
+FlowMatrix
+modeMap(const core::GlobalPowerTopology &topo)
+{
+    FlowMatrix map(topo.numNodes, topo.numNodes, 0.0);
+    for (int s = 0; s < topo.numNodes; ++s)
+        for (int d = 0; d < topo.numNodes; ++d)
+            if (d != s && topo.local(s).modeOfDest[d] == 0)
+                map(s, d) = 1.0;
+    return map;
+}
+
+void
+dumpMatrix(const std::string &path, const FlowMatrix &m)
+{
+    CsvWriter csv(path);
+    int n = static_cast<int>(m.rows());
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d)
+            csv.cell(m(s, d));
+        csv.endRow();
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Harness harness;
+    bench::printHeader(
+        "water_spatial thread mapping and 2-mode topology maps",
+        "Figure 7");
+
+    const auto &designer = harness.designer();
+    FlowMatrix naive_flow = harness.threadFlow("water_s");
+    const auto &taboo = harness.mapping("water_s");
+    FlowMatrix mapped_flow = permuteFlow(naive_flow, taboo);
+
+    core::CommAwareConfig config;
+    config.numModes = 2;
+    auto naive_topo = core::commAwareTopology(harness.crossbar(),
+                                              naive_flow, config);
+    auto mapped_topo = core::commAwareTopology(harness.crossbar(),
+                                               mapped_flow, config);
+
+    // Figure 7a/7b: communication matrices.
+    writePgmHeatmap(harness.outPath("fig7a_comm_naive.pgm"),
+                    naive_flow);
+    writePgmHeatmap(harness.outPath("fig7b_comm_qap.pgm"), mapped_flow);
+    dumpMatrix(harness.outPath("fig7a_comm_naive.csv"), naive_flow);
+    dumpMatrix(harness.outPath("fig7b_comm_qap.csv"), mapped_flow);
+    // Figure 7c/7d: low-mode membership maps.
+    writePgmHeatmap(harness.outPath("fig7c_modes_naive.pgm"),
+                    modeMap(naive_topo), false);
+    writePgmHeatmap(harness.outPath("fig7d_modes_qap.pgm"),
+                    modeMap(mapped_topo), false);
+
+    TextTable table;
+    table.addRow({"metric", "naive", "QAP (taboo)"});
+    table.addRow({"flow-weighted |src-dst| distance",
+                  TextTable::num(weightedDistance(naive_flow), 1),
+                  TextTable::num(weightedDistance(mapped_flow), 1)});
+    table.addRow({"flow-weighted distance from middle",
+                  TextTable::num(weightedCenterDistance(naive_flow),
+                                 1),
+                  TextTable::num(weightedCenterDistance(mapped_flow),
+                                 1)});
+    table.addRow({"traffic in low power mode (2M_G)",
+                  TextTable::num(lowModeCoverage(naive_topo,
+                                                 naive_flow),
+                                 3),
+                  TextTable::num(lowModeCoverage(mapped_topo,
+                                                 mapped_flow),
+                                 3)});
+
+    // Power of the matched designs.
+    auto naive_design = designer.model().designFor(naive_topo,
+                                                   naive_flow);
+    auto mapped_design = designer.model().designFor(mapped_topo,
+                                                    mapped_flow);
+    const auto &trace = harness.trace("water_s");
+    double p_naive =
+        designer.evaluate(naive_design, trace,
+                          harness.identityMapping())
+            .total();
+    double p_mapped =
+        designer.evaluate(mapped_design, trace, taboo).total();
+    table.addRow({"2M_G power (W)", TextTable::num(p_naive, 2),
+                  TextTable::num(p_mapped, 2)});
+
+    // The single-mode design is where the middle-clustering pays:
+    // broadcast drive power depends on the source's position.
+    core::DesignSpec base_spec; // 1M
+    FlowMatrix uniform(harness.numCores(), harness.numCores(), 1.0);
+    auto base = designer.buildDesign(
+        base_spec, designer.buildTopology(base_spec, uniform),
+        uniform);
+    table.addRow(
+        {"1M power (W)",
+         TextTable::num(designer
+                            .evaluate(base, trace,
+                                      harness.identityMapping())
+                            .total(),
+                        2),
+         TextTable::num(designer.evaluate(base, trace, taboo).total(),
+                        2)});
+    table.print(std::cout);
+
+    std::cout << "\nHeatmaps written to " << harness.outDir()
+              << "/fig7{a,b,c,d}_*.pgm (dark = high"
+                 " intensity / low mode).\n"
+              << "Paper anchor: after taboo, hot traffic clusters near "
+                 "the middle of the\nserpentine and the low-mode map "
+                 "tracks the communication pattern,\nincluding "
+                 "non-contiguous destinations.\n";
+    return 0;
+}

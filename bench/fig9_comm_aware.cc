@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 9: communication-aware mode assignment (G) versus naive
+ * distance-based assignment (N), with splitter weights sampled from 4
+ * benchmarks (S4) or all 12 (S12).  All designs use QAP thread
+ * mapping.  Panels: (a) two modes, (b) four modes.
+ */
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness.hh"
+
+using namespace mnoc;
+
+namespace {
+
+struct DesignPoint
+{
+    std::string label;
+    core::MnocDesign design;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::Harness harness;
+    bench::printHeader(
+        "Communication-aware vs distance-based mode assignment",
+        "Figure 9 (a: two modes, b: four modes)");
+
+    const auto &designer = harness.designer();
+    int n = harness.numCores();
+    auto identity = harness.identityMapping();
+    FlowMatrix uniform(n, n, 1.0);
+
+    std::cerr << "[fig9] building sampled design flows...\n";
+    FlowMatrix s4 = harness.sampledCoreFlow(
+        workloads::sampledBenchmarks());
+    FlowMatrix s12 = harness.sampledCoreFlow(harness.benchmarks());
+
+    // Baseline.
+    core::DesignSpec base;
+    auto base_design = designer.buildDesign(
+        base, designer.buildTopology(base, uniform), uniform);
+
+    auto make = [&](int modes, core::Assignment assignment,
+                    const FlowMatrix &flow, const std::string &tag) {
+        core::DesignSpec spec;
+        spec.numModes = modes;
+        spec.assignment = assignment;
+        spec.weights = core::WeightSource::DesignFlow;
+        spec.sampleTag = tag;
+        auto topo = designer.buildTopology(spec, flow);
+        return DesignPoint{spec.label(),
+                           designer.buildDesign(spec, topo, flow)};
+    };
+
+    CsvWriter csv(harness.outPath("fig9_comm_aware.csv"));
+    csv.writeRow({"panel", "benchmark", "design", "normalized_power"});
+
+    for (int modes : {2, 4}) {
+        std::cerr << "[fig9] building " << modes << "-mode designs...\n";
+        std::vector<DesignPoint> points;
+        points.push_back(make(modes, core::Assignment::DistanceBased,
+                              s4, "4"));
+        points.push_back(make(modes, core::Assignment::CommAware, s4,
+                              "4"));
+        points.push_back(make(modes, core::Assignment::DistanceBased,
+                              s12, "12"));
+        points.push_back(make(modes, core::Assignment::CommAware, s12,
+                              "12"));
+
+        std::string panel = modes == 2 ? "a" : "b";
+        std::cout << "\n--- Figure 9" << panel << ": " << modes
+                  << "-mode designs (normalized to 1M) ---\n";
+        TextTable table;
+        {
+            std::vector<std::string> header = {"benchmark", "1M"};
+            for (const auto &p : points)
+                header.push_back(p.label);
+            table.addRow(header);
+        }
+
+        std::map<std::string, std::vector<double>> norm;
+        for (const auto &name : harness.benchmarks()) {
+            const auto &trace = harness.trace(name);
+            const auto &taboo = harness.mapping(name);
+            double baseline =
+                designer.evaluate(base_design, trace, identity).total();
+
+            std::vector<std::string> cells = {name, "1.000"};
+            for (const auto &p : points) {
+                double rel = designer.evaluate(p.design, trace, taboo)
+                                 .total() /
+                             baseline;
+                cells.push_back(TextTable::num(rel, 3));
+                norm[p.label].push_back(rel);
+                csv.cell(panel).cell(name).cell(p.label).cell(rel);
+                csv.endRow();
+            }
+            table.addRow(cells);
+        }
+
+        std::vector<std::string> avg = {"hmean", "1.000"};
+        for (const auto &p : points)
+            avg.push_back(TextTable::num(harmonicMean(norm[p.label]),
+                                         3));
+        table.addRow(avg);
+        table.print(std::cout);
+    }
+
+    std::cout << "\nPaper anchors: comm-aware (G) beats distance-based "
+                 "(N) by ~7% at two\nmodes and ~10% at four; S12 "
+                 "weights beat S4; the best 4-mode design\nreaches "
+                 "~0.49 of base (51% saving) vs ~0.53 for two modes.\n";
+    return 0;
+}

@@ -1,0 +1,192 @@
+#include "harness.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/log.hh"
+
+namespace mnoc::bench {
+
+namespace {
+
+int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atoi(value) : fallback;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::string(value) : fallback;
+}
+
+} // namespace
+
+Harness::Harness()
+{
+    numCores_ = envInt("MNOC_BENCH_CORES", 256);
+    opsPerThread_ = envInt("MNOC_BENCH_OPS", 4000);
+    outDir_ = envString("MNOC_BENCH_DIR", "bench_out");
+    std::filesystem::create_directories(outDir_);
+    std::filesystem::create_directories(outDir_ + "/cache");
+
+    layout_ = std::make_unique<optics::SerpentineLayout>(
+        numCores_, optics::defaultWaveguideLength);
+    int ports = numCores_ / 4;
+    portLayout_ = std::make_unique<optics::SerpentineLayout>(
+        ports, 0.10 * ports / 64.0);
+    xbar_ = std::make_unique<optics::OpticalCrossbar>(*layout_,
+                                                      deviceParams_);
+    designer_ = std::make_unique<core::Designer>(*xbar_, powerParams_);
+}
+
+const std::vector<std::string> &
+Harness::benchmarks() const
+{
+    return workloads::splashBenchmarks();
+}
+
+std::string
+Harness::cacheKey(const std::string &benchmark,
+                  const std::string &network) const
+{
+    return benchmark + "_" + network + "_n" +
+           std::to_string(numCores_) + "_ops" +
+           std::to_string(opsPerThread_);
+}
+
+sim::Trace
+Harness::simulate(const std::string &benchmark,
+                  const std::string &network)
+{
+    noc::NetworkConfig net_config;
+    std::unique_ptr<noc::Network> net;
+    if (network == "mnoc") {
+        net = std::make_unique<noc::MnocNetwork>(*layout_, net_config);
+    } else if (network == "rnoc") {
+        net = std::make_unique<noc::ClusteredNetwork>(
+            numCores_, *portLayout_, net_config, "rNoC");
+    } else {
+        fatal("unknown network kind: " + network);
+    }
+
+    sim::SimConfig config;
+    config.numCores = numCores_;
+    workloads::WorkloadScale scale;
+    scale.opsPerThread = opsPerThread_;
+    auto workload = workloads::makeWorkload(benchmark, scale);
+    std::cerr << "[harness] simulating " << benchmark << " on "
+              << network << "...\n";
+    return sim::toTrace(
+        sim::runSimulation(config, *net, *workload, 1));
+}
+
+const sim::Trace &
+Harness::trace(const std::string &benchmark,
+               const std::string &network)
+{
+    std::string key = cacheKey(benchmark, network);
+    auto it = traces_.find(key);
+    if (it != traces_.end())
+        return it->second;
+
+    std::string path = outDir_ + "/cache/" + key + ".trace";
+    if (std::filesystem::exists(path)) {
+        traces_[key] = sim::loadTrace(path);
+    } else {
+        sim::Trace t = simulate(benchmark, network);
+        sim::saveTrace(path, t);
+        traces_[key] = std::move(t);
+    }
+    return traces_[key];
+}
+
+const std::vector<int> &
+Harness::mapping(const std::string &benchmark)
+{
+    auto it = mappings_.find(benchmark);
+    if (it != mappings_.end())
+        return it->second;
+
+    std::string path = outDir_ + "/cache/" +
+                       cacheKey(benchmark, "mnoc") + ".map";
+    std::vector<int> map;
+    if (std::filesystem::exists(path)) {
+        std::ifstream in(path);
+        int core;
+        while (in >> core)
+            map.push_back(core);
+        fatalIf(static_cast<int>(map.size()) != numCores_,
+                "corrupt mapping cache: " + path);
+    } else {
+        std::cerr << "[harness] taboo mapping for " << benchmark
+                  << "...\n";
+        core::MappingParams params;
+        params.tabooIterations = 20000;
+        auto result = designer_->map(threadFlow(benchmark),
+                                     core::MappingMethod::Taboo,
+                                     params);
+        map = result.threadToCore;
+        std::ofstream out(path);
+        for (int core : map)
+            out << core << "\n";
+    }
+    mappings_[benchmark] = std::move(map);
+    return mappings_[benchmark];
+}
+
+std::vector<int>
+Harness::identityMapping() const
+{
+    std::vector<int> map(numCores_);
+    for (int i = 0; i < numCores_; ++i)
+        map[i] = i;
+    return map;
+}
+
+FlowMatrix
+Harness::threadFlow(const std::string &benchmark)
+{
+    return toFlowMatrix(trace(benchmark).flits);
+}
+
+FlowMatrix
+Harness::sampledCoreFlow(const std::vector<std::string> &names)
+{
+    FlowMatrix avg(numCores_, numCores_, 0.0);
+    for (const auto &name : names) {
+        FlowMatrix flow = permuteFlow(threadFlow(name), mapping(name));
+        double total = flow.total();
+        if (total <= 0.0)
+            continue;
+        for (int s = 0; s < numCores_; ++s)
+            for (int d = 0; d < numCores_; ++d)
+                avg(s, d) += flow(s, d) / total;
+    }
+    return avg;
+}
+
+std::string
+Harness::outPath(const std::string &name) const
+{
+    return outDir_ + "/" + name;
+}
+
+void
+printHeader(const std::string &title, const std::string &source)
+{
+    std::cout << "==============================================="
+                 "=============\n";
+    std::cout << title << "\n";
+    std::cout << "(reproduces " << source
+              << " of Pang et al., ASPLOS 2015)\n";
+    std::cout << "==============================================="
+                 "=============\n";
+}
+
+} // namespace mnoc::bench

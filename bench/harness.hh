@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared support for the experiment-reproduction binaries: one
+ * simulation/mapping context with a disk cache, so that each
+ * table/figure binary stays self-contained without re-simulating the
+ * whole SPLASH suite.
+ *
+ * Cache files live under ./bench_out (override with MNOC_BENCH_DIR);
+ * delete the directory to force re-simulation.  Simulation scale is
+ * controlled with MNOC_BENCH_OPS (operations per thread, default 4000)
+ * and MNOC_BENCH_CORES (default 256).
+ */
+
+#ifndef MNOC_BENCH_HARNESS_HH
+#define MNOC_BENCH_HARNESS_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/designer.hh"
+#include "noc/clustered_network.hh"
+#include "noc/mnoc_network.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+namespace mnoc::bench {
+
+/** Shared context for all experiment binaries. */
+class Harness
+{
+  public:
+    Harness();
+
+    int numCores() const { return numCores_; }
+    const optics::OpticalCrossbar &crossbar() const { return *xbar_; }
+    const core::Designer &designer() const { return *designer_; }
+    const core::PowerParams &powerParams() const { return powerParams_; }
+    const optics::DeviceParams &deviceParams() const
+    {
+        return deviceParams_;
+    }
+    const std::string &outDir() const { return outDir_; }
+
+    /** The 12 benchmark names. */
+    const std::vector<std::string> &benchmarks() const;
+
+    /**
+     * Identity-mapped trace of @p benchmark on the given network
+     * ("mnoc" or "rnoc"), simulated on demand and cached on disk.
+     */
+    const sim::Trace &trace(const std::string &benchmark,
+                            const std::string &network = "mnoc");
+
+    /** Taboo thread mapping for @p benchmark (cached on disk). */
+    const std::vector<int> &mapping(const std::string &benchmark);
+
+    /** Identity thread mapping. */
+    std::vector<int> identityMapping() const;
+
+    /**
+     * Average core-coordinate design flow over @p names: each
+     * benchmark's flit matrix is permuted by its own taboo mapping and
+     * normalized to unit total before averaging (Section 5.4's
+     * sampled-traffic weighting).
+     */
+    FlowMatrix sampledCoreFlow(const std::vector<std::string> &names);
+
+    /** Flow matrix (thread coordinates) of one benchmark's trace. */
+    FlowMatrix threadFlow(const std::string &benchmark);
+
+    /** Full path for an output artifact (CSV, PGM). */
+    std::string outPath(const std::string &name) const;
+
+  private:
+    std::string cacheKey(const std::string &benchmark,
+                         const std::string &network) const;
+    sim::Trace simulate(const std::string &benchmark,
+                        const std::string &network);
+
+    int numCores_;
+    int opsPerThread_;
+    std::string outDir_;
+    optics::DeviceParams deviceParams_;
+    core::PowerParams powerParams_;
+    std::unique_ptr<optics::SerpentineLayout> layout_;
+    std::unique_ptr<optics::SerpentineLayout> portLayout_;
+    std::unique_ptr<optics::OpticalCrossbar> xbar_;
+    std::unique_ptr<core::Designer> designer_;
+    std::map<std::string, sim::Trace> traces_;
+    std::map<std::string, std::vector<int>> mappings_;
+};
+
+/** Print a standard header for an experiment binary. */
+void printHeader(const std::string &title, const std::string &source);
+
+} // namespace mnoc::bench
+
+#endif // MNOC_BENCH_HARNESS_HH

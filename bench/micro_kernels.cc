@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's inner kernels:
+ * splitter-chain design, alpha optimization, QAP delta evaluation,
+ * channel booking, and cache lookups.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hh"
+#include "noc/channel.hh"
+#include "optics/alpha_optimizer.hh"
+#include "optics/crossbar.hh"
+#include "qap/qap.hh"
+#include "sim/cache.hh"
+
+using namespace mnoc;
+
+namespace {
+
+void
+BM_SplitterChainDesign(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    optics::SerpentineLayout layout(n, 0.18);
+    optics::DeviceParams params;
+    optics::SplitterChain chain(layout, params, n / 2);
+    std::vector<double> targets(n, params.pminAtTap());
+    targets[n / 2] = 0.0;
+    for (auto _ : state) {
+        auto design = chain.design(targets);
+        benchmark::DoNotOptimize(design.injectedPower);
+    }
+}
+BENCHMARK(BM_SplitterChainDesign)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_AlphaOptimize(benchmark::State &state)
+{
+    int n = 256;
+    optics::SerpentineLayout layout(n, 0.18);
+    optics::DeviceParams params;
+    optics::SplitterChain chain(layout, params, n / 2);
+    std::vector<int> modes(n, 0);
+    int m = static_cast<int>(state.range(0));
+    for (int d = 0; d < n; ++d)
+        modes[d] = (std::abs(d - n / 2) * m) / n;
+    std::vector<double> weights(m, 1.0 / m);
+    optics::AlphaOptimizer optimizer(chain, modes, weights,
+                                     params.pminAtTap());
+    for (auto _ : state) {
+        auto design = optimizer.optimize();
+        benchmark::DoNotOptimize(design.expectedPower);
+    }
+}
+BENCHMARK(BM_AlphaOptimize)->Arg(2)->Arg(4);
+
+void
+BM_QapSwapDelta(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Prng rng(1);
+    FlowMatrix flow(n, n, 0.0);
+    FlowMatrix dist(n, n, 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) {
+            flow(i, j) = flow(j, i) = rng.uniform();
+            dist(i, j) = dist(j, i) = rng.uniform();
+        }
+    qap::QapInstance inst(flow, dist);
+    auto perm = inst.identity();
+    int u = 0;
+    for (auto _ : state) {
+        int v = (u + 7) % n;
+        if (v == u)
+            v = (v + 1) % n;
+        benchmark::DoNotOptimize(inst.swapDelta(perm, u, v));
+        u = (u + 1) % n;
+    }
+}
+BENCHMARK(BM_QapSwapDelta)->Arg(64)->Arg(256);
+
+void
+BM_ChannelBook(benchmark::State &state)
+{
+    noc::Channel channel;
+    noc::Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(channel.book(t, 3));
+        t += 2;
+    }
+}
+BENCHMARK(BM_ChannelBook);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    sim::Cache cache(sim::CacheGeometry{32 * 1024, 4});
+    Prng rng(2);
+    for (int i = 0; i < 400; ++i)
+        cache.insert(rng.below(1 << 16), sim::LineState::Shared);
+    std::uint64_t line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(line));
+        line = (line + 97) % (1 << 16);
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

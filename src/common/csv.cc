@@ -1,0 +1,73 @@
+#include "common/csv.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mnoc {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    fatalIf(!out_.is_open(), "cannot open CSV file: " + path);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &value)
+{
+    pending_.push_back(value);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(double value)
+{
+    std::ostringstream ss;
+    ss.precision(10);
+    ss << value;
+    pending_.push_back(ss.str());
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(long long value)
+{
+    pending_.push_back(std::to_string(value));
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    writeRow(pending_);
+    pending_.clear();
+}
+
+std::string
+CsvWriter::escape(const std::string &raw)
+{
+    bool needs_quote = raw.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return raw;
+    std::string quoted = "\"";
+    for (char c : raw) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace mnoc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small CSV writer used by the bench harness to emit the series behind
+ * each reproduced figure alongside the printed table.
+ */
+
+#ifndef MNOC_COMMON_CSV_HH
+#define MNOC_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mnoc {
+
+/**
+ * Streams rows of string/number cells into a CSV file.  Quoting follows
+ * RFC 4180: cells containing commas, quotes, or newlines are quoted and
+ * embedded quotes doubled.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing.
+     * @throws FatalError when the file cannot be opened.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row of already-formatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Append a string cell to the pending row. */
+    CsvWriter &cell(const std::string &value);
+    /** Append a numeric cell to the pending row. */
+    CsvWriter &cell(double value);
+    /** Append an integer cell to the pending row. */
+    CsvWriter &cell(long long value);
+    /** Terminate the pending row. */
+    void endRow();
+
+  private:
+    static std::string escape(const std::string &raw);
+
+    std::ofstream out_;
+    std::vector<std::string> pending_;
+};
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_CSV_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * fatal() terminates due to user error (bad configuration, invalid
+ * arguments); panic() terminates due to an internal invariant violation
+ * (a bug in this library). warn()/inform() report but never terminate.
+ */
+
+#ifndef MNOC_COMMON_LOG_HH
+#define MNOC_COMMON_LOG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mnoc {
+
+/** Exception thrown by fatal(): the caller supplied an invalid request. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/**
+ * Report an unrecoverable user-level error.
+ *
+ * @param msg Description of the invalid request.
+ * @throws FatalError always.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+/**
+ * Report an internal invariant violation (a library bug).
+ *
+ * @param msg Description of the violated invariant.
+ * @throws PanicError always.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+/** Emit a non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+/** Emit an informational status message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+/**
+ * Check a user-facing precondition, calling fatal() on failure.
+ *
+ * @param cond Condition that must hold.
+ * @param msg Message used when the condition fails.
+ */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/**
+ * Check an internal invariant, calling panic() on failure.
+ *
+ * @param cond Condition that must hold for the library to be correct.
+ * @param msg Message used when the condition fails.
+ */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_LOG_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dense row-major matrix used for communication/flow matrices.
+ */
+
+#ifndef MNOC_COMMON_MATRIX_HH
+#define MNOC_COMMON_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mnoc {
+
+/**
+ * Minimal dense matrix.  Element type is typically double (traffic
+ * fractions) or std::uint64_t (packet counts).
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Construct a rows x cols matrix filled with @p init. */
+    Matrix(std::size_t rows, std::size_t cols, T init = T())
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    T &
+    operator()(std::size_t r, std::size_t c)
+    {
+        panicIf(r >= rows_ || c >= cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        panicIf(r >= rows_ || c >= cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+    /** Sum of all elements. */
+    T
+    total() const
+    {
+        T sum = T();
+        for (const T &v : data_)
+            sum += v;
+        return sum;
+    }
+
+    /** Sum of one row. */
+    T
+    rowTotal(std::size_t r) const
+    {
+        panicIf(r >= rows_, "row index out of range");
+        T sum = T();
+        for (std::size_t c = 0; c < cols_; ++c)
+            sum += data_[r * cols_ + c];
+        return sum;
+    }
+
+    /** Sum of one column. */
+    T
+    colTotal(std::size_t c) const
+    {
+        panicIf(c >= cols_, "column index out of range");
+        T sum = T();
+        for (std::size_t r = 0; r < rows_; ++r)
+            sum += data_[r * cols_ + c];
+        return sum;
+    }
+
+    /** Fill every element with @p value. */
+    void
+    fill(T value)
+    {
+        data_.assign(data_.size(), value);
+    }
+
+    /** Raw row-major storage (for serialization and heatmaps). */
+    const std::vector<T> &data() const { return data_; }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+/** Flow matrix alias used by the traffic and QAP layers. */
+using FlowMatrix = Matrix<double>;
+/** Packet-count matrix captured from simulation. */
+using CountMatrix = Matrix<std::uint64_t>;
+
+/** Convert a count matrix into a double-valued flow matrix. */
+inline FlowMatrix
+toFlowMatrix(const CountMatrix &counts)
+{
+    FlowMatrix flow(counts.rows(), counts.cols(), 0.0);
+    for (std::size_t r = 0; r < counts.rows(); ++r)
+        for (std::size_t c = 0; c < counts.cols(); ++c)
+            flow(r, c) = static_cast<double>(counts(r, c));
+    return flow;
+}
+
+/**
+ * Permute a square flow matrix by a thread-to-core assignment.
+ *
+ * @param flow Flow between threads (thread s -> thread d).
+ * @param thread_to_core thread_to_core[t] is the core thread t runs on.
+ * @return Flow between cores.
+ */
+inline FlowMatrix
+permuteFlow(const FlowMatrix &flow, const std::vector<int> &thread_to_core)
+{
+    panicIf(flow.rows() != flow.cols(), "flow matrix must be square");
+    panicIf(thread_to_core.size() != flow.rows(),
+            "assignment size mismatch");
+    FlowMatrix out(flow.rows(), flow.cols(), 0.0);
+    for (std::size_t s = 0; s < flow.rows(); ++s)
+        for (std::size_t d = 0; d < flow.cols(); ++d)
+            out(thread_to_core[s], thread_to_core[d]) += flow(s, d);
+    return out;
+}
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_MATRIX_HH

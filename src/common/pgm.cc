@@ -1,0 +1,42 @@
+#include "common/pgm.hh"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace mnoc {
+
+void
+writePgmHeatmap(const std::string &path, const FlowMatrix &data,
+                bool log_scale)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out.is_open(), "cannot open PGM file: " + path);
+
+    double max_value = 0.0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            double v = data(r, c);
+            if (log_scale)
+                v = std::log1p(v);
+            max_value = std::max(max_value, v);
+        }
+    }
+
+    out << "P5\n" << data.cols() << " " << data.rows() << "\n255\n";
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+            double v = data(r, c);
+            if (log_scale)
+                v = std::log1p(v);
+            double norm = max_value > 0.0 ? v / max_value : 0.0;
+            // dark = high intensity, per the paper's rendering
+            auto pixel = static_cast<unsigned char>(
+                std::lround(255.0 * (1.0 - norm)));
+            out.put(static_cast<char>(pixel));
+        }
+    }
+}
+
+} // namespace mnoc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Grayscale PGM heatmap emission for the Figure 7 communication and
+ * power-mode maps.
+ */
+
+#ifndef MNOC_COMMON_PGM_HH
+#define MNOC_COMMON_PGM_HH
+
+#include <string>
+
+#include "common/matrix.hh"
+
+namespace mnoc {
+
+/**
+ * Write a matrix as an 8-bit grayscale PGM image.
+ *
+ * Values are scaled so the matrix maximum maps to black (the paper's
+ * "dark = high intensity" convention) and zero maps to white.  When
+ * @p log_scale is set, values are log-compressed first, which matches
+ * how heavy-tailed communication matrices are usually rendered.
+ *
+ * @param path Output file path.
+ * @param data Matrix to render (one pixel per element).
+ * @param log_scale Apply log1p compression before scaling.
+ */
+void writePgmHeatmap(const std::string &path, const FlowMatrix &data,
+                     bool log_scale = true);
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_PGM_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small xoshiro256** implementation is used instead of std::mt19937 so
+ * that streams are cheap to fork (one independent stream per simulated
+ * core) and results are reproducible across standard libraries.
+ */
+
+#ifndef MNOC_COMMON_PRNG_HH
+#define MNOC_COMMON_PRNG_HH
+
+#include <cstdint>
+
+namespace mnoc {
+
+/**
+ * xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can be used with
+ * the standard distributions, and offers convenience helpers for the
+ * uniform draws the simulator needs.
+ */
+class Prng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Draw the next 64 random bits. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound); bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork an independent stream (seeded from this stream). */
+    Prng
+    fork()
+    {
+        return Prng((*this)() ^ 0xa5a5a5a5deadbeefULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_PRNG_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Summary statistics helpers (the paper reports harmonic means for
+ * normalized power and arithmetic means for absolute watts).
+ */
+
+#ifndef MNOC_COMMON_STATS_HH
+#define MNOC_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mnoc {
+
+/** Arithmetic mean; fatal on an empty sample. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "mean of empty sample");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Harmonic mean; fatal on empty or non-positive samples. */
+inline double
+harmonicMean(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "harmonic mean of empty sample");
+    double inv_sum = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "harmonic mean requires positive samples");
+        inv_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv_sum;
+}
+
+/** Geometric mean; fatal on empty or non-positive samples. */
+inline double
+geometricMean(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "geometric mean of empty sample");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "geometric mean requires positive samples");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Population standard deviation. */
+inline double
+stddev(const std::vector<double> &xs)
+{
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+/** Minimum element; fatal on an empty sample. */
+inline double
+minOf(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "min of empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+/** Maximum element; fatal on an empty sample. */
+inline double
+maxOf(const std::vector<double> &xs)
+{
+    fatalIf(xs.empty(), "max of empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_STATS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the bench binaries to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef MNOC_COMMON_TABLE_HH
+#define MNOC_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mnoc {
+
+/**
+ * Collects rows of cells and prints them with columns padded to the
+ * widest cell.  The first row added is treated as the header and is
+ * underlined when printed.
+ */
+class TextTable
+{
+  public:
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render all rows to @p os with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_TABLE_HH

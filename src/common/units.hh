@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit conversions used throughout the optical power models.
+ *
+ * All optical powers are carried in watts; losses are expressed in
+ * decibels in configuration structs and converted to linear ratios at
+ * the model boundary.  A loss of x dB corresponds to an attenuation
+ * factor of 10^(x/10) >= 1 (power divided by the factor).
+ */
+
+#ifndef MNOC_COMMON_UNITS_HH
+#define MNOC_COMMON_UNITS_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mnoc {
+
+/** One microwatt in watts. */
+inline constexpr double microWatt = 1e-6;
+/** One milliwatt in watts. */
+inline constexpr double milliWatt = 1e-3;
+/** One centimeter in meters. */
+inline constexpr double centimeter = 1e-2;
+/** One millimeter in meters. */
+inline constexpr double millimeter = 1e-3;
+/** One nanosecond in seconds. */
+inline constexpr double nanosecond = 1e-9;
+/** One gigahertz in hertz. */
+inline constexpr double gigahertz = 1e9;
+
+/**
+ * Convert a loss in dB to the linear attenuation factor (>= 1 for
+ * positive dB).  Power after the loss is power_before / factor.
+ *
+ * @param db Loss in decibels.
+ * @return Linear attenuation factor 10^(db/10).
+ */
+inline double
+dbToAttenuation(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/**
+ * Convert a loss in dB to the linear transmission factor (<= 1 for
+ * positive dB).  Power after the loss is power_before * factor.
+ *
+ * @param db Loss in decibels.
+ * @return Linear transmission factor 10^(-db/10).
+ */
+inline double
+dbToTransmission(double db)
+{
+    return std::pow(10.0, -db / 10.0);
+}
+
+/**
+ * Convert a linear power ratio to decibels.
+ *
+ * @param ratio Power ratio; must be positive.
+ * @return 10*log10(ratio).
+ */
+inline double
+ratioToDb(double ratio)
+{
+    panicIf(ratio <= 0.0, "ratioToDb requires a positive ratio");
+    return 10.0 * std::log10(ratio);
+}
+
+/**
+ * Relative comparison of two doubles.
+ *
+ * @param a First value.
+ * @param b Second value.
+ * @param rel_tol Allowed relative error.
+ * @return true when |a-b| <= rel_tol * max(|a|,|b|, 1e-300).
+ */
+inline bool
+nearlyEqual(double a, double b, double rel_tol = 1e-9)
+{
+    double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+    return std::fabs(a - b) <= rel_tol * scale;
+}
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_UNITS_HH

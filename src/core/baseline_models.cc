@@ -1,0 +1,143 @@
+#include "core/baseline_models.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::core {
+
+namespace {
+
+/**
+ * Aggregate a core-granularity flit matrix to cluster granularity and
+ * split it into inter-cluster and intra-cluster totals.
+ */
+struct ClusterTraffic
+{
+    FlowMatrix interFlits; // cluster -> cluster, off-diagonal
+    double intraFlits = 0.0;
+    double interTotal = 0.0;
+
+    ClusterTraffic(const CountMatrix &flits, int cluster_size,
+                   int radix)
+        : interFlits(radix, radix, 0.0)
+    {
+        int n = static_cast<int>(flits.rows());
+        fatalIf(n != radix * cluster_size,
+                "trace size does not match the clustered topology");
+        for (int s = 0; s < n; ++s) {
+            for (int d = 0; d < n; ++d) {
+                auto f = static_cast<double>(flits(s, d));
+                if (f == 0.0 || s == d)
+                    continue;
+                int sc = s / cluster_size;
+                int dc = d / cluster_size;
+                if (sc == dc) {
+                    intraFlits += f;
+                } else {
+                    interFlits(sc, dc) += f;
+                    interTotal += f;
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+RnocPowerModel::RnocPowerModel(const RnocParams &params,
+                               const PowerParams &electrical)
+    : params_(params), electrical_(electrical)
+{
+    fatalIf(params_.ringCount < 0, "negative ring count");
+    fatalIf(params_.radix < 2, "radix must be at least 2");
+    fatalIf(params_.clusterSize < 1, "cluster size must be positive");
+}
+
+PowerBreakdown
+RnocPowerModel::evaluate(const sim::Trace &trace) const
+{
+    fatalIf(trace.totalTicks == 0, "trace has zero duration");
+    ClusterTraffic traffic(trace.flits, params_.clusterSize,
+                           params_.radix);
+
+    double flit_time = 1.0 / electrical_.net.clockHz;
+    double duration = static_cast<double>(trace.totalTicks) /
+                      electrical_.net.clockHz;
+
+    PowerBreakdown out;
+    // Activity-independent components.
+    out.ringHeating = static_cast<double>(params_.ringCount) *
+                      params_.ringTrimPerRing;
+    out.laser = params_.laserPower;
+
+    // O/E: a SWMR port broadcast lights up the other radix-1 ports'
+    // receivers for the packet duration.  The low rNoC mIOP buys laser
+    // budget but costs high-gain receivers.
+    double oe_per_receiver =
+        electrical_.oePowerPerReceiver(params_.miop);
+    out.oe = traffic.interTotal * flit_time *
+             static_cast<double>(params_.radix - 1) * oe_per_receiver /
+             duration;
+
+    // Electrical: intra-cluster crosses one router and two links;
+    // inter-cluster crosses two routers and two links.
+    double electrical_energy =
+        traffic.intraFlits * (params_.routerEnergyPerFlit +
+                              2.0 * params_.elinkEnergyPerFlit) +
+        traffic.interTotal * 2.0 * (params_.routerEnergyPerFlit +
+                                    params_.elinkEnergyPerFlit);
+    out.electrical = electrical_energy / duration;
+    return out;
+}
+
+CmnocPowerModel::CmnocPowerModel(const CmnocParams &params,
+                                 const PowerParams &electrical)
+    : params_(params), electrical_(electrical),
+      portLayout_(params.radix, params.waveguideLength)
+{
+    crossbar_ = std::make_unique<optics::OpticalCrossbar>(
+        portLayout_, params_.optics);
+}
+
+PowerBreakdown
+CmnocPowerModel::evaluate(const sim::Trace &trace) const
+{
+    fatalIf(trace.totalTicks == 0, "trace has zero duration");
+    ClusterTraffic traffic(trace.flits, params_.clusterSize,
+                           params_.radix);
+
+    double flit_time = 1.0 / electrical_.net.clockHz;
+    double duration = static_cast<double>(trace.totalTicks) /
+                      electrical_.net.clockHz;
+    double oe_per_receiver = electrical_.oePowerPerReceiver(
+        params_.optics.photodetectorMiop);
+
+    PowerBreakdown out;
+    double source_energy = 0.0;
+    double oe_energy = 0.0;
+    for (int sc = 0; sc < params_.radix; ++sc) {
+        // Single-mode port crossbar: every inter-cluster flit from
+        // this port broadcasts at the port's full-reach power.
+        double port_flits = traffic.interFlits.rowTotal(sc);
+        if (port_flits == 0.0)
+            continue;
+        double tx_time = port_flits * flit_time;
+        source_energy += tx_time * crossbar_->broadcastPower(sc) *
+                         params_.optics.oneToZeroRatio /
+                         params_.optics.qdLedEfficiency;
+        oe_energy += tx_time *
+                     static_cast<double>(params_.radix - 1) *
+                     oe_per_receiver;
+    }
+    out.source = source_energy / duration;
+    out.oe = oe_energy / duration;
+
+    double electrical_energy =
+        traffic.intraFlits * (params_.routerEnergyPerFlit +
+                              2.0 * params_.elinkEnergyPerFlit) +
+        traffic.interTotal * 2.0 * (params_.routerEnergyPerFlit +
+                                    params_.elinkEnergyPerFlit);
+    out.electrical = electrical_energy / duration;
+    return out;
+}
+
+} // namespace mnoc::core

@@ -1,0 +1,128 @@
+#include "core/builders.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace mnoc::core {
+
+GlobalPowerTopology
+clusteredTopology(int num_nodes, int cluster_size)
+{
+    fatalIf(cluster_size < 2, "cluster size must be at least 2");
+    fatalIf(num_nodes % cluster_size != 0,
+            "node count must be a multiple of the cluster size");
+    fatalIf(num_nodes <= cluster_size,
+            "need more than one cluster for two modes");
+
+    Matrix<int> modes(num_nodes, num_nodes, 1);
+    for (int s = 0; s < num_nodes; ++s) {
+        int cluster = s / cluster_size;
+        for (int d = cluster * cluster_size;
+             d < (cluster + 1) * cluster_size; ++d) {
+            modes(s, d) = 0;
+        }
+    }
+    return GlobalPowerTopology::fromModeMatrix(modes, 2);
+}
+
+GlobalPowerTopology
+hypercubeTopology(int num_nodes)
+{
+    fatalIf(num_nodes < 4 || (num_nodes & (num_nodes - 1)) != 0,
+            "hypercube mapping requires a power-of-two node count >= 4");
+    int dims = 0;
+    while ((1 << dims) < num_nodes)
+        ++dims;
+
+    Matrix<int> modes(num_nodes, num_nodes, 0);
+    for (int s = 0; s < num_nodes; ++s)
+        for (int d = 0; d < num_nodes; ++d)
+            if (d != s)
+                modes(s, d) = __builtin_popcount(
+                    static_cast<unsigned>(s ^ d)) - 1;
+    return GlobalPowerTopology::fromModeMatrix(modes, dims);
+}
+
+GlobalPowerTopology
+binaryTreeTopology(int num_nodes, int max_modes)
+{
+    fatalIf(num_nodes < 4, "tree mapping needs at least 4 nodes");
+    fatalIf(max_modes < 2, "tree mapping needs at least two modes");
+
+    // Tree hop distance between level-order indices a and b (1-based
+    // heap indexing): walk both up to their common ancestor.
+    auto tree_hops = [](int a, int b) {
+        int ha = a + 1;
+        int hb = b + 1;
+        int hops = 0;
+        while (ha != hb) {
+            if (ha > hb)
+                ha >>= 1;
+            else
+                hb >>= 1;
+            ++hops;
+        }
+        return hops;
+    };
+
+    Matrix<int> modes(num_nodes, num_nodes, 0);
+    for (int s = 0; s < num_nodes; ++s)
+        for (int d = 0; d < num_nodes; ++d)
+            if (d != s)
+                modes(s, d) = std::min(tree_hops(s, d) - 1,
+                                       max_modes - 1);
+    return GlobalPowerTopology::fromModeMatrix(modes, max_modes);
+}
+
+GlobalPowerTopology
+distanceBasedTopology(int num_nodes,
+                      const std::vector<int> &mode_sizes)
+{
+    fatalIf(mode_sizes.empty(), "need at least one mode group");
+    int sum = std::accumulate(mode_sizes.begin(), mode_sizes.end(), 0);
+    fatalIf(sum != num_nodes - 1,
+            "mode group sizes must sum to num_nodes - 1");
+    for (int size : mode_sizes)
+        fatalIf(size < 1, "every mode group must be non-empty");
+
+    int num_modes = static_cast<int>(mode_sizes.size());
+    Matrix<int> modes(num_nodes, num_nodes, 0);
+    std::vector<int> order(num_nodes);
+    for (int s = 0; s < num_nodes; ++s) {
+        // Destinations sorted by serpentine (index) distance; ties
+        // resolved toward the lower index for determinism.
+        order.clear();
+        for (int d = 0; d < num_nodes; ++d)
+            if (d != s)
+                order.push_back(d);
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            int da = std::abs(a - s);
+            int db = std::abs(b - s);
+            return da != db ? da < db : a < b;
+        });
+
+        int index = 0;
+        for (int m = 0; m < num_modes; ++m)
+            for (int k = 0; k < mode_sizes[m]; ++k)
+                modes(s, order[index++]) = m;
+    }
+    return GlobalPowerTopology::fromModeMatrix(modes, num_modes);
+}
+
+GlobalPowerTopology
+distanceBasedTopology(int num_nodes, int num_modes)
+{
+    fatalIf(num_modes < 1, "need at least one mode");
+    fatalIf(num_nodes - 1 < num_modes,
+            "more modes than destinations");
+    std::vector<int> sizes(num_modes, (num_nodes - 1) / num_modes);
+    int remainder = (num_nodes - 1) % num_modes;
+    // Distribute the remainder to the nearest (lowest) modes.
+    for (int m = 0; m < remainder; ++m)
+        ++sizes[m];
+    return distanceBasedTopology(num_nodes, sizes);
+}
+
+} // namespace mnoc::core

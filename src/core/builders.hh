@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Conventional and distance-based power-topology builders
+ * (paper Sections 4.1 and 4.2).
+ */
+
+#ifndef MNOC_CORE_BUILDERS_HH
+#define MNOC_CORE_BUILDERS_HH
+
+#include <vector>
+
+#include "core/power_topology.hh"
+
+namespace mnoc::core {
+
+/**
+ * Two-mode clustered topology (Figure 5a): destinations inside the
+ * source's cluster of @p cluster_size consecutive nodes use the low
+ * mode, all others the high mode.
+ */
+GlobalPowerTopology clusteredTopology(int num_nodes, int cluster_size);
+
+/**
+ * Map a binary n-cube onto a power topology: the mode of a destination
+ * is its hop count from the source minus one (Section 4.1's general
+ * recipe applied to hypercubes).  @p num_nodes must be a power of two.
+ */
+GlobalPowerTopology hypercubeTopology(int num_nodes);
+
+/**
+ * Map a complete binary tree onto a power topology (Section 4.1's
+ * "trees"): nodes are tree vertices in level order, a destination's
+ * mode is the tree hop count of the shortest path minus one, and the
+ * mode count is capped at @p max_modes by saturating distant
+ * destinations into the top mode.
+ */
+GlobalPowerTopology binaryTreeTopology(int num_nodes, int max_modes);
+
+/**
+ * Distance-based topology (Figure 5b): for each source, destinations
+ * sorted by waveguide distance are grouped into modes of the given
+ * sizes (nearest group -> lowest mode).  Sizes must sum to
+ * num_nodes - 1.
+ */
+GlobalPowerTopology distanceBasedTopology(
+    int num_nodes, const std::vector<int> &mode_sizes);
+
+/**
+ * Convenience: split the destinations into @p num_modes near-equal
+ * distance groups (the paper's 2-mode 128/127 and 4-mode 64-ish
+ * groupings).
+ */
+GlobalPowerTopology distanceBasedTopology(int num_nodes, int num_modes);
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_BUILDERS_HH

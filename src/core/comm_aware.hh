@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Communication-aware power-mode assignment (paper Section 4.3):
+ * destinations sorted by traffic with a source are packed into modes so
+ * the hottest partners land in the cheapest mode.  The two-mode design
+ * sweeps all binary partitions of the sorted list; designs with more
+ * modes evaluate a set of candidate size partitions plus greedy
+ * boundary refinement.
+ */
+
+#ifndef MNOC_CORE_COMM_AWARE_HH
+#define MNOC_CORE_COMM_AWARE_HH
+
+#include <vector>
+
+#include "common/matrix.hh"
+#include "core/power_topology.hh"
+#include "optics/crossbar.hh"
+
+namespace mnoc::core {
+
+/** Knobs for the communication-aware builder. */
+struct CommAwareConfig
+{
+    /** Number of power modes (>= 2). */
+    int numModes = 2;
+    /**
+     * Candidate mode-size partitions for numModes >= 3, expressed as
+     * fractions of the destination count (each row sums to ~1 and has
+     * numModes entries).  Empty selects the built-in candidates, which
+     * include the paper's {64,64,64,63}, {1,1,2,251} and {4,120,53,78}
+     * four-mode splits scaled to the node count.
+     */
+    std::vector<std::vector<double>> candidateFractions;
+    /** Greedy +-boundary refinement after the candidate scan. */
+    bool greedyRefine = true;
+    /**
+     * Frequency banding: destinations whose flows are within this
+     * factor of each other count as equally hot and are ordered by
+     * attenuation (nearest first) instead.  Pure frequency sorting
+     * scatters the low mode across the waveguide when traffic is
+     * near-uniform, which costs more than distance grouping; banding
+     * recovers distance locality without giving up the hot-partner
+     * priority.  Set <= 1 to disable (exact frequency order).
+     */
+    double frequencyBandFactor = 2.0;
+};
+
+/**
+ * Build a communication-aware global power topology.
+ *
+ * @param crossbar Optical crossbar (provides per-pair attenuations).
+ * @param design_flow Core-to-core traffic used at design time (flits);
+ *        the S4/S12/application-specific weightings of Section 5.4.
+ * @param config Mode count and candidate partitions.
+ */
+GlobalPowerTopology commAwareTopology(
+    const optics::OpticalCrossbar &crossbar,
+    const FlowMatrix &design_flow, const CommAwareConfig &config = {});
+
+/**
+ * Expected injected power of @p source under mode assignment
+ * @p mode_of_dest, weighting the modes by @p flow (the Section 3.2
+ * objective, Equation 1, with exact splitter design).  Exposed for the
+ * evaluation harness and for tests.
+ */
+double expectedSourcePower(const optics::OpticalCrossbar &crossbar,
+                           int source,
+                           const std::vector<int> &mode_of_dest,
+                           int num_modes, const FlowMatrix &flow);
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_COMM_AWARE_HH

@@ -1,0 +1,154 @@
+#include "core/design_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mnoc::core {
+
+void
+saveDesign(const std::string &path, const MnocDesign &design)
+{
+    design.topology.validate();
+    int n = design.topology.numNodes;
+    fatalIf(static_cast<int>(design.sources.size()) != n,
+            "design is missing per-source solutions");
+
+    std::ofstream out(path);
+    fatalIf(!out.is_open(), "cannot open design file: " + path);
+    out << std::setprecision(17);
+    out << "mnoc-design 1\n";
+    out << n << " " << design.topology.numModes << "\n";
+    for (int s = 0; s < n; ++s) {
+        const auto &local = design.topology.local(s);
+        const auto &source = design.sources[s];
+        out << "source " << s << "\n";
+        out << "modes";
+        for (int d = 0; d < n; ++d)
+            out << " " << local.modeOfDest[d];
+        out << "\n";
+        out << "alpha";
+        for (double a : source.alpha)
+            out << " " << a;
+        out << "\n";
+        out << "modepower";
+        for (double p : source.modePower)
+            out << " " << p;
+        out << "\n";
+        out << "splitters";
+        for (double frac : source.chain.splitterFraction)
+            out << " " << frac;
+        out << "\n";
+        out << "injected " << source.chain.injectedPower << " expected "
+            << source.expectedPower << "\n";
+        out << "targets";
+        for (double t : source.chain.targets)
+            out << " " << t;
+        out << "\n";
+    }
+}
+
+namespace {
+
+/** Read a labelled vector line: "<label> v0 v1 ...". */
+template <typename T>
+std::vector<T>
+readVectorLine(std::istream &in, const std::string &expect, int count,
+               const std::string &path)
+{
+    std::string label;
+    in >> label;
+    fatalIf(label != expect,
+            "malformed design file (expected '" + expect + "'): " +
+                path);
+    std::vector<T> values(count);
+    for (T &v : values) {
+        in >> v;
+        fatalIf(in.fail(), "truncated design file: " + path);
+    }
+    return values;
+}
+
+} // namespace
+
+MnocDesign
+loadDesign(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.is_open(), "cannot open design file: " + path);
+
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    fatalIf(magic != "mnoc-design" || version != 1,
+            "unrecognized design file header: " + path);
+
+    int n = 0;
+    int num_modes = 0;
+    in >> n >> num_modes;
+    fatalIf(n < 2 || num_modes < 1 || in.fail(),
+            "malformed design dimensions: " + path);
+
+    MnocDesign design;
+    design.topology.numNodes = n;
+    design.topology.numModes = num_modes;
+    design.topology.locals.resize(n);
+    design.sources.resize(n);
+
+    for (int s = 0; s < n; ++s) {
+        std::string label;
+        int index = -1;
+        in >> label >> index;
+        fatalIf(label != "source" || index != s,
+                "malformed design file (source block): " + path);
+
+        auto &local = design.topology.locals[s];
+        local.source = s;
+        local.numModes = num_modes;
+        local.modeOfDest = readVectorLine<int>(in, "modes", n, path);
+
+        auto &source = design.sources[s];
+        source.alpha =
+            readVectorLine<double>(in, "alpha", num_modes, path);
+        source.modePower =
+            readVectorLine<double>(in, "modepower", num_modes, path);
+        source.chain.source = s;
+        source.chain.splitterFraction =
+            readVectorLine<double>(in, "splitters", n, path);
+
+        std::string injected_label;
+        std::string expected_label;
+        in >> injected_label >> source.chain.injectedPower >>
+            expected_label >> source.expectedPower;
+        fatalIf(injected_label != "injected" ||
+                    expected_label != "expected" || in.fail(),
+                "malformed design file (powers): " + path);
+        source.chain.targets =
+            readVectorLine<double>(in, "targets", n, path);
+        source.modeOfDest = local.modeOfDest;
+    }
+    design.topology.validate();
+    return design;
+}
+
+std::vector<DriveTableEntry>
+driveTable(const MnocDesign &design, int source)
+{
+    const auto &local = design.topology.local(source);
+    std::vector<DriveTableEntry> table;
+    table.reserve(design.topology.numNodes - 1);
+    for (int d = 0; d < design.topology.numNodes; ++d) {
+        if (d == source)
+            continue;
+        DriveTableEntry entry;
+        entry.dest = d;
+        entry.mode = local.modeOfDest[d];
+        entry.drivePower = design.sources[source].modePower[entry.mode];
+        table.push_back(entry);
+    }
+    return table;
+}
+
+} // namespace mnoc::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Serialization of complete mNoC designs.
+ *
+ * A finished design has two consumers (paper Section 3.2.2): the
+ * fabrication side needs the per-node splitter fractions of every
+ * waveguide, and the runtime side needs each source's table of drive
+ * constants (mode of each destination, drive power per mode), which
+ * software programs into the QD LED current drivers.  saveDesign()
+ * writes both in one line-oriented text file; loadDesign() restores a
+ * design that evaluates identically.
+ */
+
+#ifndef MNOC_CORE_DESIGN_IO_HH
+#define MNOC_CORE_DESIGN_IO_HH
+
+#include <string>
+
+#include "core/power_model.hh"
+
+namespace mnoc::core {
+
+/**
+ * Write @p design to @p path.
+ * @throws FatalError when the file cannot be written.
+ */
+void saveDesign(const std::string &path, const MnocDesign &design);
+
+/**
+ * Read a design written by saveDesign().
+ * @throws FatalError on malformed input.
+ */
+MnocDesign loadDesign(const std::string &path);
+
+/**
+ * The software-visible drive table of one source: for each
+ * destination, the minimum mode and the QD LED drive power in watts
+ * (the "table of constants" of Section 3.2.2).
+ */
+struct DriveTableEntry
+{
+    int dest = 0;
+    int mode = 0;
+    double drivePower = 0.0;
+};
+
+/** Build source @p source's drive table from @p design. */
+std::vector<DriveTableEntry> driveTable(const MnocDesign &design,
+                                        int source);
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_DESIGN_IO_HH

@@ -1,0 +1,103 @@
+#include "core/designer.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::core {
+
+std::string
+DesignSpec::label() const
+{
+    std::string out = std::to_string(numModes) + "M";
+    if (mapping != MappingMethod::Identity)
+        out += "_T";
+    if (numModes > 1) {
+        switch (assignment) {
+          case Assignment::DistanceBased:
+            out += "_N";
+            break;
+          case Assignment::CommAware:
+            out += "_G";
+            break;
+          case Assignment::Clustered:
+            out += "_C";
+            break;
+        }
+        switch (weights) {
+          case WeightSource::Uniform:
+            out += "_U";
+            break;
+          case WeightSource::Fractions:
+            out += "_W";
+            break;
+          case WeightSource::DesignFlow:
+            out += "_S" + sampleTag;
+            break;
+        }
+    }
+    return out;
+}
+
+Designer::Designer(const optics::OpticalCrossbar &crossbar,
+                   const PowerParams &params)
+    : crossbar_(crossbar), model_(crossbar, params)
+{
+}
+
+MappingResult
+Designer::map(const FlowMatrix &thread_flow, MappingMethod method,
+              const MappingParams &params) const
+{
+    return mapThreads(crossbar_, thread_flow, method, params);
+}
+
+GlobalPowerTopology
+Designer::buildTopology(const DesignSpec &spec,
+                        const FlowMatrix &core_design_flow) const
+{
+    int n = crossbar_.numNodes();
+    fatalIf(spec.numModes < 1, "need at least one mode");
+    if (spec.numModes == 1)
+        return GlobalPowerTopology::singleMode(n);
+
+    switch (spec.assignment) {
+      case Assignment::DistanceBased:
+        return distanceBasedTopology(n, spec.numModes);
+      case Assignment::Clustered:
+        fatalIf(spec.numModes != 2,
+                "the clustered mapping is a two-mode design");
+        return clusteredTopology(n, 4);
+      case Assignment::CommAware: {
+        CommAwareConfig config;
+        config.numModes = spec.numModes;
+        return commAwareTopology(crossbar_, core_design_flow, config);
+      }
+    }
+    panic("unreachable assignment kind");
+}
+
+MnocDesign
+Designer::buildDesign(const DesignSpec &spec,
+                      const GlobalPowerTopology &topology,
+                      const FlowMatrix &core_design_flow) const
+{
+    switch (spec.weights) {
+      case WeightSource::Uniform:
+        return model_.designUniform(topology);
+      case WeightSource::Fractions:
+        return model_.designWithFractions(topology, spec.fractions);
+      case WeightSource::DesignFlow:
+        return model_.designFor(topology, core_design_flow);
+    }
+    panic("unreachable weight source");
+}
+
+PowerBreakdown
+Designer::evaluate(const MnocDesign &design,
+                   const sim::Trace &thread_trace,
+                   const std::vector<int> &thread_to_core) const
+{
+    sim::Trace mapped = sim::mapTrace(thread_trace, thread_to_core);
+    return model_.evaluate(design, mapped);
+}
+
+} // namespace mnoc::core

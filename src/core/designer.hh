@@ -1,0 +1,105 @@
+/**
+ * @file
+ * End-to-end design facade tying the pieces together with the paper's
+ * design notation (Table 5): number of modes (1M/2M/4M), thread
+ * mapping (T), mode assignment (N = distance-based, G = general
+ * communication-aware, C = clustered), and splitter-design weighting
+ * (U = uniform, W = fixed fractions, S = sampled traffic).
+ */
+
+#ifndef MNOC_CORE_DESIGNER_HH
+#define MNOC_CORE_DESIGNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/baseline_models.hh"
+#include "core/builders.hh"
+#include "core/comm_aware.hh"
+#include "core/power_model.hh"
+#include "core/thread_mapper.hh"
+#include "sim/trace.hh"
+
+namespace mnoc::core {
+
+/** Mode-assignment strategies (Table 5's N/G/C). */
+enum class Assignment
+{
+    DistanceBased,  ///< N: nearest groups on the waveguide
+    CommAware,      ///< G: frequency-sorted, power-optimized partition
+    Clustered,      ///< C(onventional): Figure 5a clusters
+};
+
+/** Splitter-design weighting sources (Table 5's U/W/S). */
+enum class WeightSource
+{
+    Uniform,    ///< U: every destination equally likely
+    Fractions,  ///< W: fixed per-mode fractions (e.g. 66%/33%)
+    DesignFlow, ///< S: sampled traffic (S4 / S12 / app-specific)
+};
+
+/** One named design point, e.g. 4M_T_G_S12. */
+struct DesignSpec
+{
+    int numModes = 1;
+    MappingMethod mapping = MappingMethod::Identity;
+    Assignment assignment = Assignment::DistanceBased;
+    WeightSource weights = WeightSource::Uniform;
+    /** Per-mode fractions when weights == Fractions. */
+    std::vector<double> fractions;
+    /** Suffix for the S weighting label ("4", "12", "app"). */
+    std::string sampleTag;
+
+    /** The paper's notation for this spec (e.g. "2M_T_N_U"). */
+    std::string label() const;
+};
+
+/**
+ * Orchestrates mapping, topology construction, splitter design and
+ * power evaluation against a shared crossbar and power model.
+ */
+class Designer
+{
+  public:
+    Designer(const optics::OpticalCrossbar &crossbar,
+             const PowerParams &params = {});
+
+    /** Thread-mapping step (per application). */
+    MappingResult map(const FlowMatrix &thread_flow,
+                      MappingMethod method,
+                      const MappingParams &params = {}) const;
+
+    /**
+     * Build the mode assignment named by @p spec.
+     * @param core_design_flow Design-time traffic in core coordinates
+     *        (already permuted by the design-time mapping); only used
+     *        by the communication-aware assignment.
+     */
+    GlobalPowerTopology buildTopology(
+        const DesignSpec &spec,
+        const FlowMatrix &core_design_flow) const;
+
+    /** Solve the splitter design for @p topology per @p spec. */
+    MnocDesign buildDesign(const DesignSpec &spec,
+                           const GlobalPowerTopology &topology,
+                           const FlowMatrix &core_design_flow) const;
+
+    /**
+     * Average power of @p design over @p thread_trace run under
+     * @p thread_to_core.
+     */
+    PowerBreakdown evaluate(const MnocDesign &design,
+                            const sim::Trace &thread_trace,
+                            const std::vector<int> &thread_to_core) const;
+
+    const MnocPowerModel &model() const { return model_; }
+    const optics::OpticalCrossbar &crossbar() const { return crossbar_; }
+
+  private:
+    const optics::OpticalCrossbar &crossbar_;
+    MnocPowerModel model_;
+};
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_DESIGNER_HH

@@ -1,0 +1,159 @@
+#include "core/power_model.hh"
+
+#include "common/log.hh"
+#include "optics/alpha_optimizer.hh"
+
+namespace mnoc::core {
+
+double
+MnocDesign::powerFor(int source, int dest) const
+{
+    const auto &local = topology.local(source);
+    int mode = local.modeOfDest[dest];
+    fatalIf(mode < 0, "a source does not transmit to itself");
+    return sources[source].modePower[mode];
+}
+
+MnocPowerModel::MnocPowerModel(const optics::OpticalCrossbar &crossbar,
+                               const PowerParams &params)
+    : crossbar_(crossbar), params_(params)
+{
+    fatalIf(params_.oeBaseW < 0.0 || params_.oeMinW < 0.0,
+            "O/E power coefficients must be non-negative");
+    fatalIf(params_.bufferEnergyPerFlit < 0.0,
+            "buffer energy must be non-negative");
+}
+
+MnocDesign
+MnocPowerModel::designWithWeights(
+    const GlobalPowerTopology &topology,
+    const std::vector<std::vector<double>> &weights) const
+{
+    topology.validate();
+    int n = crossbar_.numNodes();
+    fatalIf(topology.numNodes != n, "topology size mismatch");
+
+    MnocDesign design;
+    design.topology = topology;
+    design.sources.reserve(n);
+    double pmin = crossbar_.params().pminAtTap();
+    for (int s = 0; s < n; ++s) {
+        optics::AlphaOptimizer optimizer(crossbar_.chain(s),
+                                         topology.local(s).modeOfDest,
+                                         weights[s], pmin);
+        design.sources.push_back(optimizer.optimize());
+    }
+    return design;
+}
+
+MnocDesign
+MnocPowerModel::designFor(const GlobalPowerTopology &topology,
+                          const FlowMatrix &design_flow) const
+{
+    int n = crossbar_.numNodes();
+    fatalIf(static_cast<int>(design_flow.rows()) != n ||
+            static_cast<int>(design_flow.cols()) != n,
+            "design flow matrix size mismatch");
+
+    std::vector<std::vector<double>> weights(n);
+    for (int s = 0; s < n; ++s) {
+        const auto &local = topology.local(s);
+        std::vector<double> w(topology.numModes, 0.0);
+        double total = 0.0;
+        for (int d = 0; d < n; ++d) {
+            if (d == s)
+                continue;
+            w[local.modeOfDest[d]] += design_flow(s, d);
+            total += design_flow(s, d);
+        }
+        if (total <= 0.0) {
+            // No design traffic: weight modes by destination count.
+            for (int d = 0; d < n; ++d)
+                if (d != s)
+                    w[local.modeOfDest[d]] += 1.0;
+        }
+        weights[s] = std::move(w);
+    }
+    return designWithWeights(topology, weights);
+}
+
+MnocDesign
+MnocPowerModel::designUniform(const GlobalPowerTopology &topology) const
+{
+    FlowMatrix uniform(crossbar_.numNodes(), crossbar_.numNodes(), 1.0);
+    return designFor(topology, uniform);
+}
+
+MnocDesign
+MnocPowerModel::designWithFractions(
+    const GlobalPowerTopology &topology,
+    const std::vector<double> &mode_fractions) const
+{
+    fatalIf(static_cast<int>(mode_fractions.size()) !=
+                topology.numModes,
+            "one fraction per mode required");
+    std::vector<std::vector<double>> weights(
+        crossbar_.numNodes(), mode_fractions);
+    return designWithWeights(topology, weights);
+}
+
+PowerBreakdown
+MnocPowerModel::evaluate(const MnocDesign &design,
+                         const sim::Trace &trace) const
+{
+    int n = crossbar_.numNodes();
+    fatalIf(static_cast<int>(trace.flits.rows()) != n ||
+            static_cast<int>(trace.flits.cols()) != n,
+            "trace size mismatch");
+    fatalIf(trace.totalTicks == 0, "trace has zero duration");
+
+    const auto &optics_params = crossbar_.params();
+    double flit_time = 1.0 / params_.net.clockHz; // one flit per cycle
+    double duration =
+        static_cast<double>(trace.totalTicks) / params_.net.clockHz;
+    double oe_per_receiver =
+        params_.oePowerPerReceiver(optics_params.photodetectorMiop);
+
+    // Precompute the receiver population per (source, mode).
+    std::vector<std::vector<int>> reach(n);
+    for (int s = 0; s < n; ++s) {
+        reach[s].resize(design.topology.numModes);
+        for (int m = 0; m < design.topology.numModes; ++m)
+            reach[s][m] = design.topology.local(s).reachableCount(m);
+    }
+
+    double source_energy = 0.0;
+    double oe_energy = 0.0;
+    double electrical_energy = 0.0;
+    for (int s = 0; s < n; ++s) {
+        const auto &local = design.topology.local(s);
+        for (int d = 0; d < n; ++d) {
+            if (d == s)
+                continue;
+            auto flits = static_cast<double>(trace.flits(s, d));
+            if (flits == 0.0)
+                continue;
+            int mode = local.modeOfDest[d];
+            double tx_time = flits * flit_time;
+            // QD LED electrical drive, derated by the 1-to-0 ratio.
+            source_energy += tx_time *
+                design.sources[s].modePower[mode] *
+                optics_params.oneToZeroRatio /
+                optics_params.qdLedEfficiency;
+            // Every receiver reachable in this mode sees the light and
+            // burns O/E power for the packet duration.
+            oe_energy += tx_time * reach[s][mode] * oe_per_receiver;
+            // Injection + ejection buffers.
+            electrical_energy +=
+                flits * 2.0 * params_.bufferEnergyPerFlit;
+        }
+    }
+
+    PowerBreakdown out;
+    out.source = source_energy / duration;
+    out.oe = oe_energy / duration;
+    out.electrical = electrical_energy / duration;
+    return out;
+}
+
+} // namespace mnoc::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * mNoC power model: turns a captured trace plus a power topology and
+ * its splitter designs into the paper's power breakdown (QD LED source
+ * power, O/E conversion power, electrical buffer power).
+ *
+ * The O/E model follows Section 2.2 / Figure 2: per-receiver O/E power
+ * decreases linearly with the photodetector mIOP (a low mIOP needs a
+ * high-gain photoreceiver).  The default coefficients are calibrated so
+ * that at 10 uW mIOP the QD LED source is ~80% of total broadcast
+ * power, and O/E dominates at 1 uW, reproducing Figure 2's crossover;
+ * the calibration is recorded in EXPERIMENTS.md.
+ */
+
+#ifndef MNOC_CORE_POWER_MODEL_HH
+#define MNOC_CORE_POWER_MODEL_HH
+
+#include <vector>
+
+#include "core/power_topology.hh"
+#include "noc/config.hh"
+#include "optics/crossbar.hh"
+#include "sim/trace.hh"
+
+namespace mnoc::core {
+
+/** Electrical-side power parameters. */
+struct PowerParams
+{
+    noc::NetworkConfig net;
+    /** Per-receiver O/E power at zero mIOP, in watts. */
+    double oeBaseW = 1.0e-3;
+    /** O/E power reduction per watt of mIOP (dimensionless W/W). */
+    double oeSlopePerWatt = 61.0;
+    /** O/E power floor per receiver, in watts. */
+    double oeMinW = 0.05e-3;
+    /** Buffer energy per flit per endpoint, in joules. */
+    double bufferEnergyPerFlit = 5.0e-12;
+
+    /** Per-receiver O/E power for a photodetector with @p miop. */
+    double
+    oePowerPerReceiver(double miop) const
+    {
+        double p = oeBaseW - oeSlopePerWatt * miop;
+        return p > oeMinW ? p : oeMinW;
+    }
+};
+
+/** Power decomposition in watts (the Figure 10 categories). */
+struct PowerBreakdown
+{
+    double source = 0.0;      ///< QD LED (or laser-modulator) drive
+    double oe = 0.0;          ///< O/E + E/O conversion
+    double electrical = 0.0;  ///< buffers, links, routers
+    double ringHeating = 0.0; ///< rNoC ring thermal trimming
+    double laser = 0.0;       ///< rNoC external laser
+
+    double
+    total() const
+    {
+        return source + oe + electrical + ringHeating + laser;
+    }
+};
+
+/** A fully designed mNoC: topology plus per-source splitter designs. */
+struct MnocDesign
+{
+    GlobalPowerTopology topology;
+    /** One multi-mode design per source. */
+    std::vector<optics::MultiModeDesign> sources;
+
+    /** Injected optical power used by @p source to reach @p dest. */
+    double powerFor(int source, int dest) const;
+};
+
+/**
+ * Computes mNoC power from traces.  The splitter designs are produced
+ * once per (topology, design-time weighting) pair and then evaluated
+ * against any number of traces.
+ */
+class MnocPowerModel
+{
+  public:
+    MnocPowerModel(const optics::OpticalCrossbar &crossbar,
+                   const PowerParams &params = {});
+
+    /**
+     * Design splitters for @p topology with per-source mode weights
+     * derived from @p design_flow (flits between cores at design time).
+     * Sources with no design traffic fall back to uniform
+     * per-destination weights.
+     */
+    MnocDesign designFor(const GlobalPowerTopology &topology,
+                         const FlowMatrix &design_flow) const;
+
+    /** Design with uniform per-destination weights (the U designs). */
+    MnocDesign designUniform(const GlobalPowerTopology &topology) const;
+
+    /**
+     * Design with fixed per-mode traffic fractions shared by every
+     * source (e.g. {0.66, 0.33}; Section 5.6's weighting sweep).
+     */
+    MnocDesign designWithFractions(
+        const GlobalPowerTopology &topology,
+        const std::vector<double> &mode_fractions) const;
+
+    /** Average power over the traced interval. */
+    PowerBreakdown evaluate(const MnocDesign &design,
+                            const sim::Trace &trace) const;
+
+    const optics::OpticalCrossbar &crossbar() const { return crossbar_; }
+    const PowerParams &params() const { return params_; }
+
+  private:
+    MnocDesign designWithWeights(
+        const GlobalPowerTopology &topology,
+        const std::vector<std::vector<double>> &weights) const;
+
+    const optics::OpticalCrossbar &crossbar_;
+    PowerParams params_;
+};
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_POWER_MODEL_HH

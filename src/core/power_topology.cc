@@ -1,0 +1,124 @@
+#include "core/power_topology.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::core {
+
+std::vector<int>
+LocalPowerTopology::destsUniqueToMode(int mode) const
+{
+    std::vector<int> out;
+    for (int d = 0; d < static_cast<int>(modeOfDest.size()); ++d)
+        if (d != source && modeOfDest[d] == mode)
+            out.push_back(d);
+    return out;
+}
+
+int
+LocalPowerTopology::reachableCount(int mode) const
+{
+    int count = 0;
+    for (int d = 0; d < static_cast<int>(modeOfDest.size()); ++d)
+        if (d != source && modeOfDest[d] <= mode)
+            ++count;
+    return count;
+}
+
+void
+LocalPowerTopology::validate(int num_nodes) const
+{
+    fatalIf(source < 0 || source >= num_nodes,
+            "local topology source out of range");
+    fatalIf(numModes < 1, "need at least one power mode");
+    fatalIf(static_cast<int>(modeOfDest.size()) != num_nodes,
+            "mode assignment must cover every node");
+    fatalIf(modeOfDest[source] != -1,
+            "the source's own entry must be -1");
+    std::vector<bool> mode_used(numModes, false);
+    for (int d = 0; d < num_nodes; ++d) {
+        if (d == source)
+            continue;
+        int m = modeOfDest[d];
+        fatalIf(m < 0 || m >= numModes,
+                "destination mode out of range");
+        mode_used[m] = true;
+    }
+    // The highest mode must be non-empty so that it is the true
+    // broadcast power; lower modes may be empty in degenerate designs.
+    fatalIf(num_nodes > 1 && !mode_used[numModes - 1],
+            "highest power mode reaches no unique destination");
+}
+
+const LocalPowerTopology &
+GlobalPowerTopology::local(int source) const
+{
+    fatalIf(source < 0 || source >= numNodes, "source out of range");
+    return locals[source];
+}
+
+GlobalPowerTopology
+GlobalPowerTopology::singleMode(int n)
+{
+    fatalIf(n < 2, "topology needs at least two nodes");
+    GlobalPowerTopology g;
+    g.numNodes = n;
+    g.numModes = 1;
+    g.locals.resize(n);
+    for (int s = 0; s < n; ++s) {
+        auto &l = g.locals[s];
+        l.source = s;
+        l.numModes = 1;
+        l.modeOfDest.assign(n, 0);
+        l.modeOfDest[s] = -1;
+    }
+    return g;
+}
+
+GlobalPowerTopology
+GlobalPowerTopology::fromModeMatrix(const Matrix<int> &modes,
+                                    int num_modes)
+{
+    fatalIf(modes.rows() != modes.cols(), "mode matrix must be square");
+    int n = static_cast<int>(modes.rows());
+    GlobalPowerTopology g;
+    g.numNodes = n;
+    g.numModes = num_modes;
+    g.locals.resize(n);
+    for (int s = 0; s < n; ++s) {
+        auto &l = g.locals[s];
+        l.source = s;
+        l.numModes = num_modes;
+        l.modeOfDest.resize(n);
+        for (int d = 0; d < n; ++d)
+            l.modeOfDest[d] = d == s ? -1 : modes(s, d);
+    }
+    g.validate();
+    return g;
+}
+
+Matrix<int>
+GlobalPowerTopology::modeMatrix() const
+{
+    Matrix<int> out(numNodes, numNodes, -1);
+    for (int s = 0; s < numNodes; ++s)
+        for (int d = 0; d < numNodes; ++d)
+            out(s, d) = locals[s].modeOfDest[d];
+    return out;
+}
+
+void
+GlobalPowerTopology::validate() const
+{
+    fatalIf(numNodes < 2, "topology needs at least two nodes");
+    fatalIf(static_cast<int>(locals.size()) != numNodes,
+            "need one local topology per source");
+    for (int s = 0; s < numNodes; ++s) {
+        fatalIf(locals[s].source != s,
+                "local topology source index mismatch");
+        fatalIf(locals[s].numModes != numModes,
+                "this library uses a uniform mode count per source");
+        locals[s].validate(numNodes);
+    }
+}
+
+} // namespace mnoc::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Power topology types (paper Section 3.1).
+ *
+ * A local power topology gives, for one source, the minimum power mode
+ * in which each destination is reachable.  Mode sets are nested by
+ * construction: mode m reaches every destination whose assigned mode is
+ * <= m, and the highest mode (numModes - 1) is broadcast.  The global
+ * power topology is the union of the locals, one per source.
+ */
+
+#ifndef MNOC_CORE_POWER_TOPOLOGY_HH
+#define MNOC_CORE_POWER_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hh"
+
+namespace mnoc::core {
+
+/** One source's mode assignment. */
+struct LocalPowerTopology
+{
+    int source = -1;
+    int numModes = 1;
+    /** Minimum mode per destination; entry at the source is -1. */
+    std::vector<int> modeOfDest;
+
+    /** Destinations whose minimum mode is exactly @p mode. */
+    std::vector<int> destsUniqueToMode(int mode) const;
+
+    /** Number of destinations reachable in @p mode (cumulative). */
+    int reachableCount(int mode) const;
+
+    /** Check structural invariants; fatal on violation. */
+    void validate(int num_nodes) const;
+};
+
+/** The full crossbar's power topology. */
+struct GlobalPowerTopology
+{
+    int numNodes = 0;
+    int numModes = 1;
+    std::vector<LocalPowerTopology> locals;
+
+    /** The local topology of @p source. */
+    const LocalPowerTopology &local(int source) const;
+
+    /** Single-mode (broadcast-only) topology over @p n nodes. */
+    static GlobalPowerTopology singleMode(int n);
+
+    /**
+     * Build a global topology from a full mode matrix: entry (s, d) is
+     * the minimum mode for s -> d (diagonal ignored).
+     */
+    static GlobalPowerTopology fromModeMatrix(const Matrix<int> &modes,
+                                              int num_modes);
+
+    /** Mode matrix view (source row, destination column; -1 on the
+     *  diagonal), the paper's Figure 5 representation. */
+    Matrix<int> modeMatrix() const;
+
+    /** Check structural invariants; fatal on violation. */
+    void validate() const;
+};
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_POWER_TOPOLOGY_HH

@@ -1,0 +1,96 @@
+#include "core/thread_mapper.hh"
+
+#include "common/log.hh"
+#include "qap/annealing.hh"
+#include "qap/qap.hh"
+#include "qap/taboo.hh"
+
+namespace mnoc::core {
+
+FlowMatrix
+powerDistanceMatrix(const optics::OpticalCrossbar &crossbar,
+                    MappingObjective objective)
+{
+    int n = crossbar.numNodes();
+    double pmin = crossbar.params().pminAtTap();
+    bool pairwise = objective != MappingObjective::SingleModeProfile;
+    bool profile = objective != MappingObjective::PairwiseAttenuation;
+
+    FlowMatrix dist(n, n, 0.0);
+    for (int a = 0; a < n; ++a) {
+        const auto &chain = crossbar.chain(a);
+        for (int b = 0; b < n; ++b) {
+            if (a == b)
+                continue;
+            double cost = 0.0;
+            if (pairwise)
+                cost += pmin * chain.tapAttenuation(b);
+            if (profile) {
+                // Per-packet broadcast drive of the endpoints,
+                // amortized per destination; symmetrized so the taboo
+                // solver's O(1) updates apply.
+                cost += (crossbar.broadcastPower(a) +
+                         crossbar.broadcastPower(b)) /
+                        (2.0 * static_cast<double>(n - 1));
+            }
+            dist(a, b) = cost;
+        }
+    }
+    return dist;
+}
+
+MappingResult
+mapThreads(const optics::OpticalCrossbar &crossbar,
+           const FlowMatrix &thread_flow, MappingMethod method,
+           const MappingParams &params, MappingObjective objective)
+{
+    int n = crossbar.numNodes();
+    fatalIf(static_cast<int>(thread_flow.rows()) != n ||
+            static_cast<int>(thread_flow.cols()) != n,
+            "thread flow matrix size mismatch");
+
+    // Symmetrize the flow (the power-distance matrix is symmetric on
+    // the serpentine, so only pairwise totals matter) and zero the
+    // diagonal so the taboo solver's O(1) delta updates apply.
+    FlowMatrix flow(n, n, 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (i != j)
+                flow(i, j) = thread_flow(i, j) + thread_flow(j, i);
+
+    qap::QapInstance instance(std::move(flow),
+                              powerDistanceMatrix(crossbar, objective));
+
+    MappingResult result;
+    auto identity = instance.identity();
+    result.identityCost = instance.cost(identity);
+
+    switch (method) {
+      case MappingMethod::Identity: {
+        result.threadToCore = identity;
+        result.qapCost = result.identityCost;
+        break;
+      }
+      case MappingMethod::Taboo: {
+        qap::TabooParams tp;
+        tp.iterations = params.tabooIterations;
+        tp.seed = params.seed;
+        auto r = qap::tabooSearch(instance, identity, tp);
+        result.threadToCore = r.perm;
+        result.qapCost = r.cost;
+        break;
+      }
+      case MappingMethod::Annealing: {
+        qap::AnnealingParams ap;
+        ap.iterations = params.annealingIterations;
+        ap.seed = params.seed;
+        auto r = qap::simulatedAnnealing(instance, identity, ap);
+        result.threadToCore = r.perm;
+        result.qapCost = r.cost;
+        break;
+      }
+    }
+    return result;
+}
+
+} // namespace mnoc::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * QAP thread mapping (paper Section 4.4): place frequently
+ * communicating threads on the cores whose single-mode source power is
+ * lowest (the middle of the serpentine).
+ */
+
+#ifndef MNOC_CORE_THREAD_MAPPER_HH
+#define MNOC_CORE_THREAD_MAPPER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "optics/crossbar.hh"
+
+namespace mnoc::core {
+
+/** What the QAP distance matrix models. */
+enum class MappingObjective
+{
+    /**
+     * The paper's Section 4.4 formulation: mapping is based on the
+     * single-mode power topology, so a pair's cost is the broadcast
+     * drive power of its endpoints -- heavy communicators migrate to
+     * the middle of the serpentine where broadcast is cheap.
+     */
+    SingleModeProfile,
+    /**
+     * Pairwise tap attenuation: the marginal power to reach exactly
+     * the partner, which is what multi-mode designs charge.  Position
+     * independent; favors adjacency.
+     */
+    PairwiseAttenuation,
+    /** Sum of both terms (default): profile and locality gradients. */
+    Blended,
+};
+
+/** Mapping heuristic selection. */
+enum class MappingMethod
+{
+    Identity, ///< naive: thread t on core t
+    Taboo,    ///< Taillard robust taboo search (the paper's default)
+    Annealing, ///< Connolly-style simulated annealing
+};
+
+/** Result of a thread-mapping run. */
+struct MappingResult
+{
+    /** threadToCore[t] = core that thread t runs on. */
+    std::vector<int> threadToCore;
+    /** QAP objective of the mapping (lower is better). */
+    double qapCost = 0.0;
+    /** QAP objective of the identity mapping, for comparison. */
+    double identityCost = 0.0;
+};
+
+/** Knobs for the mapping heuristics. */
+struct MappingParams
+{
+    long long tabooIterations = 20000;
+    long long annealingIterations = 400000;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Build the QAP distance matrix for @p objective (symmetric, zero
+ * diagonal).  SingleModeProfile charges (B(a) + B(b)) / (2 (N-1))
+ * where B is the broadcast drive power; PairwiseAttenuation charges
+ * pmin * A(a, b); Blended sums both.
+ */
+FlowMatrix powerDistanceMatrix(
+    const optics::OpticalCrossbar &crossbar,
+    MappingObjective objective = MappingObjective::Blended);
+
+/**
+ * Map threads to cores so that high-flow pairs land on low-power core
+ * pairs.
+ *
+ * @param crossbar Optical crossbar providing the power profile.
+ * @param thread_flow Thread-to-thread traffic (flits or packets).
+ * @param method Heuristic to use.
+ * @param params Heuristic knobs.
+ */
+MappingResult mapThreads(
+    const optics::OpticalCrossbar &crossbar,
+    const FlowMatrix &thread_flow,
+    MappingMethod method = MappingMethod::Taboo,
+    const MappingParams &params = {},
+    MappingObjective objective = MappingObjective::Blended);
+
+} // namespace mnoc::core
+
+#endif // MNOC_CORE_THREAD_MAPPER_HH

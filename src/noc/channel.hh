@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Analytical channel contention model.
+ *
+ * The coherence engine books packets on channels at out-of-time-order
+ * instants (a directory response lands 100+ cycles after the request
+ * that is being processed now), so an exact FCFS watermark either
+ * loses idle holes or ratchets unboundedly.  Following Graphite's
+ * methodology -- the paper's own simulator uses analytical queueing
+ * contention models per link -- each channel instead estimates its
+ * utilization over a sliding window and charges an M/D/1-style
+ * queueing delay: Wq = rho / (2 (1 - rho)) * service_time.  The model
+ * is order-insensitive and deterministic.
+ */
+
+#ifndef MNOC_NOC_CHANNEL_HH
+#define MNOC_NOC_CHANNEL_HH
+
+#include "noc/packet.hh"
+
+namespace mnoc::noc {
+
+/** One serialized link with 1 flit/cycle bandwidth. */
+class Channel
+{
+  public:
+    /**
+     * Occupy the channel with @p flits around time @p when.
+     *
+     * @return The tick at which the packet's last flit has left,
+     *         including the utilization-dependent queueing delay.
+     */
+    Tick
+    book(Tick when, int flits)
+    {
+        Tick bucket = when / windowCycles;
+        if (bucket > currentBucket_) {
+            previousCount_ =
+                bucket == currentBucket_ + 1 ? currentCount_ : 0;
+            currentCount_ = 0;
+            currentBucket_ = bucket;
+        }
+        currentCount_ += static_cast<Tick>(flits);
+
+        double rho = utilization();
+        double queue = rho / (2.0 * (1.0 - rho)) *
+                       static_cast<double>(flits);
+        return when + static_cast<Tick>(queue) +
+               static_cast<Tick>(flits);
+    }
+
+    /** Current utilization estimate in [0, maxUtilization]. */
+    double
+    utilization() const
+    {
+        double windows =
+            previousCount_ > 0 || currentBucket_ > 0 ? 2.0 : 1.0;
+        double rho = static_cast<double>(previousCount_ +
+                                         currentCount_) /
+                     (windows * static_cast<double>(windowCycles));
+        return rho < maxUtilization ? rho : maxUtilization;
+    }
+
+    void
+    reset()
+    {
+        currentBucket_ = 0;
+        currentCount_ = 0;
+        previousCount_ = 0;
+    }
+
+  private:
+    /** Utilization-averaging window, in cycles. */
+    static constexpr Tick windowCycles = 2048;
+    /** Cap so the queueing term stays finite under overload. */
+    static constexpr double maxUtilization = 0.98;
+
+    Tick currentBucket_ = 0;
+    Tick currentCount_ = 0;
+    Tick previousCount_ = 0;
+};
+
+} // namespace mnoc::noc
+
+#endif // MNOC_NOC_CHANNEL_HH

@@ -1,0 +1,92 @@
+#include "noc/clustered_network.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mnoc::noc {
+
+ClusteredNetwork::ClusteredNetwork(
+    int num_nodes, const optics::SerpentineLayout &port_layout,
+    const NetworkConfig &config, std::string model_name)
+    : numNodes_(num_nodes), portLayout_(port_layout), config_(config),
+      modelName_(std::move(model_name))
+{
+    fatalIf(config_.clusterSize < 1, "cluster size must be positive");
+    fatalIf(num_nodes % config_.clusterSize != 0,
+            "node count must be a multiple of the cluster size");
+    int ports = num_nodes / config_.clusterSize;
+    fatalIf(ports != port_layout.numNodes(),
+            "port layout size must equal the cluster count");
+    portChannel_.assign(ports, Channel());
+    ejectChannel_.assign(ports, Channel());
+    routerChannel_.assign(ports, Channel());
+}
+
+int
+ClusteredNetwork::zeroLoadLatency(int src, int dst) const
+{
+    if (src == dst)
+        return 0;
+    int src_cluster = src / config_.clusterSize;
+    int dst_cluster = dst / config_.clusterSize;
+    if (src_cluster == dst_cluster) {
+        // node -> link -> router -> link -> node
+        return config_.routerCycles + 2 * config_.electricalLinkCycles;
+    }
+    int optical = config_.opticalCycles(
+        portLayout_.distanceBetween(src_cluster, dst_cluster));
+    // node -> link -> src router -> optical -> dst router -> link -> node
+    return 2 * (config_.routerCycles + config_.electricalLinkCycles) +
+           optical;
+}
+
+Tick
+ClusteredNetwork::deliver(const Packet &packet, Tick now)
+{
+    panicIf(packet.src < 0 || packet.src >= numNodes_ ||
+            packet.dst < 0 || packet.dst >= numNodes_,
+            "packet endpoint out of range");
+    if (packet.src == packet.dst)
+        return now;
+
+    int src_cluster = packet.src / config_.clusterSize;
+    int dst_cluster = packet.dst / config_.clusterSize;
+
+    // Local router crossing, serialized per cluster router.
+    Tick through_router =
+        routerChannel_[src_cluster].book(now, packet.flits);
+    Tick at_router = through_router + config_.electricalLinkCycles +
+                     config_.routerCycles;
+
+    if (src_cluster == dst_cluster)
+        return at_router + config_.electricalLinkCycles;
+
+    // Inject into the cluster's shared optical port.
+    Tick tx_done = portChannel_[src_cluster].book(at_router,
+                                                  packet.flits);
+    Tick arrival = tx_done + config_.opticalCycles(
+        portLayout_.distanceBetween(src_cluster, dst_cluster));
+
+    Tick ejected = ejectChannel_[dst_cluster].book(arrival,
+                                                   packet.flits);
+
+    // Destination-side router crossing, serialized as well.
+    Tick through_dst = routerChannel_[dst_cluster].book(ejected,
+                                                        packet.flits);
+    return through_dst + config_.routerCycles +
+           config_.electricalLinkCycles;
+}
+
+void
+ClusteredNetwork::reset()
+{
+    for (Channel &channel : portChannel_)
+        channel.reset();
+    for (Channel &channel : ejectChannel_)
+        channel.reset();
+    for (Channel &channel : routerChannel_)
+        channel.reset();
+}
+
+} // namespace mnoc::noc

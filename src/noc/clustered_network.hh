@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Latency/contention model of the clustered photonic topologies (rNoC
+ * and c_mNoC): a radix-64 optical crossbar whose ports are shared by
+ * 4-node electrical clusters (paper Section 2 and Table 2).
+ *
+ * Intra-cluster traffic crosses one electrical router; inter-cluster
+ * traffic crosses the source router, the optical crossbar (1-5 cycles),
+ * and the destination router.  The four nodes of a cluster share their
+ * port's injection channel, which is the clustered designs' bandwidth
+ * disadvantage against the full crossbar.
+ */
+
+#ifndef MNOC_NOC_CLUSTERED_NETWORK_HH
+#define MNOC_NOC_CLUSTERED_NETWORK_HH
+
+#include <vector>
+
+#include "noc/channel.hh"
+#include "noc/config.hh"
+#include "noc/network.hh"
+#include "optics/serpentine_layout.hh"
+
+namespace mnoc::noc {
+
+/** Clustered optical-crossbar timing model (rNoC / c_mNoC). */
+class ClusteredNetwork : public Network
+{
+  public:
+    /**
+     * @param num_nodes Total cores; must be a multiple of the cluster
+     *        size in @p config.
+     * @param port_layout Serpentine geometry of the radix-(N/cluster)
+     *        optical crossbar connecting the cluster ports.
+     * @param config Timing parameters.
+     * @param model_name Reported name ("rNoC" or "c_mNoC").
+     */
+    ClusteredNetwork(int num_nodes,
+                     const optics::SerpentineLayout &port_layout,
+                     const NetworkConfig &config,
+                     std::string model_name);
+
+    int numNodes() const override { return numNodes_; }
+    Tick deliver(const Packet &packet, Tick now) override;
+    int zeroLoadLatency(int src, int dst) const override;
+    std::string name() const override { return modelName_; }
+    void reset() override;
+
+    /** Cluster (optical port) of node @p node. */
+    int clusterOf(int node) const { return node / config_.clusterSize; }
+
+  private:
+    int numNodes_;
+    const optics::SerpentineLayout &portLayout_;
+    NetworkConfig config_;
+    std::string modelName_;
+    /** Injection channel per optical port (shared per cluster). */
+    std::vector<Channel> portChannel_;
+    /** Ejection channel per optical port. */
+    std::vector<Channel> ejectChannel_;
+    /** Local electrical router per cluster. */
+    std::vector<Channel> routerChannel_;
+};
+
+} // namespace mnoc::noc
+
+#endif // MNOC_NOC_CLUSTERED_NETWORK_HH

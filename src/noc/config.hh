@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared simulation configuration (paper Table 2).
+ */
+
+#ifndef MNOC_NOC_CONFIG_HH
+#define MNOC_NOC_CONFIG_HH
+
+#include "common/units.hh"
+
+namespace mnoc::noc {
+
+/** System-level timing parameters; defaults reproduce paper Table 2. */
+struct NetworkConfig
+{
+    /** Core and network clock, in Hz. */
+    double clockHz = 5.0 * gigahertz;
+    /** Flit size in bits. */
+    int flitBits = 256;
+    /** Router pipeline depth in cycles (electrical routers). */
+    int routerCycles = 4;
+    /** Electrical link traversal in cycles. */
+    int electricalLinkCycles = 1;
+    /** Speed of light in the waveguide, meters per second (~10 cm/ns,
+     *  the paper's conservative assumption). */
+    double waveguideLightSpeed = 0.10 / nanosecond;
+    /** Nodes per cluster in the clustered topologies. */
+    int clusterSize = 4;
+
+    /** Cycles of optical time-of-flight over @p distance_m meters,
+     *  clamped to at least one cycle (which also covers O/E + E/O). */
+    int
+    opticalCycles(double distance_m) const
+    {
+        double seconds = distance_m / waveguideLightSpeed;
+        double cycles = seconds * clockHz;
+        int whole = static_cast<int>(cycles);
+        if (static_cast<double>(whole) < cycles)
+            ++whole;
+        return whole < 1 ? 1 : whole;
+    }
+};
+
+} // namespace mnoc::noc
+
+#endif // MNOC_NOC_CONFIG_HH

@@ -1,0 +1,52 @@
+#include "noc/mnoc_network.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::noc {
+
+MnocNetwork::MnocNetwork(const optics::SerpentineLayout &layout,
+                         const NetworkConfig &config)
+    : layout_(layout), config_(config),
+      sourceChannel_(layout.numNodes())
+{
+}
+
+int
+MnocNetwork::numNodes() const
+{
+    return layout_.numNodes();
+}
+
+int
+MnocNetwork::zeroLoadLatency(int src, int dst) const
+{
+    if (src == dst)
+        return 0;
+    return config_.opticalCycles(layout_.distanceBetween(src, dst));
+}
+
+Tick
+MnocNetwork::deliver(const Packet &packet, Tick now)
+{
+    panicIf(packet.src < 0 || packet.src >= numNodes() ||
+            packet.dst < 0 || packet.dst >= numNodes(),
+            "packet endpoint out of range");
+    if (packet.src == packet.dst)
+        return now; // local, never enters the network
+
+    // Serialize on the source's dedicated waveguide.  Each destination
+    // has a dedicated receiver per waveguide, so there is no ejection
+    // contention: arrival is transmission end plus optical traversal.
+    Tick tx_done = sourceChannel_[packet.src].book(now, packet.flits);
+    return tx_done +
+        static_cast<Tick>(zeroLoadLatency(packet.src, packet.dst));
+}
+
+void
+MnocNetwork::reset()
+{
+    for (Channel &channel : sourceChannel_)
+        channel.reset();
+}
+
+} // namespace mnoc::noc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Latency/contention model of the radix-N SWMR mNoC crossbar.
+ *
+ * Every source owns a dedicated serpentine waveguide, so the only
+ * contention point is the source's own injection channel: each node
+ * carries a chromophore receiver on every waveguide, so packets from
+ * different sources eject concurrently.  Optical traversal takes 1-9
+ * cycles at 5 GHz depending on the waveguide distance (paper Table 2).
+ */
+
+#ifndef MNOC_NOC_MNOC_NETWORK_HH
+#define MNOC_NOC_MNOC_NETWORK_HH
+
+#include <vector>
+
+#include "noc/channel.hh"
+#include "noc/config.hh"
+#include "noc/network.hh"
+#include "optics/serpentine_layout.hh"
+
+namespace mnoc::noc {
+
+/** SWMR optical crossbar timing model. */
+class MnocNetwork : public Network
+{
+  public:
+    /**
+     * @param layout Serpentine geometry (shared with the power model).
+     * @param config Timing parameters.
+     */
+    MnocNetwork(const optics::SerpentineLayout &layout,
+                const NetworkConfig &config);
+
+    int numNodes() const override;
+    Tick deliver(const Packet &packet, Tick now) override;
+    int zeroLoadLatency(int src, int dst) const override;
+    std::string name() const override { return "mNoC"; }
+    void reset() override;
+
+  private:
+    const optics::SerpentineLayout &layout_;
+    NetworkConfig config_;
+    /** Injection channel per source waveguide. */
+    std::vector<Channel> sourceChannel_;
+};
+
+} // namespace mnoc::noc
+
+#endif // MNOC_NOC_MNOC_NETWORK_HH

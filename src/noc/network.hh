@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract network model interface and the traffic recorder used to
+ * capture communication matrices from simulation.
+ */
+
+#ifndef MNOC_NOC_NETWORK_HH
+#define MNOC_NOC_NETWORK_HH
+
+#include <string>
+
+#include "common/matrix.hh"
+#include "noc/packet.hh"
+
+namespace mnoc::noc {
+
+/**
+ * A point-to-point network timing model.  deliver() is stateful: it
+ * advances per-channel occupancy so that back-to-back packets on the
+ * same channel serialize.
+ */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /** Number of network endpoints. */
+    virtual int numNodes() const = 0;
+
+    /**
+     * Inject @p packet at @p now and return its delivery tick,
+     * accounting for serialization and channel contention.
+     */
+    virtual Tick deliver(const Packet &packet, Tick now) = 0;
+
+    /** Zero-load latency in cycles from @p src to @p dst. */
+    virtual int zeroLoadLatency(int src, int dst) const = 0;
+
+    /** Model name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Reset all channel-occupancy state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Records per-(src, dst) packet and flit counts.  The power models
+ * consume the flit matrix; the thread mapper consumes the packet
+ * matrix.
+ */
+class TrafficRecorder
+{
+  public:
+    explicit TrafficRecorder(int num_nodes)
+        : packets_(num_nodes, num_nodes, 0),
+          flits_(num_nodes, num_nodes, 0)
+    {}
+
+    /** Record one delivered packet. */
+    void
+    record(const Packet &packet)
+    {
+        packets_(packet.src, packet.dst) += 1;
+        flits_(packet.src, packet.dst) +=
+            static_cast<std::uint64_t>(packet.flits);
+    }
+
+    const CountMatrix &packets() const { return packets_; }
+    const CountMatrix &flits() const { return flits_; }
+
+    /** Total packets recorded. */
+    std::uint64_t totalPackets() const { return packets_.total(); }
+    /** Total flits recorded. */
+    std::uint64_t totalFlits() const { return flits_.total(); }
+
+  private:
+    CountMatrix packets_;
+    CountMatrix flits_;
+};
+
+} // namespace mnoc::noc
+
+#endif // MNOC_NOC_NETWORK_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Network packet types shared by the NoC models and the simulator.
+ */
+
+#ifndef MNOC_NOC_PACKET_HH
+#define MNOC_NOC_PACKET_HH
+
+#include <cstdint>
+
+namespace mnoc::noc {
+
+/** Simulation time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Packet kinds, which determine the flit count. */
+enum class PacketClass
+{
+    Control, ///< coherence requests, invalidations, acks (1 flit)
+    Data,    ///< cache-line transfers (header + 64B payload)
+};
+
+/** One network packet. */
+struct Packet
+{
+    int src = 0;
+    int dst = 0;
+    PacketClass cls = PacketClass::Control;
+    int flits = 1;
+};
+
+/** Flits per packet class with 256-bit flits and 64-byte lines. */
+inline int
+flitsFor(PacketClass cls)
+{
+    // 64B line = 512 bits = 2 flits, plus a header flit.
+    return cls == PacketClass::Data ? 3 : 1;
+}
+
+/** Construct a packet of class @p cls from @p src to @p dst. */
+inline Packet
+makePacket(int src, int dst, PacketClass cls)
+{
+    return {src, dst, cls, flitsFor(cls)};
+}
+
+} // namespace mnoc::noc
+
+#endif // MNOC_NOC_PACKET_HH

@@ -1,0 +1,46 @@
+#include "optics/crossbar.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::optics {
+
+OpticalCrossbar::OpticalCrossbar(const SerpentineLayout &layout,
+                                 const DeviceParams &params)
+    : layout_(layout), params_(params)
+{
+    params_.validate();
+    int n = layout_.numNodes();
+    chains_.reserve(n);
+    broadcastDesigns_.reserve(n);
+
+    double pmin = params_.pminAtTap();
+    for (int source = 0; source < n; ++source) {
+        chains_.push_back(
+            std::make_unique<SplitterChain>(layout_, params_, source));
+        std::vector<double> targets(n, pmin);
+        targets[source] = 0.0;
+        broadcastDesigns_.push_back(chains_.back()->design(targets));
+    }
+}
+
+const SplitterChain &
+OpticalCrossbar::chain(int source) const
+{
+    panicIf(source < 0 || source >= numNodes(), "source out of range");
+    return *chains_[source];
+}
+
+double
+OpticalCrossbar::broadcastPower(int source) const
+{
+    return broadcastDesign(source).injectedPower;
+}
+
+const ChainDesign &
+OpticalCrossbar::broadcastDesign(int source) const
+{
+    panicIf(source < 0 || source >= numNodes(), "source out of range");
+    return broadcastDesigns_[source];
+}
+
+} // namespace mnoc::optics

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aggregate of the per-source splitter chains making up a full SWMR
+ * optical crossbar, with cached single-mode (broadcast) designs.
+ */
+
+#ifndef MNOC_OPTICS_CROSSBAR_HH
+#define MNOC_OPTICS_CROSSBAR_HH
+
+#include <memory>
+#include <vector>
+
+#include "optics/alpha_optimizer.hh"
+#include "optics/device_params.hh"
+#include "optics/serpentine_layout.hh"
+#include "optics/splitter_chain.hh"
+
+namespace mnoc::optics {
+
+/**
+ * One serpentine SWMR crossbar: N sources, each owning a waveguide that
+ * passes every node.  Precomputes the splitter chain per source and the
+ * single-mode broadcast design used as the power baseline and as the
+ * Figure 6 power profile.
+ */
+class OpticalCrossbar
+{
+  public:
+    OpticalCrossbar(const SerpentineLayout &layout,
+                    const DeviceParams &params);
+
+    const SerpentineLayout &layout() const { return layout_; }
+    const DeviceParams &params() const { return params_; }
+    int numNodes() const { return layout_.numNodes(); }
+
+    /** Splitter-chain power model for @p source's waveguide. */
+    const SplitterChain &chain(int source) const;
+
+    /**
+     * Minimal injected optical power for @p source to broadcast (every
+     * destination tap receives pminAtTap), in watts.
+     */
+    double broadcastPower(int source) const;
+
+    /** The full single-mode design for @p source. */
+    const ChainDesign &broadcastDesign(int source) const;
+
+  private:
+    SerpentineLayout layout_;
+    DeviceParams params_;
+    std::vector<std::unique_ptr<SplitterChain>> chains_;
+    std::vector<ChainDesign> broadcastDesigns_;
+};
+
+} // namespace mnoc::optics
+
+#endif // MNOC_OPTICS_CROSSBAR_HH

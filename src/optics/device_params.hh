@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Optical device parameters for the mNoC power model (paper Table 3).
+ *
+ * All dB figures are losses; all powers are in watts.  The receiver-side
+ * losses (coupler into the photodetector and the chromophore power loss)
+ * are folded into a single per-receiver minimum tap power, pminAtTap(),
+ * which is the power a destination's splitter must divert from the
+ * waveguide for the photodetector to see its minimum input optical power
+ * (mIOP).
+ */
+
+#ifndef MNOC_OPTICS_DEVICE_PARAMS_HH
+#define MNOC_OPTICS_DEVICE_PARAMS_HH
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace mnoc::optics {
+
+/**
+ * mNoC optical technology parameters.  Defaults reproduce Table 3 of the
+ * paper: 10% QD LED wall-plug efficiency, unit 1-to-0 ratio, 1 dB/cm
+ * waveguide, 1 dB coupler, 0.2 dB splitters, 10 uW photodetector mIOP,
+ * and 5 uW chromophore power loss at that mIOP.
+ */
+struct DeviceParams
+{
+    /** QD LED electrical-to-optical conversion efficiency. */
+    double qdLedEfficiency = 0.10;
+    /** Average fraction of bit slots that carry optical power. */
+    double oneToZeroRatio = 1.0;
+    /** Waveguide propagation loss in dB per centimeter. */
+    double waveguideLossDbPerCm = 1.0;
+    /** Coupler loss (source injection and receiver tap), in dB. */
+    double couplerLossDb = 1.0;
+    /** Photodetector minimum input optical power, in watts. */
+    double photodetectorMiop = 10.0 * microWatt;
+    /** Chromophore filtering power loss at the receiver, in watts. */
+    double chromophoreLoss = 5.0 * microWatt;
+    /** Splitter insertion (excess) loss, charged to the diverted
+     *  branch at each destination tap and once at the source's own
+     *  directional splitter (see splitter_chain.hh for the loss
+     *  convention). */
+    double splitterInsertionDb = 0.2;
+
+    /**
+     * Minimum power a destination's splitter must divert from the
+     * waveguide: the photodetector mIOP plus the chromophore loss,
+     * inflated by the receiver-side coupler loss.
+     */
+    double
+    pminAtTap() const
+    {
+        return (photodetectorMiop + chromophoreLoss) *
+               dbToAttenuation(couplerLossDb);
+    }
+
+    /** Propagation loss over @p length_m meters of waveguide, in dB. */
+    double
+    propagationLossDb(double length_m) const
+    {
+        return waveguideLossDbPerCm * (length_m / centimeter);
+    }
+
+    /** Validate parameter ranges; fatal on nonsense values. */
+    void
+    validate() const
+    {
+        fatalIf(qdLedEfficiency <= 0.0 || qdLedEfficiency > 1.0,
+                "QD LED efficiency must be in (0, 1]");
+        fatalIf(oneToZeroRatio <= 0.0 || oneToZeroRatio > 1.0,
+                "1-to-0 ratio must be in (0, 1]");
+        fatalIf(waveguideLossDbPerCm < 0.0, "negative waveguide loss");
+        fatalIf(couplerLossDb < 0.0, "negative coupler loss");
+        fatalIf(photodetectorMiop <= 0.0, "mIOP must be positive");
+        fatalIf(chromophoreLoss < 0.0, "negative chromophore loss");
+        fatalIf(splitterInsertionDb < 0.0, "negative splitter loss");
+    }
+};
+
+} // namespace mnoc::optics
+
+#endif // MNOC_OPTICS_DEVICE_PARAMS_HH

@@ -1,0 +1,72 @@
+#include "optics/link_budget.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace mnoc::optics {
+
+double
+linkBitErrorRate(double received, double pmin, double q_at_pmin)
+{
+    fatalIf(pmin <= 0.0, "pmin must be positive");
+    fatalIf(q_at_pmin <= 0.0, "Q factor must be positive");
+    if (received <= 0.0)
+        return 0.5; // no light: coin flip
+    double q = q_at_pmin * received / pmin;
+    return 0.5 * std::erfc(q / std::sqrt(2.0));
+}
+
+BudgetReport
+validateDesign(const SplitterChain &chain,
+               const MultiModeDesign &design, double pmin,
+               double required_margin_db, double max_leak_db)
+{
+    int n = chain.numNodes();
+    int num_modes = static_cast<int>(design.modePower.size());
+    fatalIf(num_modes < 1, "design has no modes");
+    fatalIf(static_cast<int>(design.modeOfDest.size()) != n,
+            "design size mismatch");
+
+    BudgetReport report;
+    report.worstReachableMarginDb = 1e9;
+    report.worstUnreachableLeakDb = -1e9;
+
+    for (int mode = 0; mode < num_modes; ++mode) {
+        auto received = chain.evaluate(design.chain,
+                                       design.modePower[mode]);
+        for (int dest = 0; dest < n; ++dest) {
+            if (dest == chain.source())
+                continue;
+            LinkBudget link;
+            link.mode = mode;
+            link.dest = dest;
+            link.receivedPower = received[dest];
+            link.reachable = design.modeOfDest[dest] <= mode;
+            link.marginDb =
+                received[dest] > 0.0
+                    ? ratioToDb(received[dest] / pmin)
+                    : -1e9;
+            link.bitErrorRate = linkBitErrorRate(received[dest], pmin);
+            if (link.reachable) {
+                report.worstReachableMarginDb =
+                    std::min(report.worstReachableMarginDb,
+                             link.marginDb);
+            } else {
+                report.worstUnreachableLeakDb =
+                    std::max(report.worstUnreachableLeakDb,
+                             link.marginDb);
+            }
+            report.links.push_back(link);
+        }
+    }
+
+    report.ok =
+        report.worstReachableMarginDb >= required_margin_db - 1e-9 &&
+        report.worstUnreachableLeakDb <= max_leak_db;
+    return report;
+}
+
+} // namespace mnoc::optics

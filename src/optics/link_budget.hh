@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Link-budget and bit-error-rate validation for multi-mode designs.
+ *
+ * A power topology only works if, in every mode, every reachable
+ * destination's photodetector sees at least its mIOP with margin, and
+ * every *unreachable* destination sits far enough below the threshold
+ * circuit's decision level that it reads noise (paper Section 3.2.2).
+ * This module checks both sides of the budget and estimates the BER of
+ * an on/off-keyed link from the ratio of received power to mIOP using
+ * the standard Gaussian-noise Q-factor model.
+ */
+
+#ifndef MNOC_OPTICS_LINK_BUDGET_HH
+#define MNOC_OPTICS_LINK_BUDGET_HH
+
+#include <limits>
+#include <vector>
+
+#include "optics/alpha_optimizer.hh"
+
+namespace mnoc::optics {
+
+/** Budget of one (mode, destination) link. */
+struct LinkBudget
+{
+    int mode = 0;
+    int dest = 0;
+    /** Received tap power when driving this mode, in watts. */
+    double receivedPower = 0.0;
+    /** Margin in dB relative to pmin (negative = below threshold). */
+    double marginDb = 0.0;
+    /** Whether the destination is reachable in this mode. */
+    bool reachable = false;
+    /** Estimated bit error rate of the on/off-keyed link. */
+    double bitErrorRate = 1.0;
+};
+
+/** Result of validating one source's design. */
+struct BudgetReport
+{
+    std::vector<LinkBudget> links;
+    /** Smallest margin over all reachable links, in dB. */
+    double worstReachableMarginDb = 0.0;
+    /** Largest received power of any unreachable link, relative to
+     *  pmin, in dB (should be comfortably negative). */
+    double worstUnreachableLeakDb = -1e9;
+    bool ok = false;
+};
+
+/**
+ * Estimate the BER of an on/off-keyed photonic link whose received
+ * "one" power is @p received against a receiver designed for @p pmin.
+ * Uses Q = q_at_pmin * received / pmin with BER = 0.5 erfc(Q / sqrt 2),
+ * where q_at_pmin (default 7, ~1e-12 BER) is the design point of the
+ * receiver chain.
+ */
+double linkBitErrorRate(double received, double pmin,
+                        double q_at_pmin = 7.0);
+
+/**
+ * Validate a complete multi-mode design for one source.
+ *
+ * @param chain Waveguide power model of the source.
+ * @param design The mode design (splitters, alphas, mode powers).
+ * @param pmin Required tap power.
+ * @param required_margin_db Minimum acceptable margin for reachable
+ *        links (default 0: exactly pmin passes).
+ * @param max_leak_db Maximum tolerated sub-threshold level for
+ *        unreachable links, in dB relative to pmin.  Unconstrained by
+ *        default: a not-yet-reachable node receiving pmin early is
+ *        harmless (receivers filter by address) -- it only means two
+ *        adjacent modes collapsed to the same drive power.  Pass a
+ *        negative value to demand a real decision gap for the
+ *        threshold circuit of Section 3.2.2.
+ */
+BudgetReport validateDesign(
+    const SplitterChain &chain, const MultiModeDesign &design,
+    double pmin, double required_margin_db = 0.0,
+    double max_leak_db = std::numeric_limits<double>::infinity());
+
+} // namespace mnoc::optics
+
+#endif // MNOC_OPTICS_LINK_BUDGET_HH

@@ -1,0 +1,70 @@
+#include "optics/serpentine_layout.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace mnoc::optics {
+
+SerpentineLayout::SerpentineLayout(int num_nodes, double waveguide_length_m)
+    : numNodes_(num_nodes), waveguideLength_(waveguide_length_m)
+{
+    fatalIf(num_nodes < 2, "serpentine layout needs at least 2 nodes");
+    fatalIf(waveguide_length_m <= 0.0,
+            "waveguide length must be positive");
+    nodeSpacing_ = waveguideLength_ / static_cast<double>(numNodes_ - 1);
+
+    gridCols_ = static_cast<int>(std::ceil(std::sqrt(
+        static_cast<double>(numNodes_))));
+    gridRows_ = (numNodes_ + gridCols_ - 1) / gridCols_;
+}
+
+double
+SerpentineLayout::arcPosition(int node) const
+{
+    panicIf(node < 0 || node >= numNodes_, "node index out of range");
+    return nodeSpacing_ * static_cast<double>(node);
+}
+
+double
+SerpentineLayout::distanceBetween(int a, int b) const
+{
+    return std::fabs(arcPosition(a) - arcPosition(b));
+}
+
+int
+SerpentineLayout::intermediateNodes(int a, int b) const
+{
+    panicIf(a < 0 || a >= numNodes_ || b < 0 || b >= numNodes_,
+            "node index out of range");
+    int gap = std::abs(a - b);
+    return gap > 1 ? gap - 1 : 0;
+}
+
+double
+SerpentineLayout::maxReachDistance(int source) const
+{
+    double to_front = arcPosition(source);
+    double to_back = waveguideLength_ - to_front;
+    return std::max(to_front, to_back);
+}
+
+std::pair<int, int>
+SerpentineLayout::gridCoordinate(int node) const
+{
+    panicIf(node < 0 || node >= numNodes_, "node index out of range");
+    int row = node / gridCols_;
+    int col = node % gridCols_;
+    if (row % 2 == 1)
+        col = gridCols_ - 1 - col; // serpentine rows alternate direction
+    return {col, row};
+}
+
+std::pair<int, int>
+SerpentineLayout::gridShape() const
+{
+    return {gridCols_, gridRows_};
+}
+
+} // namespace mnoc::optics

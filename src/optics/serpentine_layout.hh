@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Serpentine waveguide layout for the SWMR mNoC crossbar.
+ *
+ * Every source owns dedicated waveguide(s) that snake past all N nodes in
+ * the same order (paper Section 4.4).  Node k therefore sits at arc
+ * position k * length / (N - 1) on every waveguide; a source's own index
+ * determines how far its light must travel to either end, which creates
+ * the chip-wide power profile of Figure 6.
+ */
+
+#ifndef MNOC_OPTICS_SERPENTINE_LAYOUT_HH
+#define MNOC_OPTICS_SERPENTINE_LAYOUT_HH
+
+#include <cstddef>
+#include <utility>
+
+namespace mnoc::optics {
+
+/**
+ * Geometry of a serpentine SWMR layout: node arc positions along each
+ * waveguide and the corresponding 2D grid placement on the die.
+ */
+class SerpentineLayout
+{
+  public:
+    /**
+     * @param num_nodes Number of crossbar ports (sources = destinations).
+     * @param waveguide_length_m Total serpentine length in meters
+     *        (the paper assumes ~18 cm for a 400 mm^2 die).
+     */
+    SerpentineLayout(int num_nodes, double waveguide_length_m);
+
+    /** Number of nodes on each waveguide. */
+    int numNodes() const { return numNodes_; }
+
+    /** Total waveguide length in meters. */
+    double waveguideLength() const { return waveguideLength_; }
+
+    /** Arc-length position of @p node along the waveguide, in meters. */
+    double arcPosition(int node) const;
+
+    /** Waveguide distance between two nodes, in meters. */
+    double distanceBetween(int a, int b) const;
+
+    /** Number of intermediate nodes strictly between @p a and @p b. */
+    int intermediateNodes(int a, int b) const;
+
+    /**
+     * Longest waveguide distance from @p source to any node, in meters.
+     * Sources near the middle of the serpentine have the smallest value
+     * (half the waveguide); end sources must span the whole length.
+     */
+    double maxReachDistance(int source) const;
+
+    /**
+     * 2D grid coordinate of @p node on the die, following the serpentine
+     * (boustrophedon) order over a near-square grid.  Used for die-level
+     * visualization and for electrical-mesh distance estimates.
+     */
+    std::pair<int, int> gridCoordinate(int node) const;
+
+    /** Grid dimensions (columns, rows). */
+    std::pair<int, int> gridShape() const;
+
+  private:
+    int numNodes_;
+    double waveguideLength_;
+    double nodeSpacing_;
+    int gridCols_;
+    int gridRows_;
+};
+
+/** Default serpentine length for a 400 mm^2 die (paper Section 5.1). */
+inline constexpr double defaultWaveguideLength = 0.18;
+
+} // namespace mnoc::optics
+
+#endif // MNOC_OPTICS_SERPENTINE_LAYOUT_HH

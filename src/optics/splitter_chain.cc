@@ -1,0 +1,151 @@
+#include "optics/splitter_chain.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace mnoc::optics {
+
+SplitterChain::SplitterChain(const SerpentineLayout &layout,
+                             const DeviceParams &params, int source)
+    : layout_(layout), params_(params), source_(source)
+{
+    params_.validate();
+    int n = layout_.numNodes();
+    fatalIf(source < 0 || source >= n, "source index out of range");
+
+    // LED output -> coupler -> source directional splitter.
+    sourceFeedTransmission_ =
+        dbToTransmission(params_.couplerLossDb) *
+        dbToTransmission(params_.splitterInsertionDb);
+
+    // Loss convention (see header): pass-through light suffers only
+    // propagation loss; the splitter insertion loss applies to the
+    // diverted branch (weakly coupled taps), and once at the source's
+    // own directional splitter.  Charging the insertion loss to every
+    // pass-through would accumulate >50 dB across a radix-256
+    // serpentine and contradict the paper's scalability analysis.
+    double tap_t = dbToTransmission(params_.splitterInsertionDb);
+    tapAtten_.assign(n, 0.0);
+    for (int dest = 0; dest < n; ++dest) {
+        if (dest == source_)
+            continue;
+        double trans = sourceFeedTransmission_ * tap_t;
+        trans *= dbToTransmission(
+            params_.propagationLossDb(layout_.distanceBetween(source_,
+                                                              dest)));
+        tapAtten_[dest] = 1.0 / trans;
+    }
+}
+
+double
+SplitterChain::tapAttenuation(int dest) const
+{
+    panicIf(dest < 0 || dest >= numNodes(), "destination out of range");
+    panicIf(dest == source_, "a source has no tap on its own waveguide");
+    return tapAtten_[dest];
+}
+
+double
+SplitterChain::segmentTransmission(int a) const
+{
+    return dbToTransmission(
+        params_.propagationLossDb(layout_.distanceBetween(a, a + 1)));
+}
+
+ChainDesign
+SplitterChain::design(const std::vector<double> &targets) const
+{
+    int n = numNodes();
+    fatalIf(static_cast<int>(targets.size()) != n,
+            "targets size must equal node count");
+    fatalIf(targets[source_] != 0.0,
+            "the source's own target must be zero");
+    for (double t : targets)
+        fatalIf(t < 0.0, "received-power targets must be non-negative");
+
+    ChainDesign out;
+    out.source = source_;
+    out.targets = targets;
+    out.splitterFraction.assign(n, 0.0);
+
+    const double tap_t = dbToTransmission(params_.splitterInsertionDb);
+
+    // Per-arm backward recurrence.  W_j (power arriving at node j's
+    // splitter input) must cover the tap's diversion -- the target
+    // inflated by the tap's insertion loss -- plus everything the rest
+    // of the arm needs after the next segment's propagation loss:
+    //     W_j = t_j / tap_t + W_next / seg(j, next).
+    auto solve_arm = [&](int step) -> double {
+        int last = step > 0 ? n - 1 : 0;
+        int tail = -1; // farthest node on this arm that needs power
+        for (int j = last; j != source_; j -= step) {
+            if (targets[j] > 0.0) {
+                tail = j;
+                break;
+            }
+        }
+        if (tail == -1)
+            return 0.0;
+
+        double next_need = 0.0; // W of the node one hop farther out
+        for (int j = tail; j != source_; j -= step) {
+            double diverted = targets[j] / tap_t;
+            double arriving = diverted;
+            if (next_need > 0.0) {
+                int seg_lo = std::min(j, j + step);
+                arriving += next_need / segmentTransmission(seg_lo);
+            }
+            if (arriving > 0.0)
+                out.splitterFraction[j] = diverted / arriving;
+            next_need = arriving;
+        }
+        // Undo the segment between the source and the first arm node.
+        int seg_lo = std::min(source_, source_ + step);
+        return next_need / segmentTransmission(seg_lo);
+    };
+
+    double left_need = source_ > 0 ? solve_arm(-1) : 0.0;
+    double right_need = source_ < n - 1 ? solve_arm(+1) : 0.0;
+
+    double total_arm_power = left_need + right_need;
+    out.injectedPower = total_arm_power / sourceFeedTransmission_;
+    out.splitterFraction[source_] =
+        total_arm_power > 0.0 ? left_need / total_arm_power : 0.0;
+    return out;
+}
+
+std::vector<double>
+SplitterChain::evaluate(const ChainDesign &design,
+                        double injected_power) const
+{
+    int n = numNodes();
+    panicIf(design.source != source_, "design is for a different source");
+    panicIf(static_cast<int>(design.splitterFraction.size()) != n,
+            "design size mismatch");
+
+    const double tap_t = dbToTransmission(params_.splitterInsertionDb);
+    std::vector<double> received(n, 0.0);
+    double fed = injected_power * sourceFeedTransmission_;
+    double left_frac = design.splitterFraction[source_];
+
+    auto walk = [&](double power, int step) {
+        for (int j = source_ + step; j >= 0 && j < n; j += step) {
+            int seg_lo = std::min(j, j - step);
+            power *= segmentTransmission(seg_lo);
+            double s = design.splitterFraction[j];
+            received[j] = power * s * tap_t;
+            power *= (1.0 - s);
+            if (power <= 0.0)
+                break;
+        }
+    };
+
+    walk(fed * left_frac, -1);
+    walk(fed * (1.0 - left_frac), +1);
+    return received;
+}
+
+} // namespace mnoc::optics

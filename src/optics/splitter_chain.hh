@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Waveguide splitter-chain power model and exact splitter design
+ * (paper Equation 2 and Appendix A).
+ *
+ * A source injects optical power into its dedicated serpentine waveguide;
+ * the power splits left/right at the source and each destination's
+ * splitter diverts a fraction S_j to that node's receiver.  Given
+ * per-destination received-power targets, the minimal injected power and
+ * the exact splitter fractions follow from a backward recurrence along
+ * each arm.  With that exact design, the minimal injected power equals
+ * sum_j target_j * A(i, j) where A is the purely geometric attenuation
+ * from the LED output to j's receiver (coupler, source splitter
+ * insertion, propagation, and the destination tap's insertion loss) --
+ * the power-conservation form of the paper's Equation 2.
+ *
+ * Loss convention: pass-through light at a destination's splitter
+ * suffers only the designed (1 - S) division plus propagation loss; the
+ * 0.2 dB splitter insertion loss (Table 3) is charged to the diverted
+ * branch, and once at the source's own directional splitter.  Weakly
+ * coupled evanescent taps behave this way, and the alternative --
+ * charging every pass-through -- would accumulate more than 50 dB over
+ * a radix-256 serpentine, contradicting the paper's scalability claim
+ * and the shape of its Figures 3 and 6.
+ */
+
+#ifndef MNOC_OPTICS_SPLITTER_CHAIN_HH
+#define MNOC_OPTICS_SPLITTER_CHAIN_HH
+
+#include <vector>
+
+#include "optics/device_params.hh"
+#include "optics/serpentine_layout.hh"
+
+namespace mnoc::optics {
+
+/**
+ * Result of a splitter-chain design for one source waveguide.
+ *
+ * splitterFraction[j] is the fraction of the power arriving at node j
+ * that its splitter diverts to the local receiver (S_j in the paper);
+ * the entry at the source index holds the left-arm share of the source's
+ * own directional splitter instead.
+ */
+struct ChainDesign
+{
+    /** Source node that owns this waveguide. */
+    int source = -1;
+    /** S_j per node; entry [source] is the left-arm power share. */
+    std::vector<double> splitterFraction;
+    /** Minimal optical power at the QD LED output, in watts. */
+    double injectedPower = 0.0;
+    /** The per-destination tap targets the design was solved for. */
+    std::vector<double> targets;
+};
+
+/**
+ * Power-propagation model for a single source's serpentine waveguide.
+ *
+ * Construction precomputes the geometric tap attenuations; design() and
+ * evaluate() then run in O(N).
+ */
+class SplitterChain
+{
+  public:
+    /**
+     * @param layout Serpentine geometry shared by all waveguides.
+     * @param params Optical device parameters.
+     * @param source Index of the node owning this waveguide.
+     */
+    SplitterChain(const SerpentineLayout &layout,
+                  const DeviceParams &params, int source);
+
+    int source() const { return source_; }
+    int numNodes() const { return static_cast<int>(tapAtten_.size()); }
+
+    /**
+     * Geometric attenuation from the QD LED output to node @p dest's
+     * receiver: injected watts required per watt delivered through the
+     * destination's tap (coupler, source split insertion, propagation,
+     * tap insertion).  Excludes the (1 - S_k) diversion factors, which
+     * the exact design accounts for by construction.
+     */
+    double tapAttenuation(int dest) const;
+
+    /**
+     * Solve for the splitter fractions and minimal injected power that
+     * deliver exactly @p targets watts to every destination tap.
+     *
+     * @param targets Per-node received-power target in watts; the entry
+     *        at the source index must be zero (a source does not listen
+     *        on its own waveguide).
+     * @return The exact design; splitter fractions lie in [0, 1].
+     */
+    ChainDesign design(const std::vector<double> &targets) const;
+
+    /**
+     * Forward-propagate @p injected_power watts through @p design and
+     * return the power delivered to every node's tap.  Used to verify
+     * designs and to compute received power in scaled (higher) modes.
+     */
+    std::vector<double> evaluate(const ChainDesign &design,
+                                 double injected_power) const;
+
+  private:
+    /** Propagation transmission of the waveguide segment between
+     *  adjacent nodes @p a and @p a+1 (no splitter insertion). */
+    double segmentTransmission(int a) const;
+
+    const SerpentineLayout &layout_;
+    DeviceParams params_;
+    int source_;
+    /** Precomputed geometric attenuation per destination. */
+    std::vector<double> tapAtten_;
+    /** Transmission from LED output to the waveguide arms. */
+    double sourceFeedTransmission_;
+};
+
+} // namespace mnoc::optics
+
+#endif // MNOC_OPTICS_SPLITTER_CHAIN_HH

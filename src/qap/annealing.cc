@@ -1,0 +1,82 @@
+#include "qap/annealing.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+#include "common/prng.hh"
+
+namespace mnoc::qap {
+
+QapResult
+simulatedAnnealing(const QapInstance &instance, const Permutation &start,
+                   const AnnealingParams &params)
+{
+    instance.checkPermutation(start);
+    fatalIf(params.iterations < 10, "annealing needs iterations >= 10");
+
+    int n = instance.size();
+    Prng rng(params.seed);
+    Permutation perm = start;
+    double cost = instance.cost(perm);
+    Permutation best_perm = perm;
+    double best_cost = cost;
+
+    // Connolly warm-up: sample random swap deltas to estimate the
+    // starting and final temperatures.
+    auto warmup = std::max<long long>(
+        10, static_cast<long long>(params.warmupFraction *
+                                   static_cast<double>(params.iterations)));
+    double min_up = std::numeric_limits<double>::infinity();
+    double max_up = 0.0;
+    for (long long i = 0; i < warmup; ++i) {
+        int u = static_cast<int>(rng.below(n));
+        int v = static_cast<int>(rng.below(n));
+        if (u == v)
+            continue;
+        double delta = instance.swapDelta(perm, u, v);
+        if (delta > 0.0) {
+            min_up = std::min(min_up, delta);
+            max_up = std::max(max_up, delta);
+        }
+    }
+    if (!std::isfinite(min_up)) {
+        // No uphill move seen; instance is flat around the start.
+        min_up = 1.0;
+        max_up = 10.0;
+    }
+    double t0 = min_up + (max_up - min_up) / 10.0; // Connolly's choice
+    double t1 = min_up;
+    long long moves = params.iterations;
+    // Reciprocal schedule: t_{k+1} = t_k / (1 + beta t_k).
+    double beta = (t0 - t1) / (static_cast<double>(moves) * t0 * t1);
+
+    double temp = t0;
+    QapResult result;
+    for (long long iter = 0; iter < moves; ++iter) {
+        int u = static_cast<int>(rng.below(n));
+        int v = static_cast<int>(rng.below(n));
+        if (u == v)
+            continue;
+        double delta = instance.swapDelta(perm, u, v);
+        bool accept = delta <= 0.0 ||
+                      rng.uniform() < std::exp(-delta / temp);
+        if (accept) {
+            std::swap(perm[u], perm[v]);
+            cost += delta;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_perm = perm;
+            }
+        }
+        temp = temp / (1.0 + beta * temp);
+        ++result.iterations;
+    }
+
+    result.perm = best_perm;
+    result.cost = best_cost;
+    return result;
+}
+
+} // namespace mnoc::qap

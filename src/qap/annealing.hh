@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simulated annealing for the QAP in the style of Connolly's improved
+ * annealing scheme (EJOR 46, 1990), used as the comparison heuristic in
+ * paper Section 4.4.
+ */
+
+#ifndef MNOC_QAP_ANNEALING_HH
+#define MNOC_QAP_ANNEALING_HH
+
+#include <cstdint>
+
+#include "qap/qap.hh"
+
+namespace mnoc::qap {
+
+/** Tuning knobs for simulated annealing. */
+struct AnnealingParams
+{
+    /** Total proposed swaps. */
+    long long iterations = 200000;
+    /** Fraction of iterations spent sampling the delta distribution to
+     *  set the initial/final temperatures (Connolly's warm-up). */
+    double warmupFraction = 0.02;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Run simulated annealing from @p start.  Works on asymmetric
+ * instances; proposal is a uniform random facility swap and the
+ * temperature decreases with Connolly's reciprocal schedule between
+ * t0 and t1 derived from sampled deltas.
+ */
+QapResult simulatedAnnealing(const QapInstance &instance,
+                             const Permutation &start,
+                             const AnnealingParams &params = {});
+
+} // namespace mnoc::qap
+
+#endif // MNOC_QAP_ANNEALING_HH

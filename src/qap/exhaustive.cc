@@ -1,0 +1,30 @@
+#include "qap/exhaustive.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mnoc::qap {
+
+QapResult
+exhaustiveSearch(const QapInstance &instance)
+{
+    fatalIf(instance.size() > 10,
+            "exhaustive search limited to 10 facilities");
+
+    Permutation perm = instance.identity();
+    QapResult result;
+    result.perm = perm;
+    result.cost = instance.cost(perm);
+    do {
+        double c = instance.cost(perm);
+        ++result.iterations;
+        if (c < result.cost) {
+            result.cost = c;
+            result.perm = perm;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return result;
+}
+
+} // namespace mnoc::qap

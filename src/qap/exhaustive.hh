@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Exhaustive QAP solver for small instances; the ground truth the
+ * heuristic solvers are tested against.
+ */
+
+#ifndef MNOC_QAP_EXHAUSTIVE_HH
+#define MNOC_QAP_EXHAUSTIVE_HH
+
+#include "qap/qap.hh"
+
+namespace mnoc::qap {
+
+/**
+ * Enumerate all permutations and return the optimum.  Fatal for
+ * instances larger than 10 facilities.
+ */
+QapResult exhaustiveSearch(const QapInstance &instance);
+
+} // namespace mnoc::qap
+
+#endif // MNOC_QAP_EXHAUSTIVE_HH

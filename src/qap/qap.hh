@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quadratic assignment problem (QAP) instance and cost evaluation.
+ *
+ * The thread-mapping problem of paper Section 4.4 is a QAP: facilities
+ * are threads, locations are cores, flow is the inter-thread traffic and
+ * distance is the per-core-pair communication power cost derived from
+ * the serpentine power profile.
+ */
+
+#ifndef MNOC_QAP_QAP_HH
+#define MNOC_QAP_QAP_HH
+
+#include <vector>
+
+#include "common/matrix.hh"
+
+namespace mnoc::qap {
+
+/** A permutation; perm[facility] = location. */
+using Permutation = std::vector<int>;
+
+/**
+ * A QAP instance: minimize sum_{i,j} flow(i,j) * dist(p(i), p(j)) over
+ * permutations p.
+ */
+class QapInstance
+{
+  public:
+    /**
+     * @param flow Facility-to-facility flow (square, zero diagonal).
+     * @param dist Location-to-location cost (square, same size).
+     */
+    QapInstance(FlowMatrix flow, FlowMatrix dist);
+
+    int size() const { return size_; }
+    const FlowMatrix &flow() const { return flow_; }
+    const FlowMatrix &dist() const { return dist_; }
+
+    /** True when both matrices are symmetric with zero diagonals. */
+    bool isSymmetric() const { return symmetric_; }
+
+    /** Full objective value of @p perm. */
+    double cost(const Permutation &perm) const;
+
+    /**
+     * Cost change from exchanging the locations of facilities @p u and
+     * @p v in @p perm, computed in O(n).  Valid for asymmetric
+     * instances.
+     */
+    double swapDelta(const Permutation &perm, int u, int v) const;
+
+    /** Identity permutation of this instance's size. */
+    Permutation identity() const;
+
+    /** Validate that @p perm is a permutation of [0, n). */
+    void checkPermutation(const Permutation &perm) const;
+
+  private:
+    int size_;
+    FlowMatrix flow_;
+    FlowMatrix dist_;
+    bool symmetric_;
+};
+
+/** Result of a QAP solver run. */
+struct QapResult
+{
+    Permutation perm;
+    double cost = 0.0;
+    /** Number of neighborhood moves evaluated or applied. */
+    long long iterations = 0;
+};
+
+} // namespace mnoc::qap
+
+#endif // MNOC_QAP_QAP_HH

@@ -1,0 +1,206 @@
+#include "qap/taboo.hh"
+
+#include <limits>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/prng.hh"
+
+namespace mnoc::qap {
+
+namespace {
+
+/**
+ * Delta table maintained across moves.  For a symmetric instance with
+ * zero diagonals the delta of a pair (r, s) disjoint from the applied
+ * swap (u, v) updates in O(1):
+ *
+ *   delta'(r,s) = delta(r,s)
+ *     + 2 * (f(r,u) - f(r,v) + f(s,v) - f(s,u))
+ *         * (d(p(s),p(v)) - d(p(s),p(u)) + d(p(r),p(u)) - d(p(r),p(v)))
+ *
+ * with p taken *before* the swap (Taillard 1991).
+ */
+class DeltaTable
+{
+  public:
+    DeltaTable(const QapInstance &inst, const Permutation &perm)
+        : inst_(inst), n_(inst.size()), table_(n_ * n_, 0.0)
+    {
+        for (int u = 0; u < n_; ++u)
+            for (int v = u + 1; v < n_; ++v)
+                at(u, v) = inst_.swapDelta(perm, u, v);
+    }
+
+    double &at(int u, int v) { return table_[u * n_ + v]; }
+    double get(int u, int v) const { return table_[u * n_ + v]; }
+
+    /** Refresh the table after swapping facilities u and v; @p perm is
+     *  the permutation before the swap is applied. */
+    void
+    applySwap(Permutation &perm, int u, int v)
+    {
+        const std::size_t n = static_cast<std::size_t>(n_);
+        const double *f = inst_.flow().data().data();
+        const double *d = inst_.dist().data().data();
+        std::size_t pu = static_cast<std::size_t>(perm[u]);
+        std::size_t pv = static_cast<std::size_t>(perm[v]);
+        const double *f_u_col = f + static_cast<std::size_t>(u);
+        const double *f_v_col = f + static_cast<std::size_t>(v);
+        const double *d_pu_col = d + pu;
+        const double *d_pv_col = d + pv;
+
+        for (int r = 0; r < n_; ++r) {
+            if (r == u || r == v)
+                continue;
+            std::size_t rn = static_cast<std::size_t>(r) * n;
+            std::size_t pr = static_cast<std::size_t>(perm[r]) * n;
+            // Symmetric matrices: column reads become row reads.
+            double fr = f[rn + u] - f[rn + v];
+            double dr = d[pr + pu] - d[pr + pv];
+            double *row = &table_[rn];
+            for (int s = r + 1; s < n_; ++s) {
+                if (s == u || s == v)
+                    continue;
+                std::size_t sn = static_cast<std::size_t>(s) * n;
+                std::size_t ps = static_cast<std::size_t>(perm[s]) * n;
+                row[s] += 2.0 *
+                          (fr + f_v_col[sn] - f_u_col[sn]) *
+                          (d_pv_col[ps] - d_pu_col[ps] + dr);
+            }
+        }
+
+        std::swap(perm[u], perm[v]);
+
+        // Pairs involving u or v are recomputed directly.
+        for (int k = 0; k < n_; ++k) {
+            if (k != u)
+                at(std::min(k, u), std::max(k, u)) =
+                    inst_.swapDelta(perm, std::min(k, u), std::max(k, u));
+            if (k != v)
+                at(std::min(k, v), std::max(k, v)) =
+                    inst_.swapDelta(perm, std::min(k, v), std::max(k, v));
+        }
+    }
+
+  private:
+    const QapInstance &inst_;
+    int n_;
+    std::vector<double> table_;
+};
+
+} // namespace
+
+QapResult
+tabooSearch(const QapInstance &instance, const Permutation &start,
+            const TabooParams &params)
+{
+    fatalIf(!instance.isSymmetric(),
+            "taboo search requires a symmetric QAP instance "
+            "(symmetrize the flow matrix first)");
+    instance.checkPermutation(start);
+
+    int n = instance.size();
+    Prng rng(params.seed);
+    Permutation perm = start;
+    Permutation best_perm = perm;
+    double cost = instance.cost(perm);
+    double best_cost = cost;
+
+    DeltaTable deltas(instance, perm);
+
+    // tabuUntil(facility, location): iteration until which placing the
+    // facility back on that location is forbidden.
+    std::vector<long long> tabu_until(
+        static_cast<std::size_t>(n) * n, -1);
+    auto tabu = [&](int fac, int loc) -> long long & {
+        return tabu_until[static_cast<std::size_t>(fac) * n + loc];
+    };
+
+    auto draw_tenure = [&]() {
+        double lo = params.minTenureFactor * n;
+        double hi = params.maxTenureFactor * n;
+        return static_cast<long long>(lo + rng.uniform() * (hi - lo)) + 1;
+    };
+    long long tenure = draw_tenure();
+
+    // Long-term diversification (Taillard's aspiration function u):
+    // a pair untouched for this long is forced regardless of delta.
+    const long long force_after =
+        5LL * static_cast<long long>(n) * n;
+    std::vector<long long> last_used(
+        static_cast<std::size_t>(n) * n, 0);
+    auto used = [&](int u, int v) -> long long & {
+        return last_used[static_cast<std::size_t>(u) * n + v];
+    };
+
+    QapResult result;
+    for (long long iter = 0; iter < params.iterations; ++iter) {
+        if (params.tenureRedrawPeriod > 0 &&
+            iter % params.tenureRedrawPeriod == 0) {
+            tenure = draw_tenure();
+        }
+
+        int best_u = -1;
+        int best_v = -1;
+        double best_delta = std::numeric_limits<double>::infinity();
+        bool best_was_tabu = false;
+        bool forced = false;
+
+        for (int u = 0; u < n && !forced; ++u) {
+            for (int v = u + 1; v < n; ++v) {
+                double delta = deltas.get(u, v);
+                bool is_tabu = tabu(u, perm[v]) > iter &&
+                               tabu(v, perm[u]) > iter;
+                bool aspired = cost + delta < best_cost - 1e-12;
+                // Long-term diversification: force a pair that has
+                // been idle too long.
+                if (iter - used(u, v) > force_after && iter > 0) {
+                    best_u = u;
+                    best_v = v;
+                    best_delta = delta;
+                    forced = true;
+                    break;
+                }
+                if (is_tabu && !aspired)
+                    continue;
+                // Prefer non-taboo moves at equal delta.
+                if (delta < best_delta - 1e-15 ||
+                    (delta < best_delta + 1e-15 && best_was_tabu &&
+                     !is_tabu)) {
+                    best_delta = delta;
+                    best_u = u;
+                    best_v = v;
+                    best_was_tabu = is_tabu;
+                }
+            }
+        }
+
+        if (best_u < 0) {
+            // Everything taboo and nothing aspires: age the list by one
+            // iteration and retry.
+            continue;
+        }
+
+        // Forbid undoing the move: each facility may not return to the
+        // location it is leaving.
+        tabu(best_u, perm[best_u]) = iter + tenure;
+        tabu(best_v, perm[best_v]) = iter + tenure;
+        used(best_u, best_v) = iter;
+
+        deltas.applySwap(perm, best_u, best_v);
+        cost += best_delta;
+        ++result.iterations;
+
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_perm = perm;
+        }
+    }
+
+    result.perm = best_perm;
+    result.cost = best_cost;
+    return result;
+}
+
+} // namespace mnoc::qap

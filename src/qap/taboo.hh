@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Taillard's robust taboo search for the QAP (Parallel Computing 17,
+ * 1991), the primary thread-mapping heuristic of paper Section 4.4.
+ */
+
+#ifndef MNOC_QAP_TABOO_HH
+#define MNOC_QAP_TABOO_HH
+
+#include <cstdint>
+
+#include "qap/qap.hh"
+
+namespace mnoc::qap {
+
+/** Tuning knobs for the robust taboo search. */
+struct TabooParams
+{
+    /** Total swap moves to apply. */
+    long long iterations = 20000;
+    /** Tenure is redrawn uniformly from [minTenureFactor*n,
+     *  maxTenureFactor*n] every tenureRedrawPeriod iterations. */
+    double minTenureFactor = 0.9;
+    double maxTenureFactor = 1.1;
+    long long tenureRedrawPeriod = 800;
+    /** Aspiration: accept a taboo move improving on the best by any
+     *  margin.  Always on in the robust variant. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Run robust taboo search.  Requires a symmetric instance with zero
+ * diagonals (the thread mapper symmetrizes its flow matrix; the power
+ * profile distance matrix is symmetric by construction) so that the
+ * O(1) delta-table update applies.
+ *
+ * @param instance The QAP instance (must be symmetric).
+ * @param start Initial permutation.
+ * @param params Search knobs.
+ * @return Best permutation found and its cost.
+ */
+QapResult tabooSearch(const QapInstance &instance,
+                      const Permutation &start,
+                      const TabooParams &params = {});
+
+} // namespace mnoc::qap
+
+#endif // MNOC_QAP_TABOO_HH

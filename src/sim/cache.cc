@@ -1,0 +1,127 @@
+#include "sim/cache.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::sim {
+
+Cache::Cache(const CacheGeometry &geometry)
+    : geometry_(geometry)
+{
+    fatalIf(geometry_.associativity == 0, "associativity must be >= 1");
+    fatalIf(geometry_.sizeBytes %
+                ((1u << lineShift) * geometry_.associativity) != 0,
+            "cache size must be a whole number of sets");
+    numSets_ = geometry_.numSets();
+    fatalIf(numSets_ == 0, "cache must have at least one set");
+    entries_.resize(static_cast<std::size_t>(numSets_) *
+                    geometry_.associativity);
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t line) const
+{
+    return static_cast<std::uint32_t>(line % numSets_);
+}
+
+std::optional<LineState>
+Cache::lookup(std::uint64_t line)
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(line)) *
+                       geometry_.associativity;
+    for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.line == line) {
+            e.lastUse = ++useCounter_;
+            return e.state;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<LineState>
+Cache::peek(std::uint64_t line) const
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(line)) *
+                       geometry_.associativity;
+    for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.line == line)
+            return e.state;
+    }
+    return std::nullopt;
+}
+
+std::optional<Eviction>
+Cache::insert(std::uint64_t line, LineState state)
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(line)) *
+                       geometry_.associativity;
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.line == line) {
+            // Refresh in place.
+            e.state = state;
+            e.lastUse = ++useCounter_;
+            return std::nullopt;
+        }
+        bool better = victim == nullptr ||
+                      (victim->valid &&
+                       (!e.valid || e.lastUse < victim->lastUse));
+        if (better)
+            victim = &e;
+    }
+    panicIf(victim == nullptr, "no victim candidate in cache set");
+
+    std::optional<Eviction> evicted;
+    if (victim->valid)
+        evicted = Eviction{victim->line, victim->state};
+
+    victim->valid = true;
+    victim->line = line;
+    victim->state = state;
+    victim->lastUse = ++useCounter_;
+    return evicted;
+}
+
+bool
+Cache::setState(std::uint64_t line, LineState state)
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(line)) *
+                       geometry_.associativity;
+    for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.line == line) {
+            e.state = state;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<LineState>
+Cache::invalidate(std::uint64_t line)
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(line)) *
+                       geometry_.associativity;
+    for (std::uint32_t w = 0; w < geometry_.associativity; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.line == line) {
+            e.valid = false;
+            return e.state;
+        }
+    }
+    return std::nullopt;
+}
+
+std::size_t
+Cache::occupancy() const
+{
+    std::size_t count = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            ++count;
+    return count;
+}
+
+} // namespace mnoc::sim

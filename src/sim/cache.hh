@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and MOSI line states,
+ * used for the private L1 and L2 of each simulated core
+ * (paper Table 2: 32 KB L1I/L1D, 512 KB L2).
+ */
+
+#ifndef MNOC_SIM_CACHE_HH
+#define MNOC_SIM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/memop.hh"
+
+namespace mnoc::sim {
+
+/** MOSI state of a cached line (Invalid lines are simply absent). */
+enum class LineState : std::uint8_t
+{
+    Shared,   ///< clean, possibly multiple copies
+    Owned,    ///< dirty, responsible for writeback, sharers may exist
+    Modified, ///< dirty, exclusive
+};
+
+/** True for states that must write back on eviction. */
+inline bool
+isDirty(LineState state)
+{
+    return state != LineState::Shared;
+}
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t associativity = 4;
+
+    std::uint32_t
+    numSets() const
+    {
+        return sizeBytes / ((1u << lineShift) * associativity);
+    }
+};
+
+/** A line evicted to make room for a fill. */
+struct Eviction
+{
+    std::uint64_t line;
+    LineState state;
+};
+
+/**
+ * One level of private cache.  All operations are keyed by cache-line
+ * index (addr >> lineShift).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheGeometry &geometry);
+
+    /**
+     * Look up @p line and refresh its LRU position.
+     * @return The line's state, or nullopt on miss.
+     */
+    std::optional<LineState> lookup(std::uint64_t line);
+
+    /** Peek at a line's state without touching LRU. */
+    std::optional<LineState> peek(std::uint64_t line) const;
+
+    /**
+     * Insert @p line with @p state, evicting the set's LRU entry when
+     * the set is full.
+     *
+     * @return The evicted line, if any.
+     */
+    std::optional<Eviction> insert(std::uint64_t line, LineState state);
+
+    /**
+     * Change an existing line's state.
+     * @return false when the line is not present.
+     */
+    bool setState(std::uint64_t line, LineState state);
+
+    /** Drop @p line if present; @return its state if it was present. */
+    std::optional<LineState> invalidate(std::uint64_t line);
+
+    /** Number of resident lines (for tests). */
+    std::size_t occupancy() const;
+
+    const CacheGeometry &geometry() const { return geometry_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t line = 0;
+        LineState state = LineState::Shared;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t setIndex(std::uint64_t line) const;
+
+    CacheGeometry geometry_;
+    std::uint32_t numSets_;
+    std::vector<Entry> entries_; // numSets_ * associativity
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_CACHE_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * MOSI directory coherence controller.
+ *
+ * Models the full protocol traffic of a private-L1/L2, directory-home
+ * organization: GETS/GETX requests, cache-to-cache forwards,
+ * invalidations and acks, upgrades, and dirty writebacks.  Directory
+ * transactions are atomic (no transient states), a simplification that
+ * preserves packet counts and approximate timing -- the quantities the
+ * power topologies consume -- while keeping the protocol race-free by
+ * construction.  Directory and cache states are kept exactly
+ * synchronized and checked with invariant panics.
+ */
+
+#ifndef MNOC_SIM_COHERENCE_HH
+#define MNOC_SIM_COHERENCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/network.hh"
+#include "sim/cache.hh"
+#include "sim/directory.hh"
+#include "sim/memop.hh"
+
+namespace mnoc::sim {
+
+/** Latency and geometry parameters of the memory hierarchy. */
+struct MemoryParams
+{
+    CacheGeometry l1{32 * 1024, 4};
+    CacheGeometry l2{512 * 1024, 8};
+    int l1Cycles = 1;
+    int l2Cycles = 8;
+    int dirCycles = 5;
+    int memCycles = 100;
+    int fillCycles = 1;
+    /**
+     * Use the SWMR crossbar's broadcast capability for invalidations
+     * (paper Section 7, future work): the home sends one invalidation
+     * that reaches every sharer -- modeled as a single packet to the
+     * farthest sharer on the serpentine -- instead of one unicast per
+     * sharer.  Acks remain unicast.
+     */
+    bool multicastInvalidations = false;
+};
+
+/** Aggregate coherence statistics. */
+struct CoherenceStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t getx = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t multicastInvs = 0;
+    std::uint64_t cacheToCache = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t memoryFetches = 0;
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetLatencySum = 0;
+};
+
+/**
+ * The coherence engine: owns the private caches of every core and the
+ * distributed directory, and turns memory operations into network
+ * packets and completion times.
+ */
+class CoherenceController
+{
+  public:
+    /**
+     * @param num_cores Number of cores (threads map 1:1 by default).
+     * @param params Cache/latency parameters.
+     * @param network Timing model packets are injected into.
+     * @param recorder Traffic matrix capture.
+     */
+    CoherenceController(int num_cores, const MemoryParams &params,
+                        noc::Network &network,
+                        noc::TrafficRecorder &recorder);
+
+    /**
+     * Set the thread-to-core mapping used to locate directory homes.
+     * Addresses encode the *thread* that owns (first-touched) the data;
+     * the home core is where that thread runs, so remapping threads
+     * moves their data with them.
+     */
+    void setHomeMap(std::vector<int> thread_to_core);
+
+    /**
+     * Execute one memory operation for @p core issued at @p now.
+     * @return The tick at which the core may proceed.
+     */
+    noc::Tick access(int core, const MemOp &op, noc::Tick now);
+
+    const CoherenceStats &stats() const { return stats_; }
+    int numCores() const { return numCores_; }
+
+    /** Directory access for tests. */
+    const Directory &directory() const { return directory_; }
+
+    /** Cache state of @p line at @p core's L2 (tests). */
+    std::optional<LineState> cacheState(int core,
+                                        std::uint64_t line) const;
+
+  private:
+    /** Send one packet; returns its arrival tick. */
+    noc::Tick send(int src, int dst, noc::PacketClass cls,
+                   noc::Tick when);
+
+    /** Full miss transaction (GETS/GETX) for @p core. */
+    noc::Tick handleMiss(int core, std::uint64_t line, bool write,
+                         noc::Tick now);
+
+    /** Upgrade transaction: @p core holds a clean copy and writes. */
+    noc::Tick handleUpgrade(int core, std::uint64_t line,
+                            noc::Tick now);
+
+    /** Insert @p line into @p core's L2+L1, handling the L2 victim. */
+    void fill(int core, std::uint64_t line, LineState state,
+              noc::Tick now);
+
+    /** Directory-side handling of an L2 eviction. */
+    void evictFromDirectory(int core, std::uint64_t line,
+                            LineState state, noc::Tick now);
+
+    /** Invalidate a line in a remote core's caches. */
+    void invalidateAt(int core, std::uint64_t line);
+
+    /**
+     * Invalidate @p sharers (excluding @p except) and collect their
+     * acks at @p requester; returns the tick of the last ack.  Uses a
+     * single multicast packet when enabled, unicasts otherwise.
+     */
+    noc::Tick invalidateSharers(const std::vector<int> &sharers,
+                                int except, int home, int requester,
+                                std::uint64_t line, noc::Tick when);
+
+    /** Home core for a line owned by thread encoded in @p addr. */
+    int homeCoreOf(std::uint64_t addr) const;
+
+    int numCores_;
+    std::vector<int> homeMap_;
+    MemoryParams params_;
+    noc::Network &network_;
+    noc::TrafficRecorder &recorder_;
+    Directory directory_;
+    std::vector<Cache> l1_;
+    std::vector<Cache> l2_;
+    CoherenceStats stats_;
+};
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_COHERENCE_HH

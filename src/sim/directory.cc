@@ -1,0 +1,35 @@
+#include "sim/directory.hh"
+
+namespace mnoc::sim {
+
+void
+Directory::checkInvariants(std::uint64_t line) const
+{
+    const DirEntry *e = find(line);
+    if (e == nullptr)
+        return;
+    switch (e->state) {
+      case DirState::Invalid:
+        panicIf(!e->sharers.empty(), "Invalid line has sharers");
+        break;
+      case DirState::Shared:
+        panicIf(e->sharers.empty(), "Shared line has no sharers");
+        panicIf(e->owner != -1, "Shared line has an owner");
+        break;
+      case DirState::Owned:
+        panicIf(e->owner < 0, "Owned line lacks an owner");
+        panicIf(!e->sharers.contains(e->owner),
+                "owner missing from sharer set");
+        panicIf(e->sharers.count() < 2,
+                "Owned line should have other sharers");
+        break;
+      case DirState::Modified:
+        panicIf(e->owner < 0, "Modified line lacks an owner");
+        panicIf(e->sharers.count() != 1 ||
+                !e->sharers.contains(e->owner),
+                "Modified line must have exactly the owner cached");
+        break;
+    }
+}
+
+} // namespace mnoc::sim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * MOSI directory state, distributed across cores by the owner bits of
+ * each address (paper Section 5.1 uses Graphite's directory-based MOSI
+ * protocol).
+ */
+
+#ifndef MNOC_SIM_DIRECTORY_HH
+#define MNOC_SIM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mnoc::sim {
+
+/** Compact bitset over core indices. */
+class SharerSet
+{
+  public:
+    explicit SharerSet(int num_cores = 0)
+        : numCores_(num_cores),
+          words_((static_cast<std::size_t>(num_cores) + 63) / 64, 0)
+    {}
+
+    void
+    add(int core)
+    {
+        check(core);
+        words_[core >> 6] |= 1ULL << (core & 63);
+    }
+
+    void
+    remove(int core)
+    {
+        check(core);
+        words_[core >> 6] &= ~(1ULL << (core & 63));
+    }
+
+    bool
+    contains(int core) const
+    {
+        check(core);
+        return (words_[core >> 6] >> (core & 63)) & 1ULL;
+    }
+
+    int
+    count() const
+    {
+        int total = 0;
+        for (std::uint64_t w : words_)
+            total += __builtin_popcountll(w);
+        return total;
+    }
+
+    bool empty() const { return count() == 0; }
+
+    void
+    clear()
+    {
+        for (std::uint64_t &w : words_)
+            w = 0;
+    }
+
+    /** All set core indices, ascending. */
+    std::vector<int>
+    members() const
+    {
+        std::vector<int> out;
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            while (w) {
+                int bit = __builtin_ctzll(w);
+                out.push_back(static_cast<int>(wi * 64) + bit);
+                w &= w - 1;
+            }
+        }
+        return out;
+    }
+
+  private:
+    void
+    check(int core) const
+    {
+        panicIf(core < 0 || core >= numCores_,
+                "sharer core index out of range");
+    }
+
+    int numCores_;
+    std::vector<std::uint64_t> words_;
+};
+
+/** Directory-visible state of a line. */
+enum class DirState : std::uint8_t
+{
+    Invalid,  ///< no cached copies
+    Shared,   ///< one or more clean copies, memory up to date
+    Owned,    ///< dirty owner plus zero or more sharers
+    Modified, ///< single dirty owner
+};
+
+/** Directory entry for one cache line. */
+struct DirEntry
+{
+    DirState state = DirState::Invalid;
+    int owner = -1;
+    SharerSet sharers;
+
+    explicit DirEntry(int num_cores = 0) : sharers(num_cores) {}
+};
+
+/**
+ * The full distributed directory.  Entries live in one map; the home
+ * core of a line (for network purposes) is derived from the address by
+ * the coherence controller.
+ */
+class Directory
+{
+  public:
+    explicit Directory(int num_cores) : numCores_(num_cores) {}
+
+    /** Fetch or create the entry for @p line. */
+    DirEntry &
+    entry(std::uint64_t line)
+    {
+        auto it = map_.find(line);
+        if (it == map_.end())
+            it = map_.emplace(line, DirEntry(numCores_)).first;
+        return it->second;
+    }
+
+    /** Entry lookup without creation (for tests/invariant checks). */
+    const DirEntry *
+    find(std::uint64_t line) const
+    {
+        auto it = map_.find(line);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    std::size_t numEntries() const { return map_.size(); }
+    int numCores() const { return numCores_; }
+
+    /**
+     * Validate the entry invariants for @p line: owner consistency and
+     * sharer-count agreement with the state.  Panics on violation.
+     */
+    void checkInvariants(std::uint64_t line) const;
+
+  private:
+    int numCores_;
+    std::unordered_map<std::uint64_t, DirEntry> map_;
+};
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_DIRECTORY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory operation type and address helpers shared by the simulator
+ * and the workload kernels.
+ *
+ * Workloads place data explicitly: the owning core index is encoded in
+ * the upper address bits, which models first-touch page placement with
+ * per-core directory homes (the placement Graphite supports and SPLASH
+ * kernels rely on).
+ */
+
+#ifndef MNOC_SIM_MEMOP_HH
+#define MNOC_SIM_MEMOP_HH
+
+#include <cstdint>
+
+namespace mnoc::sim {
+
+/** One memory reference from a workload thread. */
+struct MemOp
+{
+    std::uint64_t addr = 0;
+    bool write = false;
+    /**
+     * Non-blocking access: the core continues past this op while it
+     * completes in the background (bounded by the outstanding-access
+     * buffer).  Stores always behave this way via the store buffer;
+     * kernels additionally mark software-prefetched streaming reads.
+     */
+    bool nonBlocking = false;
+    /** Compute cycles between the previous op's completion and this
+     *  op's issue. */
+    std::uint32_t computeCycles = 0;
+};
+
+/** Log2 of the cache-line size (64 bytes). */
+inline constexpr int lineShift = 6;
+/** Bit position of the owner field inside an address. */
+inline constexpr int ownerShift = 40;
+
+/** Cache line index of @p addr. */
+inline std::uint64_t
+lineOf(std::uint64_t addr)
+{
+    return addr >> lineShift;
+}
+
+/**
+ * Build an address inside the region owned by core @p owner.
+ *
+ * @param owner Core whose directory homes the data.
+ * @param offset Byte offset within the owner's region (< 2^40).
+ */
+inline std::uint64_t
+placedAddr(int owner, std::uint64_t offset)
+{
+    return (static_cast<std::uint64_t>(owner) << ownerShift) |
+           (offset & ((1ULL << ownerShift) - 1));
+}
+
+/** Directory home core of @p addr in an @p num_cores system. */
+inline int
+homeOf(std::uint64_t addr, int num_cores)
+{
+    return static_cast<int>((addr >> ownerShift) %
+                            static_cast<std::uint64_t>(num_cores));
+}
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_MEMOP_HH

@@ -1,0 +1,102 @@
+#include "sim/simulator.hh"
+
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mnoc::sim {
+
+SimulationResult
+runSimulation(const SimConfig &config, noc::Network &network,
+              Workload &workload, std::uint64_t seed)
+{
+    int n = config.numCores;
+    fatalIf(n < 1, "need at least one core");
+    fatalIf(network.numNodes() != n,
+            "network size must match the core count");
+
+    std::vector<int> thread_to_core = config.threadToCore;
+    if (thread_to_core.empty()) {
+        thread_to_core.resize(n);
+        for (int i = 0; i < n; ++i)
+            thread_to_core[i] = i;
+    }
+    fatalIf(static_cast<int>(thread_to_core.size()) != n,
+            "thread mapping must cover every thread");
+    {
+        std::vector<bool> used(n, false);
+        for (int c : thread_to_core) {
+            fatalIf(c < 0 || c >= n, "mapped core out of range");
+            fatalIf(used[c], "thread mapping is not a permutation");
+            used[c] = true;
+        }
+    }
+
+    network.reset();
+    noc::TrafficRecorder recorder(n);
+    CoherenceController coherence(n, config.memory, network, recorder);
+    coherence.setHomeMap(thread_to_core);
+    workload.reset(n, seed);
+
+    // Min-heap of (next ready tick, thread).
+    using Event = std::pair<noc::Tick, int>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    for (int t = 0; t < n; ++t)
+        queue.emplace(0, t);
+
+    // Per-thread outstanding store completions (store buffer).
+    std::vector<std::deque<noc::Tick>> stores(n);
+
+    noc::Tick last_tick = 0;
+    while (!queue.empty()) {
+        auto [tick, thread] = queue.top();
+        queue.pop();
+
+        MemOp op;
+        if (!workload.next(thread, op))
+            continue; // thread finished
+        int core = thread_to_core[thread];
+        noc::Tick issue = tick + op.computeCycles;
+
+        noc::Tick ready;
+        if ((op.write || op.nonBlocking) &&
+            config.storeBufferDepth > 0) {
+            // Retire drained stores, then stall on a full buffer.
+            auto &buf = stores[thread];
+            while (!buf.empty() && buf.front() <= issue)
+                buf.pop_front();
+            if (static_cast<int>(buf.size()) >=
+                config.storeBufferDepth) {
+                issue = std::max(issue, buf.front());
+                buf.pop_front();
+            }
+            noc::Tick done = coherence.access(core, op, issue);
+            buf.push_back(done);
+            last_tick = std::max(last_tick, done);
+            ready = issue + 1; // the core moves on immediately
+        } else {
+            ready = coherence.access(core, op, issue);
+            last_tick = std::max(last_tick, ready);
+        }
+        queue.emplace(ready, thread);
+    }
+
+    SimulationResult result;
+    result.totalTicks = last_tick;
+    result.packets = recorder.packets();
+    result.flits = recorder.flits();
+    result.coherence = coherence.stats();
+    result.avgPacketLatency =
+        result.coherence.packetsSent
+            ? static_cast<double>(result.coherence.packetLatencySum) /
+                  static_cast<double>(result.coherence.packetsSent)
+            : 0.0;
+    result.networkName = network.name();
+    result.workloadName = workload.name();
+    return result;
+}
+
+} // namespace mnoc::sim

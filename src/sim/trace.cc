@@ -1,0 +1,102 @@
+#include "sim/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mnoc::sim {
+
+Trace
+toTrace(const SimulationResult &result)
+{
+    Trace t;
+    t.workloadName = result.workloadName;
+    t.networkName = result.networkName;
+    t.totalTicks = result.totalTicks;
+    t.packets = result.packets;
+    t.flits = result.flits;
+    return t;
+}
+
+void
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path);
+    fatalIf(!out.is_open(), "cannot open trace file for write: " + path);
+    int n = static_cast<int>(trace.packets.rows());
+    out << "mnoc-trace 1\n";
+    out << trace.workloadName << "\n" << trace.networkName << "\n";
+    out << n << " " << trace.totalTicks << "\n";
+    // Sparse triplets: src dst packets flits.
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+            if (trace.packets(s, d) == 0 && trace.flits(s, d) == 0)
+                continue;
+            out << s << " " << d << " " << trace.packets(s, d) << " "
+                << trace.flits(s, d) << "\n";
+        }
+    }
+}
+
+Trace
+mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
+{
+    int n = static_cast<int>(trace.packets.rows());
+    fatalIf(static_cast<int>(thread_to_core.size()) != n,
+            "thread mapping must cover every thread");
+
+    for (int c : thread_to_core)
+        fatalIf(c < 0 || c >= n, "mapped core out of range");
+
+    Trace out;
+    out.workloadName = trace.workloadName;
+    out.networkName = trace.networkName;
+    out.totalTicks = trace.totalTicks;
+    out.packets = CountMatrix(n, n, 0);
+    out.flits = CountMatrix(n, n, 0);
+    for (int s = 0; s < n; ++s) {
+        int sc = thread_to_core[s];
+        for (int d = 0; d < n; ++d) {
+            int dc = thread_to_core[d];
+            out.packets(sc, dc) += trace.packets(s, d);
+            out.flits(sc, dc) += trace.flits(s, d);
+        }
+    }
+    return out;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.is_open(), "cannot open trace file: " + path);
+
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    fatalIf(magic != "mnoc-trace" || version != 1,
+            "unrecognized trace file header: " + path);
+    in.ignore();
+
+    Trace t;
+    std::getline(in, t.workloadName);
+    std::getline(in, t.networkName);
+    int n = 0;
+    in >> n >> t.totalTicks;
+    fatalIf(n <= 0 || in.fail(), "malformed trace dimensions: " + path);
+    t.packets = CountMatrix(n, n, 0);
+    t.flits = CountMatrix(n, n, 0);
+
+    int s, d;
+    std::uint64_t p, f;
+    while (in >> s >> d >> p >> f) {
+        fatalIf(s < 0 || s >= n || d < 0 || d >= n,
+                "trace endpoint out of range: " + path);
+        t.packets(s, d) = p;
+        t.flits(s, d) = f;
+    }
+    return t;
+}
+
+} // namespace mnoc::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Saving and loading captured communication traces, so expensive
+ * simulations can be reused across tools.
+ */
+
+#ifndef MNOC_SIM_TRACE_HH
+#define MNOC_SIM_TRACE_HH
+
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace mnoc::sim {
+
+/** The trace fields the power models consume. */
+struct Trace
+{
+    std::string workloadName;
+    std::string networkName;
+    noc::Tick totalTicks = 0;
+    CountMatrix packets;
+    CountMatrix flits;
+};
+
+/** Extract the trace from a simulation result. */
+Trace toTrace(const SimulationResult &result);
+
+/**
+ * Write @p trace to @p path in a line-oriented text format.
+ * @throws FatalError when the file cannot be written.
+ */
+void saveTrace(const std::string &path, const Trace &trace);
+
+/**
+ * Read a trace previously written by saveTrace().
+ * @throws FatalError on malformed input.
+ */
+Trace loadTrace(const std::string &path);
+
+/**
+ * Re-express a thread-granularity trace (captured with the identity
+ * mapping) in core coordinates under @p thread_to_core: traffic
+ * between threads s and d becomes traffic between their cores.
+ */
+Trace mapTrace(const Trace &trace,
+               const std::vector<int> &thread_to_core);
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_TRACE_HH

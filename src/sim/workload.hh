@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload interface: a multithreaded kernel that feeds per-thread
+ * memory-operation streams to the simulator.
+ */
+
+#ifndef MNOC_SIM_WORKLOAD_HH
+#define MNOC_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memop.hh"
+
+namespace mnoc::sim {
+
+/**
+ * A synthetic benchmark kernel.  The simulator calls reset() once and
+ * then pulls operations per thread until next() returns false for every
+ * thread.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name (matches the SPLASH-2 names in the paper). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Prepare streams for @p num_threads threads.
+     *
+     * @param num_threads One thread per simulated core.
+     * @param seed Seed for any randomized access components.
+     */
+    virtual void reset(int num_threads, std::uint64_t seed) = 0;
+
+    /**
+     * Produce @p thread's next memory operation.
+     *
+     * @return false when the thread has finished its stream.
+     */
+    virtual bool next(int thread, MemOp &op) = 0;
+};
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_WORKLOAD_HH

@@ -1,0 +1,58 @@
+#include "workloads/generated.hh"
+
+#include "common/log.hh"
+
+namespace mnoc::workloads {
+
+void
+GeneratedWorkload::reset(int num_threads, std::uint64_t seed)
+{
+    fatalIf(num_threads < 1, "workload needs at least one thread");
+    streams_.assign(num_threads, {});
+    cursor_.assign(num_threads, 0);
+    Prng rng(seed ^ 0x5eed5eedULL);
+    generate(num_threads, rng);
+}
+
+bool
+GeneratedWorkload::next(int thread, sim::MemOp &op)
+{
+    panicIf(thread < 0 ||
+            thread >= static_cast<int>(streams_.size()),
+            "thread index out of range");
+    auto &cursor = cursor_[thread];
+    const auto &stream = streams_[thread];
+    if (cursor >= stream.size())
+        return false;
+    op = stream[cursor++];
+    return true;
+}
+
+std::uint64_t
+GeneratedWorkload::totalOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : streams_)
+        total += s.size();
+    return total;
+}
+
+void
+GeneratedWorkload::emit(int thread, int owner, std::uint64_t line_index,
+                        bool is_write, bool non_blocking,
+                        std::uint32_t compute)
+{
+    panicIf(thread < 0 ||
+            thread >= static_cast<int>(streams_.size()),
+            "emitting thread out of range");
+    panicIf(owner < 0 || owner >= static_cast<int>(streams_.size()),
+            "line owner out of range");
+    sim::MemOp op;
+    op.addr = sim::placedAddr(owner, line_index << sim::lineShift);
+    op.write = is_write;
+    op.nonBlocking = non_blocking;
+    op.computeCycles = compute;
+    streams_[thread].push_back(op);
+}
+
+} // namespace mnoc::workloads

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Base class for the synthetic SPLASH-2 kernels.
+ *
+ * Each kernel pre-generates one memory-operation stream per thread in
+ * generate(); the streams replay through the simulator's coherence
+ * machinery, which turns the sharing structure into network traffic.
+ * Data placement is explicit: a line belongs to the thread that
+ * "allocated" it (first touch), so remote reads of a neighbour's data
+ * produce cache-to-cache transfers between exactly the threads the
+ * kernel's communication pattern names.
+ */
+
+#ifndef MNOC_WORKLOADS_GENERATED_HH
+#define MNOC_WORKLOADS_GENERATED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hh"
+#include "sim/workload.hh"
+
+namespace mnoc::workloads {
+
+/** Scale knob shared by all kernels. */
+struct WorkloadScale
+{
+    /**
+     * Nominal operations per thread; individual kernels multiply this
+     * by their relative injection intensity so that, e.g., radix
+     * produces an order of magnitude more traffic than volrend
+     * (paper Table 4).
+     */
+    int opsPerThread = 4000;
+};
+
+/** Pre-generated per-thread operation streams. */
+class GeneratedWorkload : public sim::Workload
+{
+  public:
+    void reset(int num_threads, std::uint64_t seed) final;
+    bool next(int thread, sim::MemOp &op) final;
+
+    /** Total generated operations across all threads (tests). */
+    std::uint64_t totalOps() const;
+
+  protected:
+    explicit GeneratedWorkload(const WorkloadScale &scale)
+        : scale_(scale)
+    {}
+
+    /** Fill streams_ for @p num_threads threads. */
+    virtual void generate(int num_threads, Prng &rng) = 0;
+
+    /** Emit a read by @p thread of line @p index owned by @p owner. */
+    void
+    read(int thread, int owner, std::uint64_t line_index,
+         std::uint32_t compute = 0)
+    {
+        emit(thread, owner, line_index, false, false, compute);
+    }
+
+    /**
+     * Emit a software-prefetched streaming read: the core overlaps it
+     * with execution through the outstanding-access buffer.
+     */
+    void
+    readStream(int thread, int owner, std::uint64_t line_index,
+               std::uint32_t compute = 0)
+    {
+        emit(thread, owner, line_index, false, true, compute);
+    }
+
+    /** Emit a write by @p thread of line @p index owned by @p owner. */
+    void
+    write(int thread, int owner, std::uint64_t line_index,
+          std::uint32_t compute = 0)
+    {
+        emit(thread, owner, line_index, true, false, compute);
+    }
+
+    /**
+     * Emit a read-modify-write of a line (read then write), the common
+     * update idiom in the kernels.
+     */
+    void
+    update(int thread, int owner, std::uint64_t line_index,
+           std::uint32_t compute = 0)
+    {
+        read(thread, owner, line_index, compute);
+        write(thread, owner, line_index, 0);
+    }
+
+    WorkloadScale scale_;
+
+  private:
+    void emit(int thread, int owner, std::uint64_t line_index,
+              bool is_write, bool non_blocking, std::uint32_t compute);
+
+    std::vector<std::vector<sim::MemOp>> streams_;
+    std::vector<std::size_t> cursor_;
+};
+
+} // namespace mnoc::workloads
+
+#endif // MNOC_WORKLOADS_GENERATED_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Thread-grid helper for the domain-decomposed kernels (ocean, water,
+ * LU): threads arranged on a near-square 2D grid with toroidal
+ * wrap-around.
+ */
+
+#ifndef MNOC_WORKLOADS_GRID_HH
+#define MNOC_WORKLOADS_GRID_HH
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mnoc::workloads {
+
+/** Near-square toroidal grid over @p n threads. */
+class ThreadGrid
+{
+  public:
+    explicit ThreadGrid(int n) : n_(n)
+    {
+        fatalIf(n < 1, "grid needs at least one thread");
+        cols_ = static_cast<int>(std::floor(std::sqrt(
+            static_cast<double>(n))));
+        while (cols_ > 1 && n % cols_ != 0)
+            --cols_; // largest divisor <= sqrt(n) keeps rows exact
+        rows_ = n / cols_;
+    }
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+
+    int xOf(int t) const { return t % cols_; }
+    int yOf(int t) const { return t / cols_; }
+
+    /** Thread at (x, y) with toroidal wrap. */
+    int
+    at(int x, int y) const
+    {
+        x = ((x % cols_) + cols_) % cols_;
+        y = ((y % rows_) + rows_) % rows_;
+        return y * cols_ + x;
+    }
+
+    /** Neighbour of @p t displaced by (dx, dy), wrapping. */
+    int
+    neighbor(int t, int dx, int dy) const
+    {
+        return at(xOf(t) + dx, yOf(t) + dy);
+    }
+
+    /**
+     * Neighbour without wrap-around, or -1 when it falls off the
+     * grid.  Physical domain decompositions (ocean, water) do not
+     * wrap, which leaves boundary threads with fewer partners -- the
+     * per-thread load skew the QAP mapper exploits.
+     */
+    int
+    neighborClamped(int t, int dx, int dy) const
+    {
+        int x = xOf(t) + dx;
+        int y = yOf(t) + dy;
+        if (x < 0 || x >= cols_ || y < 0 || y >= rows_)
+            return -1;
+        return y * cols_ + x;
+    }
+
+  private:
+    int n_;
+    int cols_;
+    int rows_;
+};
+
+} // namespace mnoc::workloads
+
+#endif // MNOC_WORKLOADS_GRID_HH

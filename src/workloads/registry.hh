@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Benchmark registry: create any of the 12 SPLASH kernels by name.
+ */
+
+#ifndef MNOC_WORKLOADS_REGISTRY_HH
+#define MNOC_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/generated.hh"
+
+namespace mnoc::workloads {
+
+/** The 12 benchmark names, in the paper's figure order. */
+const std::vector<std::string> &splashBenchmarks();
+
+/** The four sampled benchmarks of the S4 designs (Section 5.4). */
+const std::vector<std::string> &sampledBenchmarks();
+
+/**
+ * Instantiate the benchmark named @p name.
+ * @throws FatalError for unknown names.
+ */
+std::unique_ptr<GeneratedWorkload> makeWorkload(
+    const std::string &name, const WorkloadScale &scale = {});
+
+} // namespace mnoc::workloads
+
+#endif // MNOC_WORKLOADS_REGISTRY_HH

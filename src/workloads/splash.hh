@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The 12 synthetic SPLASH-2 kernels used throughout the paper's
+ * evaluation (Section 5.1).
+ *
+ * Each kernel reproduces the communication *structure* of its SPLASH-2
+ * namesake -- who talks to whom, at what relative volume -- as
+ * characterized by Woo et al. (ISCA'95) and Barrow-Williams et al.
+ * (IISWC'09), rather than its numerical computation.  See DESIGN.md
+ * Section 3 for the substitution rationale.
+ */
+
+#ifndef MNOC_WORKLOADS_SPLASH_HH
+#define MNOC_WORKLOADS_SPLASH_HH
+
+#include "workloads/generated.hh"
+
+namespace mnoc::workloads {
+
+/** Barnes-Hut N-body: octree partners at power-of-two distances plus
+ *  sparse long-range reads. */
+class BarnesWorkload : public GeneratedWorkload
+{
+  public:
+    explicit BarnesWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "barnes"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Radix sort: all-to-all permutation writes; the heaviest network
+ *  load in the suite (paper Table 4: 120 W base power). */
+class RadixWorkload : public GeneratedWorkload
+{
+  public:
+    explicit RadixWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "radix"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Ocean, contiguous partitions: 2D nearest-neighbour halo exchange
+ *  plus multigrid strides. */
+class OceanContiguousWorkload : public GeneratedWorkload
+{
+  public:
+    explicit OceanContiguousWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "ocean_c"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Ocean, non-contiguous partitions: the same stencil with a layout
+ *  that inflates remote traffic and write sharing. */
+class OceanNonContiguousWorkload : public GeneratedWorkload
+{
+  public:
+    explicit OceanNonContiguousWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "ocean_nc"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Raytrace: mostly-local tile rendering with sparse read-only BVH
+ *  lookups; light network load. */
+class RaytraceWorkload : public GeneratedWorkload
+{
+  public:
+    explicit RaytraceWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "raytrace"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** FFT: six-step transform with all-to-all transposes. */
+class FftWorkload : public GeneratedWorkload
+{
+  public:
+    explicit FftWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "fft"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Water, spatial decomposition: 8-neighbour 2D domain exchange with
+ *  remote force accumulation (the Figure 7 benchmark). */
+class WaterSpatialWorkload : public GeneratedWorkload
+{
+  public:
+    explicit WaterSpatialWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "water_s"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Water, n-squared: broad half-ring pairwise interactions. */
+class WaterNSquaredWorkload : public GeneratedWorkload
+{
+  public:
+    explicit WaterNSquaredWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "water_ns"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Cholesky: supernode updates along a random elimination tree. */
+class CholeskyWorkload : public GeneratedWorkload
+{
+  public:
+    explicit CholeskyWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "cholesky"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** LU, contiguous blocks: pivot row/column broadcast per step. */
+class LuContiguousWorkload : public GeneratedWorkload
+{
+  public:
+    explicit LuContiguousWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "lu_cb"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** LU, non-contiguous blocks: the same pattern with line-granularity
+ *  interleaving that causes heavy write sharing (43.7 W in Table 4). */
+class LuNonContiguousWorkload : public GeneratedWorkload
+{
+  public:
+    explicit LuNonContiguousWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "lu_ncb"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** Volrend: local ray casting with sparse shared-octree reads and
+ *  neighbour task stealing; the lightest load in the suite. */
+class VolrendWorkload : public GeneratedWorkload
+{
+  public:
+    explicit VolrendWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "volrend"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+} // namespace mnoc::workloads
+
+#endif // MNOC_WORKLOADS_SPLASH_HH

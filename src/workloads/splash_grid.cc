@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Grid-decomposed kernels: ocean (contiguous / non-contiguous) and
+ * water (spatial / n-squared).
+ */
+
+#include "workloads/splash.hh"
+
+#include <algorithm>
+
+#include "workloads/grid.hh"
+
+namespace mnoc::workloads {
+
+namespace {
+
+// Line-index bases keep each owner's regions (interior data, halo
+// boundary, force accumulators) disjoint.
+constexpr std::uint64_t interiorBase = 0;
+constexpr std::uint64_t haloBase = 1ULL << 20;
+constexpr std::uint64_t forceBase = 1ULL << 21;
+
+} // namespace
+
+void
+OceanContiguousWorkload::generate(int num_threads, Prng &rng)
+{
+    // Red-black Gauss-Seidel sweeps over per-thread subgrids: local
+    // stencil updates plus halo reads from the four cardinal
+    // neighbours, with periodic multigrid reads at strides 2 and 4.
+    ThreadGrid grid(num_threads);
+    int iters = 10;
+    int per_iter = (scale_.opsPerThread * 3 / 2) / iters;
+    int halo_lines = per_iter / 6;
+    int local_lines = per_iter - 4 * halo_lines / 2;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t));
+        for (int it = 0; it < iters; ++it) {
+            // Refresh our own boundary so neighbours must re-fetch it.
+            for (int b = 0; b < halo_lines; ++b)
+                write(t, t, haloBase + b, 1);
+            // Interior relaxation.
+            for (int i = 0; i < local_lines; ++i)
+                update(t, t, interiorBase + trng.below(768), 3);
+            // Halo reads from the cardinal neighbours; the physical
+            // grid does not wrap, so boundary threads exchange less.
+            const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+            for (const auto &d : dirs) {
+                int nb = grid.neighborClamped(t, d[0], d[1]);
+                if (nb < 0)
+                    continue;
+                for (int b = 0; b < halo_lines / 2; ++b) {
+                    if (b % 4 == 0)
+                        read(t, nb, haloBase + b, 2);
+                    else
+                        readStream(t, nb, haloBase + b, 2);
+                }
+            }
+            // Multigrid restriction every third sweep: reads from the
+            // coarser-grid owners at strides 2 and 4.
+            if (it % 3 == 2) {
+                for (int stride : {2, 4}) {
+                    int nb_x = grid.neighborClamped(t, stride, 0);
+                    int nb_y = grid.neighborClamped(t, 0, stride);
+                    for (int b = 0; b < halo_lines / 4; ++b) {
+                        if (nb_x >= 0)
+                            readStream(t, nb_x, haloBase + b, 2);
+                        if (nb_y >= 0)
+                            readStream(t, nb_y, haloBase + b, 2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+OceanNonContiguousWorkload::generate(int num_threads, Prng &rng)
+{
+    // The non-contiguous layout puts each boundary element on its own
+    // line and interleaves rows, roughly doubling remote volume and
+    // adding write sharing on the neighbours' boundary lines.
+    ThreadGrid grid(num_threads);
+    int iters = 10;
+    int per_iter = (scale_.opsPerThread * 2) / iters;
+    int halo_lines = per_iter / 6;
+    int local_lines = per_iter / 3;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 31);
+        for (int it = 0; it < iters; ++it) {
+            for (int b = 0; b < halo_lines; ++b)
+                write(t, t, haloBase + b, 0);
+            for (int i = 0; i < local_lines; ++i)
+                update(t, t, interiorBase + trng.below(768), 2);
+            const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+            for (const auto &d : dirs) {
+                int nb = grid.neighborClamped(t, d[0], d[1]);
+                if (nb < 0)
+                    continue;
+                for (int b = 0; b < halo_lines; ++b) {
+                    if (b % 4 == 0)
+                        read(t, nb, haloBase + b, 1);
+                    else
+                        readStream(t, nb, haloBase + b, 1);
+                }
+                // False sharing: corner updates write into the
+                // neighbour's boundary lines.
+                for (int b = 0; b < halo_lines / 8; ++b)
+                    update(t, nb, forceBase + b, 1);
+            }
+        }
+    }
+}
+
+void
+WaterSpatialWorkload::generate(int num_threads, Prng &rng)
+{
+    // Spatial decomposition: each cell exchanges molecule positions
+    // with its eight surrounding cells and accumulates forces directly
+    // into the neighbours' accumulator lines.
+    ThreadGrid grid(num_threads);
+    int iters = 8;
+    int per_iter = scale_.opsPerThread / iters;
+    int molecules = per_iter / 4;
+    int exchange = std::max(1, per_iter / 40);
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 7919);
+        for (int it = 0; it < iters; ++it) {
+            // Integrate own molecules.
+            for (int i = 0; i < molecules; ++i)
+                update(t, t, interiorBase + trng.below(512), 6);
+            // Publish our boundary molecules.
+            for (int b = 0; b < exchange; ++b)
+                write(t, t, haloBase + b, 1);
+            // Pairwise terms with the surrounding cells; the spatial
+            // box does not wrap, so corner cells have only three
+            // partners.
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    if (dx == 0 && dy == 0)
+                        continue;
+                    int nb = grid.neighborClamped(t, dx, dy);
+                    if (nb < 0)
+                        continue;
+                    for (int b = 0; b < exchange; ++b) {
+                        if (b % 2 == 0)
+                            read(t, nb, haloBase + b, 4);
+                        else
+                            readStream(t, nb, haloBase + b, 2);
+                    }
+                    // Newton's third law: accumulate into the
+                    // neighbour's force lines (remote writes).
+                    for (int b = 0; b < exchange / 4; ++b)
+                        update(t, nb, forceBase + b, 2);
+                }
+            }
+        }
+    }
+}
+
+void
+WaterNSquaredWorkload::generate(int num_threads, Prng &rng)
+{
+    // O(n^2) interaction list: thread t computes the pair (t, t+k) for
+    // k = 1 .. n/2 (each pair computed once), reading the partner's
+    // molecule lines lightly and updating its own accumulators.
+    int iters = 4;
+    int half = std::max(1, num_threads / 2);
+    int reads_per_partner =
+        std::max(1, scale_.opsPerThread / (iters * half * 2));
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 104729);
+        for (int it = 0; it < iters; ++it) {
+            for (int b = 0; b < half / 2; ++b)
+                write(t, t, haloBase + trng.below(256), 1);
+            for (int k = 1; k <= half; ++k) {
+                int partner = (t + k) % num_threads;
+                for (int b = 0; b < reads_per_partner; ++b) {
+                    if (k % 2 == 0)
+                        read(t, partner, haloBase + b, 8);
+                    else
+                        readStream(t, partner, haloBase + b, 4);
+                }
+                update(t, t, forceBase + (k & 255), 4);
+            }
+        }
+    }
+}
+
+} // namespace mnoc::workloads

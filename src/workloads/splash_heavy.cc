@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The traffic-heavy kernels: radix, fft, and both LU variants.
+ */
+
+#include "workloads/splash.hh"
+
+#include <algorithm>
+
+#include "workloads/grid.hh"
+
+namespace mnoc::workloads {
+
+namespace {
+
+constexpr std::uint64_t keyBase = 0;
+constexpr std::uint64_t bucketBase = 1ULL << 20;
+constexpr std::uint64_t histBase = 1ULL << 21;
+constexpr std::uint64_t blockBase = 1ULL << 22;
+
+} // namespace
+
+void
+RadixWorkload::generate(int num_threads, Prng &rng)
+{
+    // Per digit pass: local histogram, logarithmic prefix-sum tree,
+    // then the permutation phase scattering keys into buckets that
+    // live on pseudo-random destination threads -- the all-to-all
+    // write storm that makes radix the network-heaviest benchmark.
+    int passes = 4;
+    int per_pass = (scale_.opsPerThread * 12) / passes;
+    int scatter = per_pass * 17 / 20;
+    int local = per_pass - scatter;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 2654435761ULL);
+        for (int pass = 0; pass < passes; ++pass) {
+            // Local histogram over our own keys.
+            for (int i = 0; i < local; ++i)
+                read(t, t, keyBase + trng.below(1024), 0);
+            // Prefix-sum tree rooted at thread 0: lower-numbered
+            // threads combine more partial sums.
+            for (int k = 1; k < num_threads; k <<= 1) {
+                if (t % (2 * k) == 0 && t + k < num_threads) {
+                    read(t, t + k, histBase + pass, 1);
+                    write(t, t, histBase + pass, 0);
+                } else if (t % (2 * k) == k) {
+                    read(t, t - k, histBase + pass, 1);
+                }
+            }
+            // Permutation: each key lands in a fresh slot of its
+            // bucket owner -- streamed cold writes, not hot-line
+            // ping-pong -- which is what saturates the network.  Key
+            // digits are not uniform, so low-numbered buckets (and
+            // their owner threads) receive noticeably more keys.
+            for (int i = 0; i < scatter; ++i) {
+                double u = trng.uniform();
+                int dest = static_cast<int>(
+                    u * u * static_cast<double>(num_threads));
+                write(t, dest,
+                      bucketBase + (static_cast<std::uint64_t>(pass)
+                                    << 16) + trng.below(8192),
+                      0);
+            }
+        }
+    }
+}
+
+void
+FftWorkload::generate(int num_threads, Prng &rng)
+{
+    // Six-step FFT: local row transforms separated by all-to-all
+    // transposes in which every thread reads one sub-block from every
+    // other thread.
+    int stages = 3; // transpose, compute, transpose (steady state)
+    int per_stage = (scale_.opsPerThread * 5 / 2) / stages;
+    int block = std::max(1, per_stage / (2 * std::max(1,
+                                                      num_threads - 1)));
+    int local = per_stage / 2;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 40503ULL);
+        for (int stage = 0; stage < stages; ++stage) {
+            // Publish our freshly computed rows.
+            for (int i = 0; i < local / 2; ++i)
+                write(t, t, blockBase + trng.below(768), 2);
+            // Transpose: gather a block from every other thread,
+            // starting at our own offset to avoid hotspots.
+            for (int k = 1; k < num_threads; ++k) {
+                int partner = (t + k) % num_threads;
+                for (int b = 0; b < block; ++b) {
+                    std::uint64_t line =
+                        blockBase + (static_cast<std::uint64_t>(t)
+                                     % 64) * 32 + b;
+                    // Streamed gather: one blocking read per block to
+                    // keep dependences, the rest prefetched.
+                    if (b == 0)
+                        read(t, partner, line, 1);
+                    else
+                        readStream(t, partner, line, 1);
+                }
+            }
+            // Local butterfly on the gathered data.
+            for (int i = 0; i < local / 2; ++i)
+                update(t, t, keyBase + trng.below(768), 2);
+        }
+    }
+}
+
+void
+LuContiguousWorkload::generate(int num_threads, Prng &rng)
+{
+    // Blocked dense LU on a thread grid: at step k the diagonal owner
+    // factors its block; its row and column broadcast pivots; interior
+    // blocks read their step-k row and column owners.
+    ThreadGrid grid(num_threads);
+    int steps = std::min(grid.cols() * 2, 24);
+    int per_step = scale_.opsPerThread / steps;
+    int pivot_lines = std::max(2, per_step / 8);
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 15485863ULL);
+        int tx = grid.xOf(t);
+        int ty = grid.yOf(t);
+        for (int k = 0; k < steps; ++k) {
+            int kc = k % grid.cols();
+            int kr = k % grid.rows();
+            int diag = grid.at(kc, kr);
+            int row_owner = grid.at(kc, ty);  // our row, pivot column
+            int col_owner = grid.at(tx, kr);  // our column, pivot row
+            if (t == diag) {
+                // Factor the diagonal block.
+                for (int i = 0; i < per_step; ++i)
+                    update(t, t, blockBase + trng.below(512), 3);
+                continue;
+            }
+            // Perimeter blocks read the diagonal; interior blocks read
+            // their row and column pivot owners.
+            for (int b = 0; b < pivot_lines; ++b) {
+                bool blocking = b % 4 == 0;
+                if (tx == kc || ty == kr) {
+                    if (blocking)
+                        read(t, diag, blockBase + b, 2);
+                    else
+                        readStream(t, diag, blockBase + b, 2);
+                } else if (blocking) {
+                    read(t, row_owner, blockBase + b, 2);
+                    read(t, col_owner, blockBase + b, 2);
+                } else {
+                    readStream(t, row_owner, blockBase + b, 2);
+                    readStream(t, col_owner, blockBase + b, 2);
+                }
+            }
+            // Trailing update of our own block.
+            for (int i = 0; i < per_step / 2; ++i)
+                update(t, t, blockBase + trng.below(512), 3);
+        }
+    }
+}
+
+void
+LuNonContiguousWorkload::generate(int num_threads, Prng &rng)
+{
+    // Non-contiguous blocks: matrix rows are interleaved at line
+    // granularity across the thread grid's row, so trailing updates
+    // hit lines owned by row-mates and write-share them heavily.
+    ThreadGrid grid(num_threads);
+    int steps = std::min(grid.cols() * 2, 24);
+    int per_step = (scale_.opsPerThread * 7) / steps;
+    int pivot_lines = std::max(2, per_step / 10);
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 32452843ULL);
+        int tx = grid.xOf(t);
+        int ty = grid.yOf(t);
+        for (int k = 0; k < steps; ++k) {
+            int kc = k % grid.cols();
+            int kr = k % grid.rows();
+            int diag = grid.at(kc, kr);
+            int row_owner = grid.at(kc, ty);
+            int col_owner = grid.at(tx, kr);
+            for (int b = 0; b < pivot_lines; ++b) {
+                if (b % 4 == 0)
+                    read(t, diag, blockBase + b, 1);
+                else
+                    readStream(t, diag, blockBase + b, 1);
+                if (tx != kc)
+                    readStream(t, row_owner, blockBase + b, 1);
+                if (ty != kr)
+                    readStream(t, col_owner, blockBase + b, 1);
+            }
+            // Trailing update: the interleaved layout lands half of
+            // our writes on lines owned by our row neighbours.
+            for (int i = 0; i < per_step / 2; ++i) {
+                int owner = t;
+                if (trng.chance(0.5))
+                    owner = grid.at(static_cast<int>(
+                                        trng.below(grid.cols())), ty);
+                std::uint64_t line = blockBase + 64 + trng.below(4096);
+                readStream(t, owner, line, 1);
+                write(t, owner, line, 0);
+            }
+        }
+    }
+}
+
+} // namespace mnoc::workloads

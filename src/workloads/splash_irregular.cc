@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Irregular-structure kernels: barnes and cholesky.
+ */
+
+#include "workloads/splash.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace mnoc::workloads {
+
+namespace {
+
+constexpr std::uint64_t bodyBase = 0;
+constexpr std::uint64_t cellBase = 1ULL << 20;
+constexpr std::uint64_t colBase = 1ULL << 21;
+
+} // namespace
+
+void
+BarnesWorkload::generate(int num_threads, Prng &rng)
+{
+    // Barnes-Hut: per timestep, rebuild local bodies, then walk the
+    // octree.  Tree cells at level k are shared with partners at
+    // distance 2^k (near levels dominate), plus a thin tail of random
+    // long-range reads for distant cell summaries.
+    int iters = 6;
+    int per_iter = (scale_.opsPerThread * 14 / 10) / iters;
+    int local = per_iter / 2;
+    int levels = 1;
+    while ((1 << levels) < num_threads)
+        ++levels;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 6700417ULL);
+        for (int it = 0; it < iters; ++it) {
+            // Integrate our bodies and publish cell summaries.
+            for (int i = 0; i < local; ++i)
+                update(t, t, bodyBase + trng.below(512), 4);
+            for (int c = 0; c < 8; ++c)
+                write(t, t, cellBase + c, 1);
+            // Tree walk: geometrically fewer reads per level.
+            int reads = per_iter / 4;
+            for (int level = 0; level < levels && reads > 0; ++level) {
+                int span = 1 << level;
+                int count = std::max(1, reads / 2);
+                reads -= count;
+                for (int i = 0; i < count; ++i) {
+                    int sign = trng.chance(0.5) ? 1 : -1;
+                    int partner =
+                        ((t + sign * span) % num_threads +
+                         num_threads) % num_threads;
+                    if (i % 4 == 0)
+                        read(t, partner, cellBase + trng.below(8), 3);
+                    else
+                        readStream(t, partner, cellBase + trng.below(8),
+                                   2);
+                }
+            }
+            // Long-range gravity: sparse uniform reads.
+            for (int i = 0; i < per_iter / 16; ++i) {
+                int partner = static_cast<int>(trng.below(num_threads));
+                read(t, partner, cellBase + trng.below(8), 3);
+            }
+        }
+    }
+}
+
+void
+CholeskyWorkload::generate(int num_threads, Prng &rng)
+{
+    // Sparse supernodal factorization: supernodes are assigned to
+    // threads round-robin along a random elimination tree; each thread
+    // consumes column updates from its tree children and publishes its
+    // factored columns for its parent and ancestors.
+    int iters = 5;
+    int per_iter = (scale_.opsPerThread * 13 / 10) / iters;
+
+    // Random binary elimination tree over the threads (deterministic
+    // per seed, shared by all threads).
+    std::vector<int> parent(num_threads, -1);
+    for (int t = 1; t < num_threads; ++t)
+        parent[t] = static_cast<int>(rng.below(t)); // random ancestor
+    std::vector<std::vector<int>> children(num_threads);
+    for (int t = 1; t < num_threads; ++t)
+        children[parent[t]].push_back(t);
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 179426549ULL);
+        for (int it = 0; it < iters; ++it) {
+            // Gather updates from our children's columns.
+            for (int child : children[t]) {
+                for (int b = 0; b < per_iter / 8; ++b) {
+                    if (b % 8 == 0)
+                        read(t, child, colBase + b % 32, 3);
+                    else
+                        readStream(t, child, colBase + b % 32, 2);
+                }
+            }
+            // Factor our supernode.
+            for (int i = 0; i < per_iter / 2; ++i)
+                update(t, t, colBase + trng.below(384), 4);
+            // Publish columns our ancestors will read.
+            for (int b = 0; b < 16; ++b)
+                write(t, t, colBase + b, 1);
+            // Read the pivot scaling from our parent's columns.
+            if (parent[t] >= 0) {
+                for (int b = 0; b < per_iter / 8; ++b) {
+                    if (b % 8 == 0)
+                        read(t, parent[t], colBase + b % 32, 3);
+                    else
+                        readStream(t, parent[t], colBase + b % 32, 2);
+                }
+            }
+        }
+    }
+}
+
+} // namespace mnoc::workloads

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Light-traffic kernels: raytrace and volrend.
+ */
+
+#include "workloads/splash.hh"
+
+namespace mnoc::workloads {
+
+namespace {
+
+constexpr std::uint64_t tileBase = 0;
+constexpr std::uint64_t sceneBase = 1ULL << 20;
+constexpr std::uint64_t queueBase = 1ULL << 21;
+
+} // namespace
+
+void
+RaytraceWorkload::generate(int num_threads, Prng &rng)
+{
+    // Tile-parallel ray tracing: long local compute runs over our own
+    // tiles with sparse read-only lookups into the BVH, which is
+    // distributed round-robin over all threads.  Read-only sharing
+    // means mostly GETS traffic with cache-to-cache supply.
+    int rays = scale_.opsPerThread / 2;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 87178291ULL);
+        for (int r = 0; r < rays; ++r) {
+            // Shade into our own framebuffer tile.
+            update(t, t, tileBase + trng.below(640), 14);
+            // BVH traversal: a few scene-node reads per ray, biased
+            // toward the top of the tree (a handful of hot owners).
+            int depth = 1 + static_cast<int>(trng.below(3));
+            for (int d = 0; d < depth; ++d) {
+                int owner = trng.chance(0.5)
+                    ? static_cast<int>(trng.below(8)) // hot tree top
+                    : static_cast<int>(trng.below(num_threads));
+                owner %= num_threads;
+                read(t, owner, sceneBase + trng.below(64), 4);
+            }
+        }
+    }
+}
+
+void
+VolrendWorkload::generate(int num_threads, Prng &rng)
+{
+    // Volume rendering: ray casting through our own brick of the
+    // volume, shared-octree reads from a few owner threads, and
+    // occasional task stealing from the successor thread's queue.
+    int rays = scale_.opsPerThread / 2;
+
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 472882027ULL);
+        for (int r = 0; r < rays; ++r) {
+            // Sample our own volume brick.
+            update(t, t, tileBase + trng.below(768), 8);
+            // Octree occupancy lookup (read-only, few owners).
+            if (trng.chance(0.4)) {
+                int owner = static_cast<int>(trng.below(16))
+                            % num_threads;
+                read(t, owner, sceneBase + trng.below(32), 8);
+            }
+            // Task stealing from the next thread's work queue.
+            if (trng.chance(0.05)) {
+                int victim = (t + 1) % num_threads;
+                update(t, victim, queueBase, 4);
+            }
+        }
+    }
+}
+
+} // namespace mnoc::workloads

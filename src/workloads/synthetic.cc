@@ -1,0 +1,45 @@
+#include "workloads/synthetic.hh"
+
+namespace mnoc::workloads {
+
+void
+UniformWorkload::generate(int num_threads, Prng &rng)
+{
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t));
+        for (int i = 0; i < scale_.opsPerThread; ++i) {
+            int owner = static_cast<int>(trng.below(num_threads));
+            read(t, owner, trng.below(256), 2);
+        }
+    }
+}
+
+void
+HotspotWorkload::generate(int num_threads, Prng &rng)
+{
+    int hot = numHotspots_ < num_threads ? numHotspots_ : num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 13);
+        for (int i = 0; i < scale_.opsPerThread; ++i) {
+            int owner = static_cast<int>(trng.below(hot));
+            read(t, owner, trng.below(64), 2);
+        }
+    }
+}
+
+void
+RingWorkload::generate(int num_threads, Prng &rng)
+{
+    for (int t = 0; t < num_threads; ++t) {
+        Prng trng(rng() ^ static_cast<std::uint64_t>(t) * 17);
+        int next = (t + 1) % num_threads;
+        for (int i = 0; i < scale_.opsPerThread; ++i) {
+            if (i % 4 == 0)
+                write(t, t, trng.below(64), 1);
+            else
+                read(t, next, trng.below(64), 1);
+        }
+    }
+}
+
+} // namespace mnoc::workloads

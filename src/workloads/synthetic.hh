@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simple synthetic traffic workloads for tests and examples: uniform
+ * random, hotspot, and ring-neighbour patterns.
+ */
+
+#ifndef MNOC_WORKLOADS_SYNTHETIC_HH
+#define MNOC_WORKLOADS_SYNTHETIC_HH
+
+#include "workloads/generated.hh"
+
+namespace mnoc::workloads {
+
+/** Uniform-random remote reads across all threads. */
+class UniformWorkload : public GeneratedWorkload
+{
+  public:
+    explicit UniformWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "uniform"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+/** All threads hammer a handful of hot owner threads. */
+class HotspotWorkload : public GeneratedWorkload
+{
+  public:
+    /**
+     * @param scale Ops budget.
+     * @param num_hotspots Number of hot destination threads.
+     */
+    explicit HotspotWorkload(const WorkloadScale &scale = {},
+                             int num_hotspots = 4)
+        : GeneratedWorkload(scale), numHotspots_(num_hotspots)
+    {}
+    std::string name() const override { return "hotspot"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+
+  private:
+    int numHotspots_;
+};
+
+/** Each thread talks only to its ring successor. */
+class RingWorkload : public GeneratedWorkload
+{
+  public:
+    explicit RingWorkload(const WorkloadScale &scale = {})
+        : GeneratedWorkload(scale)
+    {}
+    std::string name() const override { return "ring"; }
+
+  protected:
+    void generate(int num_threads, Prng &rng) override;
+};
+
+} // namespace mnoc::workloads
+
+#endif // MNOC_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,23 @@
+#!/bin/sh
+# End-to-end smoke test of the mnocpt CLI: simulate -> map -> design ->
+# evaluate -> budget on a small system.  Any non-zero exit fails.
+set -e
+MNOCPT="$1"
+DIR="${TMPDIR:-/tmp}/mnocpt_smoke_$$"
+mkdir -p "$DIR"
+trap 'rm -rf "$DIR"' EXIT
+
+"$MNOCPT" simulate --benchmark water_s --cores 16 --ops 400 \
+    --out "$DIR/t.trace"
+"$MNOCPT" map --trace "$DIR/t.trace" --iterations 1500 \
+    --out "$DIR/t.map"
+"$MNOCPT" design --trace "$DIR/t.trace" --map "$DIR/t.map" \
+    --modes 2 --assign comm --out "$DIR/t.design"
+"$MNOCPT" evaluate --design "$DIR/t.design" --trace "$DIR/t.trace" \
+    --map "$DIR/t.map" | grep -q "total"
+"$MNOCPT" budget --design "$DIR/t.design" | grep -q "link budget: OK"
+
+# Unknown subcommands and missing options must fail cleanly.
+if "$MNOCPT" frobnicate 2>/dev/null; then exit 1; fi
+if "$MNOCPT" design --modes 2 2>/dev/null; then exit 1; fi
+echo "cli smoke OK"

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the rNoC and c_mNoC baseline power models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/baseline_models.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+sim::Trace
+clusteredTrace(int n = 256, std::uint64_t inter = 50,
+               std::uint64_t intra = 50, noc::Tick ticks = 100000)
+{
+    sim::Trace t;
+    t.totalTicks = ticks;
+    t.packets = CountMatrix(n, n, 0);
+    t.flits = CountMatrix(n, n, 0);
+    for (int s = 0; s < n; ++s) {
+        int same_cluster = (s % 4 == 0) ? s + 1 : s - 1;
+        int other_cluster = (s + 8) % n;
+        t.flits(s, same_cluster) = intra;
+        t.flits(s, other_cluster) = inter;
+        t.packets(s, same_cluster) = intra / 3;
+        t.packets(s, other_cluster) = inter / 3;
+    }
+    return t;
+}
+
+TEST(RnocModel, StaticPowerMatchesPaperBudget)
+{
+    // Section 5.1: 23 W ring trimming + 5 W laser for the clustered
+    // radix-64 rNoC.
+    RnocPowerModel model{RnocParams{}};
+    auto b = model.evaluate(clusteredTrace());
+    EXPECT_NEAR(b.ringHeating, 23.0, 0.1);
+    EXPECT_DOUBLE_EQ(b.laser, 5.0);
+    EXPECT_GT(b.total(), 28.0);
+}
+
+TEST(RnocModel, StaticPowerIsActivityIndependent)
+{
+    RnocPowerModel model{RnocParams{}};
+    auto busy = model.evaluate(clusteredTrace(256, 500, 500));
+    auto idle = model.evaluate(clusteredTrace(256, 1, 1));
+    EXPECT_DOUBLE_EQ(busy.ringHeating, idle.ringHeating);
+    EXPECT_DOUBLE_EQ(busy.laser, idle.laser);
+    EXPECT_GT(busy.oe, idle.oe);
+    EXPECT_GT(busy.electrical, idle.electrical);
+}
+
+TEST(RnocModel, IntraClusterTrafficSkipsTheOptics)
+{
+    RnocPowerModel model{RnocParams{}};
+    auto intra_only = model.evaluate(clusteredTrace(256, 0, 100));
+    EXPECT_DOUBLE_EQ(intra_only.oe, 0.0);
+    EXPECT_GT(intra_only.electrical, 0.0);
+}
+
+TEST(CmnocModel, EnergyProportionalAndCheap)
+{
+    CmnocPowerModel model;
+    auto busy = model.evaluate(clusteredTrace(256, 200, 200));
+    auto idle = model.evaluate(clusteredTrace(256, 1, 1));
+    // No rings, no laser: everything scales with activity.
+    EXPECT_DOUBLE_EQ(busy.ringHeating, 0.0);
+    EXPECT_DOUBLE_EQ(busy.laser, 0.0);
+    EXPECT_GT(busy.total(), 10.0 * idle.total());
+}
+
+TEST(CmnocModel, PortCrossbarUsesShorterWaveguide)
+{
+    CmnocPowerModel model;
+    // The radix-64 port crossbar's broadcast power is far below a
+    // radix-256 full-die source (shorter reach, fewer receivers).
+    optics::SerpentineLayout full(256, optics::defaultWaveguideLength);
+    optics::OpticalCrossbar full_xbar(full, optics::DeviceParams{});
+    EXPECT_LT(model.portCrossbar().broadcastPower(0),
+              0.3 * full_xbar.broadcastPower(0));
+}
+
+TEST(CmnocModel, FarBelowRnocAtMatchedTraffic)
+{
+    // Table 1 / Figure 10: c_mNoC is the cheapest design by a wide
+    // margin because it has neither ring trimming nor a laser.
+    RnocPowerModel rnoc{RnocParams{}};
+    CmnocPowerModel cmnoc;
+    auto trace = clusteredTrace(256, 100, 100);
+    EXPECT_LT(cmnoc.evaluate(trace).total(),
+              0.5 * rnoc.evaluate(trace).total());
+}
+
+TEST(BaselineModels, RejectMalformedTraces)
+{
+    RnocPowerModel rnoc{RnocParams{}};
+    CmnocPowerModel cmnoc;
+    sim::Trace wrong;
+    wrong.totalTicks = 100;
+    wrong.packets = CountMatrix(100, 100, 0); // not 256 = 64*4
+    wrong.flits = CountMatrix(100, 100, 0);
+    EXPECT_THROW(rnoc.evaluate(wrong), FatalError);
+    EXPECT_THROW(cmnoc.evaluate(wrong), FatalError);
+
+    sim::Trace zero = clusteredTrace();
+    zero.totalTicks = 0;
+    EXPECT_THROW(rnoc.evaluate(zero), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests of the conventional and distance-based topology builders
+ * (paper Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/builders.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+TEST(Builders, ClusteredMatchesFigureFiveA)
+{
+    // Figure 5a: 8 nodes, clusters of 4, two modes.
+    auto g = clusteredTopology(8, 4);
+    g.validate();
+    EXPECT_EQ(g.numModes, 2);
+    for (int s = 0; s < 8; ++s) {
+        const auto &local = g.local(s);
+        for (int d = 0; d < 8; ++d) {
+            if (d == s)
+                continue;
+            bool same_cluster = (s / 4) == (d / 4);
+            EXPECT_EQ(local.modeOfDest[d], same_cluster ? 0 : 1)
+                << s << "->" << d;
+        }
+        EXPECT_EQ(local.reachableCount(0), 3);
+        EXPECT_EQ(local.reachableCount(1), 7);
+    }
+}
+
+TEST(Builders, ClusteredAt256MatchesPaperCounts)
+{
+    // Section 4.1: for 256 nodes there are 252 nodes in the high mode.
+    auto g = clusteredTopology(256, 4);
+    EXPECT_EQ(g.local(0).destsUniqueToMode(1).size(), 252u);
+    EXPECT_EQ(g.local(0).destsUniqueToMode(0).size(), 3u);
+}
+
+TEST(Builders, HypercubeModesAreHopCounts)
+{
+    auto g = hypercubeTopology(16);
+    g.validate();
+    EXPECT_EQ(g.numModes, 4);
+    EXPECT_EQ(g.local(0).modeOfDest[1], 0);  // 1 hop
+    EXPECT_EQ(g.local(0).modeOfDest[3], 1);  // 2 hops
+    EXPECT_EQ(g.local(0).modeOfDest[7], 2);  // 3 hops
+    EXPECT_EQ(g.local(0).modeOfDest[15], 3); // 4 hops
+    EXPECT_EQ(g.local(5).modeOfDest[5], -1);
+    EXPECT_THROW(hypercubeTopology(12), FatalError);
+}
+
+TEST(Builders, DistanceBasedMatchesFigureFiveB)
+{
+    // Figure 5b: 8 nodes, 4 modes from groups of the 2 nearest.
+    auto g = distanceBasedTopology(8, {2, 2, 2, 1});
+    g.validate();
+    const auto &row3 = g.local(3); // middle-ish source
+    // Nearest two (2 and 4) in mode 0.
+    EXPECT_EQ(row3.modeOfDest[2], 0);
+    EXPECT_EQ(row3.modeOfDest[4], 0);
+    // Next two (1 and 5) in mode 1.
+    EXPECT_EQ(row3.modeOfDest[1], 1);
+    EXPECT_EQ(row3.modeOfDest[5], 1);
+    // Farthest single node in the top mode.
+    EXPECT_EQ(row3.modeOfDest[7], 3);
+}
+
+TEST(Builders, DistanceBasedEndSourceUsesOneArm)
+{
+    auto g = distanceBasedTopology(8, {2, 2, 2, 1});
+    const auto &row0 = g.local(0);
+    EXPECT_EQ(row0.modeOfDest[1], 0);
+    EXPECT_EQ(row0.modeOfDest[2], 0);
+    EXPECT_EQ(row0.modeOfDest[3], 1);
+    EXPECT_EQ(row0.modeOfDest[7], 3);
+}
+
+TEST(Builders, DistanceModesGrowWithDistancePerSource)
+{
+    auto g = distanceBasedTopology(32, 4);
+    for (int s = 0; s < 32; ++s) {
+        const auto &local = g.local(s);
+        // Walking outward on either arm, the mode never decreases.
+        for (int d = s + 2; d < 32; ++d)
+            EXPECT_GE(local.modeOfDest[d], local.modeOfDest[d - 1]);
+        for (int d = s - 2; d >= 0; --d)
+            EXPECT_GE(local.modeOfDest[d], local.modeOfDest[d + 1]);
+    }
+}
+
+TEST(Builders, EqualSplitCoversAllDestinations)
+{
+    // The paper's 256-node groupings: 2 modes -> {128, 127} and
+    // 4 modes -> {64, 64, 64, 63}.
+    auto two = distanceBasedTopology(256, 2);
+    EXPECT_EQ(two.local(10).destsUniqueToMode(0).size(), 128u);
+    EXPECT_EQ(two.local(10).destsUniqueToMode(1).size(), 127u);
+
+    auto four = distanceBasedTopology(256, 4);
+    EXPECT_EQ(four.local(99).destsUniqueToMode(0).size(), 64u);
+    EXPECT_EQ(four.local(99).destsUniqueToMode(3).size(), 63u);
+}
+
+TEST(Builders, BinaryTreeModesAreTreeHops)
+{
+    auto g = binaryTreeTopology(16, 4);
+    g.validate();
+    EXPECT_EQ(g.numModes, 4);
+    // Heap indices (1-based): 1 is the root, 2/3 its children.
+    // Node 0 (root) -> node 1 (child): one hop -> mode 0.
+    EXPECT_EQ(g.local(0).modeOfDest[1], 0);
+    EXPECT_EQ(g.local(0).modeOfDest[2], 0);
+    // Siblings 1 and 2: two hops through the root -> mode 1.
+    EXPECT_EQ(g.local(1).modeOfDest[2], 1);
+    // Node 7 (heap 8, a leaf) to node 0 (root): 3 hops -> mode 2.
+    EXPECT_EQ(g.local(7).modeOfDest[0], 2);
+    // Deep cross-subtree paths saturate into the top mode.
+    EXPECT_EQ(g.local(7).modeOfDest[14], 3);
+}
+
+TEST(Builders, BinaryTreeRejectsDegenerateConfigs)
+{
+    EXPECT_THROW(binaryTreeTopology(2, 2), FatalError);
+    EXPECT_THROW(binaryTreeTopology(16, 1), FatalError);
+}
+
+TEST(Builders, RejectsInconsistentGroupSizes)
+{
+    EXPECT_THROW(distanceBasedTopology(8, {2, 2}), FatalError);
+    EXPECT_THROW(distanceBasedTopology(8, {7, 0}), FatalError);
+    EXPECT_THROW(distanceBasedTopology(8, std::vector<int>{}),
+                 FatalError);
+    EXPECT_THROW(clusteredTopology(8, 3), FatalError);
+    EXPECT_THROW(clusteredTopology(4, 4), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the set-associative cache with LRU replacement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/cache.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::sim;
+
+CacheGeometry
+tiny()
+{
+    // 4 sets x 2 ways of 64B lines = 512 B.
+    return CacheGeometry{512, 2};
+}
+
+TEST(Cache, GeometryDerivesSets)
+{
+    EXPECT_EQ(tiny().numSets(), 4u);
+    EXPECT_EQ((CacheGeometry{32 * 1024, 4}).numSets(), 128u);
+    EXPECT_EQ((CacheGeometry{512 * 1024, 8}).numSets(), 1024u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(tiny());
+    EXPECT_FALSE(cache.lookup(100).has_value());
+    EXPECT_FALSE(cache.insert(100, LineState::Shared).has_value());
+    auto state = cache.lookup(100);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, LineState::Shared);
+}
+
+TEST(Cache, EvictsLruWithinSet)
+{
+    Cache cache(tiny());
+    // Lines 0, 4, 8 all map to set 0 (4 sets); associativity 2.
+    cache.insert(0, LineState::Shared);
+    cache.insert(4, LineState::Modified);
+    cache.lookup(0); // make line 4 the LRU
+    auto evicted = cache.insert(8, LineState::Shared);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line, 4u);
+    EXPECT_EQ(evicted->state, LineState::Modified);
+    EXPECT_TRUE(cache.lookup(0).has_value());
+    EXPECT_FALSE(cache.lookup(4).has_value());
+}
+
+TEST(Cache, InsertRefreshesExistingLine)
+{
+    Cache cache(tiny());
+    cache.insert(0, LineState::Shared);
+    auto evicted = cache.insert(0, LineState::Modified);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(*cache.lookup(0), LineState::Modified);
+    EXPECT_EQ(cache.occupancy(), 1u);
+}
+
+TEST(Cache, SetStateAndInvalidate)
+{
+    Cache cache(tiny());
+    cache.insert(3, LineState::Shared);
+    EXPECT_TRUE(cache.setState(3, LineState::Owned));
+    EXPECT_EQ(*cache.peek(3), LineState::Owned);
+    EXPECT_FALSE(cache.setState(99, LineState::Owned));
+
+    auto state = cache.invalidate(3);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, LineState::Owned);
+    EXPECT_FALSE(cache.invalidate(3).has_value());
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST(Cache, PeekDoesNotTouchLru)
+{
+    Cache cache(tiny());
+    cache.insert(0, LineState::Shared);
+    cache.insert(4, LineState::Shared);
+    // Peek at 0 (no LRU update): 0 remains the LRU victim.
+    cache.peek(0);
+    auto evicted = cache.insert(8, LineState::Shared);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->line, 0u);
+}
+
+TEST(Cache, DistinctSetsDoNotInterfere)
+{
+    Cache cache(tiny());
+    for (std::uint64_t line = 0; line < 8; ++line)
+        EXPECT_FALSE(cache.insert(line, LineState::Shared).has_value());
+    EXPECT_EQ(cache.occupancy(), 8u);
+}
+
+TEST(Cache, DirtyStateHelper)
+{
+    EXPECT_FALSE(isDirty(LineState::Shared));
+    EXPECT_TRUE(isDirty(LineState::Owned));
+    EXPECT_TRUE(isDirty(LineState::Modified));
+}
+
+TEST(Cache, RejectsMalformedGeometry)
+{
+    EXPECT_THROW(Cache(CacheGeometry{512, 0}), FatalError);
+    EXPECT_THROW(Cache(CacheGeometry{100, 2}), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the clustered (rNoC / c_mNoC) network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "noc/clustered_network.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::noc;
+
+struct ClusterFixture
+{
+    optics::SerpentineLayout ports{64, 0.10};
+    NetworkConfig config;
+    ClusteredNetwork net{256, ports, config, "rNoC"};
+};
+
+TEST(ClusteredNetwork, IntraClusterLatency)
+{
+    ClusterFixture f;
+    // One router crossing: 4 cycles + 2 electrical links.
+    EXPECT_EQ(f.net.zeroLoadLatency(0, 1), 4 + 2);
+    EXPECT_EQ(f.net.zeroLoadLatency(5, 7), 4 + 2);
+}
+
+TEST(ClusteredNetwork, InterClusterLatencyIncludesOptical)
+{
+    ClusterFixture f;
+    // Two router crossings + optical 1..5 cycles.
+    int lat_near = f.net.zeroLoadLatency(0, 4);    // adjacent ports
+    int lat_far = f.net.zeroLoadLatency(0, 255);   // across the die
+    EXPECT_EQ(lat_near, 2 * (4 + 1) + 1);
+    EXPECT_EQ(lat_far, 2 * (4 + 1) + 5);
+    EXPECT_GT(lat_far, lat_near);
+}
+
+TEST(ClusteredNetwork, OpticalRangeMatchesPaper)
+{
+    // Table 2: rNoC optical link latency 1-5 cycles.
+    ClusterFixture f;
+    for (int dst = 4; dst < 256; dst += 4) {
+        int optical = f.net.zeroLoadLatency(0, dst) - 2 * (4 + 1);
+        EXPECT_GE(optical, 1);
+        EXPECT_LE(optical, 5);
+    }
+}
+
+TEST(ClusteredNetwork, MnocLatencyAdvantageOverClustered)
+{
+    // The radix-256 mNoC crossbar avoids the two router crossings, so
+    // its worst-case latency (9) beats the clustered worst case (15).
+    ClusterFixture f;
+    int worst = 0;
+    for (int d = 1; d < 256; ++d)
+        worst = std::max(worst, f.net.zeroLoadLatency(0, d));
+    EXPECT_GT(worst, 9);
+}
+
+TEST(ClusteredNetwork, ClusterOf)
+{
+    ClusterFixture f;
+    EXPECT_EQ(f.net.clusterOf(0), 0);
+    EXPECT_EQ(f.net.clusterOf(3), 0);
+    EXPECT_EQ(f.net.clusterOf(4), 1);
+    EXPECT_EQ(f.net.clusterOf(255), 63);
+}
+
+TEST(ClusteredNetwork, SharedPortSerializesClusterTraffic)
+{
+    ClusterFixture f;
+    // All four nodes of cluster 0 inject heavily.
+    for (int i = 0; i < 1000; ++i) {
+        Packet pkt = makePacket(i % 4, 100, PacketClass::Data);
+        f.net.deliver(pkt, static_cast<Tick>(i));
+    }
+    Packet probe = makePacket(0, 100, PacketClass::Data);
+    Tick congested = f.net.deliver(probe, 1100);
+    f.net.reset();
+    Tick fresh = f.net.deliver(probe, 1100);
+    EXPECT_GT(congested, fresh);
+}
+
+TEST(ClusteredNetwork, IntraClusterAvoidsTheOpticalPort)
+{
+    ClusterFixture f;
+    // Saturate cluster 5's optical port from node 20.
+    for (int i = 0; i < 1000; ++i) {
+        Packet pkt = makePacket(20, 200, PacketClass::Data);
+        f.net.deliver(pkt, static_cast<Tick>(i));
+    }
+    // Intra-cluster traffic in a DIFFERENT cluster is unaffected.
+    Packet local = makePacket(0, 1, PacketClass::Control);
+    Tick t = f.net.deliver(local, 1100);
+    EXPECT_EQ(t, 1100u + 1 + 4 + 1 + 1); // router book + pipeline + links
+}
+
+TEST(ClusteredNetwork, SelfDeliveryIsFree)
+{
+    ClusterFixture f;
+    Packet pkt = makePacket(9, 9, PacketClass::Data);
+    EXPECT_EQ(f.net.deliver(pkt, 7), 7u);
+}
+
+TEST(ClusteredNetwork, ValidatesConfiguration)
+{
+    optics::SerpentineLayout ports{64, 0.10};
+    NetworkConfig config;
+    // 255 nodes is not a multiple of the cluster size 4.
+    EXPECT_THROW(ClusteredNetwork(255, ports, config, "x"), FatalError);
+    // Port count mismatch.
+    optics::SerpentineLayout wrong{32, 0.10};
+    EXPECT_THROW(ClusteredNetwork(256, wrong, config, "x"), FatalError);
+}
+
+} // namespace

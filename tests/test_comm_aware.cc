@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of the communication-aware mode assignment (paper Section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/builders.hh"
+#include "core/comm_aware.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+struct CaFixture
+{
+    optics::SerpentineLayout layout{16, 0.05};
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar{layout, params};
+
+    FlowMatrix
+    hotPairFlow() const
+    {
+        // Every source talks overwhelmingly to one distant partner.
+        FlowMatrix flow(16, 16, 1.0);
+        for (int s = 0; s < 16; ++s) {
+            flow(s, s) = 0.0;
+            flow(s, (s + 8) % 16) = 1000.0;
+        }
+        return flow;
+    }
+};
+
+TEST(CommAware, HottestDestinationLandsInLowestMode)
+{
+    CaFixture f;
+    CommAwareConfig config;
+    config.numModes = 2;
+    auto g = commAwareTopology(f.xbar, f.hotPairFlow(), config);
+    g.validate();
+    for (int s = 0; s < 16; ++s)
+        EXPECT_EQ(g.local(s).modeOfDest[(s + 8) % 16], 0)
+            << "source " << s;
+}
+
+TEST(CommAware, NonContiguousLowModesAreAllowed)
+{
+    // A source with two hot partners on opposite arms: both must land
+    // in the low mode even though physically far apart (the paper's
+    // key non-contiguity property, Section 3.2.1).
+    CaFixture f;
+    FlowMatrix flow(16, 16, 1.0);
+    flow(8, 0) = 500.0;
+    flow(8, 15) = 500.0;
+    for (int i = 0; i < 16; ++i)
+        flow(i, i) = 0.0;
+
+    CommAwareConfig config;
+    config.numModes = 2;
+    auto g = commAwareTopology(f.xbar, flow, config);
+    EXPECT_EQ(g.local(8).modeOfDest[0], 0);
+    EXPECT_EQ(g.local(8).modeOfDest[15], 0);
+}
+
+TEST(CommAware, BeatsDistanceBasedOnSkewedTraffic)
+{
+    CaFixture f;
+    FlowMatrix flow = f.hotPairFlow();
+    CommAwareConfig config;
+    config.numModes = 2;
+    auto aware = commAwareTopology(f.xbar, flow, config);
+    auto naive = distanceBasedTopology(16, 2);
+
+    double aware_power = 0.0;
+    double naive_power = 0.0;
+    for (int s = 0; s < 16; ++s) {
+        aware_power += expectedSourcePower(
+            f.xbar, s, aware.local(s).modeOfDest, 2, flow);
+        naive_power += expectedSourcePower(
+            f.xbar, s, naive.local(s).modeOfDest, 2, flow);
+    }
+    EXPECT_LT(aware_power, naive_power);
+}
+
+TEST(CommAware, UniformFlowApproachesDistanceBased)
+{
+    // With no skew, frequency sorting falls back to the attenuation
+    // tie-break, so the assignment groups near destinations first.
+    CaFixture f;
+    FlowMatrix flow(16, 16, 1.0);
+    for (int i = 0; i < 16; ++i)
+        flow(i, i) = 0.0;
+    CommAwareConfig config;
+    config.numModes = 2;
+    auto g = commAwareTopology(f.xbar, flow, config);
+    // Low-mode destinations of a middle source are closer on average
+    // than high-mode destinations.
+    const auto &local = g.local(8);
+    double low_sum = 0.0;
+    double high_sum = 0.0;
+    int low_n = 0;
+    int high_n = 0;
+    for (int d = 0; d < 16; ++d) {
+        if (d == 8)
+            continue;
+        double dist = std::abs(d - 8);
+        if (local.modeOfDest[d] == 0) {
+            low_sum += dist;
+            ++low_n;
+        } else {
+            high_sum += dist;
+            ++high_n;
+        }
+    }
+    ASSERT_GT(low_n, 0);
+    ASSERT_GT(high_n, 0);
+    EXPECT_LT(low_sum / low_n, high_sum / high_n);
+}
+
+TEST(CommAware, FourModeDesignIsValidAndOrdered)
+{
+    CaFixture f;
+    CommAwareConfig config;
+    config.numModes = 4;
+    auto g = commAwareTopology(f.xbar, f.hotPairFlow(), config);
+    g.validate();
+    EXPECT_EQ(g.numModes, 4);
+    for (int s = 0; s < 16; ++s) {
+        // Hotter destinations never sit in a strictly higher mode than
+        // colder ones (by construction of the sorted partition).
+        const auto &local = g.local(s);
+        EXPECT_EQ(local.modeOfDest[(s + 8) % 16], 0);
+        int populated = 0;
+        for (int m = 0; m < 4; ++m)
+            if (!local.destsUniqueToMode(m).empty())
+                ++populated;
+        EXPECT_EQ(populated, 4);
+    }
+}
+
+TEST(CommAware, FourModeNoWorseThanTwoMode)
+{
+    CaFixture f;
+    FlowMatrix flow = f.hotPairFlow();
+    CommAwareConfig two;
+    two.numModes = 2;
+    CommAwareConfig four;
+    four.numModes = 4;
+    auto g2 = commAwareTopology(f.xbar, flow, two);
+    auto g4 = commAwareTopology(f.xbar, flow, four);
+
+    double p2 = 0.0;
+    double p4 = 0.0;
+    for (int s = 0; s < 16; ++s) {
+        p2 += expectedSourcePower(f.xbar, s, g2.local(s).modeOfDest, 2,
+                                  flow);
+        p4 += expectedSourcePower(f.xbar, s, g4.local(s).modeOfDest, 4,
+                                  flow);
+    }
+    // Four modes strictly generalize two (they could merge to two),
+    // so with the refinement step they should not lose.
+    EXPECT_LE(p4, p2 * 1.02);
+}
+
+TEST(CommAware, GreedyRefinementNeverHurts)
+{
+    CaFixture f;
+    FlowMatrix flow = f.hotPairFlow();
+    CommAwareConfig no_refine;
+    no_refine.numModes = 4;
+    no_refine.greedyRefine = false;
+    CommAwareConfig refine;
+    refine.numModes = 4;
+
+    auto g_plain = commAwareTopology(f.xbar, flow, no_refine);
+    auto g_refined = commAwareTopology(f.xbar, flow, refine);
+    double plain = 0.0;
+    double refined = 0.0;
+    for (int s = 0; s < 16; ++s) {
+        plain += expectedSourcePower(f.xbar, s,
+                                     g_plain.local(s).modeOfDest, 4,
+                                     flow);
+        refined += expectedSourcePower(f.xbar, s,
+                                       g_refined.local(s).modeOfDest, 4,
+                                       flow);
+    }
+    EXPECT_LE(refined, plain * (1 + 1e-9));
+}
+
+TEST(CommAware, ZeroFlowSourceFallsBackToUniform)
+{
+    CaFixture f;
+    FlowMatrix flow(16, 16, 0.0); // nobody talks
+    CommAwareConfig config;
+    config.numModes = 2;
+    auto g = commAwareTopology(f.xbar, flow, config);
+    g.validate(); // must still produce a valid design
+}
+
+TEST(CommAware, RejectsBadConfig)
+{
+    CaFixture f;
+    FlowMatrix flow(16, 16, 1.0);
+    CommAwareConfig config;
+    config.numModes = 1;
+    EXPECT_THROW(commAwareTopology(f.xbar, flow, config), FatalError);
+    config.numModes = 2;
+    FlowMatrix wrong(8, 8, 1.0);
+    EXPECT_THROW(commAwareTopology(f.xbar, wrong, config), FatalError);
+}
+
+} // namespace

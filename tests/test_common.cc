@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the common substrate: units, matrices, stats, CSV,
+ * PGM and table output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/log.hh"
+#include "common/matrix.hh"
+#include "common/pgm.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace {
+
+using namespace mnoc;
+
+TEST(Units, DbRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(dbToAttenuation(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(dbToAttenuation(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(dbToTransmission(10.0), 0.1);
+    EXPECT_NEAR(ratioToDb(dbToAttenuation(3.7)), 3.7, 1e-12);
+}
+
+TEST(Units, AttenuationTimesTransmissionIsUnity)
+{
+    for (double db : {0.1, 1.0, 2.5, 18.0, 50.0})
+        EXPECT_NEAR(dbToAttenuation(db) * dbToTransmission(db), 1.0,
+                    1e-12);
+}
+
+TEST(Units, RatioToDbRejectsNonPositive)
+{
+    EXPECT_THROW(ratioToDb(0.0), PanicError);
+    EXPECT_THROW(ratioToDb(-1.0), PanicError);
+}
+
+TEST(Units, NearlyEqual)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.001));
+    EXPECT_TRUE(nearlyEqual(0.0, 0.0));
+}
+
+TEST(Log, FatalAndPanicThrowDistinctTypes)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_THROW(fatalIf(true, "bad"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_THROW(panicIf(true, "bad"), PanicError);
+}
+
+TEST(Matrix, BasicAccessAndTotals)
+{
+    FlowMatrix m(3, 4, 0.0);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    m(1, 2) = 5.0;
+    m(2, 3) = 2.0;
+    EXPECT_DOUBLE_EQ(m.total(), 7.0);
+    EXPECT_DOUBLE_EQ(m.rowTotal(1), 5.0);
+    EXPECT_DOUBLE_EQ(m.colTotal(3), 2.0);
+}
+
+TEST(Matrix, OutOfRangePanics)
+{
+    FlowMatrix m(2, 2, 0.0);
+    EXPECT_THROW(m(2, 0), PanicError);
+    EXPECT_THROW(m(0, 2), PanicError);
+    EXPECT_THROW(m.rowTotal(5), PanicError);
+}
+
+TEST(Matrix, PermuteFlowMovesMass)
+{
+    FlowMatrix flow(3, 3, 0.0);
+    flow(0, 1) = 4.0;
+    flow(1, 2) = 3.0;
+    std::vector<int> map = {2, 0, 1}; // thread t -> core map[t]
+    FlowMatrix out = permuteFlow(flow, map);
+    EXPECT_DOUBLE_EQ(out(2, 0), 4.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 3.0);
+    EXPECT_DOUBLE_EQ(out.total(), flow.total());
+}
+
+TEST(Matrix, ToFlowMatrixConverts)
+{
+    CountMatrix counts(2, 2, 0);
+    counts(0, 1) = 7;
+    FlowMatrix flow = toFlowMatrix(counts);
+    EXPECT_DOUBLE_EQ(flow(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(flow(1, 0), 0.0);
+}
+
+TEST(Stats, MeansAgreeOnConstantSamples)
+{
+    std::vector<double> xs = {2.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicMean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean(xs), 2.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, HarmonicBelowGeometricBelowArithmetic)
+{
+    std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+    EXPECT_LT(harmonicMean(xs), geometricMean(xs));
+    EXPECT_LT(geometricMean(xs), mean(xs));
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 8.0);
+}
+
+TEST(Stats, EmptyAndInvalidSamplesFatal)
+{
+    std::vector<double> empty;
+    EXPECT_THROW(mean(empty), FatalError);
+    EXPECT_THROW(harmonicMean({1.0, 0.0}), FatalError);
+    EXPECT_THROW(geometricMean({1.0, -2.0}), FatalError);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    std::string path = testing::TempDir() + "mnoc_csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.cell(std::string("a,b")).cell(1.5).cell(7LL);
+        csv.endRow();
+        csv.writeRow({"quote\"inside", "plain"});
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "\"a,b\",1.5,7");
+    EXPECT_EQ(line2, "\"quote\"\"inside\",plain");
+    std::remove(path.c_str());
+}
+
+TEST(Pgm, WritesHeaderAndPixels)
+{
+    std::string path = testing::TempDir() + "mnoc_pgm_test.pgm";
+    FlowMatrix m(2, 3, 0.0);
+    m(0, 0) = 10.0;
+    writePgmHeatmap(path, m, false);
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int w, h, maxval;
+    in >> magic >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(w, 3);
+    EXPECT_EQ(h, 2);
+    EXPECT_EQ(maxval, 255);
+    in.ignore();
+    std::string pixels(6, '\0');
+    in.read(pixels.data(), 6);
+    // Max value renders dark (0), zeros render white (255).
+    EXPECT_EQ(static_cast<unsigned char>(pixels[0]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(pixels[1]), 255);
+    std::remove(path.c_str());
+}
+
+TEST(Table, AlignsAndUnderlinesHeader)
+{
+    TextTable t;
+    t.addRow({"name", "value"});
+    t.addRow({"x", "1.25"});
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    EXPECT_NE(text.find("1.25"), std::string::npos);
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+}
+
+} // namespace

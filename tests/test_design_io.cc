@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests of design serialization and drive tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hh"
+#include "core/builders.hh"
+#include "core/design_io.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+struct IoFixture
+{
+    optics::SerpentineLayout layout{12, 0.04};
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar{layout, params};
+    MnocPowerModel model{xbar};
+
+    MnocDesign
+    sample() const
+    {
+        return model.designUniform(distanceBasedTopology(12, 3));
+    }
+
+    sim::Trace
+    sampleTrace() const
+    {
+        sim::Trace t;
+        t.totalTicks = 5000;
+        t.packets = CountMatrix(12, 12, 0);
+        t.flits = CountMatrix(12, 12, 0);
+        for (int s = 0; s < 12; ++s)
+            for (int d = 0; d < 12; ++d)
+                if (s != d)
+                    t.flits(s, d) = 10 + s + d;
+        return t;
+    }
+};
+
+TEST(DesignIo, RoundTripPreservesEvaluation)
+{
+    IoFixture f;
+    std::string path = testing::TempDir() + "mnoc_design_test.txt";
+    MnocDesign original = f.sample();
+    saveDesign(path, original);
+    MnocDesign loaded = loadDesign(path);
+
+    EXPECT_EQ(loaded.topology.numNodes, 12);
+    EXPECT_EQ(loaded.topology.numModes, 3);
+    auto trace = f.sampleTrace();
+    auto a = f.model.evaluate(original, trace);
+    auto b = f.model.evaluate(loaded, trace);
+    EXPECT_DOUBLE_EQ(a.total(), b.total());
+    EXPECT_DOUBLE_EQ(a.source, b.source);
+    std::remove(path.c_str());
+}
+
+TEST(DesignIo, RoundTripPreservesSplitters)
+{
+    IoFixture f;
+    std::string path = testing::TempDir() + "mnoc_design_split.txt";
+    MnocDesign original = f.sample();
+    saveDesign(path, original);
+    MnocDesign loaded = loadDesign(path);
+    for (int s = 0; s < 12; ++s) {
+        for (int d = 0; d < 12; ++d)
+            EXPECT_DOUBLE_EQ(
+                loaded.sources[s].chain.splitterFraction[d],
+                original.sources[s].chain.splitterFraction[d]);
+        // Loaded designs evaluate correctly through the chain model.
+        auto received = f.xbar.chain(s).evaluate(
+            loaded.sources[s].chain, loaded.sources[s].modePower[2]);
+        for (int d = 0; d < 12; ++d) {
+            if (d == s)
+                continue;
+            EXPECT_GE(received[d],
+                      f.params.pminAtTap() * (1.0 - 1e-9));
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(DesignIo, LoadRejectsGarbage)
+{
+    std::string path = testing::TempDir() + "mnoc_design_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "not-a-design 1\n";
+    }
+    EXPECT_THROW(loadDesign(path), FatalError);
+    EXPECT_THROW(loadDesign("/nonexistent/file.txt"), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(DesignIo, LoadRejectsTruncation)
+{
+    IoFixture f;
+    std::string full = testing::TempDir() + "mnoc_design_full.txt";
+    saveDesign(full, f.sample());
+
+    std::ifstream in(full);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::string cut = testing::TempDir() + "mnoc_design_cut.txt";
+    {
+        std::ofstream out(cut);
+        out << content.substr(0, content.size() / 2);
+    }
+    EXPECT_THROW(loadDesign(cut), FatalError);
+    std::remove(full.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(DesignIo, DriveTableMatchesDesign)
+{
+    IoFixture f;
+    MnocDesign design = f.sample();
+    auto table = driveTable(design, 4);
+    EXPECT_EQ(table.size(), 11u);
+    for (const auto &entry : table) {
+        EXPECT_NE(entry.dest, 4);
+        EXPECT_EQ(entry.mode,
+                  design.topology.local(4).modeOfDest[entry.dest]);
+        EXPECT_DOUBLE_EQ(entry.drivePower,
+                         design.sources[4].modePower[entry.mode]);
+        EXPECT_GT(entry.drivePower, 0.0);
+    }
+    // Drive powers are non-decreasing in mode.
+    for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+        if (table[i].mode < table[i + 1].mode) {
+            EXPECT_LE(table[i].drivePower, table[i + 1].drivePower);
+        }
+    }
+}
+
+} // namespace

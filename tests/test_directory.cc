@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the sharer set and MOSI directory invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/directory.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::sim;
+
+TEST(SharerSet, AddRemoveContains)
+{
+    SharerSet set(256);
+    EXPECT_TRUE(set.empty());
+    set.add(0);
+    set.add(63);
+    set.add(64);
+    set.add(255);
+    EXPECT_EQ(set.count(), 4);
+    EXPECT_TRUE(set.contains(63));
+    EXPECT_TRUE(set.contains(64));
+    EXPECT_FALSE(set.contains(1));
+    set.remove(64);
+    EXPECT_FALSE(set.contains(64));
+    EXPECT_EQ(set.count(), 3);
+}
+
+TEST(SharerSet, MembersAscending)
+{
+    SharerSet set(200);
+    set.add(150);
+    set.add(3);
+    set.add(64);
+    auto members = set.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0], 3);
+    EXPECT_EQ(members[1], 64);
+    EXPECT_EQ(members[2], 150);
+}
+
+TEST(SharerSet, ClearAndIdempotentOps)
+{
+    SharerSet set(10);
+    set.add(5);
+    set.add(5); // idempotent
+    EXPECT_EQ(set.count(), 1);
+    set.remove(7); // not present: no-op
+    EXPECT_EQ(set.count(), 1);
+    set.clear();
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(SharerSet, RangeChecked)
+{
+    SharerSet set(8);
+    EXPECT_THROW(set.add(8), PanicError);
+    EXPECT_THROW(set.contains(-1), PanicError);
+}
+
+TEST(Directory, EntriesCreatedOnDemand)
+{
+    Directory dir(16);
+    EXPECT_EQ(dir.numEntries(), 0u);
+    EXPECT_EQ(dir.find(42), nullptr);
+    DirEntry &e = dir.entry(42);
+    EXPECT_EQ(e.state, DirState::Invalid);
+    EXPECT_EQ(dir.numEntries(), 1u);
+    EXPECT_EQ(dir.find(42), &dir.entry(42));
+}
+
+TEST(Directory, InvariantChecksCatchCorruption)
+{
+    Directory dir(16);
+    {
+        DirEntry &e = dir.entry(1);
+        e.state = DirState::Shared; // no sharers: invalid
+        EXPECT_THROW(dir.checkInvariants(1), PanicError);
+        e.sharers.add(3);
+        e.owner = -1;
+        EXPECT_NO_THROW(dir.checkInvariants(1));
+    }
+    {
+        DirEntry &e = dir.entry(2);
+        e.state = DirState::Modified;
+        e.owner = 5;
+        e.sharers.add(5);
+        EXPECT_NO_THROW(dir.checkInvariants(2));
+        e.sharers.add(6); // extra sharer on a Modified line
+        EXPECT_THROW(dir.checkInvariants(2), PanicError);
+    }
+    {
+        DirEntry &e = dir.entry(3);
+        e.state = DirState::Owned;
+        e.owner = 1;
+        e.sharers.add(1);
+        EXPECT_THROW(dir.checkInvariants(3), PanicError); // no sharer
+        e.sharers.add(2);
+        EXPECT_NO_THROW(dir.checkInvariants(3));
+    }
+    {
+        DirEntry &e = dir.entry(4);
+        e.state = DirState::Invalid;
+        e.sharers.add(0);
+        EXPECT_THROW(dir.checkInvariants(4), PanicError);
+    }
+}
+
+} // namespace

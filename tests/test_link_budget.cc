@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests of link-budget validation and BER estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "optics/link_budget.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::optics;
+
+struct LbFixture
+{
+    SerpentineLayout layout{16, 0.05};
+    DeviceParams params;
+    SplitterChain chain{layout, params, 6};
+
+    MultiModeDesign
+    twoModeDesign(std::vector<double> weights = {0.7, 0.3}) const
+    {
+        std::vector<int> modes(16, 1);
+        for (int d = 3; d <= 9; ++d)
+            modes[d] = 0;
+        AlphaOptimizer opt(chain, modes, weights,
+                           params.pminAtTap());
+        return opt.optimize();
+    }
+};
+
+TEST(LinkBudget, BerDecreasesWithReceivedPower)
+{
+    double pmin = 1e-5;
+    double high = linkBitErrorRate(2e-5, pmin);
+    double nominal = linkBitErrorRate(1e-5, pmin);
+    double low = linkBitErrorRate(0.5e-5, pmin);
+    EXPECT_LT(high, nominal);
+    EXPECT_LT(nominal, low);
+    // Design point Q = 7: about 1e-12.
+    EXPECT_LT(nominal, 1e-11);
+    EXPECT_GT(nominal, 1e-14);
+    // No light: coin flip.
+    EXPECT_DOUBLE_EQ(linkBitErrorRate(0.0, pmin), 0.5);
+}
+
+TEST(LinkBudget, BerRejectsBadArguments)
+{
+    EXPECT_THROW(linkBitErrorRate(1e-5, 0.0), FatalError);
+    EXPECT_THROW(linkBitErrorRate(1e-5, 1e-5, -1.0), FatalError);
+}
+
+TEST(LinkBudget, OptimizedDesignValidates)
+{
+    LbFixture f;
+    auto design = f.twoModeDesign();
+    auto report = validateDesign(f.chain, design,
+                                 f.params.pminAtTap());
+    EXPECT_TRUE(report.ok);
+    // Reachable links sit at or above pmin.
+    EXPECT_GE(report.worstReachableMarginDb, -1e-9);
+    // Unreachable links sit strictly below pmin.
+    EXPECT_LT(report.worstUnreachableLeakDb, 0.0);
+}
+
+TEST(LinkBudget, ReportsEveryModeDestinationPair)
+{
+    LbFixture f;
+    auto design = f.twoModeDesign();
+    auto report = validateDesign(f.chain, design,
+                                 f.params.pminAtTap());
+    // 15 destinations x 2 modes.
+    EXPECT_EQ(report.links.size(), 30u);
+    int reachable = 0;
+    for (const auto &link : report.links)
+        if (link.reachable)
+            ++reachable;
+    // Mode 0 reaches 6 (indices 3..9 minus the source itself),
+    // mode 1 reaches all 15.
+    EXPECT_EQ(reachable, 6 + 15);
+}
+
+TEST(LinkBudget, ReachableLinksHaveExcellentBer)
+{
+    LbFixture f;
+    auto design = f.twoModeDesign();
+    auto report = validateDesign(f.chain, design,
+                                 f.params.pminAtTap());
+    for (const auto &link : report.links) {
+        if (link.reachable) {
+            EXPECT_LT(link.bitErrorRate, 1e-10)
+                << "mode " << link.mode << " dest " << link.dest;
+        }
+    }
+}
+
+TEST(LinkBudget, StrictGapRequirementCanFail)
+{
+    // Demanding a 10 dB decision gap between reachable and
+    // unreachable levels is more than the optimized alphas provide
+    // when the mode split is mild.
+    LbFixture f;
+    auto design = f.twoModeDesign({0.5, 0.5});
+    auto report = validateDesign(f.chain, design,
+                                 f.params.pminAtTap(), 0.0, -10.0);
+    // The leak level in mode 1 is alpha-relative; with moderate
+    // weights alpha_1 is well above 0.1, so this must fail.
+    EXPECT_FALSE(report.ok);
+}
+
+TEST(LinkBudget, MarginRequirementCanFail)
+{
+    LbFixture f;
+    auto design = f.twoModeDesign();
+    // The exact design hits pmin with zero margin, so demanding +3 dB
+    // must fail.
+    auto report = validateDesign(f.chain, design,
+                                 f.params.pminAtTap(), 3.0);
+    EXPECT_FALSE(report.ok);
+}
+
+} // namespace

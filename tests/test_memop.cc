@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests of the address-placement helpers that implement first-touch
+ * data homing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memop.hh"
+
+namespace {
+
+using namespace mnoc::sim;
+
+TEST(MemOp, PlacedAddrEncodesOwner)
+{
+    for (int owner : {0, 1, 17, 255}) {
+        std::uint64_t addr = placedAddr(owner, 0x1234);
+        EXPECT_EQ(homeOf(addr, 256), owner);
+        EXPECT_EQ(addr & ((1ULL << ownerShift) - 1), 0x1234u);
+    }
+}
+
+TEST(MemOp, HomeWrapsForSmallSystems)
+{
+    std::uint64_t addr = placedAddr(10, 0);
+    EXPECT_EQ(homeOf(addr, 8), 2); // 10 % 8
+    EXPECT_EQ(homeOf(addr, 16), 10);
+}
+
+TEST(MemOp, LineOfStripsOffset)
+{
+    std::uint64_t addr = placedAddr(3, 130); // 130 = 2*64 + 2
+    EXPECT_EQ(lineOf(addr), lineOf(placedAddr(3, 128)));
+    EXPECT_NE(lineOf(addr), lineOf(placedAddr(3, 192)));
+}
+
+TEST(MemOp, DistinctOwnersNeverCollide)
+{
+    // Same offset under different owners must be different lines.
+    for (int a = 0; a < 8; ++a)
+        for (int b = a + 1; b < 8; ++b)
+            EXPECT_NE(lineOf(placedAddr(a, 4096)),
+                      lineOf(placedAddr(b, 4096)));
+}
+
+TEST(MemOp, OffsetMaskPreventsOwnerCorruption)
+{
+    // Offsets larger than the owner shift are masked, not allowed to
+    // spill into the owner bits.
+    std::uint64_t addr = placedAddr(5, 1ULL << 50);
+    EXPECT_EQ(homeOf(addr, 256), 5);
+}
+
+TEST(MemOp, DefaultsAreBlockingRead)
+{
+    MemOp op;
+    EXPECT_FALSE(op.write);
+    EXPECT_FALSE(op.nonBlocking);
+    EXPECT_EQ(op.computeCycles, 0u);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests of the mNoC power model: design construction, evaluation
+ * against traces, and the paper's qualitative power relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/builders.hh"
+#include "core/power_model.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+struct PmFixture
+{
+    optics::SerpentineLayout layout{16, 0.05};
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar{layout, params};
+    PowerParams power;
+    MnocPowerModel model{xbar, power};
+
+    sim::Trace
+    uniformTrace(std::uint64_t flits_per_pair = 100,
+                 noc::Tick ticks = 100000) const
+    {
+        sim::Trace t;
+        t.workloadName = "synthetic";
+        t.networkName = "mNoC";
+        t.totalTicks = ticks;
+        t.packets = CountMatrix(16, 16, 0);
+        t.flits = CountMatrix(16, 16, 0);
+        for (int s = 0; s < 16; ++s)
+            for (int d = 0; d < 16; ++d)
+                if (s != d) {
+                    t.packets(s, d) = flits_per_pair / 3;
+                    t.flits(s, d) = flits_per_pair;
+                }
+        return t;
+    }
+};
+
+TEST(PowerModel, SingleModeDesignUsesBroadcastPower)
+{
+    PmFixture f;
+    auto topo = GlobalPowerTopology::singleMode(16);
+    auto design = f.model.designUniform(topo);
+    for (int s = 0; s < 16; ++s) {
+        ASSERT_EQ(design.sources[s].modePower.size(), 1u);
+        EXPECT_NEAR(design.sources[s].modePower[0],
+                    f.xbar.broadcastPower(s), 1e-12);
+        EXPECT_NEAR(design.powerFor(s, (s + 1) % 16),
+                    f.xbar.broadcastPower(s), 1e-12);
+    }
+}
+
+TEST(PowerModel, MultiModeDesignHasOrderedModePowers)
+{
+    PmFixture f;
+    auto topo = distanceBasedTopology(16, 4);
+    auto design = f.model.designUniform(topo);
+    for (int s = 0; s < 16; ++s) {
+        const auto &mp = design.sources[s].modePower;
+        ASSERT_EQ(mp.size(), 4u);
+        for (int m = 1; m < 4; ++m)
+            EXPECT_GE(mp[m], mp[m - 1]);
+        // The highest mode still covers broadcast, so it costs at
+        // least the single-mode broadcast power.
+        EXPECT_GE(mp[3], f.xbar.broadcastPower(s) * (1 - 1e-9));
+    }
+}
+
+TEST(PowerModel, EvaluationBreakdownIsPositiveAndAdditive)
+{
+    PmFixture f;
+    auto topo = GlobalPowerTopology::singleMode(16);
+    auto design = f.model.designUniform(topo);
+    auto breakdown = f.model.evaluate(design, f.uniformTrace());
+    EXPECT_GT(breakdown.source, 0.0);
+    EXPECT_GT(breakdown.oe, 0.0);
+    EXPECT_GT(breakdown.electrical, 0.0);
+    EXPECT_DOUBLE_EQ(breakdown.ringHeating, 0.0);
+    EXPECT_DOUBLE_EQ(breakdown.laser, 0.0);
+    EXPECT_NEAR(breakdown.total(),
+                breakdown.source + breakdown.oe + breakdown.electrical,
+                1e-12);
+}
+
+TEST(PowerModel, PowerScalesWithUtilization)
+{
+    PmFixture f;
+    auto topo = GlobalPowerTopology::singleMode(16);
+    auto design = f.model.designUniform(topo);
+    auto low = f.model.evaluate(design, f.uniformTrace(100, 100000));
+    auto high = f.model.evaluate(design, f.uniformTrace(200, 100000));
+    EXPECT_NEAR(high.total(), 2.0 * low.total(), 1e-9 * high.total());
+
+    // Same traffic over twice the time: half the power.
+    auto slow = f.model.evaluate(design, f.uniformTrace(100, 200000));
+    EXPECT_NEAR(slow.total(), 0.5 * low.total(), 1e-9 * low.total());
+}
+
+TEST(PowerModel, PowerTopologyReducesPowerUnderUniformTraffic)
+{
+    // Paper Section 5.2: distance-based designs beat single mode even
+    // with naive mapping and uniform weights.
+    PmFixture f;
+    auto trace = f.uniformTrace();
+
+    auto single = f.model.designUniform(
+        GlobalPowerTopology::singleMode(16));
+    auto two = f.model.designUniform(distanceBasedTopology(16, 2));
+    auto four = f.model.designUniform(distanceBasedTopology(16, 4));
+
+    double p1 = f.model.evaluate(single, trace).source;
+    double p2 = f.model.evaluate(two, trace).source;
+    double p4 = f.model.evaluate(four, trace).source;
+    EXPECT_LT(p2, p1);
+    EXPECT_LT(p4, p2);
+}
+
+TEST(PowerModel, SkewedTrafficAmplifiesTheSavings)
+{
+    PmFixture f;
+    // All traffic between physical neighbours.
+    sim::Trace trace;
+    trace.totalTicks = 100000;
+    trace.packets = CountMatrix(16, 16, 0);
+    trace.flits = CountMatrix(16, 16, 0);
+    for (int s = 0; s < 16; ++s) {
+        int d = s + 1 < 16 ? s + 1 : s - 1;
+        trace.flits(s, d) = 3000;
+        trace.packets(s, d) = 1000;
+    }
+
+    auto single = f.model.designUniform(
+        GlobalPowerTopology::singleMode(16));
+    auto topo = distanceBasedTopology(16, 2);
+    auto matched = f.model.designFor(topo, toFlowMatrix(trace.flits));
+
+    double p1 = f.model.evaluate(single, trace).source;
+    double p2 = f.model.evaluate(matched, trace).source;
+    // Neighbour-only traffic in the low mode: large reduction.
+    EXPECT_LT(p2, 0.5 * p1);
+}
+
+TEST(PowerModel, OePowerFollowsReachableReceivers)
+{
+    PmFixture f;
+    sim::Trace trace;
+    trace.totalTicks = 10000;
+    trace.packets = CountMatrix(16, 16, 0);
+    trace.flits = CountMatrix(16, 16, 0);
+    trace.flits(8, 9) = 300; // nearest neighbour only
+    trace.packets(8, 9) = 100;
+
+    auto single = f.model.designUniform(
+        GlobalPowerTopology::singleMode(16));
+    auto two = f.model.designUniform(distanceBasedTopology(16, 2));
+
+    auto b1 = f.model.evaluate(single, trace);
+    auto b2 = f.model.evaluate(two, trace);
+    // Single mode lights all 15 receivers; the low mode of the 2-mode
+    // design lights only 8.
+    EXPECT_NEAR(b2.oe / b1.oe, 8.0 / 15.0, 1e-6);
+}
+
+TEST(PowerModel, OeModelIsLinearInMiop)
+{
+    PowerParams p;
+    double at1 = p.oePowerPerReceiver(1e-6);
+    double at5 = p.oePowerPerReceiver(5e-6);
+    double at10 = p.oePowerPerReceiver(10e-6);
+    EXPECT_GT(at1, at5);
+    EXPECT_GT(at5, at10);
+    // Equal slope on both halves of the range.
+    EXPECT_NEAR((at1 - at5) / 4e-6, (at5 - at10) / 5e-6, 1e-9);
+    EXPECT_GE(p.oePowerPerReceiver(1.0), p.oeMinW); // floor holds
+}
+
+TEST(PowerModel, DesignWithFractionsRespectsModeCount)
+{
+    PmFixture f;
+    auto topo = distanceBasedTopology(16, 2);
+    auto design = f.model.designWithFractions(topo, {0.66, 0.34});
+    EXPECT_EQ(design.sources[0].modePower.size(), 2u);
+    EXPECT_THROW(f.model.designWithFractions(topo, {1.0}), FatalError);
+}
+
+TEST(PowerModel, EvaluateRejectsMalformedTraces)
+{
+    PmFixture f;
+    auto design = f.model.designUniform(
+        GlobalPowerTopology::singleMode(16));
+    sim::Trace empty;
+    empty.totalTicks = 0;
+    empty.packets = CountMatrix(16, 16, 0);
+    empty.flits = CountMatrix(16, 16, 0);
+    EXPECT_THROW(f.model.evaluate(design, empty), FatalError);
+
+    sim::Trace wrong;
+    wrong.totalTicks = 10;
+    wrong.packets = CountMatrix(8, 8, 0);
+    wrong.flits = CountMatrix(8, 8, 0);
+    EXPECT_THROW(f.model.evaluate(design, wrong), FatalError);
+}
+
+} // namespace

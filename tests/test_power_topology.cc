@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the power-topology types and their invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/power_topology.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+TEST(PowerTopology, SingleModeReachesEverything)
+{
+    auto g = GlobalPowerTopology::singleMode(8);
+    g.validate();
+    EXPECT_EQ(g.numModes, 1);
+    for (int s = 0; s < 8; ++s) {
+        EXPECT_EQ(g.local(s).reachableCount(0), 7);
+        EXPECT_EQ(g.local(s).modeOfDest[s], -1);
+    }
+}
+
+TEST(PowerTopology, FromModeMatrixRoundTrips)
+{
+    Matrix<int> modes(4, 4, 1);
+    for (int s = 0; s < 4; ++s) {
+        modes(s, s) = -1;
+        modes(s, (s + 1) % 4) = 0;
+    }
+    auto g = GlobalPowerTopology::fromModeMatrix(modes, 2);
+    auto back = g.modeMatrix();
+    for (int s = 0; s < 4; ++s)
+        for (int d = 0; d < 4; ++d)
+            EXPECT_EQ(back(s, d), s == d ? -1 : modes(s, d));
+}
+
+TEST(PowerTopology, ReachabilityIsCumulative)
+{
+    Matrix<int> modes(6, 6, 2);
+    for (int s = 0; s < 6; ++s) {
+        modes(s, (s + 1) % 6) = 0;
+        modes(s, (s + 2) % 6) = 1;
+    }
+    auto g = GlobalPowerTopology::fromModeMatrix(modes, 3);
+    const auto &local = g.local(0);
+    EXPECT_EQ(local.reachableCount(0), 1);
+    EXPECT_EQ(local.reachableCount(1), 2);
+    EXPECT_EQ(local.reachableCount(2), 5);
+    EXPECT_EQ(local.destsUniqueToMode(0), std::vector<int>{1});
+    EXPECT_EQ(local.destsUniqueToMode(1), std::vector<int>{2});
+    EXPECT_EQ(local.destsUniqueToMode(2).size(), 3u);
+}
+
+TEST(PowerTopology, ValidateCatchesBadAssignments)
+{
+    auto g = GlobalPowerTopology::singleMode(4);
+    g.locals[2].modeOfDest[0] = 5; // out of range
+    EXPECT_THROW(g.validate(), FatalError);
+
+    g = GlobalPowerTopology::singleMode(4);
+    g.locals[1].modeOfDest[1] = 0; // self entry must be -1
+    EXPECT_THROW(g.validate(), FatalError);
+
+    g = GlobalPowerTopology::singleMode(4);
+    g.locals[3].numModes = 2; // non-uniform mode count
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(PowerTopology, HighestModeMustBePopulated)
+{
+    // All destinations in mode 0 of a 2-mode design: broadcast (mode 1)
+    // reaches nothing unique, which the validator rejects.
+    Matrix<int> modes(4, 4, 0);
+    EXPECT_THROW(GlobalPowerTopology::fromModeMatrix(modes, 2),
+                 FatalError);
+}
+
+TEST(PowerTopology, TooSmallSystemsRejected)
+{
+    EXPECT_THROW(GlobalPowerTopology::singleMode(1), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** PRNG wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/prng.hh"
+
+namespace {
+
+using mnoc::Prng;
+
+TEST(Prng, DeterministicForSameSeed)
+{
+    Prng a(42);
+    Prng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1);
+    Prng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformInUnitInterval)
+{
+    Prng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    Prng rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Prng, BelowCoversAllValues)
+{
+    Prng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, BetweenIsInclusive)
+{
+    Prng rng(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.between(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, ChanceMatchesProbability)
+{
+    Prng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (rng.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Prng, ForkedStreamsAreIndependent)
+{
+    Prng parent(21);
+    Prng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent() == child())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Prng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Prng::min() == 0);
+    static_assert(Prng::max() == ~0ULL);
+    Prng rng(1);
+    std::vector<int> values = {1, 2, 3, 4, 5};
+    // Compiles and runs with standard shuffling machinery.
+    std::shuffle(values.begin(), values.end(), rng);
+    SUCCEED();
+}
+
+} // namespace

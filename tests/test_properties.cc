@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cross-module property tests over the real benchmark traffic at
+ * small scale: refinement monotonicity of power topologies, design
+ * feasibility (link budgets) for every benchmark, and conservation
+ * properties of the power accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/designer.hh"
+#include "noc/mnoc_network.hh"
+#include "optics/link_budget.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+struct PropRig
+{
+    static constexpr int n = 32;
+    optics::SerpentineLayout layout{n, 0.06};
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar{layout, params};
+    MnocPowerModel model{xbar};
+
+    sim::Trace
+    trace(const std::string &name)
+    {
+        noc::NetworkConfig net_config;
+        noc::MnocNetwork net(layout, net_config);
+        sim::SimConfig config;
+        config.numCores = n;
+        workloads::WorkloadScale scale;
+        scale.opsPerThread = 400;
+        auto workload = workloads::makeWorkload(name, scale);
+        return sim::toTrace(
+            sim::runSimulation(config, net, *workload, 1));
+    }
+};
+
+class BenchmarkProperties
+    : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchmarkProperties, RefiningThePartitionNeverHurts)
+{
+    // The 4-mode distance groups refine the 2-mode groups (64+64 =
+    // 128), so with matched design weights and optimal alphas the
+    // refined design can always emulate the coarse one.
+    PropRig rig;
+    auto trace = rig.trace(GetParam());
+    FlowMatrix flow = toFlowMatrix(trace.flits);
+
+    auto p1 = rig.model
+                  .evaluate(rig.model.designFor(
+                                GlobalPowerTopology::singleMode(
+                                    PropRig::n),
+                                flow),
+                            trace)
+                  .source;
+    auto p2 = rig.model
+                  .evaluate(rig.model.designFor(
+                                distanceBasedTopology(PropRig::n, 2),
+                                flow),
+                            trace)
+                  .source;
+    auto p4 = rig.model
+                  .evaluate(rig.model.designFor(
+                                distanceBasedTopology(PropRig::n, 4),
+                                flow),
+                            trace)
+                  .source;
+    EXPECT_LE(p2, p1 * (1 + 1e-9)) << GetParam();
+    EXPECT_LE(p4, p2 * (1 + 1e-9)) << GetParam();
+}
+
+TEST_P(BenchmarkProperties, CommAwareDesignsAlwaysValidate)
+{
+    // Whatever partition the comm-aware builder picks, the resulting
+    // splitter design must close the link budget in every mode.
+    PropRig rig;
+    auto trace = rig.trace(GetParam());
+    FlowMatrix flow = toFlowMatrix(trace.flits);
+
+    CommAwareConfig config;
+    config.numModes = 4;
+    auto topo = commAwareTopology(rig.xbar, flow, config);
+    auto design = rig.model.designFor(topo, flow);
+
+    double pmin = rig.params.pminAtTap();
+    for (int s = 0; s < PropRig::n; s += 5) {
+        auto report = optics::validateDesign(rig.xbar.chain(s),
+                                             design.sources[s], pmin);
+        EXPECT_TRUE(report.ok) << GetParam() << " source " << s
+                               << " margin "
+                               << report.worstReachableMarginDb
+                               << " leak "
+                               << report.worstUnreachableLeakDb;
+    }
+}
+
+TEST_P(BenchmarkProperties, PowerIsTrafficLinear)
+{
+    // Doubling every flit count doubles every power component.
+    PropRig rig;
+    auto trace = rig.trace(GetParam());
+    auto design = rig.model.designFor(
+        distanceBasedTopology(PropRig::n, 2),
+        toFlowMatrix(trace.flits));
+
+    sim::Trace doubled = trace;
+    for (int s = 0; s < PropRig::n; ++s)
+        for (int d = 0; d < PropRig::n; ++d)
+            doubled.flits(s, d) = 2 * trace.flits(s, d);
+
+    auto base = rig.model.evaluate(design, trace);
+    auto twice = rig.model.evaluate(design, doubled);
+    EXPECT_NEAR(twice.source, 2.0 * base.source,
+                1e-9 * twice.source);
+    EXPECT_NEAR(twice.oe, 2.0 * base.oe, 1e-9 * (twice.oe + 1e-30));
+    EXPECT_NEAR(twice.electrical, 2.0 * base.electrical,
+                1e-9 * (twice.electrical + 1e-30));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkProperties,
+    testing::ValuesIn(workloads::splashBenchmarks()),
+    [](const auto &info) { return info.param; });
+
+} // namespace

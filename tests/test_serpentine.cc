@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the serpentine waveguide layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "optics/serpentine_layout.hh"
+
+namespace {
+
+using namespace mnoc;
+using optics::SerpentineLayout;
+
+TEST(Serpentine, EndpointsSpanTheWaveguide)
+{
+    SerpentineLayout layout(256, 0.18);
+    EXPECT_DOUBLE_EQ(layout.arcPosition(0), 0.0);
+    EXPECT_DOUBLE_EQ(layout.arcPosition(255), 0.18);
+    EXPECT_NEAR(layout.arcPosition(128), 0.18 * 128 / 255, 1e-12);
+}
+
+TEST(Serpentine, DistanceIsSymmetricAndProportional)
+{
+    SerpentineLayout layout(256, 0.18);
+    EXPECT_DOUBLE_EQ(layout.distanceBetween(10, 30),
+                     layout.distanceBetween(30, 10));
+    EXPECT_NEAR(layout.distanceBetween(0, 255), 0.18, 1e-12);
+    EXPECT_NEAR(layout.distanceBetween(100, 101), 0.18 / 255, 1e-12);
+    EXPECT_DOUBLE_EQ(layout.distanceBetween(42, 42), 0.0);
+}
+
+TEST(Serpentine, IntermediateNodeCount)
+{
+    SerpentineLayout layout(16, 0.1);
+    EXPECT_EQ(layout.intermediateNodes(0, 1), 0);
+    EXPECT_EQ(layout.intermediateNodes(0, 2), 1);
+    EXPECT_EQ(layout.intermediateNodes(5, 15), 9);
+    EXPECT_EQ(layout.intermediateNodes(15, 5), 9);
+    EXPECT_EQ(layout.intermediateNodes(7, 7), 0);
+}
+
+TEST(Serpentine, MaxReachSmallestAtMiddle)
+{
+    SerpentineLayout layout(256, 0.18);
+    double end = layout.maxReachDistance(0);
+    double mid = layout.maxReachDistance(127);
+    EXPECT_DOUBLE_EQ(end, 0.18);
+    EXPECT_NEAR(mid, 0.18 * 128 / 255, 1e-12);
+    EXPECT_LT(mid, end);
+    // The profile is monotone from the end to the middle.
+    for (int s = 1; s <= 127; ++s)
+        EXPECT_LE(layout.maxReachDistance(s),
+                  layout.maxReachDistance(s - 1));
+}
+
+TEST(Serpentine, GridCoversAllNodesUniquely)
+{
+    SerpentineLayout layout(256, 0.18);
+    auto [cols, rows] = layout.gridShape();
+    EXPECT_EQ(cols, 16);
+    EXPECT_EQ(rows, 16);
+    std::set<std::pair<int, int>> seen;
+    for (int node = 0; node < 256; ++node) {
+        auto xy = layout.gridCoordinate(node);
+        EXPECT_GE(xy.first, 0);
+        EXPECT_LT(xy.first, cols);
+        EXPECT_TRUE(seen.insert(xy).second);
+    }
+}
+
+TEST(Serpentine, GridRowsAlternateDirection)
+{
+    SerpentineLayout layout(16, 0.1); // 4x4 grid
+    EXPECT_EQ(layout.gridCoordinate(0), std::make_pair(0, 0));
+    EXPECT_EQ(layout.gridCoordinate(3), std::make_pair(3, 0));
+    // Second row runs right-to-left.
+    EXPECT_EQ(layout.gridCoordinate(4), std::make_pair(3, 1));
+    EXPECT_EQ(layout.gridCoordinate(7), std::make_pair(0, 1));
+}
+
+TEST(Serpentine, AdjacentGridNodesAreWaveguideNeighbours)
+{
+    SerpentineLayout layout(16, 0.1);
+    // Along a row, consecutive indices are physical neighbours, so the
+    // serpentine never jumps across the die within a row.
+    for (int node = 0; node + 1 < 16; ++node) {
+        auto a = layout.gridCoordinate(node);
+        auto b = layout.gridCoordinate(node + 1);
+        int manhattan = std::abs(a.first - b.first) +
+                        std::abs(a.second - b.second);
+        EXPECT_EQ(manhattan, 1) << "between " << node << " and "
+                                << node + 1;
+    }
+}
+
+TEST(Serpentine, RejectsDegenerateConfigs)
+{
+    EXPECT_THROW(SerpentineLayout(1, 0.1), FatalError);
+    EXPECT_THROW(SerpentineLayout(4, 0.0), FatalError);
+    EXPECT_THROW(SerpentineLayout(4, -1.0), FatalError);
+    SerpentineLayout ok(4, 0.1);
+    EXPECT_THROW(ok.arcPosition(-1), PanicError);
+    EXPECT_THROW(ok.arcPosition(4), PanicError);
+}
+
+} // namespace

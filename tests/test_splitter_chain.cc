@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests of the Equation 2 splitter-chain solver: the exact design must
+ * deliver the requested tap powers, and the minimal injected power
+ * must match the power-conservation closed form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hh"
+#include "optics/splitter_chain.hh"
+
+namespace {
+
+using namespace mnoc;
+using optics::ChainDesign;
+using optics::DeviceParams;
+using optics::SerpentineLayout;
+using optics::SplitterChain;
+
+DeviceParams
+tableThreeParams()
+{
+    return DeviceParams{};
+}
+
+TEST(SplitterChain, DesignDeliversExactTargets)
+{
+    SerpentineLayout layout(16, 0.05);
+    SplitterChain chain(layout, tableThreeParams(), 5);
+    double pmin = tableThreeParams().pminAtTap();
+
+    std::vector<double> targets(16, pmin);
+    targets[5] = 0.0;
+    targets[2] = 3.0 * pmin; // non-uniform targets
+    targets[12] = 0.25 * pmin;
+
+    ChainDesign design = chain.design(targets);
+    auto received = chain.evaluate(design, design.injectedPower);
+    for (int d = 0; d < 16; ++d)
+        EXPECT_NEAR(received[d], targets[d], 1e-9 * pmin)
+            << "destination " << d;
+}
+
+TEST(SplitterChain, InjectedPowerMatchesConservationForm)
+{
+    SerpentineLayout layout(32, 0.08);
+    SplitterChain chain(layout, tableThreeParams(), 10);
+    double pmin = tableThreeParams().pminAtTap();
+
+    std::vector<double> targets(32, 0.0);
+    for (int d = 0; d < 32; ++d)
+        if (d != 10)
+            targets[d] = pmin * (1.0 + 0.1 * (d % 5));
+
+    ChainDesign design = chain.design(targets);
+    double expected = 0.0;
+    for (int d = 0; d < 32; ++d)
+        if (d != 10)
+            expected += targets[d] * chain.tapAttenuation(d);
+    EXPECT_NEAR(design.injectedPower, expected, 1e-12 * expected);
+}
+
+TEST(SplitterChain, SplitterFractionsValidAndTailTakesAll)
+{
+    SerpentineLayout layout(16, 0.05);
+    SplitterChain chain(layout, tableThreeParams(), 3);
+    double pmin = tableThreeParams().pminAtTap();
+    std::vector<double> targets(16, pmin);
+    targets[3] = 0.0;
+
+    ChainDesign design = chain.design(targets);
+    for (int d = 0; d < 16; ++d) {
+        if (d == 3)
+            continue;
+        EXPECT_GT(design.splitterFraction[d], 0.0);
+        EXPECT_LE(design.splitterFraction[d], 1.0 + 1e-12);
+    }
+    // The last node on each arm diverts everything that is left.
+    EXPECT_NEAR(design.splitterFraction[0], 1.0, 1e-12);
+    EXPECT_NEAR(design.splitterFraction[15], 1.0, 1e-12);
+}
+
+TEST(SplitterChain, ReceivedPowerScalesLinearlyWithDrive)
+{
+    SerpentineLayout layout(16, 0.05);
+    SplitterChain chain(layout, tableThreeParams(), 8);
+    double pmin = tableThreeParams().pminAtTap();
+    std::vector<double> targets(16, pmin);
+    targets[8] = 0.0;
+
+    ChainDesign design = chain.design(targets);
+    auto base = chain.evaluate(design, design.injectedPower);
+    auto doubled = chain.evaluate(design, 2.0 * design.injectedPower);
+    for (int d = 0; d < 16; ++d)
+        EXPECT_NEAR(doubled[d], 2.0 * base[d], 1e-12);
+}
+
+TEST(SplitterChain, MoreTargetsNeedMorePower)
+{
+    SerpentineLayout layout(16, 0.05);
+    SplitterChain chain(layout, tableThreeParams(), 0);
+    double pmin = tableThreeParams().pminAtTap();
+
+    std::vector<double> few(16, 0.0);
+    few[1] = pmin;
+    std::vector<double> more = few;
+    more[15] = pmin;
+
+    double p_few = chain.design(few).injectedPower;
+    double p_more = chain.design(more).injectedPower;
+    EXPECT_GT(p_more, p_few);
+}
+
+TEST(SplitterChain, SingleDestinationMatchesAttenuation)
+{
+    SerpentineLayout layout(16, 0.05);
+    SplitterChain chain(layout, tableThreeParams(), 4);
+    std::vector<double> targets(16, 0.0);
+    targets[11] = 2e-5;
+    ChainDesign design = chain.design(targets);
+    EXPECT_NEAR(design.injectedPower,
+                2e-5 * chain.tapAttenuation(11), 1e-18);
+    // All power goes to the right arm.
+    EXPECT_DOUBLE_EQ(design.splitterFraction[4], 0.0);
+}
+
+TEST(SplitterChain, ZeroTargetsNeedNoPower)
+{
+    SerpentineLayout layout(8, 0.02);
+    SplitterChain chain(layout, tableThreeParams(), 2);
+    std::vector<double> targets(8, 0.0);
+    ChainDesign design = chain.design(targets);
+    EXPECT_DOUBLE_EQ(design.injectedPower, 0.0);
+}
+
+TEST(SplitterChain, EndSourceHasOnlyOneArm)
+{
+    SerpentineLayout layout(8, 0.02);
+    SplitterChain chain(layout, tableThreeParams(), 0);
+    std::vector<double> targets(8, 1e-5);
+    targets[0] = 0.0;
+    ChainDesign design = chain.design(targets);
+    // No left arm: the directional split sends nothing left.
+    EXPECT_DOUBLE_EQ(design.splitterFraction[0], 0.0);
+    auto received = chain.evaluate(design, design.injectedPower);
+    for (int d = 1; d < 8; ++d)
+        EXPECT_NEAR(received[d], 1e-5, 1e-14);
+}
+
+TEST(SplitterChain, AttenuationGrowsWithDistance)
+{
+    SerpentineLayout layout(64, 0.18);
+    SplitterChain chain(layout, tableThreeParams(), 0);
+    for (int d = 2; d < 64; ++d)
+        EXPECT_GT(chain.tapAttenuation(d), chain.tapAttenuation(d - 1));
+}
+
+TEST(SplitterChain, AttenuationSymmetricBetweenNodePairs)
+{
+    SerpentineLayout layout(32, 0.1);
+    DeviceParams params = tableThreeParams();
+    SplitterChain a(layout, params, 7);
+    SplitterChain b(layout, params, 23);
+    EXPECT_NEAR(a.tapAttenuation(23), b.tapAttenuation(7), 1e-6);
+}
+
+TEST(SplitterChain, RejectsMalformedTargets)
+{
+    SerpentineLayout layout(8, 0.02);
+    SplitterChain chain(layout, tableThreeParams(), 2);
+    std::vector<double> wrong_size(7, 0.0);
+    EXPECT_THROW(chain.design(wrong_size), FatalError);
+    std::vector<double> self_target(8, 0.0);
+    self_target[2] = 1e-6;
+    EXPECT_THROW(chain.design(self_target), FatalError);
+    std::vector<double> negative(8, 0.0);
+    negative[3] = -1e-6;
+    EXPECT_THROW(chain.design(negative), FatalError);
+}
+
+/**
+ * Property sweep: for every source position on a small crossbar, the
+ * uniform-broadcast design delivers pmin everywhere and the injected
+ * power equals the conservation form.
+ */
+class SplitterChainSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(SplitterChainSweep, BroadcastDesignIsExactEverywhere)
+{
+    int source = GetParam();
+    SerpentineLayout layout(24, 0.07);
+    DeviceParams params = tableThreeParams();
+    SplitterChain chain(layout, params, source);
+    double pmin = params.pminAtTap();
+
+    std::vector<double> targets(24, pmin);
+    targets[source] = 0.0;
+    ChainDesign design = chain.design(targets);
+
+    double expected = 0.0;
+    for (int d = 0; d < 24; ++d)
+        if (d != source)
+            expected += pmin * chain.tapAttenuation(d);
+    EXPECT_NEAR(design.injectedPower, expected, 1e-12 * expected);
+
+    auto received = chain.evaluate(design, design.injectedPower);
+    for (int d = 0; d < 24; ++d) {
+        if (d == source)
+            continue;
+        EXPECT_NEAR(received[d], pmin, 1e-9 * pmin);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, SplitterChainSweep,
+                         testing::Range(0, 24));
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the QAP thread mapper (paper Section 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/thread_mapper.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+struct MapFixture
+{
+    optics::SerpentineLayout layout{16, 0.05};
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar{layout, params};
+};
+
+TEST(ThreadMapper, DistanceMatrixSymmetricZeroDiagonal)
+{
+    MapFixture f;
+    for (auto objective : {MappingObjective::SingleModeProfile,
+                           MappingObjective::PairwiseAttenuation,
+                           MappingObjective::Blended}) {
+        auto dist = powerDistanceMatrix(f.xbar, objective);
+        for (int a = 0; a < 16; ++a) {
+            EXPECT_DOUBLE_EQ(dist(a, a), 0.0);
+            for (int b = 0; b < 16; ++b) {
+                if (a != b) {
+                    EXPECT_NEAR(dist(a, b), dist(b, a),
+                                1e-9 * dist(a, b));
+                    EXPECT_GT(dist(a, b), 0.0);
+                }
+            }
+        }
+    }
+}
+
+TEST(ThreadMapper, LegacyDistanceMatrixSymmetric)
+{
+    MapFixture f;
+    auto dist = powerDistanceMatrix(f.xbar);
+    for (int a = 0; a < 16; ++a) {
+        EXPECT_DOUBLE_EQ(dist(a, a), 0.0);
+        for (int b = 0; b < 16; ++b) {
+            EXPECT_NEAR(dist(a, b), dist(b, a), 1e-9 * dist(a, b));
+            if (a != b) {
+                EXPECT_GT(dist(a, b), 0.0);
+            }
+        }
+    }
+}
+
+TEST(ThreadMapper, PairwiseDistanceGrowsWithSeparation)
+{
+    MapFixture f;
+    auto dist = powerDistanceMatrix(
+        f.xbar, MappingObjective::PairwiseAttenuation);
+    for (int gap = 2; gap < 16; ++gap)
+        EXPECT_GT(dist(0, gap), dist(0, gap - 1));
+}
+
+TEST(ThreadMapper, ProfileDistanceCheapestBetweenMiddleCores)
+{
+    MapFixture f;
+    auto dist = powerDistanceMatrix(
+        f.xbar, MappingObjective::SingleModeProfile);
+    // A middle pair is cheaper than an end pair at the same gap.
+    EXPECT_LT(dist(7, 8), dist(0, 1));
+    EXPECT_LT(dist(7, 8), dist(14, 15));
+}
+
+TEST(ThreadMapper, IdentityMethodReturnsIdentity)
+{
+    MapFixture f;
+    FlowMatrix flow(16, 16, 1.0);
+    auto result = mapThreads(f.xbar, flow, MappingMethod::Identity);
+    for (int t = 0; t < 16; ++t)
+        EXPECT_EQ(result.threadToCore[t], t);
+    EXPECT_DOUBLE_EQ(result.qapCost, result.identityCost);
+}
+
+TEST(ThreadMapper, TabooMovesHotPairTowardTheMiddle)
+{
+    MapFixture f;
+    // Threads 0 and 1 dominate the traffic: the mapper should place
+    // them on adjacent cores near the middle of the waveguide, where
+    // the power-distance entries are smallest.
+    FlowMatrix flow(16, 16, 0.01);
+    for (int i = 0; i < 16; ++i)
+        flow(i, i) = 0.0;
+    flow(0, 1) = flow(1, 0) = 1000.0;
+
+    MappingParams params;
+    params.tabooIterations = 4000;
+    auto result = mapThreads(f.xbar, flow, MappingMethod::Taboo,
+                             params);
+    EXPECT_LT(result.qapCost, result.identityCost);
+
+    int c0 = result.threadToCore[0];
+    int c1 = result.threadToCore[1];
+    EXPECT_EQ(std::abs(c0 - c1), 1);
+    // Near the middle of the 16-node serpentine.
+    EXPECT_GE(std::min(c0, c1), 4);
+    EXPECT_LE(std::max(c0, c1), 11);
+}
+
+TEST(ThreadMapper, MappingIsAPermutation)
+{
+    MapFixture f;
+    FlowMatrix flow(16, 16, 1.0);
+    for (int i = 0; i < 16; ++i)
+        flow(i, i) = 0.0;
+    for (auto method :
+         {MappingMethod::Taboo, MappingMethod::Annealing}) {
+        MappingParams params;
+        params.tabooIterations = 500;
+        params.annealingIterations = 5000;
+        auto result = mapThreads(f.xbar, flow, method, params);
+        std::vector<bool> used(16, false);
+        for (int c : result.threadToCore) {
+            ASSERT_GE(c, 0);
+            ASSERT_LT(c, 16);
+            EXPECT_FALSE(used[c]);
+            used[c] = true;
+        }
+    }
+}
+
+TEST(ThreadMapper, AnnealingAlsoImproves)
+{
+    MapFixture f;
+    FlowMatrix flow(16, 16, 0.01);
+    for (int i = 0; i < 16; ++i)
+        flow(i, i) = 0.0;
+    flow(2, 14) = flow(14, 2) = 800.0;
+    MappingParams params;
+    params.annealingIterations = 30000;
+    auto result = mapThreads(f.xbar, flow, MappingMethod::Annealing,
+                             params);
+    EXPECT_LT(result.qapCost, result.identityCost);
+}
+
+TEST(ThreadMapper, AsymmetricFlowIsHandledBySymmetrization)
+{
+    MapFixture f;
+    FlowMatrix flow(16, 16, 0.0);
+    flow(3, 9) = 100.0; // one-directional traffic
+    MappingParams params;
+    params.tabooIterations = 1000;
+    auto result = mapThreads(f.xbar, flow, MappingMethod::Taboo,
+                             params);
+    // Pair (3, 9) ends up adjacent.
+    EXPECT_EQ(std::abs(result.threadToCore[3] - result.threadToCore[9]),
+              1);
+}
+
+TEST(ThreadMapper, SizeMismatchIsFatal)
+{
+    MapFixture f;
+    FlowMatrix wrong(8, 8, 1.0);
+    EXPECT_THROW(mapThreads(f.xbar, wrong), FatalError);
+}
+
+} // namespace

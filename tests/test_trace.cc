@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests of trace capture, serialization, and mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::sim;
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.workloadName = "sample";
+    t.networkName = "mNoC";
+    t.totalTicks = 12345;
+    t.packets = CountMatrix(4, 4, 0);
+    t.flits = CountMatrix(4, 4, 0);
+    t.packets(0, 1) = 10;
+    t.flits(0, 1) = 30;
+    t.packets(2, 3) = 5;
+    t.flits(2, 3) = 5;
+    return t;
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    std::string path = testing::TempDir() + "mnoc_trace_test.txt";
+    Trace original = sampleTrace();
+    saveTrace(path, original);
+    Trace loaded = loadTrace(path);
+
+    EXPECT_EQ(loaded.workloadName, original.workloadName);
+    EXPECT_EQ(loaded.networkName, original.networkName);
+    EXPECT_EQ(loaded.totalTicks, original.totalTicks);
+    EXPECT_TRUE(loaded.packets == original.packets);
+    EXPECT_TRUE(loaded.flits == original.flits);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::string path = testing::TempDir() + "mnoc_trace_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "not-a-trace 9\n";
+    }
+    EXPECT_THROW(loadTrace(path), FatalError);
+    EXPECT_THROW(loadTrace("/nonexistent/path/x.txt"), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, MapTracePermutesEndpoints)
+{
+    Trace t = sampleTrace();
+    std::vector<int> map = {3, 2, 1, 0};
+    Trace mapped = mapTrace(t, map);
+    EXPECT_EQ(mapped.packets(3, 2), 10u);
+    EXPECT_EQ(mapped.flits(3, 2), 30u);
+    EXPECT_EQ(mapped.packets(1, 0), 5u);
+    EXPECT_EQ(mapped.packets(0, 1), 0u);
+    EXPECT_EQ(mapped.totalTicks, t.totalTicks);
+    EXPECT_EQ(mapped.packets.total(), t.packets.total());
+}
+
+TEST(Trace, MapTraceIdentityIsNoop)
+{
+    Trace t = sampleTrace();
+    Trace mapped = mapTrace(t, {0, 1, 2, 3});
+    EXPECT_TRUE(mapped.packets == t.packets);
+    EXPECT_TRUE(mapped.flits == t.flits);
+}
+
+TEST(Trace, MapTraceChecksSize)
+{
+    Trace t = sampleTrace();
+    EXPECT_THROW(mapTrace(t, {0, 1}), FatalError);
+    EXPECT_THROW(mapTrace(t, {0, 1, 2, 9}), FatalError);
+}
+
+} // namespace

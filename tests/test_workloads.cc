@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests of the 12 synthetic SPLASH kernels: registry integrity,
+ * determinism, and the characteristic communication structure each
+ * kernel must reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "noc/mnoc_network.hh"
+#include "sim/simulator.hh"
+#include "workloads/grid.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::workloads;
+
+TEST(Registry, ListsAllTwelveBenchmarks)
+{
+    const auto &names = splashBenchmarks();
+    EXPECT_EQ(names.size(), 12u);
+    for (const auto &name : names) {
+        auto workload = makeWorkload(name);
+        ASSERT_NE(workload, nullptr);
+        EXPECT_EQ(workload->name(), name);
+    }
+}
+
+TEST(Registry, SampledSetMatchesPaperSectionFiveFour)
+{
+    const auto &s4 = sampledBenchmarks();
+    ASSERT_EQ(s4.size(), 4u);
+    EXPECT_EQ(s4[0], "lu_cb");
+    EXPECT_EQ(s4[1], "radix");
+    EXPECT_EQ(s4[2], "raytrace");
+    EXPECT_EQ(s4[3], "water_s");
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeWorkload("quicksort"), FatalError);
+}
+
+TEST(Workloads, StreamsAreDeterministicPerSeed)
+{
+    auto a = makeWorkload("barnes");
+    auto b = makeWorkload("barnes");
+    a->reset(8, 42);
+    b->reset(8, 42);
+    sim::MemOp opa, opb;
+    for (int i = 0; i < 500; ++i) {
+        bool more_a = a->next(3, opa);
+        bool more_b = b->next(3, opb);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        EXPECT_EQ(opa.addr, opb.addr);
+        EXPECT_EQ(opa.write, opb.write);
+    }
+}
+
+TEST(Workloads, GridHelperWrapsToroidally)
+{
+    ThreadGrid grid(16);
+    EXPECT_EQ(grid.cols(), 4);
+    EXPECT_EQ(grid.rows(), 4);
+    EXPECT_EQ(grid.neighbor(0, -1, 0), 3);
+    EXPECT_EQ(grid.neighbor(0, 0, -1), 12);
+    EXPECT_EQ(grid.neighbor(15, 1, 1), grid.at(0, 0));
+    EXPECT_EQ(grid.at(grid.xOf(9), grid.yOf(9)), 9);
+}
+
+TEST(Workloads, GridHandlesNonSquareCounts)
+{
+    ThreadGrid grid(12);
+    EXPECT_EQ(grid.cols() * grid.rows(), 12);
+    for (int t = 0; t < 12; ++t)
+        EXPECT_EQ(grid.at(grid.xOf(t), grid.yOf(t)), t);
+}
+
+/** Run one benchmark on a small system and return its trace. */
+sim::SimulationResult
+runBenchmark(const std::string &name, int n = 16, int ops = 600)
+{
+    optics::SerpentineLayout layout(n, 0.05);
+    noc::NetworkConfig config;
+    noc::MnocNetwork net(layout, config);
+    sim::SimConfig sim_config;
+    sim_config.numCores = n;
+    WorkloadScale scale;
+    scale.opsPerThread = ops;
+    auto workload = makeWorkload(name, scale);
+    return sim::runSimulation(sim_config, net, *workload, 1);
+}
+
+/** Fraction of packets between grid neighbours (gap <= 1 ring). */
+double
+neighbourFraction(const CountMatrix &packets, int max_gap)
+{
+    int n = static_cast<int>(packets.rows());
+    std::uint64_t near = 0;
+    std::uint64_t total = 0;
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+            total += packets(s, d);
+            int gap = std::min((s - d + n) % n, (d - s + n) % n);
+            if (gap <= max_gap)
+                near += packets(s, d);
+        }
+    }
+    return total ? static_cast<double>(near) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+TEST(Workloads, EveryBenchmarkProducesTraffic)
+{
+    for (const auto &name : splashBenchmarks()) {
+        auto result = runBenchmark(name, 16, 300);
+        EXPECT_GT(result.packets.total(), 100u) << name;
+        EXPECT_GT(result.totalTicks, 0u) << name;
+    }
+}
+
+TEST(Workloads, RadixIsTheHeaviestCommunicator)
+{
+    std::uint64_t radix_flits = runBenchmark("radix").flits.total();
+    for (const char *light : {"volrend", "raytrace", "cholesky"}) {
+        EXPECT_GT(radix_flits, 3 * runBenchmark(light).flits.total())
+            << light;
+    }
+}
+
+TEST(Workloads, RadixTrafficIsAllToAll)
+{
+    auto result = runBenchmark("radix");
+    // Nearly every (src, dst) pair sees packets.
+    int populated = 0;
+    for (int s = 0; s < 16; ++s)
+        for (int d = 0; d < 16; ++d)
+            if (s != d && result.packets(s, d) > 0)
+                ++populated;
+    EXPECT_GT(populated, 200); // of 240 pairs
+}
+
+TEST(Workloads, OceanTrafficIsNeighbourDominated)
+{
+    auto result = runBenchmark("ocean_c");
+    // 4x4 grid: cardinal neighbours are at ring distance 1 and 4;
+    // ring-gap <= 4 must dominate.
+    EXPECT_GT(neighbourFraction(result.packets, 4), 0.8);
+}
+
+TEST(Workloads, OceanNcHeavierThanOceanC)
+{
+    EXPECT_GT(runBenchmark("ocean_nc").flits.total(),
+              runBenchmark("ocean_c").flits.total());
+}
+
+TEST(Workloads, LuNcbHeavierThanLuCb)
+{
+    EXPECT_GT(runBenchmark("lu_ncb").flits.total(),
+              2 * runBenchmark("lu_cb").flits.total());
+}
+
+TEST(Workloads, WaterSpatialIsLocalWaterNSquaredIsBroad)
+{
+    auto spatial = runBenchmark("water_s");
+    auto nsq = runBenchmark("water_ns");
+    // Spatial: 8-neighbour stencil on the 4x4 grid -> gap <= 5 covers
+    // all neighbours; n-squared spreads over half the ring, so a
+    // sizable fraction sits beyond gap 5.
+    EXPECT_GT(neighbourFraction(spatial.packets, 5), 0.85);
+    EXPECT_LT(neighbourFraction(nsq.packets, 5),
+              neighbourFraction(spatial.packets, 5));
+}
+
+TEST(Workloads, FftTouchesAllPartners)
+{
+    auto result = runBenchmark("fft");
+    for (int s = 0; s < 16; ++s) {
+        int partners = 0;
+        for (int d = 0; d < 16; ++d)
+            if (d != s && result.packets(s, d) + result.packets(d, s) >
+                              0)
+                ++partners;
+        EXPECT_GE(partners, 12) << "source " << s;
+    }
+}
+
+TEST(Workloads, VolrendIsTheLightest)
+{
+    auto volrend = runBenchmark("volrend").flits.total();
+    for (const char *heavy : {"radix", "ocean_nc", "fft", "lu_ncb"})
+        EXPECT_LT(volrend, runBenchmark(heavy).flits.total()) << heavy;
+}
+
+TEST(Workloads, RadixBucketsAreSkewedTowardLowThreads)
+{
+    // Non-uniform key digits: low-numbered bucket owners receive more
+    // scatter traffic (the per-thread volume skew the QAP mapper
+    // feeds on).
+    // Measure the home side: data responses and forwards flow OUT of
+    // the bucket owner's core, so rowTotal isolates the skew from the
+    // uniform writer-side response traffic.
+    auto result = runBenchmark("radix");
+    std::uint64_t low = 0;
+    std::uint64_t high = 0;
+    for (int d = 0; d < 16; ++d) {
+        std::uint64_t outbound = result.flits.rowTotal(d);
+        if (d < 8)
+            low += outbound;
+        else
+            high += outbound;
+    }
+    EXPECT_GT(low, static_cast<std::uint64_t>(1.3 * high));
+}
+
+TEST(Workloads, OceanBoundaryThreadsTalkLess)
+{
+    // Non-toroidal domain: a corner thread of the 4x4 grid has two
+    // stencil partners, an interior thread has four.
+    auto result = runBenchmark("ocean_c");
+    ThreadGrid grid(16);
+    int corner = grid.at(0, 0);
+    int interior = grid.at(1, 1);
+    EXPECT_LT(result.flits.rowTotal(corner) +
+                  result.flits.colTotal(corner),
+              result.flits.rowTotal(interior) +
+                  result.flits.colTotal(interior));
+}
+
+TEST(Workloads, CholeskyTreeTrafficIsIrregular)
+{
+    // The random elimination tree gives threads very different fan-in
+    // (some supernodes have several children, leaves have none), so
+    // per-thread traffic is visibly skewed -- unlike fft's uniform
+    // all-to-all.
+    auto per_thread = [](const sim::SimulationResult &r) {
+        std::vector<double> v;
+        for (int d = 0; d < 16; ++d)
+            v.push_back(static_cast<double>(r.packets.colTotal(d) +
+                                            r.packets.rowTotal(d)));
+        std::sort(v.begin(), v.end());
+        return v.back() / std::max(1.0, v[8]);
+    };
+    double cholesky_skew = per_thread(runBenchmark("cholesky"));
+    double fft_skew = per_thread(runBenchmark("fft"));
+    EXPECT_GT(cholesky_skew, 1.5);
+    EXPECT_GT(cholesky_skew, fft_skew);
+}
+
+TEST(Workloads, BarnesIsDistanceWeighted)
+{
+    // Tree-walk partners at distance 2^k with geometrically fewer
+    // reads per level: close partners dominate far ones.
+    auto result = runBenchmark("barnes");
+    EXPECT_GT(neighbourFraction(result.packets, 2), 0.35);
+    EXPECT_GT(neighbourFraction(result.packets, 4),
+              neighbourFraction(result.packets, 2));
+}
+
+TEST(Workloads, TotalOpsScalesWithKnob)
+{
+    WorkloadScale small;
+    small.opsPerThread = 200;
+    WorkloadScale big;
+    big.opsPerThread = 800;
+    auto a = makeWorkload("water_s", small);
+    auto b = makeWorkload("water_s", big);
+    a->reset(16, 1);
+    b->reset(16, 1);
+    EXPECT_GT(b->totalOps(), 2 * a->totalOps());
+}
+
+/** Every benchmark runs cleanly across system sizes. */
+class WorkloadSizeSweep
+    : public testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(WorkloadSizeSweep, RunsAtSize)
+{
+    auto [name, n] = GetParam();
+    auto result = runBenchmark(name, n, 150);
+    EXPECT_GT(result.packets.total(), 0u);
+    EXPECT_EQ(result.workloadName, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSizeSweep,
+    testing::Combine(testing::ValuesIn(splashBenchmarks()),
+                     testing::Values(8, 16, 32)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_n" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace

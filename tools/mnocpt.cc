@@ -1,0 +1,306 @@
+/**
+ * @file
+ * mnocpt — command-line front end to the mNoC power-topology library.
+ *
+ * Subcommands:
+ *   simulate  run a SPLASH kernel, write a trace file
+ *   map       compute a taboo thread mapping from a trace
+ *   design    build a power topology + splitter design from a trace
+ *   evaluate  report the power of a design over a trace
+ *   budget    validate a design's link budgets / BER
+ *
+ * Examples:
+ *   mnocpt simulate --benchmark water_s --cores 64 --out ws.trace
+ *   mnocpt map --trace ws.trace --out ws.map
+ *   mnocpt design --trace ws.trace --map ws.map --modes 4 \
+ *                 --assign comm --out ws.design
+ *   mnocpt evaluate --design ws.design --trace ws.trace --map ws.map
+ *   mnocpt budget --design ws.design --cores 64
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "core/design_io.hh"
+#include "core/designer.hh"
+#include "noc/mnoc_network.hh"
+#include "optics/link_budget.hh"
+#include "sim/simulator.hh"
+#include "workloads/registry.hh"
+
+using namespace mnoc;
+
+namespace {
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            fatalIf(key.size() < 3 || key.substr(0, 2) != "--",
+                    "expected --option, got: " + key);
+            fatalIf(i + 1 >= argc, "missing value for " + key);
+            values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values_.find(key);
+        if (it == values_.end()) {
+            fatalIf(fallback.empty() && key != "map",
+                    "missing required option --" + key);
+            return fallback;
+        }
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+    int
+    getInt(const std::string &key, int fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atoi(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/** Shared context sized for @p cores. */
+struct Context
+{
+    explicit Context(int cores)
+        : layout(cores,
+                 optics::defaultWaveguideLength * cores / 256.0),
+          crossbar(layout, optics::DeviceParams{}),
+          designer(crossbar)
+    {
+    }
+
+    optics::SerpentineLayout layout;
+    optics::OpticalCrossbar crossbar;
+    core::Designer designer;
+};
+
+std::vector<int>
+loadMapping(const std::string &path, int cores)
+{
+    std::ifstream in(path);
+    fatalIf(!in.is_open(), "cannot open mapping file: " + path);
+    std::vector<int> map;
+    int core;
+    while (in >> core)
+        map.push_back(core);
+    fatalIf(static_cast<int>(map.size()) != cores,
+            "mapping size mismatch in " + path);
+    return map;
+}
+
+std::vector<int>
+identity(int cores)
+{
+    std::vector<int> map(cores);
+    for (int i = 0; i < cores; ++i)
+        map[i] = i;
+    return map;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    std::string benchmark = args.get("benchmark");
+    int cores = args.getInt("cores", 64);
+    std::string out = args.get("out");
+
+    Context ctx(cores);
+    noc::NetworkConfig net_config;
+    noc::MnocNetwork network(ctx.layout, net_config);
+    sim::SimConfig config;
+    config.numCores = cores;
+    workloads::WorkloadScale scale;
+    scale.opsPerThread = args.getInt("ops", 4000);
+    auto workload = workloads::makeWorkload(benchmark, scale);
+    auto result = sim::runSimulation(config, network, *workload,
+                                     args.getInt("seed", 1));
+    sim::saveTrace(out, sim::toTrace(result));
+    std::cout << benchmark << ": " << result.coherence.accesses
+              << " ops, " << result.coherence.packetsSent
+              << " packets, " << result.totalTicks
+              << " cycles -> " << out << "\n";
+    return 0;
+}
+
+int
+cmdMap(const Args &args)
+{
+    auto trace = sim::loadTrace(args.get("trace"));
+    int cores = static_cast<int>(trace.flits.rows());
+    Context ctx(cores);
+
+    core::MappingParams params;
+    params.tabooIterations = args.getInt("iterations", 20000);
+    auto result = ctx.designer.map(toFlowMatrix(trace.flits),
+                                   core::MappingMethod::Taboo, params);
+
+    std::ofstream out(args.get("out"));
+    fatalIf(!out.is_open(), "cannot open output mapping file");
+    for (int core : result.threadToCore)
+        out << core << "\n";
+    std::cout << "QAP cost " << result.identityCost << " -> "
+              << result.qapCost << " ("
+              << 100.0 * (1.0 - result.qapCost / result.identityCost)
+              << "% better), written to " << args.get("out") << "\n";
+    return 0;
+}
+
+int
+cmdDesign(const Args &args)
+{
+    auto trace = sim::loadTrace(args.get("trace"));
+    int cores = static_cast<int>(trace.flits.rows());
+    Context ctx(cores);
+
+    auto mapping = args.has("map")
+                       ? loadMapping(args.get("map"), cores)
+                       : identity(cores);
+    sim::Trace mapped = sim::mapTrace(trace, mapping);
+    FlowMatrix flow = toFlowMatrix(mapped.flits);
+
+    core::DesignSpec spec;
+    spec.numModes = args.getInt("modes", 2);
+    std::string assign = args.get("assign", "distance");
+    if (assign == "comm") {
+        spec.assignment = core::Assignment::CommAware;
+        spec.weights = core::WeightSource::DesignFlow;
+    } else if (assign == "distance") {
+        spec.assignment = core::Assignment::DistanceBased;
+        spec.weights = core::WeightSource::DesignFlow;
+    } else if (assign == "clustered") {
+        spec.assignment = core::Assignment::Clustered;
+        spec.weights = core::WeightSource::Uniform;
+    } else {
+        fatal("unknown --assign (use comm/distance/clustered)");
+    }
+
+    auto topology = ctx.designer.buildTopology(spec, flow);
+    auto design = ctx.designer.buildDesign(spec, topology, flow);
+    core::saveDesign(args.get("out"), design);
+    std::cout << "design " << spec.label() << " for " << cores
+              << " cores written to " << args.get("out") << "\n";
+    return 0;
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    auto design = core::loadDesign(args.get("design"));
+    auto trace = sim::loadTrace(args.get("trace"));
+    int cores = design.topology.numNodes;
+    Context ctx(cores);
+
+    auto mapping = args.has("map")
+                       ? loadMapping(args.get("map"), cores)
+                       : identity(cores);
+    auto breakdown = ctx.designer.evaluate(design, trace, mapping);
+
+    TextTable table;
+    table.addRow({"component", "power (W)"});
+    table.addRow({"QD LED source", TextTable::num(breakdown.source, 3)});
+    table.addRow({"O/E conversion", TextTable::num(breakdown.oe, 3)});
+    table.addRow({"electrical", TextTable::num(breakdown.electrical,
+                                               3)});
+    table.addRow({"total", TextTable::num(breakdown.total(), 3)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdBudget(const Args &args)
+{
+    auto design = core::loadDesign(args.get("design"));
+    int cores = design.topology.numNodes;
+    Context ctx(cores);
+    double pmin = ctx.crossbar.params().pminAtTap();
+
+    double worst_margin = 1e9;
+    double worst_leak = -1e9;
+    bool all_ok = true;
+    for (int s = 0; s < cores; ++s) {
+        auto report = optics::validateDesign(ctx.crossbar.chain(s),
+                                             design.sources[s], pmin);
+        worst_margin = std::min(worst_margin,
+                                report.worstReachableMarginDb);
+        worst_leak = std::max(worst_leak,
+                              report.worstUnreachableLeakDb);
+        all_ok = all_ok && report.ok;
+    }
+    std::cout << "link budget: "
+              << (all_ok ? "OK" : "VIOLATED") << "\n"
+              << "  worst reachable margin: "
+              << TextTable::num(worst_margin, 3) << " dB\n"
+              << "  worst sub-threshold leak: "
+              << TextTable::num(worst_leak, 3) << " dB\n";
+    return all_ok ? 0 : 1;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: mnocpt <simulate|map|design|evaluate|budget> "
+           "[--option value ...]\n"
+           "  simulate --benchmark NAME [--cores N] [--ops N] "
+           "[--seed N] --out FILE\n"
+           "  map      --trace FILE [--iterations N] --out FILE\n"
+           "  design   --trace FILE [--map FILE] [--modes N] "
+           "[--assign comm|distance|clustered] --out FILE\n"
+           "  evaluate --design FILE --trace FILE [--map FILE]\n"
+           "  budget   --design FILE\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string command = argv[1];
+    try {
+        Args args(argc, argv);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "map")
+            return cmdMap(args);
+        if (command == "design")
+            return cmdDesign(args);
+        if (command == "evaluate")
+            return cmdEvaluate(args);
+        if (command == "budget")
+            return cmdBudget(args);
+        usage();
+        return 2;
+    } catch (const std::exception &error) {
+        std::cerr << "mnocpt: " << error.what() << "\n";
+        return 1;
+    }
+}
