@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mode_count.dir/ablation_mode_count.cc.o"
+  "CMakeFiles/ablation_mode_count.dir/ablation_mode_count.cc.o.d"
+  "ablation_mode_count"
+  "ablation_mode_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mode_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

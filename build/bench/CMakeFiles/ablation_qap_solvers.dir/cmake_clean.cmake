@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qap_solvers.dir/ablation_qap_solvers.cc.o"
+  "CMakeFiles/ablation_qap_solvers.dir/ablation_qap_solvers.cc.o.d"
+  "ablation_qap_solvers"
+  "ablation_qap_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qap_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_waveguide_loss.dir/ablation_waveguide_loss.cc.o"
+  "CMakeFiles/ablation_waveguide_loss.dir/ablation_waveguide_loss.cc.o.d"
+  "ablation_waveguide_loss"
+  "ablation_waveguide_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_waveguide_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

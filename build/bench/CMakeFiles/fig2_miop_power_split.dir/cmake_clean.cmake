@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_miop_power_split.dir/fig2_miop_power_split.cc.o"
+  "CMakeFiles/fig2_miop_power_split.dir/fig2_miop_power_split.cc.o.d"
+  "fig2_miop_power_split"
+  "fig2_miop_power_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_miop_power_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_example_topologies.dir/fig5_example_topologies.cc.o"
+  "CMakeFiles/fig5_example_topologies.dir/fig5_example_topologies.cc.o.d"
+  "fig5_example_topologies"
+  "fig5_example_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_example_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_power_profile.dir/fig6_power_profile.cc.o"
+  "CMakeFiles/fig6_power_profile.dir/fig6_power_profile.cc.o.d"
+  "fig6_power_profile"
+  "fig6_power_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_power_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

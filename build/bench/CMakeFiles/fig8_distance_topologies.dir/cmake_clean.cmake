@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_distance_topologies.dir/fig8_distance_topologies.cc.o"
+  "CMakeFiles/fig8_distance_topologies.dir/fig8_distance_topologies.cc.o.d"
+  "fig8_distance_topologies"
+  "fig8_distance_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_distance_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

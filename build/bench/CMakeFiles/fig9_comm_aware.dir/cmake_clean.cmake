@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_comm_aware.dir/fig9_comm_aware.cc.o"
+  "CMakeFiles/fig9_comm_aware.dir/fig9_comm_aware.cc.o.d"
+  "fig9_comm_aware"
+  "fig9_comm_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comm_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

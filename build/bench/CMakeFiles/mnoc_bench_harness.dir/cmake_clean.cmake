@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/mnoc_bench_harness.dir/harness.cc.o.d"
+  "libmnoc_bench_harness.a"
+  "libmnoc_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

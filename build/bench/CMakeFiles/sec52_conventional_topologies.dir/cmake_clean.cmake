@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_conventional_topologies.dir/sec52_conventional_topologies.cc.o"
+  "CMakeFiles/sec52_conventional_topologies.dir/sec52_conventional_topologies.cc.o.d"
+  "sec52_conventional_topologies"
+  "sec52_conventional_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_conventional_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_app_specific.dir/sec55_app_specific.cc.o"
+  "CMakeFiles/sec55_app_specific.dir/sec55_app_specific.cc.o.d"
+  "sec55_app_specific"
+  "sec55_app_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_app_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

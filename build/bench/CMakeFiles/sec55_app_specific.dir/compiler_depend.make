@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec55_app_specific.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec55_app_specific.
+# This may be replaced when dependencies are built.

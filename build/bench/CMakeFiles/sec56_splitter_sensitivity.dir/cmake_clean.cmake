@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_splitter_sensitivity.dir/sec56_splitter_sensitivity.cc.o"
+  "CMakeFiles/sec56_splitter_sensitivity.dir/sec56_splitter_sensitivity.cc.o.d"
+  "sec56_splitter_sensitivity"
+  "sec56_splitter_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_splitter_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rnoc_vs_mnoc.dir/table1_rnoc_vs_mnoc.cc.o"
+  "CMakeFiles/table1_rnoc_vs_mnoc.dir/table1_rnoc_vs_mnoc.cc.o.d"
+  "table1_rnoc_vs_mnoc"
+  "table1_rnoc_vs_mnoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rnoc_vs_mnoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_simulation.dir/splash_simulation.cpp.o"
+  "CMakeFiles/splash_simulation.dir/splash_simulation.cpp.o.d"
+  "splash_simulation"
+  "splash_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_mapping_demo.dir/thread_mapping_demo.cpp.o"
+  "CMakeFiles/thread_mapping_demo.dir/thread_mapping_demo.cpp.o.d"
+  "thread_mapping_demo"
+  "thread_mapping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_mapping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

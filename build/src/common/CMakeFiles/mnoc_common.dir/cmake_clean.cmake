@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_common.dir/csv.cc.o"
+  "CMakeFiles/mnoc_common.dir/csv.cc.o.d"
+  "CMakeFiles/mnoc_common.dir/pgm.cc.o"
+  "CMakeFiles/mnoc_common.dir/pgm.cc.o.d"
+  "CMakeFiles/mnoc_common.dir/table.cc.o"
+  "CMakeFiles/mnoc_common.dir/table.cc.o.d"
+  "libmnoc_common.a"
+  "libmnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmnoc_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_models.cc" "src/core/CMakeFiles/mnoc_core.dir/baseline_models.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/baseline_models.cc.o.d"
+  "/root/repo/src/core/builders.cc" "src/core/CMakeFiles/mnoc_core.dir/builders.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/builders.cc.o.d"
+  "/root/repo/src/core/comm_aware.cc" "src/core/CMakeFiles/mnoc_core.dir/comm_aware.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/comm_aware.cc.o.d"
+  "/root/repo/src/core/design_io.cc" "src/core/CMakeFiles/mnoc_core.dir/design_io.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/design_io.cc.o.d"
+  "/root/repo/src/core/designer.cc" "src/core/CMakeFiles/mnoc_core.dir/designer.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/designer.cc.o.d"
+  "/root/repo/src/core/power_model.cc" "src/core/CMakeFiles/mnoc_core.dir/power_model.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/power_model.cc.o.d"
+  "/root/repo/src/core/power_topology.cc" "src/core/CMakeFiles/mnoc_core.dir/power_topology.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/power_topology.cc.o.d"
+  "/root/repo/src/core/thread_mapper.cc" "src/core/CMakeFiles/mnoc_core.dir/thread_mapper.cc.o" "gcc" "src/core/CMakeFiles/mnoc_core.dir/thread_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/mnoc_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/mnoc_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

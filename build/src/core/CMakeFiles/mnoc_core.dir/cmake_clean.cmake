@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_core.dir/baseline_models.cc.o"
+  "CMakeFiles/mnoc_core.dir/baseline_models.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/builders.cc.o"
+  "CMakeFiles/mnoc_core.dir/builders.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/comm_aware.cc.o"
+  "CMakeFiles/mnoc_core.dir/comm_aware.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/design_io.cc.o"
+  "CMakeFiles/mnoc_core.dir/design_io.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/designer.cc.o"
+  "CMakeFiles/mnoc_core.dir/designer.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/power_model.cc.o"
+  "CMakeFiles/mnoc_core.dir/power_model.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/power_topology.cc.o"
+  "CMakeFiles/mnoc_core.dir/power_topology.cc.o.d"
+  "CMakeFiles/mnoc_core.dir/thread_mapper.cc.o"
+  "CMakeFiles/mnoc_core.dir/thread_mapper.cc.o.d"
+  "libmnoc_core.a"
+  "libmnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/clustered_network.cc" "src/noc/CMakeFiles/mnoc_noc.dir/clustered_network.cc.o" "gcc" "src/noc/CMakeFiles/mnoc_noc.dir/clustered_network.cc.o.d"
+  "/root/repo/src/noc/mnoc_network.cc" "src/noc/CMakeFiles/mnoc_noc.dir/mnoc_network.cc.o" "gcc" "src/noc/CMakeFiles/mnoc_noc.dir/mnoc_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/mnoc_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

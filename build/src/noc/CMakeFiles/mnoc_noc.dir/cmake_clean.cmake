@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_noc.dir/clustered_network.cc.o"
+  "CMakeFiles/mnoc_noc.dir/clustered_network.cc.o.d"
+  "CMakeFiles/mnoc_noc.dir/mnoc_network.cc.o"
+  "CMakeFiles/mnoc_noc.dir/mnoc_network.cc.o.d"
+  "libmnoc_noc.a"
+  "libmnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/alpha_optimizer.cc" "src/optics/CMakeFiles/mnoc_optics.dir/alpha_optimizer.cc.o" "gcc" "src/optics/CMakeFiles/mnoc_optics.dir/alpha_optimizer.cc.o.d"
+  "/root/repo/src/optics/crossbar.cc" "src/optics/CMakeFiles/mnoc_optics.dir/crossbar.cc.o" "gcc" "src/optics/CMakeFiles/mnoc_optics.dir/crossbar.cc.o.d"
+  "/root/repo/src/optics/link_budget.cc" "src/optics/CMakeFiles/mnoc_optics.dir/link_budget.cc.o" "gcc" "src/optics/CMakeFiles/mnoc_optics.dir/link_budget.cc.o.d"
+  "/root/repo/src/optics/serpentine_layout.cc" "src/optics/CMakeFiles/mnoc_optics.dir/serpentine_layout.cc.o" "gcc" "src/optics/CMakeFiles/mnoc_optics.dir/serpentine_layout.cc.o.d"
+  "/root/repo/src/optics/splitter_chain.cc" "src/optics/CMakeFiles/mnoc_optics.dir/splitter_chain.cc.o" "gcc" "src/optics/CMakeFiles/mnoc_optics.dir/splitter_chain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_optics.dir/alpha_optimizer.cc.o"
+  "CMakeFiles/mnoc_optics.dir/alpha_optimizer.cc.o.d"
+  "CMakeFiles/mnoc_optics.dir/crossbar.cc.o"
+  "CMakeFiles/mnoc_optics.dir/crossbar.cc.o.d"
+  "CMakeFiles/mnoc_optics.dir/link_budget.cc.o"
+  "CMakeFiles/mnoc_optics.dir/link_budget.cc.o.d"
+  "CMakeFiles/mnoc_optics.dir/serpentine_layout.cc.o"
+  "CMakeFiles/mnoc_optics.dir/serpentine_layout.cc.o.d"
+  "CMakeFiles/mnoc_optics.dir/splitter_chain.cc.o"
+  "CMakeFiles/mnoc_optics.dir/splitter_chain.cc.o.d"
+  "libmnoc_optics.a"
+  "libmnoc_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qap/annealing.cc" "src/qap/CMakeFiles/mnoc_qap.dir/annealing.cc.o" "gcc" "src/qap/CMakeFiles/mnoc_qap.dir/annealing.cc.o.d"
+  "/root/repo/src/qap/exhaustive.cc" "src/qap/CMakeFiles/mnoc_qap.dir/exhaustive.cc.o" "gcc" "src/qap/CMakeFiles/mnoc_qap.dir/exhaustive.cc.o.d"
+  "/root/repo/src/qap/qap.cc" "src/qap/CMakeFiles/mnoc_qap.dir/qap.cc.o" "gcc" "src/qap/CMakeFiles/mnoc_qap.dir/qap.cc.o.d"
+  "/root/repo/src/qap/taboo.cc" "src/qap/CMakeFiles/mnoc_qap.dir/taboo.cc.o" "gcc" "src/qap/CMakeFiles/mnoc_qap.dir/taboo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

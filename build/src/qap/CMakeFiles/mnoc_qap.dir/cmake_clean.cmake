@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_qap.dir/annealing.cc.o"
+  "CMakeFiles/mnoc_qap.dir/annealing.cc.o.d"
+  "CMakeFiles/mnoc_qap.dir/exhaustive.cc.o"
+  "CMakeFiles/mnoc_qap.dir/exhaustive.cc.o.d"
+  "CMakeFiles/mnoc_qap.dir/qap.cc.o"
+  "CMakeFiles/mnoc_qap.dir/qap.cc.o.d"
+  "CMakeFiles/mnoc_qap.dir/taboo.cc.o"
+  "CMakeFiles/mnoc_qap.dir/taboo.cc.o.d"
+  "libmnoc_qap.a"
+  "libmnoc_qap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_qap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

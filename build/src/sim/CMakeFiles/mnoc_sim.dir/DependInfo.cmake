@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/mnoc_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/mnoc_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/coherence.cc" "src/sim/CMakeFiles/mnoc_sim.dir/coherence.cc.o" "gcc" "src/sim/CMakeFiles/mnoc_sim.dir/coherence.cc.o.d"
+  "/root/repo/src/sim/directory.cc" "src/sim/CMakeFiles/mnoc_sim.dir/directory.cc.o" "gcc" "src/sim/CMakeFiles/mnoc_sim.dir/directory.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/mnoc_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/mnoc_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/mnoc_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/mnoc_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/mnoc_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_sim.dir/cache.cc.o"
+  "CMakeFiles/mnoc_sim.dir/cache.cc.o.d"
+  "CMakeFiles/mnoc_sim.dir/coherence.cc.o"
+  "CMakeFiles/mnoc_sim.dir/coherence.cc.o.d"
+  "CMakeFiles/mnoc_sim.dir/directory.cc.o"
+  "CMakeFiles/mnoc_sim.dir/directory.cc.o.d"
+  "CMakeFiles/mnoc_sim.dir/simulator.cc.o"
+  "CMakeFiles/mnoc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/mnoc_sim.dir/trace.cc.o"
+  "CMakeFiles/mnoc_sim.dir/trace.cc.o.d"
+  "libmnoc_sim.a"
+  "libmnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generated.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/generated.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/generated.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/splash_grid.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_grid.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_grid.cc.o.d"
+  "/root/repo/src/workloads/splash_heavy.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_heavy.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_heavy.cc.o.d"
+  "/root/repo/src/workloads/splash_irregular.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_irregular.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_irregular.cc.o.d"
+  "/root/repo/src/workloads/splash_light.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_light.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/splash_light.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/mnoc_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/mnoc_workloads.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/mnoc_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnoc_workloads.dir/generated.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/generated.cc.o.d"
+  "CMakeFiles/mnoc_workloads.dir/registry.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/mnoc_workloads.dir/splash_grid.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/splash_grid.cc.o.d"
+  "CMakeFiles/mnoc_workloads.dir/splash_heavy.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/splash_heavy.cc.o.d"
+  "CMakeFiles/mnoc_workloads.dir/splash_irregular.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/splash_irregular.cc.o.d"
+  "CMakeFiles/mnoc_workloads.dir/splash_light.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/splash_light.cc.o.d"
+  "CMakeFiles/mnoc_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/mnoc_workloads.dir/synthetic.cc.o.d"
+  "libmnoc_workloads.a"
+  "libmnoc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnoc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

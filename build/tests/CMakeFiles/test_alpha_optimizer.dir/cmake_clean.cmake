@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha_optimizer.dir/test_alpha_optimizer.cc.o"
+  "CMakeFiles/test_alpha_optimizer.dir/test_alpha_optimizer.cc.o.d"
+  "test_alpha_optimizer"
+  "test_alpha_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

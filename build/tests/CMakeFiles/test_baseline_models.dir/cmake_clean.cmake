@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_models.dir/test_baseline_models.cc.o"
+  "CMakeFiles/test_baseline_models.dir/test_baseline_models.cc.o.d"
+  "test_baseline_models"
+  "test_baseline_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_aware.dir/test_comm_aware.cc.o"
+  "CMakeFiles/test_comm_aware.dir/test_comm_aware.cc.o.d"
+  "test_comm_aware"
+  "test_comm_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

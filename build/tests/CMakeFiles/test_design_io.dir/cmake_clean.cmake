@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_io.dir/test_design_io.cc.o"
+  "CMakeFiles/test_design_io.dir/test_design_io.cc.o.d"
+  "test_design_io"
+  "test_design_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_link_budget.cc" "tests/CMakeFiles/test_link_budget.dir/test_link_budget.cc.o" "gcc" "tests/CMakeFiles/test_link_budget.dir/test_link_budget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mnoc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/mnoc_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/mnoc_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_budget.dir/test_link_budget.cc.o"
+  "CMakeFiles/test_link_budget.dir/test_link_budget.cc.o.d"
+  "test_link_budget"
+  "test_link_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

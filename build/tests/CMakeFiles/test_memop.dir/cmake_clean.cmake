@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memop.dir/test_memop.cc.o"
+  "CMakeFiles/test_memop.dir/test_memop.cc.o.d"
+  "test_memop"
+  "test_memop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mnoc_network.dir/test_mnoc_network.cc.o"
+  "CMakeFiles/test_mnoc_network.dir/test_mnoc_network.cc.o.d"
+  "test_mnoc_network"
+  "test_mnoc_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mnoc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

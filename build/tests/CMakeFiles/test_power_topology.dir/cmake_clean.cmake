@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_topology.dir/test_power_topology.cc.o"
+  "CMakeFiles/test_power_topology.dir/test_power_topology.cc.o.d"
+  "test_power_topology"
+  "test_power_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serpentine.dir/test_serpentine.cc.o"
+  "CMakeFiles/test_serpentine.dir/test_serpentine.cc.o.d"
+  "test_serpentine"
+  "test_serpentine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serpentine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

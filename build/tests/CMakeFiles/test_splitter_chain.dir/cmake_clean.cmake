@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitter_chain.dir/test_splitter_chain.cc.o"
+  "CMakeFiles/test_splitter_chain.dir/test_splitter_chain.cc.o.d"
+  "test_splitter_chain"
+  "test_splitter_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitter_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

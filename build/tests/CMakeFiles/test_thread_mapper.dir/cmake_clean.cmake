@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_mapper.dir/test_thread_mapper.cc.o"
+  "CMakeFiles/test_thread_mapper.dir/test_thread_mapper.cc.o.d"
+  "test_thread_mapper"
+  "test_thread_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnocpt.dir/mnocpt.cc.o"
+  "CMakeFiles/mnocpt.dir/mnocpt.cc.o.d"
+  "mnocpt"
+  "mnocpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnocpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
