@@ -1,5 +1,6 @@
 #include "core/design_io.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -9,7 +10,8 @@
 namespace mnoc::core {
 
 void
-saveDesign(const std::string &path, const MnocDesign &design)
+saveDesign(const std::string &path, const MnocDesign &design,
+           const ResilienceSummary *resilience)
 {
     design.topology.validate();
     int n = design.topology.numNodes;
@@ -48,6 +50,30 @@ saveDesign(const std::string &path, const MnocDesign &design)
             out << " " << t;
         out << "\n";
     }
+    if (resilience) {
+        const auto &r = *resilience;
+        out << "resilience\n";
+        out << "target " << r.yieldTarget << " trials " << r.trials
+            << " seed " << r.seed << "\n";
+        out << "spec " << r.spec.splitterSigma << " "
+            << r.spec.couplerSigmaDb << " "
+            << r.spec.waveguideSigmaDbPerCm << " "
+            << r.spec.splitterInsertionSigmaDb << " "
+            << r.spec.ledDroopSigma << " " << r.spec.miopSigmaDb
+            << "\n";
+        out << "final yield " << r.finalYield << " margin "
+            << r.finalMarginDb << " modes " << r.finalNumModes
+            << " met " << (r.metTarget ? 1 : 0) << "\n";
+        out << "steps " << r.path.size() << "\n";
+        for (const auto &step : r.path) {
+            out << "step "
+                << (step.kind == DegradationStep::Kind::Margin
+                        ? "margin"
+                        : "collapse")
+                << " " << step.numModes << " " << step.collapsedMode
+                << " " << step.marginDb << " " << step.yield << "\n";
+        }
+    }
 }
 
 namespace {
@@ -71,10 +97,85 @@ readVectorLine(std::istream &in, const std::string &expect, int count,
     return values;
 }
 
+/** Expect the literal token @p expect next in the stream. */
+void
+expectToken(std::istream &in, const std::string &expect,
+            const std::string &path)
+{
+    std::string token;
+    in >> token;
+    fatalIf(in.fail() || token != expect,
+            "malformed design file (expected '" + expect + "'): " +
+                path);
+}
+
+/** Fatal unless every value is finite and within [lo, hi]. */
+void
+checkRange(const std::vector<double> &values, double lo, double hi,
+           const std::string &what, const std::string &path)
+{
+    for (double v : values)
+        fatalIf(!std::isfinite(v) || v < lo || v > hi,
+                "design file has " + what + " out of range: " + path);
+}
+
+ResilienceSummary
+readResilience(std::istream &in, const std::string &path)
+{
+    ResilienceSummary r;
+    expectToken(in, "target", path);
+    in >> r.yieldTarget;
+    expectToken(in, "trials", path);
+    in >> r.trials;
+    expectToken(in, "seed", path);
+    in >> r.seed;
+    expectToken(in, "spec", path);
+    in >> r.spec.splitterSigma >> r.spec.couplerSigmaDb >>
+        r.spec.waveguideSigmaDbPerCm >>
+        r.spec.splitterInsertionSigmaDb >> r.spec.ledDroopSigma >>
+        r.spec.miopSigmaDb;
+    expectToken(in, "final", path);
+    expectToken(in, "yield", path);
+    in >> r.finalYield;
+    expectToken(in, "margin", path);
+    in >> r.finalMarginDb;
+    expectToken(in, "modes", path);
+    in >> r.finalNumModes;
+    expectToken(in, "met", path);
+    int met = 0;
+    in >> met;
+    r.metTarget = met != 0;
+    expectToken(in, "steps", path);
+    std::size_t count = 0;
+    in >> count;
+    fatalIf(in.fail() || count > 1000000,
+            "malformed resilience block: " + path);
+    r.spec.validate();
+    fatalIf(r.trials < 1 || r.finalNumModes < 1 ||
+                !std::isfinite(r.finalYield) || r.finalYield < 0.0 ||
+                r.finalYield > 1.0 || !std::isfinite(r.finalMarginDb) ||
+                r.finalMarginDb < 0.0,
+            "resilience summary out of range: " + path);
+    r.path.resize(count);
+    for (auto &step : r.path) {
+        expectToken(in, "step", path);
+        std::string kind;
+        in >> kind >> step.numModes >> step.collapsedMode >>
+            step.marginDb >> step.yield;
+        fatalIf(in.fail() || (kind != "margin" && kind != "collapse"),
+                "malformed degradation step: " + path);
+        step.kind = kind == "margin" ? DegradationStep::Kind::Margin
+                                     : DegradationStep::Kind::Collapse;
+        fatalIf(step.numModes < 1,
+                "malformed degradation step: " + path);
+    }
+    return r;
+}
+
 } // namespace
 
-MnocDesign
-loadDesign(const std::string &path)
+DesignReport
+loadDesignReport(const std::string &path)
 {
     std::ifstream in(path);
     fatalIf(!in.is_open(), "cannot open design file: " + path);
@@ -88,10 +189,12 @@ loadDesign(const std::string &path)
     int n = 0;
     int num_modes = 0;
     in >> n >> num_modes;
-    fatalIf(n < 2 || num_modes < 1 || in.fail(),
+    fatalIf(in.fail() || n < 2 || n > 1000000 || num_modes < 1 ||
+                num_modes > n,
             "malformed design dimensions: " + path);
 
-    MnocDesign design;
+    DesignReport report;
+    auto &design = report.design;
     design.topology.numNodes = n;
     design.topology.numModes = num_modes;
     design.topology.locals.resize(n);
@@ -112,11 +215,15 @@ loadDesign(const std::string &path)
         auto &source = design.sources[s];
         source.alpha =
             readVectorLine<double>(in, "alpha", num_modes, path);
+        checkRange(source.alpha, 0.0, 1.0, "alpha values", path);
         source.modePower =
             readVectorLine<double>(in, "modepower", num_modes, path);
+        checkRange(source.modePower, 0.0, 1e6, "mode powers", path);
         source.chain.source = s;
         source.chain.splitterFraction =
             readVectorLine<double>(in, "splitters", n, path);
+        checkRange(source.chain.splitterFraction, 0.0, 1.0,
+                   "splitter fractions", path);
 
         std::string injected_label;
         std::string expected_label;
@@ -125,12 +232,30 @@ loadDesign(const std::string &path)
         fatalIf(injected_label != "injected" ||
                     expected_label != "expected" || in.fail(),
                 "malformed design file (powers): " + path);
+        checkRange({source.chain.injectedPower, source.expectedPower},
+                   0.0, 1e6, "injected/expected powers", path);
         source.chain.targets =
             readVectorLine<double>(in, "targets", n, path);
+        checkRange(source.chain.targets, 0.0, 1e6, "tap targets", path);
         source.modeOfDest = local.modeOfDest;
     }
     design.topology.validate();
-    return design;
+
+    std::string trailer;
+    if (in >> trailer) {
+        fatalIf(trailer != "resilience",
+                "trailing garbage in design file: " + path);
+        report.resilience = readResilience(in, path);
+        fatalIf(static_cast<bool>(in >> trailer),
+                "trailing garbage in design file: " + path);
+    }
+    return report;
+}
+
+MnocDesign
+loadDesign(const std::string &path)
+{
+    return loadDesignReport(path).design;
 }
 
 std::vector<DriveTableEntry>

@@ -14,23 +14,42 @@
 #ifndef MNOC_CORE_DESIGN_IO_HH
 #define MNOC_CORE_DESIGN_IO_HH
 
+#include <optional>
 #include <string>
 
+#include "core/designer.hh"
 #include "core/power_model.hh"
 
 namespace mnoc::core {
 
 /**
- * Write @p design to @p path.
+ * Write @p design to @p path.  When @p resilience is non-null, the
+ * hardening outcome (yield numbers and the degradation path) is
+ * appended so downstream consumers can see how the design was hardened
+ * and whether it met its yield target.
  * @throws FatalError when the file cannot be written.
  */
-void saveDesign(const std::string &path, const MnocDesign &design);
+void saveDesign(const std::string &path, const MnocDesign &design,
+                const ResilienceSummary *resilience = nullptr);
 
 /**
  * Read a design written by saveDesign().
  * @throws FatalError on malformed input.
  */
 MnocDesign loadDesign(const std::string &path);
+
+/** A loaded design plus its optional hardening record. */
+struct DesignReport
+{
+    MnocDesign design;
+    std::optional<ResilienceSummary> resilience;
+};
+
+/**
+ * Read a design together with its resilience summary, when present.
+ * @throws FatalError on malformed input.
+ */
+DesignReport loadDesignReport(const std::string &path);
 
 /**
  * The software-visible drive table of one source: for each

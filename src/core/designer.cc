@@ -1,6 +1,10 @@
 #include "core/designer.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/log.hh"
+#include "optics/link_budget.hh"
 
 namespace mnoc::core {
 
@@ -78,17 +82,196 @@ Designer::buildTopology(const DesignSpec &spec,
 MnocDesign
 Designer::buildDesign(const DesignSpec &spec,
                       const GlobalPowerTopology &topology,
-                      const FlowMatrix &core_design_flow) const
+                      const FlowMatrix &core_design_flow,
+                      double design_margin_db) const
 {
     switch (spec.weights) {
       case WeightSource::Uniform:
-        return model_.designUniform(topology);
+        return model_.designUniform(topology, design_margin_db);
       case WeightSource::Fractions:
-        return model_.designWithFractions(topology, spec.fractions);
+        return model_.designWithFractions(topology, spec.fractions,
+                                          design_margin_db);
       case WeightSource::DesignFlow:
-        return model_.designFor(topology, core_design_flow);
+        return model_.designFor(topology, core_design_flow,
+                                design_margin_db);
     }
     panic("unreachable weight source");
+}
+
+namespace {
+
+/** Does @p design hold its budgets at the *unperturbed* parameters? */
+bool
+nominallyValid(const optics::OpticalCrossbar &crossbar,
+               const MnocDesign &design,
+               const faults::YieldCriteria &criteria)
+{
+    double pmin = crossbar.params().pminAtTap();
+    for (int s = 0; s < crossbar.numNodes(); ++s) {
+        auto report = optics::validateDesign(
+            crossbar.chain(s), design.sources[s], pmin,
+            criteria.requiredMarginDb, criteria.maxLeakDb);
+        if (!report.ok)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The mode whose links failed most often across the draws, clamped so
+ * it can be merged upward (the broadcast mode itself cannot collapse).
+ */
+int
+worstFailingMode(const faults::YieldReport &report, int num_modes)
+{
+    int worst = 0;
+    long long worst_count = -1;
+    for (int m = 0; m < num_modes; ++m) {
+        long long count = report.marginFailuresByMode[m] +
+                          report.leakFailuresByMode[m];
+        if (count > worst_count) {
+            worst_count = count;
+            worst = m;
+        }
+    }
+    return std::min(worst, num_modes - 2);
+}
+
+} // namespace
+
+ResilientDesign
+Designer::buildResilientDesign(const DesignSpec &spec,
+                               const GlobalPowerTopology &topology,
+                               const FlowMatrix &core_design_flow,
+                               const ResilienceParams &resilience) const
+{
+    resilience.variation.validate();
+    fatalIf(resilience.yieldTarget < 0.0 || resilience.yieldTarget > 1.0,
+            "yield target must lie in [0, 1]");
+    fatalIf(resilience.trials < 1, "need at least one yield trial");
+    fatalIf(resilience.marginStepDb <= 0.0,
+            "margin step must be positive");
+    fatalIf(resilience.maxMarginDb < 0.0,
+            "max margin must be non-negative");
+    fatalIf(resilience.criteria.requiredMarginDb >
+                resilience.maxMarginDb,
+            "required link margin exceeds the hardenable maximum");
+
+    DesignSpec working = spec;
+    GlobalPowerTopology topo = topology;
+    double base_margin =
+        std::max(0.0, resilience.criteria.requiredMarginDb);
+
+    ResilientDesign out;
+    auto &summary = out.summary;
+    summary.yieldTarget = resilience.yieldTarget;
+    summary.trials = resilience.trials;
+    summary.seed = resilience.seed;
+    summary.spec = resilience.variation;
+
+    auto analyze = [&](const MnocDesign &design) {
+        return faults::analyzeYield(
+            crossbar_.layout(), crossbar_.params(), design.sources,
+            resilience.variation, resilience.trials, resilience.seed,
+            resilience.criteria);
+    };
+
+    // Best nominally-valid candidate seen, by yield then by margin.
+    double best_yield = -1.0;
+    double best_margin = 0.0;
+
+    while (true) {
+        working.numModes = topo.numModes;
+        double margin = base_margin;
+        faults::YieldReport last_report;
+        while (true) {
+            auto design = buildDesign(working, topo, core_design_flow,
+                                      margin);
+            auto report = analyze(design);
+
+            DegradationStep step;
+            step.kind = DegradationStep::Kind::Margin;
+            step.numModes = topo.numModes;
+            step.marginDb = margin;
+            step.yield = report.yield;
+            summary.path.push_back(step);
+
+            bool valid =
+                nominallyValid(crossbar_, design, resilience.criteria);
+            // ">=": among equal yields prefer the later candidate --
+            // more margin and a more conservative (further degraded)
+            // mode set -- so a hopeless target ends at broadcast.
+            if (valid && report.yield >= best_yield) {
+                best_yield = report.yield;
+                best_margin = margin;
+                out.design = std::move(design);
+                out.yield = report;
+                summary.finalNumModes = topo.numModes;
+            }
+            if (valid && report.yield >= resilience.yieldTarget) {
+                summary.metTarget = true;
+                summary.finalYield = report.yield;
+                summary.finalMarginDb = margin;
+                return out;
+            }
+            last_report = std::move(report);
+            if (margin >= resilience.maxMarginDb - 1e-9)
+                break;
+            margin = std::min(margin + resilience.marginStepDb,
+                              resilience.maxMarginDb);
+        }
+
+        if (topo.numModes == 1)
+            break;
+
+        // Margin is exhausted: degrade by merging the worst-failing
+        // mode into the next-higher-power one and sweep margin again.
+        int worst = worstFailingMode(last_report, topo.numModes);
+        DegradationStep step;
+        step.kind = DegradationStep::Kind::Collapse;
+        step.numModes = topo.numModes - 1;
+        step.collapsedMode = worst;
+        step.marginDb = base_margin;
+        summary.path.push_back(step);
+        topo = collapseMode(topo, worst);
+        if (working.weights == WeightSource::Fractions &&
+            !working.fractions.empty()) {
+            working.fractions[worst + 1] += working.fractions[worst];
+            working.fractions.erase(working.fractions.begin() + worst);
+        }
+    }
+
+    if (best_yield < 0.0) {
+        // Nothing evaluated was even nominally valid (an extreme leak
+        // constraint): fall back to broadcast at maximum margin, which
+        // has no unreachable links and so always holds its budgets.
+        GlobalPowerTopology broadcast =
+            GlobalPowerTopology::singleMode(crossbar_.numNodes());
+        working.numModes = 1;
+        if (working.weights == WeightSource::Fractions)
+            working.fractions = {1.0};
+        auto design = buildDesign(working, broadcast, core_design_flow,
+                                  resilience.maxMarginDb);
+        auto report = analyze(design);
+        DegradationStep step;
+        step.kind = DegradationStep::Kind::Margin;
+        step.numModes = 1;
+        step.marginDb = resilience.maxMarginDb;
+        step.yield = report.yield;
+        summary.path.push_back(step);
+        panicIf(!nominallyValid(crossbar_, design, resilience.criteria),
+                "broadcast fallback violates its nominal budget");
+        best_yield = report.yield;
+        best_margin = resilience.maxMarginDb;
+        out.design = std::move(design);
+        out.yield = std::move(report);
+        summary.finalNumModes = 1;
+    }
+
+    summary.metTarget = best_yield >= resilience.yieldTarget;
+    summary.finalYield = best_yield;
+    summary.finalMarginDb = best_margin;
+    return out;
 }
 
 PowerBreakdown

@@ -18,6 +18,7 @@
 #include "core/comm_aware.hh"
 #include "core/power_model.hh"
 #include "core/thread_mapper.hh"
+#include "faults/yield.hh"
 #include "sim/trace.hh"
 
 namespace mnoc::core {
@@ -54,6 +55,70 @@ struct DesignSpec
     std::string label() const;
 };
 
+/** Knobs of the yield-hardening loop. */
+struct ResilienceParams
+{
+    /** Device-variation sigmas to harden against. */
+    faults::VariationSpec variation;
+    /** Fraction of Monte Carlo draws that must hold their budgets. */
+    double yieldTarget = 0.95;
+    /** Draws per yield evaluation. */
+    int trials = 200;
+    /** Seed of the yield analysis (reports are seed-reproducible). */
+    std::uint64_t seed = 1;
+    /** Margin added per hardening iteration, in dB. */
+    double marginStepDb = 0.5;
+    /** Largest design margin the QD LED drivers can supply, in dB;
+     *  beyond it the loop degrades the mode set instead. */
+    double maxMarginDb = 6.0;
+    /** Thresholds every draw is validated against. */
+    faults::YieldCriteria criteria;
+};
+
+/** One record of the hardening loop's trajectory. */
+struct DegradationStep
+{
+    enum class Kind
+    {
+        Margin,  ///< designed and yield-tested at a margin point
+        Collapse ///< merged a mode into the next-higher-power mode
+    };
+    Kind kind = Kind::Margin;
+    /** Mode count in effect after this step. */
+    int numModes = 0;
+    /** Mode merged upward (Collapse steps only). */
+    int collapsedMode = -1;
+    /** Design margin in effect, in dB. */
+    double marginDb = 0.0;
+    /** Measured yield (Margin steps; -1 on Collapse records). */
+    double yield = -1.0;
+};
+
+/** Serializable outcome of the hardening loop. */
+struct ResilienceSummary
+{
+    double yieldTarget = 0.0;
+    int trials = 0;
+    std::uint64_t seed = 0;
+    faults::VariationSpec spec;
+    double finalYield = 0.0;
+    double finalMarginDb = 0.0;
+    int finalNumModes = 0;
+    bool metTarget = false;
+    /** The degradation path: every margin raise and mode collapse the
+     *  loop took, in order. */
+    std::vector<DegradationStep> path;
+};
+
+/** A hardened design plus the evidence it was hardened on. */
+struct ResilientDesign
+{
+    MnocDesign design;
+    /** Yield report of the emitted design. */
+    faults::YieldReport yield;
+    ResilienceSummary summary;
+};
+
 /**
  * Orchestrates mapping, topology construction, splitter design and
  * power evaluation against a shared crossbar and power model.
@@ -79,10 +144,36 @@ class Designer
         const DesignSpec &spec,
         const FlowMatrix &core_design_flow) const;
 
-    /** Solve the splitter design for @p topology per @p spec. */
+    /**
+     * Solve the splitter design for @p topology per @p spec.
+     * @param design_margin_db Extra margin designed into every tap
+     *        target (see MnocPowerModel::designFor).
+     */
     MnocDesign buildDesign(const DesignSpec &spec,
                            const GlobalPowerTopology &topology,
-                           const FlowMatrix &core_design_flow) const;
+                           const FlowMatrix &core_design_flow,
+                           double design_margin_db = 0.0) const;
+
+    /**
+     * Harden @p spec's design until its Monte Carlo yield under
+     * @p resilience.variation reaches the target, never emitting an
+     * invalid design.
+     *
+     * The loop first buys yield with margin (raising the design's
+     * pmin operating point in marginStepDb increments up to
+     * maxMarginDb); when margin is exhausted it degrades gracefully by
+     * collapsing the worst-failing mode into the next-higher-power
+     * mode and restarting the margin sweep, ultimately reaching the
+     * single-mode broadcast topology.  Every step is recorded in the
+     * returned summary's degradation path.  If even broadcast at
+     * maximum margin misses the target, the best design seen is
+     * emitted with metTarget == false -- but the emitted design always
+     * holds its nominal (unperturbed) link budgets.
+     */
+    ResilientDesign buildResilientDesign(
+        const DesignSpec &spec, const GlobalPowerTopology &topology,
+        const FlowMatrix &core_design_flow,
+        const ResilienceParams &resilience) const;
 
     /**
      * Average power of @p design over @p thread_trace run under

@@ -1,6 +1,7 @@
 #include "core/power_model.hh"
 
 #include "common/log.hh"
+#include "common/units.hh"
 #include "optics/alpha_optimizer.hh"
 
 namespace mnoc::core {
@@ -27,16 +28,22 @@ MnocPowerModel::MnocPowerModel(const optics::OpticalCrossbar &crossbar,
 MnocDesign
 MnocPowerModel::designWithWeights(
     const GlobalPowerTopology &topology,
-    const std::vector<std::vector<double>> &weights) const
+    const std::vector<std::vector<double>> &weights,
+    double design_margin_db) const
 {
     topology.validate();
     int n = crossbar_.numNodes();
     fatalIf(topology.numNodes != n, "topology size mismatch");
+    fatalIf(design_margin_db < 0.0,
+            "design margin must be non-negative");
 
     MnocDesign design;
     design.topology = topology;
     design.sources.reserve(n);
-    double pmin = crossbar_.params().pminAtTap();
+    // Inflating the design-time pmin by the margin makes every
+    // reachable link clear the true threshold by that many dB.
+    double pmin = crossbar_.params().pminAtTap() *
+                  dbToAttenuation(design_margin_db);
     for (int s = 0; s < n; ++s) {
         optics::AlphaOptimizer optimizer(crossbar_.chain(s),
                                          topology.local(s).modeOfDest,
@@ -48,7 +55,8 @@ MnocPowerModel::designWithWeights(
 
 MnocDesign
 MnocPowerModel::designFor(const GlobalPowerTopology &topology,
-                          const FlowMatrix &design_flow) const
+                          const FlowMatrix &design_flow,
+                          double design_margin_db) const
 {
     int n = crossbar_.numNodes();
     fatalIf(static_cast<int>(design_flow.rows()) != n ||
@@ -74,27 +82,29 @@ MnocPowerModel::designFor(const GlobalPowerTopology &topology,
         }
         weights[s] = std::move(w);
     }
-    return designWithWeights(topology, weights);
+    return designWithWeights(topology, weights, design_margin_db);
 }
 
 MnocDesign
-MnocPowerModel::designUniform(const GlobalPowerTopology &topology) const
+MnocPowerModel::designUniform(const GlobalPowerTopology &topology,
+                              double design_margin_db) const
 {
     FlowMatrix uniform(crossbar_.numNodes(), crossbar_.numNodes(), 1.0);
-    return designFor(topology, uniform);
+    return designFor(topology, uniform, design_margin_db);
 }
 
 MnocDesign
 MnocPowerModel::designWithFractions(
     const GlobalPowerTopology &topology,
-    const std::vector<double> &mode_fractions) const
+    const std::vector<double> &mode_fractions,
+    double design_margin_db) const
 {
     fatalIf(static_cast<int>(mode_fractions.size()) !=
                 topology.numModes,
             "one fraction per mode required");
     std::vector<std::vector<double>> weights(
         crossbar_.numNodes(), mode_fractions);
-    return designWithWeights(topology, weights);
+    return designWithWeights(topology, weights, design_margin_db);
 }
 
 PowerBreakdown

@@ -89,12 +89,20 @@ class MnocPowerModel
      * derived from @p design_flow (flits between cores at design time).
      * Sources with no design traffic fall back to uniform
      * per-destination weights.
+     *
+     * @param design_margin_db Extra margin designed into every tap
+     *        target: splitters are solved for pmin inflated by this
+     *        many dB, so every reachable link clears the nominal
+     *        threshold with at least this margin.  The hardening loop
+     *        raises it to buy yield under device variation.
      */
     MnocDesign designFor(const GlobalPowerTopology &topology,
-                         const FlowMatrix &design_flow) const;
+                         const FlowMatrix &design_flow,
+                         double design_margin_db = 0.0) const;
 
     /** Design with uniform per-destination weights (the U designs). */
-    MnocDesign designUniform(const GlobalPowerTopology &topology) const;
+    MnocDesign designUniform(const GlobalPowerTopology &topology,
+                             double design_margin_db = 0.0) const;
 
     /**
      * Design with fixed per-mode traffic fractions shared by every
@@ -102,7 +110,8 @@ class MnocPowerModel
      */
     MnocDesign designWithFractions(
         const GlobalPowerTopology &topology,
-        const std::vector<double> &mode_fractions) const;
+        const std::vector<double> &mode_fractions,
+        double design_margin_db = 0.0) const;
 
     /** Average power over the traced interval. */
     PowerBreakdown evaluate(const MnocDesign &design,
@@ -114,7 +123,8 @@ class MnocPowerModel
   private:
     MnocDesign designWithWeights(
         const GlobalPowerTopology &topology,
-        const std::vector<std::vector<double>> &weights) const;
+        const std::vector<std::vector<double>> &weights,
+        double design_margin_db) const;
 
     const optics::OpticalCrossbar &crossbar_;
     PowerParams params_;

@@ -121,4 +121,24 @@ GlobalPowerTopology::validate() const
     }
 }
 
+GlobalPowerTopology
+collapseMode(const GlobalPowerTopology &topology, int mode)
+{
+    topology.validate();
+    fatalIf(mode < 0 || mode >= topology.numModes - 1,
+            "can only collapse a mode into a higher-power one");
+
+    GlobalPowerTopology out = topology;
+    out.numModes = topology.numModes - 1;
+    for (auto &local : out.locals) {
+        local.numModes = out.numModes;
+        for (int &m : local.modeOfDest) {
+            if (m > mode)
+                --m; // modes above shift down; mode+1 absorbs mode
+        }
+    }
+    out.validate();
+    return out;
+}
+
 } // namespace mnoc::core

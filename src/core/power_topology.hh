@@ -65,6 +65,18 @@ struct GlobalPowerTopology
     void validate() const;
 };
 
+/**
+ * Graceful degradation step: merge power mode @p mode into the
+ * next-higher-power mode @p mode + 1 in every local topology and
+ * renumber the modes above it down by one.  Destinations formerly
+ * unique to @p mode become reachable only at the higher power, so the
+ * result is strictly more conservative; repeated collapses end at the
+ * single-mode broadcast topology.  @p mode must be below the highest
+ * mode (the broadcast mode cannot be merged upward).
+ */
+GlobalPowerTopology collapseMode(const GlobalPowerTopology &topology,
+                                 int mode);
+
 } // namespace mnoc::core
 
 #endif // MNOC_CORE_POWER_TOPOLOGY_HH

@@ -1,0 +1,83 @@
+#include "faults/variation.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace mnoc::faults {
+
+VariationSpec
+VariationSpec::scaled(double factor) const
+{
+    fatalIf(factor < 0.0, "tolerance scale must be non-negative");
+    VariationSpec out = *this;
+    out.splitterSigma *= factor;
+    out.couplerSigmaDb *= factor;
+    out.waveguideSigmaDbPerCm *= factor;
+    out.splitterInsertionSigmaDb *= factor;
+    out.ledDroopSigma *= factor;
+    out.miopSigmaDb *= factor;
+    return out;
+}
+
+void
+VariationSpec::validate() const
+{
+    fatalIf(splitterSigma < 0.0 || couplerSigmaDb < 0.0 ||
+                waveguideSigmaDbPerCm < 0.0 ||
+                splitterInsertionSigmaDb < 0.0 || ledDroopSigma < 0.0 ||
+                miopSigmaDb < 0.0,
+            "variation sigmas must be non-negative");
+}
+
+double
+gaussian(Prng &prng)
+{
+    // Box-Muller; clamp the radius argument away from zero so the log
+    // stays finite.  Always consumes two uniforms.
+    double u1 = prng.uniform();
+    double u2 = prng.uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    constexpr double two_pi = 6.283185307179586;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+DeviceVariation
+drawVariation(const VariationSpec &spec,
+              const optics::DeviceParams &nominal, int num_nodes,
+              Prng &prng)
+{
+    spec.validate();
+    fatalIf(num_nodes < 2, "variation draw needs at least two nodes");
+
+    DeviceVariation out;
+    // Per-die skews: loss terms move additively in dB, the detector
+    // sensitivity multiplicatively (a dB shift of the required mIOP).
+    double wg_skew = gaussian(prng) * spec.waveguideSigmaDbPerCm;
+    double coupler_skew = gaussian(prng) * spec.couplerSigmaDb;
+    double insertion_skew = gaussian(prng) * spec.splitterInsertionSigmaDb;
+    double miop_scale =
+        dbToAttenuation(gaussian(prng) * spec.miopSigmaDb);
+    out.params = nominal.perturbed(wg_skew, coupler_skew,
+                                   insertion_skew, miop_scale);
+
+    out.splitterScale.resize(num_nodes);
+    out.ledOutputScale.resize(num_nodes);
+    for (int s = 0; s < num_nodes; ++s) {
+        // One-sided droop: the half-normal |z| * sigma only ever
+        // reduces the LED's delivered output, floored well above zero
+        // so a draw never models a dead source as free power savings.
+        out.ledOutputScale[s] = std::max(
+            0.1, 1.0 - std::fabs(gaussian(prng)) * spec.ledDroopSigma);
+        auto &scale = out.splitterScale[s];
+        scale.resize(num_nodes);
+        for (int j = 0; j < num_nodes; ++j)
+            scale[j] = std::max(
+                0.0, 1.0 + gaussian(prng) * spec.splitterSigma);
+    }
+    return out;
+}
+
+} // namespace mnoc::faults

@@ -1,0 +1,130 @@
+#include "faults/yield.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "optics/splitter_chain.hh"
+
+namespace mnoc::faults {
+
+namespace {
+
+/** Replay every source under one draw and fold the link budgets. */
+DrawOutcome
+runDraw(const optics::SerpentineLayout &layout,
+        const std::vector<optics::MultiModeDesign> &sources,
+        const DeviceVariation &variation, const YieldCriteria &criteria,
+        std::vector<long long> &margin_failures_by_mode,
+        std::vector<long long> &leak_failures_by_mode)
+{
+    int n = static_cast<int>(sources.size());
+    double pmin = variation.params.pminAtTap();
+
+    DrawOutcome outcome;
+    outcome.pass = true;
+    outcome.worstMarginDb = 1e9;
+    outcome.worstLeakDb = -1e9;
+    outcome.worstBitErrorRate = 0.0;
+
+    for (int s = 0; s < n; ++s) {
+        const auto &design = sources[s];
+        int num_modes = static_cast<int>(design.modePower.size());
+        optics::SplitterChain chain(layout, variation.params, s);
+
+        std::vector<std::vector<double>> received;
+        received.reserve(num_modes);
+        for (int m = 0; m < num_modes; ++m)
+            received.push_back(chain.evaluate(
+                design.chain,
+                design.modePower[m] * variation.ledOutputScale[s],
+                variation.splitterScale[s]));
+
+        auto report = optics::validateReceivedPowers(
+            received, design.modeOfDest, s, pmin,
+            criteria.requiredMarginDb, criteria.maxLeakDb);
+
+        outcome.worstMarginDb =
+            std::min(outcome.worstMarginDb, report.worstReachableMarginDb);
+        outcome.worstLeakDb =
+            std::max(outcome.worstLeakDb, report.worstUnreachableLeakDb);
+        for (const auto &link : report.links) {
+            if (link.reachable) {
+                outcome.worstBitErrorRate = std::max(
+                    outcome.worstBitErrorRate, link.bitErrorRate);
+                if (link.marginDb < criteria.requiredMarginDb - 1e-9) {
+                    ++outcome.marginFailures;
+                    ++margin_failures_by_mode[link.mode];
+                }
+            } else if (link.marginDb > criteria.maxLeakDb) {
+                ++outcome.leakFailures;
+                ++leak_failures_by_mode[link.mode];
+            }
+        }
+        outcome.pass = outcome.pass && report.ok;
+    }
+    return outcome;
+}
+
+} // namespace
+
+YieldReport
+analyzeYield(const optics::SerpentineLayout &layout,
+             const optics::DeviceParams &nominal,
+             const std::vector<optics::MultiModeDesign> &sources,
+             const VariationSpec &spec, int trials, std::uint64_t seed,
+             const YieldCriteria &criteria)
+{
+    spec.validate();
+    int n = static_cast<int>(sources.size());
+    fatalIf(n != layout.numNodes(),
+            "yield analysis needs one design per layout node");
+    fatalIf(trials < 1, "yield analysis needs at least one trial");
+
+    int num_modes = 0;
+    for (int s = 0; s < n; ++s) {
+        fatalIf(sources[s].chain.source != s,
+                "per-source designs must be indexed by source");
+        num_modes = std::max(
+            num_modes, static_cast<int>(sources[s].modePower.size()));
+    }
+
+    YieldReport report;
+    report.trials = trials;
+    report.seed = seed;
+    report.spec = spec;
+    report.marginFailuresByMode.assign(num_modes, 0);
+    report.leakFailuresByMode.assign(num_modes, 0);
+    report.draws.reserve(trials);
+
+    Prng prng(seed);
+    int passes = 0;
+    std::vector<double> margins;
+    std::vector<double> bers;
+    margins.reserve(trials);
+    bers.reserve(trials);
+    for (int t = 0; t < trials; ++t) {
+        auto variation = drawVariation(spec, nominal, n, prng);
+        auto outcome =
+            runDraw(layout, sources, variation, criteria,
+                    report.marginFailuresByMode,
+                    report.leakFailuresByMode);
+        passes += outcome.pass ? 1 : 0;
+        margins.push_back(outcome.worstMarginDb);
+        bers.push_back(outcome.worstBitErrorRate);
+        report.draws.push_back(outcome);
+    }
+
+    report.yield = static_cast<double>(passes) / trials;
+    report.marginMeanDb = mean(margins);
+    report.marginMinDb = minOf(margins);
+    std::sort(margins.begin(), margins.end());
+    report.marginP5Db =
+        margins[static_cast<std::size_t>(0.05 * (trials - 1))];
+    report.berWorstMean = mean(bers);
+    report.berWorstMax = maxOf(bers);
+    return report;
+}
+
+} // namespace mnoc::faults

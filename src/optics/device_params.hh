@@ -13,6 +13,8 @@
 #ifndef MNOC_OPTICS_DEVICE_PARAMS_HH
 #define MNOC_OPTICS_DEVICE_PARAMS_HH
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "common/units.hh"
 
@@ -61,6 +63,29 @@ struct DeviceParams
     propagationLossDb(double length_m) const
     {
         return waveguideLossDbPerCm * (length_m / centimeter);
+    }
+
+    /**
+     * A fabrication-skewed copy of these parameters: additive dB skews
+     * on the loss terms and a multiplicative shift of the detector
+     * sensitivity (miop_scale > 1 models a less sensitive detector).
+     * Skews that would drive a loss negative clamp to zero -- a device
+     * cannot amplify.  Used by the fault-injection subsystem
+     * (src/faults) to replay designs under device variation.
+     */
+    DeviceParams
+    perturbed(double waveguide_skew_db_per_cm, double coupler_skew_db,
+              double splitter_skew_db, double miop_scale) const
+    {
+        fatalIf(miop_scale <= 0.0, "mIOP scale must be positive");
+        DeviceParams out = *this;
+        out.waveguideLossDbPerCm =
+            std::max(0.0, waveguideLossDbPerCm + waveguide_skew_db_per_cm);
+        out.couplerLossDb = std::max(0.0, couplerLossDb + coupler_skew_db);
+        out.splitterInsertionDb =
+            std::max(0.0, splitterInsertionDb + splitter_skew_db);
+        out.photodetectorMiop = photodetectorMiop * miop_scale;
+        return out;
     }
 
     /** Validate parameter ranges; fatal on nonsense values. */

@@ -20,31 +20,33 @@ linkBitErrorRate(double received, double pmin, double q_at_pmin)
 }
 
 BudgetReport
-validateDesign(const SplitterChain &chain,
-               const MultiModeDesign &design, double pmin,
-               double required_margin_db, double max_leak_db)
+validateReceivedPowers(
+    const std::vector<std::vector<double>> &received_per_mode,
+    const std::vector<int> &mode_of_dest, int source, double pmin,
+    double required_margin_db, double max_leak_db)
 {
-    int n = chain.numNodes();
-    int num_modes = static_cast<int>(design.modePower.size());
+    int n = static_cast<int>(mode_of_dest.size());
+    int num_modes = static_cast<int>(received_per_mode.size());
     fatalIf(num_modes < 1, "design has no modes");
-    fatalIf(static_cast<int>(design.modeOfDest.size()) != n,
-            "design size mismatch");
+    fatalIf(source < 0 || source >= n, "source index out of range");
+    fatalIf(pmin <= 0.0, "pmin must be positive");
 
     BudgetReport report;
     report.worstReachableMarginDb = 1e9;
     report.worstUnreachableLeakDb = -1e9;
 
     for (int mode = 0; mode < num_modes; ++mode) {
-        auto received = chain.evaluate(design.chain,
-                                       design.modePower[mode]);
+        const auto &received = received_per_mode[mode];
+        fatalIf(static_cast<int>(received.size()) != n,
+                "received power vector size mismatch");
         for (int dest = 0; dest < n; ++dest) {
-            if (dest == chain.source())
+            if (dest == source)
                 continue;
             LinkBudget link;
             link.mode = mode;
             link.dest = dest;
             link.receivedPower = received[dest];
-            link.reachable = design.modeOfDest[dest] <= mode;
+            link.reachable = mode_of_dest[dest] <= mode;
             link.marginDb =
                 received[dest] > 0.0
                     ? ratioToDb(received[dest] / pmin)
@@ -67,6 +69,27 @@ validateDesign(const SplitterChain &chain,
         report.worstReachableMarginDb >= required_margin_db - 1e-9 &&
         report.worstUnreachableLeakDb <= max_leak_db;
     return report;
+}
+
+BudgetReport
+validateDesign(const SplitterChain &chain,
+               const MultiModeDesign &design, double pmin,
+               double required_margin_db, double max_leak_db)
+{
+    int n = chain.numNodes();
+    int num_modes = static_cast<int>(design.modePower.size());
+    fatalIf(num_modes < 1, "design has no modes");
+    fatalIf(static_cast<int>(design.modeOfDest.size()) != n,
+            "design size mismatch");
+
+    std::vector<std::vector<double>> received_per_mode;
+    received_per_mode.reserve(num_modes);
+    for (int mode = 0; mode < num_modes; ++mode)
+        received_per_mode.push_back(
+            chain.evaluate(design.chain, design.modePower[mode]));
+    return validateReceivedPowers(received_per_mode, design.modeOfDest,
+                                  chain.source(), pmin,
+                                  required_margin_db, max_leak_db);
 }
 
 } // namespace mnoc::optics

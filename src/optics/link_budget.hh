@@ -59,6 +59,26 @@ double linkBitErrorRate(double received, double pmin,
                         double q_at_pmin = 7.0);
 
 /**
+ * Validate precomputed per-mode received powers against @p pmin.
+ *
+ * @param received_per_mode received_per_mode[m][d] is the power that
+ *        destination d's tap sees when the source drives mode m, in
+ *        watts (as returned by SplitterChain::evaluate, possibly under
+ *        a device-variation draw).
+ * @param mode_of_dest Minimum mode per destination; the entry at
+ *        @p source is ignored.
+ *
+ * This is the core of validateDesign(), split out so that the
+ * fault-injection subsystem can replay perturbed received powers
+ * through exactly the same margin/leak/BER accounting.
+ */
+BudgetReport validateReceivedPowers(
+    const std::vector<std::vector<double>> &received_per_mode,
+    const std::vector<int> &mode_of_dest, int source, double pmin,
+    double required_margin_db = 0.0,
+    double max_leak_db = std::numeric_limits<double>::infinity());
+
+/**
  * Validate a complete multi-mode design for one source.
  *
  * @param chain Waveguide power model of the source.

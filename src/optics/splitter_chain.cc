@@ -121,21 +121,46 @@ std::vector<double>
 SplitterChain::evaluate(const ChainDesign &design,
                         double injected_power) const
 {
+    return evaluate(design, injected_power, {});
+}
+
+std::vector<double>
+SplitterChain::evaluate(const ChainDesign &design, double injected_power,
+                        const std::vector<double> &splitter_scale) const
+{
     int n = numNodes();
     panicIf(design.source != source_, "design is for a different source");
     panicIf(static_cast<int>(design.splitterFraction.size()) != n,
             "design size mismatch");
+    panicIf(!splitter_scale.empty() &&
+                static_cast<int>(splitter_scale.size()) != n,
+            "splitter scale size mismatch");
+
+    auto fraction = [&](int j) {
+        double s = design.splitterFraction[j];
+        if (!splitter_scale.empty()) {
+            // Scale the split *ratio* s/(1-s): s' = s*k/(s*k + 1-s).
+            // Endpoints are fixed (s=0 stays 0, s=1 stays 1), interior
+            // fractions stay interior, and for small s this reduces to
+            // plain s*k.
+            double k = std::max(0.0, splitter_scale[j]);
+            double num = s * k;
+            double den = num + (1.0 - s);
+            s = den > 0.0 ? num / den : 0.0;
+        }
+        return s;
+    };
 
     const double tap_t = dbToTransmission(params_.splitterInsertionDb);
     std::vector<double> received(n, 0.0);
     double fed = injected_power * sourceFeedTransmission_;
-    double left_frac = design.splitterFraction[source_];
+    double left_frac = fraction(source_);
 
     auto walk = [&](double power, int step) {
         for (int j = source_ + step; j >= 0 && j < n; j += step) {
             int seg_lo = std::min(j, j - step);
             power *= segmentTransmission(seg_lo);
-            double s = design.splitterFraction[j];
+            double s = fraction(j);
             received[j] = power * s * tap_t;
             power *= (1.0 - s);
             if (power <= 0.0)

@@ -102,6 +102,23 @@ class SplitterChain
     std::vector<double> evaluate(const ChainDesign &design,
                                  double injected_power) const;
 
+    /**
+     * evaluate() under per-node splitter-ratio variation: node j's
+     * designed split ratio S_j/(1-S_j) (and the source's left-arm
+     * share) is scaled by @p splitter_scale[j] before propagation.
+     * Perturbing the ratio rather than the diverted fraction keeps
+     * both arms of an interior splitter non-zero -- the exact design
+     * legitimately places near-unity fractions mid-arm (a mode-0
+     * neighbour ahead of a tail of tiny alpha targets), and a
+     * fraction clamped to exactly 1 would starve every downstream
+     * node.  This is the fault-injection hook: construct the chain
+     * with DeviceParams::perturbed() for the global loss skews and
+     * pass the per-splitter draw here.
+     */
+    std::vector<double>
+    evaluate(const ChainDesign &design, double injected_power,
+             const std::vector<double> &splitter_scale) const;
+
   private:
     /** Propagation transmission of the waveguide segment between
      *  adjacent nodes @p a and @p a+1 (no splitter insertion). */

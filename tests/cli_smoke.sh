@@ -16,8 +16,35 @@ trap 'rm -rf "$DIR"' EXIT
 "$MNOCPT" evaluate --design "$DIR/t.design" --trace "$DIR/t.trace" \
     --map "$DIR/t.map" | grep -q "total"
 "$MNOCPT" budget --design "$DIR/t.design" | grep -q "link budget: OK"
+"$MNOCPT" yield --design "$DIR/t.design" --trials 25 --seed 3 \
+    --csv "$DIR/t_yield.csv" | grep -q "yield"
+grep -q "worst_margin_db" "$DIR/t_yield.csv"
 
-# Unknown subcommands and missing options must fail cleanly.
+# Seed-reproducibility: identical seeds give identical yield reports.
+"$MNOCPT" yield --design "$DIR/t.design" --trials 25 --seed 3 \
+    > "$DIR/y1.txt"
+"$MNOCPT" yield --design "$DIR/t.design" --trials 25 --seed 3 \
+    > "$DIR/y2.txt"
+cmp -s "$DIR/y1.txt" "$DIR/y2.txt"
+
+# A hardened design records its yield and degradation path.
+"$MNOCPT" design --trace "$DIR/t.trace" --map "$DIR/t.map" \
+    --modes 2 --assign comm --yield-target 0.8 --trials 40 \
+    --out "$DIR/th.design" | grep -q "hardened to yield"
+grep -q "resilience" "$DIR/th.design"
+"$MNOCPT" budget --design "$DIR/th.design" | grep -q "link budget: OK"
+
+# Unknown subcommands and missing/malformed options must fail cleanly.
 if "$MNOCPT" frobnicate 2>/dev/null; then exit 1; fi
 if "$MNOCPT" design --modes 2 2>/dev/null; then exit 1; fi
+if "$MNOCPT" yield --design "$DIR/t.design" --trials xyz 2>/dev/null
+then exit 1; fi
+
+# Corrupt design files must be rejected, not misparsed.
+head -c 200 "$DIR/t.design" > "$DIR/bad.design"
+if "$MNOCPT" budget --design "$DIR/bad.design" 2>/dev/null
+then exit 1; fi
+echo "garbage" >> "$DIR/t.design"
+if "$MNOCPT" budget --design "$DIR/t.design" 2>/dev/null
+then exit 1; fi
 echo "cli smoke OK"

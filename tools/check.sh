@@ -1,0 +1,23 @@
+#!/bin/sh
+# Run the full test suite in both build configurations: the regular
+# optimized build and an ASan+UBSan build (-DMNOC_SANITIZE=ON).
+# Usage: tools/check.sh [jobs]
+set -e
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+run_config() {
+    dir="$1"
+    shift
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j "$JOBS"
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== regular configuration =="
+run_config build
+
+echo "== sanitizer configuration (ASan+UBSan) =="
+run_config build-asan -DMNOC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+
+echo "all checks passed"

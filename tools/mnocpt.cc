@@ -6,30 +6,45 @@
  *   simulate  run a SPLASH kernel, write a trace file
  *   map       compute a taboo thread mapping from a trace
  *   design    build a power topology + splitter design from a trace
+ *             (optionally hardened to a Monte Carlo yield target)
  *   evaluate  report the power of a design over a trace
  *   budget    validate a design's link budgets / BER
+ *   yield     Monte Carlo yield / margin distributions under device
+ *             variation
  *
  * Examples:
  *   mnocpt simulate --benchmark water_s --cores 64 --out ws.trace
  *   mnocpt map --trace ws.trace --out ws.map
  *   mnocpt design --trace ws.trace --map ws.map --modes 4 \
  *                 --assign comm --out ws.design
+ *   mnocpt design --trace ws.trace --modes 4 --assign comm \
+ *                 --yield-target 0.95 --out ws.design
  *   mnocpt evaluate --design ws.design --trace ws.trace --map ws.map
- *   mnocpt budget --design ws.design --cores 64
+ *   mnocpt budget --design ws.design
+ *   mnocpt yield --design ws.design --trials 500 --seed 7 \
+ *                --csv ws_yield.csv
  */
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/csv.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "core/design_io.hh"
 #include "core/designer.hh"
+#include "faults/yield.hh"
 #include "noc/mnoc_network.hh"
 #include "optics/link_budget.hh"
 #include "sim/simulator.hh"
@@ -54,16 +69,22 @@ class Args
         }
     }
 
+    /** Required option: fatal when absent. */
     std::string
-    get(const std::string &key, const std::string &fallback = "") const
+    get(const std::string &key) const
     {
         auto it = values_.find(key);
-        if (it == values_.end()) {
-            fatalIf(fallback.empty() && key != "map",
-                    "missing required option --" + key);
-            return fallback;
-        }
+        fatalIf(it == values_.end(),
+                "missing required option --" + key);
         return it->second;
+    }
+
+    /** Optional option with a fallback value. */
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
     }
 
     bool has(const std::string &key) const
@@ -75,8 +96,32 @@ class Args
     getInt(const std::string &key, int fallback) const
     {
         auto it = values_.find(key);
-        return it == values_.end() ? fallback
-                                   : std::atoi(it->second.c_str());
+        if (it == values_.end())
+            return fallback;
+        errno = 0;
+        char *end = nullptr;
+        long value = std::strtol(it->second.c_str(), &end, 10);
+        fatalIf(errno != 0 || end == it->second.c_str() || *end != '\0' ||
+                    value < INT_MIN || value > INT_MAX,
+                "option --" + key + " needs an integer, got: " +
+                    it->second);
+        return static_cast<int>(value);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        if (it == values_.end())
+            return fallback;
+        errno = 0;
+        char *end = nullptr;
+        double value = std::strtod(it->second.c_str(), &end);
+        fatalIf(errno != 0 || end == it->second.c_str() ||
+                    *end != '\0' || !std::isfinite(value),
+                "option --" + key + " needs a number, got: " +
+                    it->second);
+        return value;
     }
 
   private:
@@ -170,6 +215,125 @@ cmdMap(const Args &args)
     return 0;
 }
 
+/**
+ * Variation/yield options shared by `design --yield-target` and
+ * `yield`: --trials, --vseed, --vtol (sigma scale factor),
+ * --margin-step, --max-margin, --link-margin, --leak-gap.
+ */
+core::ResilienceParams
+resilienceOptions(const Args &args)
+{
+    core::ResilienceParams out;
+    out.variation =
+        faults::VariationSpec{}.scaled(args.getDouble("vtol", 1.0));
+    out.trials = args.getInt("trials", 200);
+    out.seed = static_cast<std::uint64_t>(args.getInt("vseed", 1));
+    out.marginStepDb = args.getDouble("margin-step", 0.5);
+    out.maxMarginDb = args.getDouble("max-margin", 6.0);
+    out.criteria.requiredMarginDb = args.getDouble("link-margin", 0.0);
+    if (args.has("leak-gap"))
+        out.criteria.maxLeakDb = args.getDouble("leak-gap", 0.0);
+    return out;
+}
+
+void
+printDegradationPath(const core::ResilienceSummary &summary)
+{
+    if (summary.path.empty())
+        return;
+    std::cout << "degradation path:\n";
+    for (const auto &step : summary.path) {
+        if (step.kind == core::DegradationStep::Kind::Margin) {
+            std::cout << "  " << step.numModes << " modes @ "
+                      << TextTable::num(step.marginDb, 2)
+                      << " dB margin -> yield "
+                      << TextTable::num(step.yield, 4) << "\n";
+        } else {
+            std::cout << "  collapse mode " << step.collapsedMode
+                      << " into mode " << step.collapsedMode + 1
+                      << " -> " << step.numModes << " modes\n";
+        }
+    }
+}
+
+int
+cmdYield(const Args &args)
+{
+    auto loaded = core::loadDesignReport(args.get("design"));
+    const auto &design = loaded.design;
+    int cores = design.topology.numNodes;
+    Context ctx(cores);
+
+    core::ResilienceParams options = resilienceOptions(args);
+    if (args.has("seed"))
+        options.seed =
+            static_cast<std::uint64_t>(args.getInt("seed", 1));
+    auto report = faults::analyzeYield(
+        ctx.layout, ctx.crossbar.params(), design.sources,
+        options.variation, options.trials, options.seed,
+        options.criteria);
+
+    TextTable table;
+    table.addRow({"metric", "value"});
+    table.addRow({"yield", TextTable::num(report.yield, 4)});
+    table.addRow({"trials", std::to_string(report.trials)});
+    table.addRow({"seed", std::to_string(report.seed)});
+    table.addRow({"worst margin mean (dB)",
+                  TextTable::num(report.marginMeanDb, 3)});
+    table.addRow({"worst margin p5 (dB)",
+                  TextTable::num(report.marginP5Db, 3)});
+    table.addRow({"worst margin min (dB)",
+                  TextTable::num(report.marginMinDb, 3)});
+    auto sci = [](double value) {
+        std::ostringstream os;
+        os << std::scientific << std::setprecision(2) << value;
+        return os.str();
+    };
+    table.addRow({"worst BER mean", sci(report.berWorstMean)});
+    table.addRow({"worst BER max", sci(report.berWorstMax)});
+    table.print(std::cout);
+
+    for (std::size_t m = 0; m < report.marginFailuresByMode.size(); ++m)
+        if (report.marginFailuresByMode[m] > 0 ||
+            report.leakFailuresByMode[m] > 0)
+            std::cout << "mode " << m << ": "
+                      << report.marginFailuresByMode[m]
+                      << " margin failures, "
+                      << report.leakFailuresByMode[m]
+                      << " leak failures\n";
+
+    if (loaded.resilience) {
+        const auto &summary = *loaded.resilience;
+        std::cout << "hardened design: yield "
+                  << TextTable::num(summary.finalYield, 4) << " vs "
+                  << "target "
+                  << TextTable::num(summary.yieldTarget, 4) << " ("
+                  << (summary.metTarget ? "met" : "MISSED") << ")\n";
+        printDegradationPath(summary);
+    }
+
+    if (args.has("csv")) {
+        CsvWriter csv(args.get("csv"));
+        csv.writeRow({"draw", "pass", "worst_margin_db",
+                      "worst_leak_db", "worst_ber", "margin_failures",
+                      "leak_failures"});
+        for (std::size_t i = 0; i < report.draws.size(); ++i) {
+            const auto &draw = report.draws[i];
+            csv.cell(static_cast<long long>(i))
+                .cell(static_cast<long long>(draw.pass ? 1 : 0))
+                .cell(draw.worstMarginDb)
+                .cell(draw.worstLeakDb)
+                .cell(draw.worstBitErrorRate)
+                .cell(static_cast<long long>(draw.marginFailures))
+                .cell(static_cast<long long>(draw.leakFailures));
+            csv.endRow();
+        }
+        std::cout << "per-draw results written to " << args.get("csv")
+                  << "\n";
+    }
+    return 0;
+}
+
 int
 cmdDesign(const Args &args)
 {
@@ -200,6 +364,26 @@ cmdDesign(const Args &args)
     }
 
     auto topology = ctx.designer.buildTopology(spec, flow);
+    if (args.has("yield-target")) {
+        core::ResilienceParams resilience = resilienceOptions(args);
+        resilience.yieldTarget = args.getDouble("yield-target", 0.95);
+        auto hardened = ctx.designer.buildResilientDesign(
+            spec, topology, flow, resilience);
+        core::saveDesign(args.get("out"), hardened.design,
+                         &hardened.summary);
+        const auto &summary = hardened.summary;
+        std::cout << "design " << spec.label() << " for " << cores
+                  << " cores hardened to yield "
+                  << TextTable::num(summary.finalYield, 4) << " ("
+                  << (summary.metTarget ? "met" : "MISSED")
+                  << " target "
+                  << TextTable::num(summary.yieldTarget, 4) << ") at "
+                  << TextTable::num(summary.finalMarginDb, 2)
+                  << " dB margin, " << summary.finalNumModes
+                  << " modes, written to " << args.get("out") << "\n";
+        printDegradationPath(summary);
+        return 0;
+    }
     auto design = ctx.designer.buildDesign(spec, topology, flow);
     core::saveDesign(args.get("out"), design);
     std::cout << "design " << spec.label() << " for " << cores
@@ -264,15 +448,22 @@ void
 usage()
 {
     std::cerr
-        << "usage: mnocpt <simulate|map|design|evaluate|budget> "
+        << "usage: mnocpt <simulate|map|design|evaluate|budget|yield> "
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
            "[--seed N] --out FILE\n"
            "  map      --trace FILE [--iterations N] --out FILE\n"
            "  design   --trace FILE [--map FILE] [--modes N] "
-           "[--assign comm|distance|clustered] --out FILE\n"
+           "[--assign comm|distance|clustered]\n"
+           "           [--yield-target Y [--trials N] [--vseed N] "
+           "[--vtol F] [--margin-step DB]\n"
+           "           [--max-margin DB] [--link-margin DB] "
+           "[--leak-gap DB]] --out FILE\n"
            "  evaluate --design FILE --trace FILE [--map FILE]\n"
-           "  budget   --design FILE\n";
+           "  budget   --design FILE\n"
+           "  yield    --design FILE [--trials N] [--seed N] "
+           "[--vtol F] [--link-margin DB]\n"
+           "           [--leak-gap DB] [--csv FILE]\n";
 }
 
 } // namespace
@@ -297,6 +488,8 @@ main(int argc, char **argv)
             return cmdEvaluate(args);
         if (command == "budget")
             return cmdBudget(args);
+        if (command == "yield")
+            return cmdYield(args);
         usage();
         return 2;
     } catch (const std::exception &error) {
