@@ -9,8 +9,8 @@
  * future-work "dynamic power topologies" could at best achieve.
  */
 
-#include <iostream>
 #include <algorithm>
+#include <iostream>
 #include <map>
 #include <vector>
 
@@ -34,7 +34,7 @@ oracleSourcePower(const bench::Harness &harness, const sim::Trace &t)
 {
     const auto &xbar = harness.crossbar();
     const auto &optics_params = harness.deviceParams();
-    double pmin = optics_params.pminAtTap();
+    double pmin = optics_params.pminAtTap().watts();
     double flit_time = 1.0 / harness.powerParams().net.clockHz;
     double duration = static_cast<double>(t.totalTicks) /
                       harness.powerParams().net.clockHz;
@@ -45,7 +45,8 @@ oracleSourcePower(const bench::Harness &harness, const sim::Trace &t)
         for (int d = 0; d < n; ++d) {
             if (s == d || t.flits(s, d) == 0)
                 continue;
-            double drive = pmin * xbar.chain(s).tapAttenuation(d) /
+            double drive = pmin *
+                           xbar.chain(s).tapAttenuation(d).value() /
                            optics_params.qdLedEfficiency;
             energy += static_cast<double>(t.flits(s, d)) * flit_time *
                       drive;
@@ -153,7 +154,8 @@ main()
                     if (d != s)
                         order.push_back(d);
                 auto ratio = [&](int d) {
-                    return own(s, d) / chain.tapAttenuation(d);
+                    return own(s, d) /
+                           chain.tapAttenuation(d).value();
                 };
                 std::sort(order.begin(), order.end(),
                           [&](int a, int b) {

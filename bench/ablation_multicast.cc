@@ -27,7 +27,7 @@ main()
         "Section 7 (future-work extension)");
 
     int n = harness.numCores();
-    optics::SerpentineLayout layout(n, optics::defaultWaveguideLength);
+    optics::SerpentineLayout layout{n, optics::defaultWaveguideLength};
     noc::NetworkConfig net_config;
     const auto &designer = harness.designer();
 
@@ -69,7 +69,9 @@ main()
                 {name, multicast ? "multicast" : "unicast",
                  std::to_string(result.coherence.packetsSent),
                  std::to_string(result.coherence.multicastInvs),
-                 TextTable::num(result.totalTicks / 1000.0, 0),
+                 TextTable::num(
+                     static_cast<double>(result.totalTicks) / 1000.0,
+                     0),
                  TextTable::num(power, 2)});
             csv.cell(name)
                 .cell(static_cast<long long>(multicast))

@@ -45,24 +45,27 @@ main()
         // node count beyond the 256-node/18 cm reference point only
         // weakly; model length as proportional to node count along
         // the same route pitch.
-        double length = optics::defaultWaveguideLength *
+        Meters length = optics::defaultWaveguideLength *
                         static_cast<double>(radix) / 256.0;
         std::vector<std::string> cells = {
             std::to_string(radix),
-            TextTable::num(length * 100.0, 1) + " cm"};
+            TextTable::num(length.centimeters(), 1) + " cm"};
         for (double loss : losses) {
             optics::DeviceParams params = harness.deviceParams();
-            params.waveguideLossDbPerCm = loss;
-            optics::SerpentineLayout layout(radix, length);
+            params.waveguideLossPerCm = DecibelLoss(loss);
+            optics::SerpentineLayout layout{radix, length};
             // Worst case: the end source must span the whole guide.
             optics::SplitterChain chain(layout, params, 0);
-            std::vector<double> targets(radix, params.pminAtTap());
+            std::vector<double> targets(radix,
+                                        params.pminAtTap().watts());
             targets[0] = 0.0;
-            double electrical = chain.design(targets).injectedPower /
-                                params.qdLedEfficiency;
+            double electrical =
+                (chain.design(targets).injectedPower /
+                 params.qdLedEfficiency)
+                    .watts();
             cells.push_back(TextTable::num(electrical, 2));
             csv.cell(static_cast<long long>(radix))
-                .cell(length)
+                .cell(length.meters())
                 .cell(loss)
                 .cell(electrical);
             csv.endRow();

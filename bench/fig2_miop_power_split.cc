@@ -37,20 +37,23 @@ main()
     for (int miop_uw = 1; miop_uw <= 10; ++miop_uw) {
         // Chromophore loss tracks mIOP (Table 3: 5 uW at 10 uW mIOP).
         optics::DeviceParams params = harness.deviceParams();
-        params.photodetectorMiop = miop_uw * microWatt;
-        params.chromophoreLoss = 0.5 * miop_uw * microWatt;
+        params.photodetectorMiop = WattPower(miop_uw * microWatt);
+        params.chromophoreLoss = WattPower(0.5 * miop_uw * microWatt);
 
-        optics::SerpentineLayout layout(n,
-                                        optics::defaultWaveguideLength);
+        optics::SerpentineLayout layout{n,
+                                        optics::defaultWaveguideLength};
         optics::OpticalCrossbar xbar(layout, params);
 
         // All sources broadcasting continuously: QD LED electrical
         // drive vs the O/E power of all lit receivers.
         double qdled = 0.0;
         for (int s = 0; s < n; ++s)
-            qdled += xbar.broadcastPower(s) / params.qdLedEfficiency;
-        double oe = static_cast<double>(n) * (n - 1) *
-                    power.oePowerPerReceiver(params.photodetectorMiop);
+            qdled += (xbar.broadcastPower(s) /
+                      params.qdLedEfficiency)
+                         .watts();
+        double oe =
+            static_cast<double>(n) * (n - 1) *
+            power.oePowerPerReceiver(params.photodetectorMiop).watts();
 
         double total = qdled + oe;
         table.addRow({std::to_string(miop_uw),

@@ -26,10 +26,10 @@ main()
 
     int n = harness.numCores();
     const auto &params = harness.deviceParams();
-    optics::SerpentineLayout layout(n, optics::defaultWaveguideLength);
+    optics::SerpentineLayout layout{n, optics::defaultWaveguideLength};
     int source = n / 2;
     optics::SplitterChain chain(layout, params, source);
-    double pmin = params.pminAtTap();
+    double pmin = params.pminAtTap().watts();
 
     // Power for a centered source to reach its nearest (d - 1)
     // destinations (broadcast distance d/2 on each arm).
@@ -46,7 +46,7 @@ main()
                 ++placed;
             }
         }
-        return chain.design(targets).injectedPower;
+        return chain.design(targets).injectedPower.watts();
     };
 
     double full = power_to_reach(n);

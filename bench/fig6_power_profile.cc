@@ -27,13 +27,13 @@ main()
 
     double peak = 0.0;
     for (int s = 0; s < n; ++s)
-        peak = std::max(peak, xbar.broadcastPower(s));
+        peak = std::max(peak, xbar.broadcastPower(s).watts());
 
     CsvWriter csv(harness.outPath("fig6_power_profile.csv"));
     csv.writeRow({"source_position", "normalized_power"});
     for (int s = 0; s < n; ++s) {
         csv.cell(static_cast<long long>(s))
-            .cell(xbar.broadcastPower(s) / peak);
+            .cell(xbar.broadcastPower(s).watts() / peak);
         csv.endRow();
     }
 
@@ -41,15 +41,15 @@ main()
     table.addRow({"source position", "normalized power"});
     for (int s = 0; s < n; s += n / 16)
         table.addRow({std::to_string(s),
-                      TextTable::num(xbar.broadcastPower(s) / peak,
-                                     3)});
+                      TextTable::num(
+                          xbar.broadcastPower(s).watts() / peak, 3)});
     table.addRow({std::to_string(n - 1),
-                  TextTable::num(xbar.broadcastPower(n - 1) / peak,
-                                 3)});
+                  TextTable::num(
+                      xbar.broadcastPower(n - 1).watts() / peak, 3)});
     table.print(std::cout);
 
-    double mid = xbar.broadcastPower(n / 2);
-    double end = xbar.broadcastPower(0);
+    double mid = xbar.broadcastPower(n / 2).watts();
+    double end = xbar.broadcastPower(0).watts();
     std::cout << "\nend/middle power ratio: "
               << TextTable::num(end / mid, 2)
               << "  (paper shows a U-shaped profile with ~5x swing)\n"

@@ -39,7 +39,7 @@ Harness::Harness()
         numCores_, optics::defaultWaveguideLength);
     int ports = numCores_ / 4;
     portLayout_ = std::make_unique<optics::SerpentineLayout>(
-        ports, 0.10 * ports / 64.0);
+        ports, Meters(0.10 * ports / 64.0));
     xbar_ = std::make_unique<optics::OpticalCrossbar>(*layout_,
                                                       deviceParams_);
     designer_ = std::make_unique<core::Designer>(*xbar_, powerParams_);

@@ -22,10 +22,10 @@ void
 BM_SplitterChainDesign(benchmark::State &state)
 {
     int n = static_cast<int>(state.range(0));
-    optics::SerpentineLayout layout(n, 0.18);
+    optics::SerpentineLayout layout{n, Meters(0.18)};
     optics::DeviceParams params;
     optics::SplitterChain chain(layout, params, n / 2);
-    std::vector<double> targets(n, params.pminAtTap());
+    std::vector<double> targets(n, params.pminAtTap().watts());
     targets[n / 2] = 0.0;
     for (auto _ : state) {
         auto design = chain.design(targets);
@@ -38,7 +38,7 @@ void
 BM_AlphaOptimize(benchmark::State &state)
 {
     int n = 256;
-    optics::SerpentineLayout layout(n, 0.18);
+    optics::SerpentineLayout layout{n, Meters(0.18)};
     optics::DeviceParams params;
     optics::SplitterChain chain(layout, params, n / 2);
     std::vector<int> modes(n, 0);

@@ -46,7 +46,7 @@ int
 main()
 {
     const int n = 32;
-    optics::SerpentineLayout layout(n, 0.08);
+    optics::SerpentineLayout layout{n, Meters(0.08)};
     optics::DeviceParams devices;
     optics::OpticalCrossbar crossbar(layout, devices);
     core::Designer designer(crossbar);

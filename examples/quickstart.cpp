@@ -23,7 +23,7 @@ main()
     // 1. Physical substrate: a 64-node serpentine SWMR crossbar with
     //    the paper's Table 3 device parameters.
     const int n = 64;
-    optics::SerpentineLayout layout(n, 0.12 /* meters */);
+    optics::SerpentineLayout layout{n, Meters(0.12)};
     optics::DeviceParams devices; // QD LEDs, chromophores, 1 dB/cm
     optics::OpticalCrossbar crossbar(layout, devices);
 

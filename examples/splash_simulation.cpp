@@ -26,8 +26,8 @@ main(int argc, char **argv)
     std::string benchmark = argc > 1 ? argv[1] : "water_s";
     int n = argc > 2 ? std::atoi(argv[2]) : 64;
 
-    optics::SerpentineLayout layout(
-        n, optics::defaultWaveguideLength * n / 256.0);
+    optics::SerpentineLayout layout{
+        n, optics::defaultWaveguideLength * n / 256.0};
     optics::OpticalCrossbar crossbar(layout, optics::DeviceParams{});
     noc::NetworkConfig net_config;
     noc::MnocNetwork network(layout, net_config);

@@ -49,7 +49,7 @@ int
 main()
 {
     const int n = 64;
-    optics::SerpentineLayout layout(n, 0.12);
+    optics::SerpentineLayout layout{n, Meters(0.12)};
     optics::OpticalCrossbar crossbar(layout, optics::DeviceParams{});
     FlowMatrix traffic = cliqueTraffic(n);
 

@@ -73,7 +73,7 @@ RnocPowerModel::evaluate(const sim::Trace &trace) const
     // receivers for the packet duration.  The low rNoC mIOP buys laser
     // budget but costs high-gain receivers.
     double oe_per_receiver =
-        electrical_.oePowerPerReceiver(params_.miop);
+        electrical_.oePowerPerReceiver(params_.miop).watts();
     out.oe = traffic.interTotal * flit_time *
              static_cast<double>(params_.radix - 1) * oe_per_receiver /
              duration;
@@ -108,8 +108,10 @@ CmnocPowerModel::evaluate(const sim::Trace &trace) const
     double flit_time = 1.0 / electrical_.net.clockHz;
     double duration = static_cast<double>(trace.totalTicks) /
                       electrical_.net.clockHz;
-    double oe_per_receiver = electrical_.oePowerPerReceiver(
-        params_.optics.photodetectorMiop);
+    double oe_per_receiver =
+        electrical_
+            .oePowerPerReceiver(params_.optics.photodetectorMiop)
+            .watts();
 
     PowerBreakdown out;
     double source_energy = 0.0;
@@ -121,7 +123,8 @@ CmnocPowerModel::evaluate(const sim::Trace &trace) const
         if (port_flits == 0.0)
             continue;
         double tx_time = port_flits * flit_time;
-        source_energy += tx_time * crossbar_->broadcastPower(sc) *
+        source_energy += tx_time *
+                         crossbar_->broadcastPower(sc).watts() *
                          params_.optics.oneToZeroRatio /
                          params_.optics.qdLedEfficiency;
         oe_energy += tx_time *

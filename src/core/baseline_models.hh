@@ -32,7 +32,7 @@ struct RnocParams
     /** Activity-independent external laser power, in watts. */
     double laserPower = 5.0;
     /** rNoC photodetector mIOP (1 uW, favoring rNoC; Section 5.7). */
-    double miop = 1.0e-6;
+    WattPower miop{1.0e-6};
     /** Crossbar radix (clusters). */
     int radix = 64;
     /** Cores per cluster. */
@@ -74,7 +74,7 @@ struct CmnocParams
     int clusterSize = 4;
     /** Port-crossbar serpentine length (shorter than the full die
      *  serpentine; ~10 cm for 64 ports on a 400 mm^2 die). */
-    double waveguideLength = 0.10;
+    Meters waveguideLength{0.10};
     /** Electrical router energy per flit traversal, in joules. */
     double routerEnergyPerFlit = 15.0e-12;
     /** Electrical link energy per flit, in joules. */

@@ -64,8 +64,8 @@ struct SortedDests
             }
             // Within a band (or on exact ties): cheaper destinations
             // first, so close nodes pack into low modes.
-            double aa = chain.tapAttenuation(a);
-            double ab = chain.tapAttenuation(b);
+            LinearFactor aa = chain.tapAttenuation(a);
+            LinearFactor ab = chain.tapAttenuation(b);
             if (aa != ab)
                 return aa < ab;
             return a < b;
@@ -75,7 +75,7 @@ struct SortedDests
         flowPrefix.assign(order.size() + 1, 0.0);
         for (std::size_t k = 0; k < order.size(); ++k) {
             attenPrefix[k + 1] =
-                attenPrefix[k] + chain.tapAttenuation(order[k]);
+                attenPrefix[k] + chain.tapAttenuation(order[k]).value();
             // With no design traffic at all, fall back to uniform
             // per-destination weight (every destination equally likely).
             double f = any_flow ? flow(source, order[k]) : 1.0;
@@ -195,7 +195,7 @@ refineBounds(const SortedDests &dests, std::vector<int> &bounds,
 
 } // namespace
 
-double
+WattPower
 expectedSourcePower(const optics::OpticalCrossbar &crossbar, int source,
                     const std::vector<int> &mode_of_dest, int num_modes,
                     const FlowMatrix &flow)
@@ -213,7 +213,7 @@ expectedSourcePower(const optics::OpticalCrossbar &crossbar, int source,
             continue;
         int m = mode_of_dest[d];
         fatalIf(m < 0 || m >= num_modes, "destination mode out of range");
-        cost[m] += chain.tapAttenuation(d);
+        cost[m] += chain.tapAttenuation(d).value();
         weight[m] += flow(source, d);
         any_flow = any_flow || flow(source, d) > 0.0;
     }
@@ -223,7 +223,7 @@ expectedSourcePower(const optics::OpticalCrossbar &crossbar, int source,
                 weight[mode_of_dest[d]] += 1.0;
     }
     double objective = optics::optimizeAlphaVector(cost, weight).objective;
-    return objective * crossbar.params().pminAtTap();
+    return crossbar.params().pminAtTap() * objective;
 }
 
 GlobalPowerTopology

@@ -64,10 +64,10 @@ GlobalPowerTopology commAwareTopology(
  * objective, Equation 1, with exact splitter design).  Exposed for the
  * evaluation harness and for tests.
  */
-double expectedSourcePower(const optics::OpticalCrossbar &crossbar,
-                           int source,
-                           const std::vector<int> &mode_of_dest,
-                           int num_modes, const FlowMatrix &flow);
+WattPower expectedSourcePower(const optics::OpticalCrossbar &crossbar,
+                              int source,
+                              const std::vector<int> &mode_of_dest,
+                              int num_modes, const FlowMatrix &flow);
 
 } // namespace mnoc::core
 

@@ -36,15 +36,15 @@ saveDesign(const std::string &path, const MnocDesign &design,
             out << " " << a;
         out << "\n";
         out << "modepower";
-        for (double p : source.modePower)
-            out << " " << p;
+        for (WattPower p : source.modePower)
+            out << " " << p.watts();
         out << "\n";
         out << "splitters";
         for (double frac : source.chain.splitterFraction)
             out << " " << frac;
         out << "\n";
-        out << "injected " << source.chain.injectedPower << " expected "
-            << source.expectedPower << "\n";
+        out << "injected " << source.chain.injectedPower.watts()
+            << " expected " << source.expectedPower.watts() << "\n";
         out << "targets";
         for (double t : source.chain.targets)
             out << " " << t;
@@ -56,13 +56,13 @@ saveDesign(const std::string &path, const MnocDesign &design,
         out << "target " << r.yieldTarget << " trials " << r.trials
             << " seed " << r.seed << "\n";
         out << "spec " << r.spec.splitterSigma << " "
-            << r.spec.couplerSigmaDb << " "
-            << r.spec.waveguideSigmaDbPerCm << " "
-            << r.spec.splitterInsertionSigmaDb << " "
-            << r.spec.ledDroopSigma << " " << r.spec.miopSigmaDb
+            << r.spec.couplerSigma.dB() << " "
+            << r.spec.waveguideSigmaPerCm.dB() << " "
+            << r.spec.splitterInsertionSigma.dB() << " "
+            << r.spec.ledDroopSigma << " " << r.spec.miopSigma.dB()
             << "\n";
         out << "final yield " << r.finalYield << " margin "
-            << r.finalMarginDb << " modes " << r.finalNumModes
+            << r.finalMargin.dB() << " modes " << r.finalNumModes
             << " met " << (r.metTarget ? 1 : 0) << "\n";
         out << "steps " << r.path.size() << "\n";
         for (const auto &step : r.path) {
@@ -71,103 +71,234 @@ saveDesign(const std::string &path, const MnocDesign &design,
                         ? "margin"
                         : "collapse")
                 << " " << step.numModes << " " << step.collapsedMode
-                << " " << step.marginDb << " " << step.yield << "\n";
+                << " " << step.margin.dB() << " " << step.yield << "\n";
         }
     }
 }
 
 namespace {
 
-/** Read a labelled vector line: "<label> v0 v1 ...". */
-template <typename T>
-std::vector<T>
-readVectorLine(std::istream &in, const std::string &expect, int count,
-               const std::string &path)
+/**
+ * Whitespace-separated tokenizer that tracks the current line so every
+ * parse error names the file, the 1-based line, and the field being
+ * read -- "design.txt:14: field 'alpha': expected a number" instead of
+ * a bare "malformed design file".
+ */
+class Parser
 {
-    std::string label;
-    in >> label;
-    fatalIf(label != expect,
-            "malformed design file (expected '" + expect + "'): " +
-                path);
-    std::vector<T> values(count);
-    for (T &v : values) {
-        in >> v;
-        fatalIf(in.fail(), "truncated design file: " + path);
+  public:
+    Parser(std::istream &in, std::string path)
+        : in_(in), path_(std::move(path))
+    {}
+
+    /** "path:line: field 'name': why" as a fatal error. */
+    [[noreturn]] void
+    fail(const std::string &field, const std::string &why) const
+    {
+        fatal(path_ + ":" + std::to_string(line_) + ": field '" +
+              field + "': " + why);
     }
-    return values;
-}
 
-/** Expect the literal token @p expect next in the stream. */
-void
-expectToken(std::istream &in, const std::string &expect,
-            const std::string &path)
-{
-    std::string token;
-    in >> token;
-    fatalIf(in.fail() || token != expect,
-            "malformed design file (expected '" + expect + "'): " +
-                path);
-}
+    /** Next whitespace-separated token; fatal at end of file. */
+    std::string
+    token(const std::string &field)
+    {
+        std::string out;
+        int c = in_.get();
+        while (c != std::istream::traits_type::eof() &&
+               std::isspace(c)) {
+            if (c == '\n')
+                ++line_;
+            c = in_.get();
+        }
+        while (c != std::istream::traits_type::eof() &&
+               !std::isspace(static_cast<unsigned char>(c))) {
+            out.push_back(static_cast<char>(c));
+            c = in_.get();
+        }
+        // Leave the delimiter (and its line count) to the next call,
+        // so errors about this token report this token's line.
+        if (c != std::istream::traits_type::eof())
+            in_.unget();
+        if (out.empty())
+            fail(field, "unexpected end of file");
+        return out;
+    }
 
-/** Fatal unless every value is finite and within [lo, hi]. */
-void
-checkRange(const std::vector<double> &values, double lo, double hi,
-           const std::string &what, const std::string &path)
-{
-    for (double v : values)
-        fatalIf(!std::isfinite(v) || v < lo || v > hi,
-                "design file has " + what + " out of range: " + path);
-}
+    /** True when only whitespace remains. */
+    bool
+    atEnd()
+    {
+        int c = in_.get();
+        while (c != std::istream::traits_type::eof() &&
+               std::isspace(c)) {
+            if (c == '\n')
+                ++line_;
+            c = in_.get();
+        }
+        if (c == std::istream::traits_type::eof())
+            return true;
+        in_.unget();
+        return false;
+    }
+
+    /** Expect the literal @p keyword next. */
+    void
+    expect(const std::string &keyword)
+    {
+        std::string got = token(keyword);
+        if (got != keyword)
+            fail(keyword, "expected keyword, got '" + got + "'");
+    }
+
+    double
+    number(const std::string &field)
+    {
+        std::string tok = token(field);
+        std::size_t used = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(tok, &used);
+        } catch (const std::exception &) {
+            fail(field, "expected a number, got '" + tok + "'");
+        }
+        if (used != tok.size())
+            fail(field, "expected a number, got '" + tok + "'");
+        return value;
+    }
+
+    long long
+    integer(const std::string &field)
+    {
+        std::string tok = token(field);
+        std::size_t used = 0;
+        long long value = 0;
+        try {
+            value = std::stoll(tok, &used);
+        } catch (const std::exception &) {
+            fail(field, "expected an integer, got '" + tok + "'");
+        }
+        if (used != tok.size())
+            fail(field, "expected an integer, got '" + tok + "'");
+        return value;
+    }
+
+    std::uint64_t
+    unsignedInteger(const std::string &field)
+    {
+        std::string tok = token(field);
+        std::size_t used = 0;
+        std::uint64_t value = 0;
+        try {
+            value = std::stoull(tok, &used);
+        } catch (const std::exception &) {
+            fail(field, "expected an unsigned integer, got '" + tok +
+                            "'");
+        }
+        if (used != tok.size())
+            fail(field,
+                 "expected an unsigned integer, got '" + tok + "'");
+        return value;
+    }
+
+    /** Read "<label> v0 v1 ..." as @p count numbers. */
+    std::vector<double>
+    numberLine(const std::string &label, int count)
+    {
+        expect(label);
+        std::vector<double> values(static_cast<std::size_t>(count));
+        for (double &v : values)
+            v = number(label);
+        return values;
+    }
+
+    /** Read "<label> v0 v1 ..." as @p count integers. */
+    std::vector<int>
+    integerLine(const std::string &label, int count)
+    {
+        expect(label);
+        std::vector<int> values(static_cast<std::size_t>(count));
+        for (int &v : values)
+            v = static_cast<int>(integer(label));
+        return values;
+    }
+
+    /** Fatal unless every value is finite and within [lo, hi]. */
+    void
+    checkRange(const std::vector<double> &values, double lo, double hi,
+               const std::string &field) const
+    {
+        for (double v : values)
+            if (!std::isfinite(v) || v < lo || v > hi)
+                fail(field, "value out of range");
+    }
+
+  private:
+    std::istream &in_;
+    std::string path_;
+    int line_ = 1;
+};
 
 ResilienceSummary
-readResilience(std::istream &in, const std::string &path)
+readResilience(Parser &parser)
 {
     ResilienceSummary r;
-    expectToken(in, "target", path);
-    in >> r.yieldTarget;
-    expectToken(in, "trials", path);
-    in >> r.trials;
-    expectToken(in, "seed", path);
-    in >> r.seed;
-    expectToken(in, "spec", path);
-    in >> r.spec.splitterSigma >> r.spec.couplerSigmaDb >>
-        r.spec.waveguideSigmaDbPerCm >>
-        r.spec.splitterInsertionSigmaDb >> r.spec.ledDroopSigma >>
-        r.spec.miopSigmaDb;
-    expectToken(in, "final", path);
-    expectToken(in, "yield", path);
-    in >> r.finalYield;
-    expectToken(in, "margin", path);
-    in >> r.finalMarginDb;
-    expectToken(in, "modes", path);
-    in >> r.finalNumModes;
-    expectToken(in, "met", path);
-    int met = 0;
-    in >> met;
-    r.metTarget = met != 0;
-    expectToken(in, "steps", path);
-    std::size_t count = 0;
-    in >> count;
-    fatalIf(in.fail() || count > 1000000,
-            "malformed resilience block: " + path);
+    parser.expect("target");
+    r.yieldTarget = parser.number("target");
+    parser.expect("trials");
+    r.trials = static_cast<int>(parser.integer("trials"));
+    parser.expect("seed");
+    r.seed = parser.unsignedInteger("seed");
+    parser.expect("spec");
+    r.spec.splitterSigma = parser.number("spec.splitterSigma");
+    r.spec.couplerSigma = DecibelLoss(parser.number("spec.couplerSigma"));
+    r.spec.waveguideSigmaPerCm =
+        DecibelLoss(parser.number("spec.waveguideSigmaPerCm"));
+    r.spec.splitterInsertionSigma =
+        DecibelLoss(parser.number("spec.splitterInsertionSigma"));
+    r.spec.ledDroopSigma = parser.number("spec.ledDroopSigma");
+    r.spec.miopSigma = DecibelLoss(parser.number("spec.miopSigma"));
+    parser.expect("final");
+    parser.expect("yield");
+    r.finalYield = parser.number("final yield");
+    parser.expect("margin");
+    r.finalMargin = DecibelLoss(parser.number("final margin"));
+    parser.expect("modes");
+    r.finalNumModes = static_cast<int>(parser.integer("final modes"));
+    parser.expect("met");
+    r.metTarget = parser.integer("met") != 0;
+    parser.expect("steps");
+    long long count = parser.integer("steps");
+    if (count < 0 || count > 1000000)
+        parser.fail("steps", "step count out of range");
     r.spec.validate();
-    fatalIf(r.trials < 1 || r.finalNumModes < 1 ||
-                !std::isfinite(r.finalYield) || r.finalYield < 0.0 ||
-                r.finalYield > 1.0 || !std::isfinite(r.finalMarginDb) ||
-                r.finalMarginDb < 0.0,
-            "resilience summary out of range: " + path);
-    r.path.resize(count);
+    if (r.trials < 1)
+        parser.fail("trials", "must be at least 1");
+    if (r.finalNumModes < 1)
+        parser.fail("final modes", "must be at least 1");
+    if (!std::isfinite(r.finalYield) || r.finalYield < 0.0 ||
+        r.finalYield > 1.0)
+        parser.fail("final yield", "must lie in [0, 1]");
+    if (!std::isfinite(r.finalMargin.dB()) ||
+        r.finalMargin < DecibelLoss(0.0))
+        parser.fail("final margin", "must be non-negative");
+    r.path.resize(static_cast<std::size_t>(count));
     for (auto &step : r.path) {
-        expectToken(in, "step", path);
-        std::string kind;
-        in >> kind >> step.numModes >> step.collapsedMode >>
-            step.marginDb >> step.yield;
-        fatalIf(in.fail() || (kind != "margin" && kind != "collapse"),
-                "malformed degradation step: " + path);
+        parser.expect("step");
+        std::string kind = parser.token("step kind");
+        if (kind != "margin" && kind != "collapse")
+            parser.fail("step kind",
+                        "expected 'margin' or 'collapse', got '" +
+                            kind + "'");
         step.kind = kind == "margin" ? DegradationStep::Kind::Margin
                                      : DegradationStep::Kind::Collapse;
-        fatalIf(step.numModes < 1,
-                "malformed degradation step: " + path);
+        step.numModes = static_cast<int>(parser.integer("step modes"));
+        step.collapsedMode =
+            static_cast<int>(parser.integer("step collapsed mode"));
+        step.margin = DecibelLoss(parser.number("step margin"));
+        step.yield = parser.number("step yield");
+        if (step.numModes < 1)
+            parser.fail("step modes", "must be at least 1");
     }
     return r;
 }
@@ -179,75 +310,78 @@ loadDesignReport(const std::string &path)
 {
     std::ifstream in(path);
     fatalIf(!in.is_open(), "cannot open design file: " + path);
+    Parser parser(in, path);
 
-    std::string magic;
-    int version = 0;
-    in >> magic >> version;
-    fatalIf(magic != "mnoc-design" || version != 1,
-            "unrecognized design file header: " + path);
+    std::string magic = parser.token("header");
+    long long version = parser.integer("header version");
+    if (magic != "mnoc-design" || version != 1)
+        parser.fail("header", "unrecognized design file header");
 
-    int n = 0;
-    int num_modes = 0;
-    in >> n >> num_modes;
-    fatalIf(in.fail() || n < 2 || n > 1000000 || num_modes < 1 ||
-                num_modes > n,
-            "malformed design dimensions: " + path);
+    int n = static_cast<int>(parser.integer("node count"));
+    int num_modes = static_cast<int>(parser.integer("mode count"));
+    if (n < 2 || n > 1000000)
+        parser.fail("node count", "must lie in [2, 1000000]");
+    if (num_modes < 1 || num_modes > n)
+        parser.fail("mode count", "must lie in [1, node count]");
 
     DesignReport report;
     auto &design = report.design;
     design.topology.numNodes = n;
     design.topology.numModes = num_modes;
-    design.topology.locals.resize(n);
-    design.sources.resize(n);
+    design.topology.locals.resize(static_cast<std::size_t>(n));
+    design.sources.resize(static_cast<std::size_t>(n));
 
     for (int s = 0; s < n; ++s) {
-        std::string label;
-        int index = -1;
-        in >> label >> index;
-        fatalIf(label != "source" || index != s,
-                "malformed design file (source block): " + path);
+        parser.expect("source");
+        long long index = parser.integer("source index");
+        if (index != s)
+            parser.fail("source index",
+                        "expected " + std::to_string(s) + ", got " +
+                            std::to_string(index));
 
         auto &local = design.topology.locals[s];
         local.source = s;
         local.numModes = num_modes;
-        local.modeOfDest = readVectorLine<int>(in, "modes", n, path);
+        local.modeOfDest = parser.integerLine("modes", n);
 
         auto &source = design.sources[s];
-        source.alpha =
-            readVectorLine<double>(in, "alpha", num_modes, path);
-        checkRange(source.alpha, 0.0, 1.0, "alpha values", path);
-        source.modePower =
-            readVectorLine<double>(in, "modepower", num_modes, path);
-        checkRange(source.modePower, 0.0, 1e6, "mode powers", path);
+        source.alpha = parser.numberLine("alpha", num_modes);
+        parser.checkRange(source.alpha, 0.0, 1.0, "alpha");
+        std::vector<double> mode_power =
+            parser.numberLine("modepower", num_modes);
+        parser.checkRange(mode_power, 0.0, 1e6, "modepower");
+        source.modePower.clear();
+        source.modePower.reserve(mode_power.size());
+        for (double p : mode_power)
+            source.modePower.push_back(WattPower(p));
         source.chain.source = s;
         source.chain.splitterFraction =
-            readVectorLine<double>(in, "splitters", n, path);
-        checkRange(source.chain.splitterFraction, 0.0, 1.0,
-                   "splitter fractions", path);
+            parser.numberLine("splitters", n);
+        parser.checkRange(source.chain.splitterFraction, 0.0, 1.0,
+                          "splitters");
 
-        std::string injected_label;
-        std::string expected_label;
-        in >> injected_label >> source.chain.injectedPower >>
-            expected_label >> source.expectedPower;
-        fatalIf(injected_label != "injected" ||
-                    expected_label != "expected" || in.fail(),
-                "malformed design file (powers): " + path);
-        checkRange({source.chain.injectedPower, source.expectedPower},
-                   0.0, 1e6, "injected/expected powers", path);
-        source.chain.targets =
-            readVectorLine<double>(in, "targets", n, path);
-        checkRange(source.chain.targets, 0.0, 1e6, "tap targets", path);
+        parser.expect("injected");
+        double injected = parser.number("injected");
+        parser.expect("expected");
+        double expected = parser.number("expected");
+        parser.checkRange({injected, expected}, 0.0, 1e6,
+                          "injected/expected");
+        source.chain.injectedPower = WattPower(injected);
+        source.expectedPower = WattPower(expected);
+        source.chain.targets = parser.numberLine("targets", n);
+        parser.checkRange(source.chain.targets, 0.0, 1e6, "targets");
         source.modeOfDest = local.modeOfDest;
     }
     design.topology.validate();
 
-    std::string trailer;
-    if (in >> trailer) {
-        fatalIf(trailer != "resilience",
-                "trailing garbage in design file: " + path);
-        report.resilience = readResilience(in, path);
-        fatalIf(static_cast<bool>(in >> trailer),
-                "trailing garbage in design file: " + path);
+    if (!parser.atEnd()) {
+        std::string trailer = parser.token("trailer");
+        if (trailer != "resilience")
+            parser.fail("trailer",
+                        "trailing garbage '" + trailer + "'");
+        report.resilience = readResilience(parser);
+        if (!parser.atEnd())
+            parser.fail("trailer", "trailing garbage after resilience");
     }
     return report;
 }
@@ -263,7 +397,8 @@ driveTable(const MnocDesign &design, int source)
 {
     const auto &local = design.topology.local(source);
     std::vector<DriveTableEntry> table;
-    table.reserve(design.topology.numNodes - 1);
+    table.reserve(static_cast<std::size_t>(
+        design.topology.numNodes - 1));
     for (int d = 0; d < design.topology.numNodes; ++d) {
         if (d == source)
             continue;

@@ -60,7 +60,7 @@ struct DriveTableEntry
 {
     int dest = 0;
     int mode = 0;
-    double drivePower = 0.0;
+    WattPower drivePower;
 };
 
 /** Build source @p source's drive table from @p design. */

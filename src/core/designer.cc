@@ -83,17 +83,17 @@ MnocDesign
 Designer::buildDesign(const DesignSpec &spec,
                       const GlobalPowerTopology &topology,
                       const FlowMatrix &core_design_flow,
-                      double design_margin_db) const
+                      DecibelLoss design_margin) const
 {
     switch (spec.weights) {
       case WeightSource::Uniform:
-        return model_.designUniform(topology, design_margin_db);
+        return model_.designUniform(topology, design_margin);
       case WeightSource::Fractions:
         return model_.designWithFractions(topology, spec.fractions,
-                                          design_margin_db);
+                                          design_margin);
       case WeightSource::DesignFlow:
         return model_.designFor(topology, core_design_flow,
-                                design_margin_db);
+                                design_margin);
     }
     panic("unreachable weight source");
 }
@@ -106,11 +106,11 @@ nominallyValid(const optics::OpticalCrossbar &crossbar,
                const MnocDesign &design,
                const faults::YieldCriteria &criteria)
 {
-    double pmin = crossbar.params().pminAtTap();
+    WattPower pmin = crossbar.params().pminAtTap();
     for (int s = 0; s < crossbar.numNodes(); ++s) {
         auto report = optics::validateDesign(
             crossbar.chain(s), design.sources[s], pmin,
-            criteria.requiredMarginDb, criteria.maxLeakDb);
+            criteria.requiredMargin, criteria.maxLeak);
         if (!report.ok)
             return false;
     }
@@ -149,18 +149,17 @@ Designer::buildResilientDesign(const DesignSpec &spec,
     fatalIf(resilience.yieldTarget < 0.0 || resilience.yieldTarget > 1.0,
             "yield target must lie in [0, 1]");
     fatalIf(resilience.trials < 1, "need at least one yield trial");
-    fatalIf(resilience.marginStepDb <= 0.0,
+    fatalIf(resilience.marginStep <= DecibelLoss(0.0),
             "margin step must be positive");
-    fatalIf(resilience.maxMarginDb < 0.0,
+    fatalIf(resilience.maxMargin < DecibelLoss(0.0),
             "max margin must be non-negative");
-    fatalIf(resilience.criteria.requiredMarginDb >
-                resilience.maxMarginDb,
+    fatalIf(resilience.criteria.requiredMargin > resilience.maxMargin,
             "required link margin exceeds the hardenable maximum");
 
     DesignSpec working = spec;
     GlobalPowerTopology topo = topology;
-    double base_margin =
-        std::max(0.0, resilience.criteria.requiredMarginDb);
+    DecibelLoss base_margin =
+        std::max(DecibelLoss(0.0), resilience.criteria.requiredMargin);
 
     ResilientDesign out;
     auto &summary = out.summary;
@@ -178,11 +177,11 @@ Designer::buildResilientDesign(const DesignSpec &spec,
 
     // Best nominally-valid candidate seen, by yield then by margin.
     double best_yield = -1.0;
-    double best_margin = 0.0;
+    DecibelLoss best_margin;
 
     while (true) {
         working.numModes = topo.numModes;
-        double margin = base_margin;
+        DecibelLoss margin = base_margin;
         faults::YieldReport last_report;
         while (true) {
             auto design = buildDesign(working, topo, core_design_flow,
@@ -192,7 +191,7 @@ Designer::buildResilientDesign(const DesignSpec &spec,
             DegradationStep step;
             step.kind = DegradationStep::Kind::Margin;
             step.numModes = topo.numModes;
-            step.marginDb = margin;
+            step.margin = margin;
             step.yield = report.yield;
             summary.path.push_back(step);
 
@@ -211,14 +210,14 @@ Designer::buildResilientDesign(const DesignSpec &spec,
             if (valid && report.yield >= resilience.yieldTarget) {
                 summary.metTarget = true;
                 summary.finalYield = report.yield;
-                summary.finalMarginDb = margin;
+                summary.finalMargin = margin;
                 return out;
             }
             last_report = std::move(report);
-            if (margin >= resilience.maxMarginDb - 1e-9)
+            if (margin >= resilience.maxMargin - DecibelLoss(1e-9))
                 break;
-            margin = std::min(margin + resilience.marginStepDb,
-                              resilience.maxMarginDb);
+            margin = std::min(margin + resilience.marginStep,
+                              resilience.maxMargin);
         }
 
         if (topo.numModes == 1)
@@ -231,7 +230,7 @@ Designer::buildResilientDesign(const DesignSpec &spec,
         step.kind = DegradationStep::Kind::Collapse;
         step.numModes = topo.numModes - 1;
         step.collapsedMode = worst;
-        step.marginDb = base_margin;
+        step.margin = base_margin;
         summary.path.push_back(step);
         topo = collapseMode(topo, worst);
         if (working.weights == WeightSource::Fractions &&
@@ -251,18 +250,18 @@ Designer::buildResilientDesign(const DesignSpec &spec,
         if (working.weights == WeightSource::Fractions)
             working.fractions = {1.0};
         auto design = buildDesign(working, broadcast, core_design_flow,
-                                  resilience.maxMarginDb);
+                                  resilience.maxMargin);
         auto report = analyze(design);
         DegradationStep step;
         step.kind = DegradationStep::Kind::Margin;
         step.numModes = 1;
-        step.marginDb = resilience.maxMarginDb;
+        step.margin = resilience.maxMargin;
         step.yield = report.yield;
         summary.path.push_back(step);
         panicIf(!nominallyValid(crossbar_, design, resilience.criteria),
                 "broadcast fallback violates its nominal budget");
         best_yield = report.yield;
-        best_margin = resilience.maxMarginDb;
+        best_margin = resilience.maxMargin;
         out.design = std::move(design);
         out.yield = std::move(report);
         summary.finalNumModes = 1;
@@ -270,7 +269,7 @@ Designer::buildResilientDesign(const DesignSpec &spec,
 
     summary.metTarget = best_yield >= resilience.yieldTarget;
     summary.finalYield = best_yield;
-    summary.finalMarginDb = best_margin;
+    summary.finalMargin = best_margin;
     return out;
 }
 

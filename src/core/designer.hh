@@ -66,11 +66,11 @@ struct ResilienceParams
     int trials = 200;
     /** Seed of the yield analysis (reports are seed-reproducible). */
     std::uint64_t seed = 1;
-    /** Margin added per hardening iteration, in dB. */
-    double marginStepDb = 0.5;
-    /** Largest design margin the QD LED drivers can supply, in dB;
-     *  beyond it the loop degrades the mode set instead. */
-    double maxMarginDb = 6.0;
+    /** Margin added per hardening iteration. */
+    DecibelLoss marginStep{0.5};
+    /** Largest design margin the QD LED drivers can supply; beyond it
+     *  the loop degrades the mode set instead. */
+    DecibelLoss maxMargin{6.0};
     /** Thresholds every draw is validated against. */
     faults::YieldCriteria criteria;
 };
@@ -88,8 +88,8 @@ struct DegradationStep
     int numModes = 0;
     /** Mode merged upward (Collapse steps only). */
     int collapsedMode = -1;
-    /** Design margin in effect, in dB. */
-    double marginDb = 0.0;
+    /** Design margin in effect. */
+    DecibelLoss margin;
     /** Measured yield (Margin steps; -1 on Collapse records). */
     double yield = -1.0;
 };
@@ -102,7 +102,7 @@ struct ResilienceSummary
     std::uint64_t seed = 0;
     faults::VariationSpec spec;
     double finalYield = 0.0;
-    double finalMarginDb = 0.0;
+    DecibelLoss finalMargin;
     int finalNumModes = 0;
     bool metTarget = false;
     /** The degradation path: every margin raise and mode collapse the
@@ -146,13 +146,14 @@ class Designer
 
     /**
      * Solve the splitter design for @p topology per @p spec.
-     * @param design_margin_db Extra margin designed into every tap
+     * @param design_margin Extra margin designed into every tap
      *        target (see MnocPowerModel::designFor).
      */
     MnocDesign buildDesign(const DesignSpec &spec,
                            const GlobalPowerTopology &topology,
                            const FlowMatrix &core_design_flow,
-                           double design_margin_db = 0.0) const;
+                           DecibelLoss design_margin =
+                               DecibelLoss(0.0)) const;
 
     /**
      * Harden @p spec's design until its Monte Carlo yield under

@@ -6,7 +6,7 @@
 
 namespace mnoc::core {
 
-double
+WattPower
 MnocDesign::powerFor(int source, int dest) const
 {
     const auto &local = topology.local(source);
@@ -19,7 +19,8 @@ MnocPowerModel::MnocPowerModel(const optics::OpticalCrossbar &crossbar,
                                const PowerParams &params)
     : crossbar_(crossbar), params_(params)
 {
-    fatalIf(params_.oeBaseW < 0.0 || params_.oeMinW < 0.0,
+    fatalIf(params_.oeBase < WattPower(0.0) ||
+                params_.oeMin < WattPower(0.0),
             "O/E power coefficients must be non-negative");
     fatalIf(params_.bufferEnergyPerFlit < 0.0,
             "buffer energy must be non-negative");
@@ -29,12 +30,12 @@ MnocDesign
 MnocPowerModel::designWithWeights(
     const GlobalPowerTopology &topology,
     const std::vector<std::vector<double>> &weights,
-    double design_margin_db) const
+    DecibelLoss design_margin) const
 {
     topology.validate();
     int n = crossbar_.numNodes();
     fatalIf(topology.numNodes != n, "topology size mismatch");
-    fatalIf(design_margin_db < 0.0,
+    fatalIf(design_margin < DecibelLoss(0.0),
             "design margin must be non-negative");
 
     MnocDesign design;
@@ -42,8 +43,8 @@ MnocPowerModel::designWithWeights(
     design.sources.reserve(n);
     // Inflating the design-time pmin by the margin makes every
     // reachable link clear the true threshold by that many dB.
-    double pmin = crossbar_.params().pminAtTap() *
-                  dbToAttenuation(design_margin_db);
+    WattPower pmin = crossbar_.params().pminAtTap() *
+                     design_margin.toAttenuation();
     for (int s = 0; s < n; ++s) {
         optics::AlphaOptimizer optimizer(crossbar_.chain(s),
                                          topology.local(s).modeOfDest,
@@ -56,7 +57,7 @@ MnocPowerModel::designWithWeights(
 MnocDesign
 MnocPowerModel::designFor(const GlobalPowerTopology &topology,
                           const FlowMatrix &design_flow,
-                          double design_margin_db) const
+                          DecibelLoss design_margin) const
 {
     int n = crossbar_.numNodes();
     fatalIf(static_cast<int>(design_flow.rows()) != n ||
@@ -82,29 +83,29 @@ MnocPowerModel::designFor(const GlobalPowerTopology &topology,
         }
         weights[s] = std::move(w);
     }
-    return designWithWeights(topology, weights, design_margin_db);
+    return designWithWeights(topology, weights, design_margin);
 }
 
 MnocDesign
 MnocPowerModel::designUniform(const GlobalPowerTopology &topology,
-                              double design_margin_db) const
+                              DecibelLoss design_margin) const
 {
     FlowMatrix uniform(crossbar_.numNodes(), crossbar_.numNodes(), 1.0);
-    return designFor(topology, uniform, design_margin_db);
+    return designFor(topology, uniform, design_margin);
 }
 
 MnocDesign
 MnocPowerModel::designWithFractions(
     const GlobalPowerTopology &topology,
     const std::vector<double> &mode_fractions,
-    double design_margin_db) const
+    DecibelLoss design_margin) const
 {
     fatalIf(static_cast<int>(mode_fractions.size()) !=
                 topology.numModes,
             "one fraction per mode required");
     std::vector<std::vector<double>> weights(
         crossbar_.numNodes(), mode_fractions);
-    return designWithWeights(topology, weights, design_margin_db);
+    return designWithWeights(topology, weights, design_margin);
 }
 
 PowerBreakdown
@@ -122,7 +123,8 @@ MnocPowerModel::evaluate(const MnocDesign &design,
     double duration =
         static_cast<double>(trace.totalTicks) / params_.net.clockHz;
     double oe_per_receiver =
-        params_.oePowerPerReceiver(optics_params.photodetectorMiop);
+        params_.oePowerPerReceiver(optics_params.photodetectorMiop)
+            .watts();
 
     // Precompute the receiver population per (source, mode).
     std::vector<std::vector<int>> reach(n);
@@ -147,7 +149,7 @@ MnocPowerModel::evaluate(const MnocDesign &design,
             double tx_time = flits * flit_time;
             // QD LED electrical drive, derated by the 1-to-0 ratio.
             source_energy += tx_time *
-                design.sources[s].modePower[mode] *
+                design.sources[s].modePower[mode].watts() *
                 optics_params.oneToZeroRatio /
                 optics_params.qdLedEfficiency;
             // Every receiver reachable in this mode sees the light and

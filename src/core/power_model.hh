@@ -28,21 +28,21 @@ namespace mnoc::core {
 struct PowerParams
 {
     noc::NetworkConfig net;
-    /** Per-receiver O/E power at zero mIOP, in watts. */
-    double oeBaseW = 1.0e-3;
+    /** Per-receiver O/E power at zero mIOP. */
+    WattPower oeBase{1.0e-3};
     /** O/E power reduction per watt of mIOP (dimensionless W/W). */
     double oeSlopePerWatt = 61.0;
-    /** O/E power floor per receiver, in watts. */
-    double oeMinW = 0.05e-3;
+    /** O/E power floor per receiver. */
+    WattPower oeMin{0.05e-3};
     /** Buffer energy per flit per endpoint, in joules. */
     double bufferEnergyPerFlit = 5.0e-12;
 
     /** Per-receiver O/E power for a photodetector with @p miop. */
-    double
-    oePowerPerReceiver(double miop) const
+    WattPower
+    oePowerPerReceiver(WattPower miop) const
     {
-        double p = oeBaseW - oeSlopePerWatt * miop;
-        return p > oeMinW ? p : oeMinW;
+        WattPower p = oeBase - oeSlopePerWatt * miop;
+        return p > oeMin ? p : oeMin;
     }
 };
 
@@ -70,7 +70,7 @@ struct MnocDesign
     std::vector<optics::MultiModeDesign> sources;
 
     /** Injected optical power used by @p source to reach @p dest. */
-    double powerFor(int source, int dest) const;
+    WattPower powerFor(int source, int dest) const;
 };
 
 /**
@@ -90,7 +90,7 @@ class MnocPowerModel
      * Sources with no design traffic fall back to uniform
      * per-destination weights.
      *
-     * @param design_margin_db Extra margin designed into every tap
+     * @param design_margin Extra margin designed into every tap
      *        target: splitters are solved for pmin inflated by this
      *        many dB, so every reachable link clears the nominal
      *        threshold with at least this margin.  The hardening loop
@@ -98,11 +98,13 @@ class MnocPowerModel
      */
     MnocDesign designFor(const GlobalPowerTopology &topology,
                          const FlowMatrix &design_flow,
-                         double design_margin_db = 0.0) const;
+                         DecibelLoss design_margin = DecibelLoss(0.0))
+        const;
 
     /** Design with uniform per-destination weights (the U designs). */
     MnocDesign designUniform(const GlobalPowerTopology &topology,
-                             double design_margin_db = 0.0) const;
+                             DecibelLoss design_margin =
+                                 DecibelLoss(0.0)) const;
 
     /**
      * Design with fixed per-mode traffic fractions shared by every
@@ -111,7 +113,7 @@ class MnocPowerModel
     MnocDesign designWithFractions(
         const GlobalPowerTopology &topology,
         const std::vector<double> &mode_fractions,
-        double design_margin_db = 0.0) const;
+        DecibelLoss design_margin = DecibelLoss(0.0)) const;
 
     /** Average power over the traced interval. */
     PowerBreakdown evaluate(const MnocDesign &design,
@@ -124,7 +126,7 @@ class MnocPowerModel
     MnocDesign designWithWeights(
         const GlobalPowerTopology &topology,
         const std::vector<std::vector<double>> &weights,
-        double design_margin_db) const;
+        DecibelLoss design_margin) const;
 
     const optics::OpticalCrossbar &crossbar_;
     PowerParams params_;

@@ -12,7 +12,7 @@ powerDistanceMatrix(const optics::OpticalCrossbar &crossbar,
                     MappingObjective objective)
 {
     int n = crossbar.numNodes();
-    double pmin = crossbar.params().pminAtTap();
+    WattPower pmin = crossbar.params().pminAtTap();
     bool pairwise = objective != MappingObjective::SingleModeProfile;
     bool profile = objective != MappingObjective::PairwiseAttenuation;
 
@@ -24,14 +24,15 @@ powerDistanceMatrix(const optics::OpticalCrossbar &crossbar,
                 continue;
             double cost = 0.0;
             if (pairwise)
-                cost += pmin * chain.tapAttenuation(b);
+                cost += (pmin * chain.tapAttenuation(b)).watts();
             if (profile) {
                 // Per-packet broadcast drive of the endpoints,
                 // amortized per destination; symmetrized so the taboo
                 // solver's O(1) updates apply.
-                cost += (crossbar.broadcastPower(a) +
-                         crossbar.broadcastPower(b)) /
-                        (2.0 * static_cast<double>(n - 1));
+                cost += ((crossbar.broadcastPower(a) +
+                          crossbar.broadcastPower(b)) /
+                         (2.0 * static_cast<double>(n - 1)))
+                            .watts();
             }
             dist(a, b) = cost;
         }

@@ -13,21 +13,21 @@ VariationSpec::scaled(double factor) const
     fatalIf(factor < 0.0, "tolerance scale must be non-negative");
     VariationSpec out = *this;
     out.splitterSigma *= factor;
-    out.couplerSigmaDb *= factor;
-    out.waveguideSigmaDbPerCm *= factor;
-    out.splitterInsertionSigmaDb *= factor;
+    out.couplerSigma *= factor;
+    out.waveguideSigmaPerCm *= factor;
+    out.splitterInsertionSigma *= factor;
     out.ledDroopSigma *= factor;
-    out.miopSigmaDb *= factor;
+    out.miopSigma *= factor;
     return out;
 }
 
 void
 VariationSpec::validate() const
 {
-    fatalIf(splitterSigma < 0.0 || couplerSigmaDb < 0.0 ||
-                waveguideSigmaDbPerCm < 0.0 ||
-                splitterInsertionSigmaDb < 0.0 || ledDroopSigma < 0.0 ||
-                miopSigmaDb < 0.0,
+    fatalIf(splitterSigma < 0.0 || couplerSigma < DecibelLoss(0.0) ||
+                waveguideSigmaPerCm < DecibelLoss(0.0) ||
+                splitterInsertionSigma < DecibelLoss(0.0) ||
+                ledDroopSigma < 0.0 || miopSigma < DecibelLoss(0.0),
             "variation sigmas must be non-negative");
 }
 
@@ -55,11 +55,12 @@ drawVariation(const VariationSpec &spec,
     DeviceVariation out;
     // Per-die skews: loss terms move additively in dB, the detector
     // sensitivity multiplicatively (a dB shift of the required mIOP).
-    double wg_skew = gaussian(prng) * spec.waveguideSigmaDbPerCm;
-    double coupler_skew = gaussian(prng) * spec.couplerSigmaDb;
-    double insertion_skew = gaussian(prng) * spec.splitterInsertionSigmaDb;
+    DecibelLoss wg_skew = gaussian(prng) * spec.waveguideSigmaPerCm;
+    DecibelLoss coupler_skew = gaussian(prng) * spec.couplerSigma;
+    DecibelLoss insertion_skew =
+        gaussian(prng) * spec.splitterInsertionSigma;
     double miop_scale =
-        dbToAttenuation(gaussian(prng) * spec.miopSigmaDb);
+        (gaussian(prng) * spec.miopSigma).toAttenuation().value();
     out.params = nominal.perturbed(wg_skew, coupler_skew,
                                    insertion_skew, miop_scale);
 

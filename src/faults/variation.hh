@@ -38,17 +38,17 @@ struct VariationSpec
 {
     /** Relative sigma of each splitter's diverted fraction. */
     double splitterSigma = 0.02;
-    /** Sigma of the per-die coupler loss skew, in dB. */
-    double couplerSigmaDb = 0.1;
-    /** Sigma of the per-die waveguide loss skew, in dB/cm. */
-    double waveguideSigmaDbPerCm = 0.05;
-    /** Sigma of the per-die splitter insertion-loss skew, in dB. */
-    double splitterInsertionSigmaDb = 0.02;
+    /** Sigma of the per-die coupler loss skew. */
+    DecibelLoss couplerSigma{0.1};
+    /** Sigma of the per-die waveguide loss skew, per cm. */
+    DecibelLoss waveguideSigmaPerCm{0.05};
+    /** Sigma of the per-die splitter insertion-loss skew. */
+    DecibelLoss splitterInsertionSigma{0.02};
     /** Relative sigma of QD LED output droop (one-sided: a drooping
      *  LED only ever emits less than its drive point). */
     double ledDroopSigma = 0.03;
     /** Sigma of the detector sensitivity shift, in dB of mIOP. */
-    double miopSigmaDb = 0.2;
+    DecibelLoss miopSigma{0.2};
 
     /** A copy with every sigma multiplied by @p factor (tolerance
      *  sweeps: factor < 1 is a tighter process). */

@@ -20,12 +20,12 @@ runDraw(const optics::SerpentineLayout &layout,
         std::vector<long long> &leak_failures_by_mode)
 {
     int n = static_cast<int>(sources.size());
-    double pmin = variation.params.pminAtTap();
+    WattPower pmin = variation.params.pminAtTap();
 
     DrawOutcome outcome;
     outcome.pass = true;
-    outcome.worstMarginDb = 1e9;
-    outcome.worstLeakDb = -1e9;
+    outcome.worstMargin = DecibelLoss(1e9);
+    outcome.worstLeak = DecibelLoss(-1e9);
     outcome.worstBitErrorRate = 0.0;
 
     for (int s = 0; s < n; ++s) {
@@ -43,21 +43,22 @@ runDraw(const optics::SerpentineLayout &layout,
 
         auto report = optics::validateReceivedPowers(
             received, design.modeOfDest, s, pmin,
-            criteria.requiredMarginDb, criteria.maxLeakDb);
+            criteria.requiredMargin, criteria.maxLeak);
 
-        outcome.worstMarginDb =
-            std::min(outcome.worstMarginDb, report.worstReachableMarginDb);
-        outcome.worstLeakDb =
-            std::max(outcome.worstLeakDb, report.worstUnreachableLeakDb);
+        outcome.worstMargin =
+            std::min(outcome.worstMargin, report.worstReachableMargin);
+        outcome.worstLeak =
+            std::max(outcome.worstLeak, report.worstUnreachableLeak);
         for (const auto &link : report.links) {
             if (link.reachable) {
                 outcome.worstBitErrorRate = std::max(
                     outcome.worstBitErrorRate, link.bitErrorRate);
-                if (link.marginDb < criteria.requiredMarginDb - 1e-9) {
+                if (link.margin <
+                    criteria.requiredMargin - DecibelLoss(1e-9)) {
                     ++outcome.marginFailures;
                     ++margin_failures_by_mode[link.mode];
                 }
-            } else if (link.marginDb > criteria.maxLeakDb) {
+            } else if (link.margin > criteria.maxLeak) {
                 ++outcome.leakFailures;
                 ++leak_failures_by_mode[link.mode];
             }
@@ -111,17 +112,17 @@ analyzeYield(const optics::SerpentineLayout &layout,
                     report.marginFailuresByMode,
                     report.leakFailuresByMode);
         passes += outcome.pass ? 1 : 0;
-        margins.push_back(outcome.worstMarginDb);
+        margins.push_back(outcome.worstMargin.dB());
         bers.push_back(outcome.worstBitErrorRate);
         report.draws.push_back(outcome);
     }
 
     report.yield = static_cast<double>(passes) / trials;
-    report.marginMeanDb = mean(margins);
-    report.marginMinDb = minOf(margins);
+    report.marginMean = DecibelLoss(mean(margins));
+    report.marginMin = DecibelLoss(minOf(margins));
     std::sort(margins.begin(), margins.end());
-    report.marginP5Db =
-        margins[static_cast<std::size_t>(0.05 * (trials - 1))];
+    report.marginP5 = DecibelLoss(
+        margins[static_cast<std::size_t>(0.05 * (trials - 1))]);
     report.berWorstMean = mean(bers);
     report.berWorstMax = maxOf(bers);
     return report;

@@ -31,10 +31,10 @@ struct DrawOutcome
 {
     /** All sources' budgets held under this draw. */
     bool pass = false;
-    /** Worst reachable-link margin over all sources, in dB. */
-    double worstMarginDb = 0.0;
-    /** Worst (largest) unreachable-link level, in dB re pmin. */
-    double worstLeakDb = -1e9;
+    /** Worst reachable-link margin over all sources. */
+    DecibelLoss worstMargin;
+    /** Worst (largest) unreachable-link level, relative to pmin. */
+    DecibelLoss worstLeak{-1e9};
     /** Worst reachable-link bit error rate. */
     double worstBitErrorRate = 0.0;
     /** Number of reachable links below the required margin. */
@@ -53,10 +53,10 @@ struct YieldReport
     double yield = 0.0;
     /** Per-draw outcomes, in draw order (seed-reproducible). */
     std::vector<DrawOutcome> draws;
-    /** Distribution of the per-draw worst reachable margin, in dB. */
-    double marginMeanDb = 0.0;
-    double marginMinDb = 0.0;
-    double marginP5Db = 0.0;
+    /** Distribution of the per-draw worst reachable margin. */
+    DecibelLoss marginMean;
+    DecibelLoss marginMin;
+    DecibelLoss marginP5;
     /** Distribution of the per-draw worst reachable BER. */
     double berWorstMean = 0.0;
     double berWorstMax = 0.0;
@@ -71,12 +71,12 @@ struct YieldReport
 /** Validation thresholds shared by all draws. */
 struct YieldCriteria
 {
-    /** Margin reachable links must clear at the shifted pmin, in dB. */
-    double requiredMarginDb = 0.0;
-    /** Maximum tolerated unreachable-link level, in dB re pmin
+    /** Margin reachable links must clear at the shifted pmin. */
+    DecibelLoss requiredMargin;
+    /** Maximum tolerated unreachable-link level, relative to pmin
      *  (defaults to unconstrained; pass a negative value to demand a
      *  decision gap for the threshold circuit). */
-    double maxLeakDb = std::numeric_limits<double>::infinity();
+    DecibelLoss maxLeak = optics::unconstrainedLeak;
 };
 
 /**

@@ -27,12 +27,12 @@ struct NetworkConfig
     /** Nodes per cluster in the clustered topologies. */
     int clusterSize = 4;
 
-    /** Cycles of optical time-of-flight over @p distance_m meters,
-     *  clamped to at least one cycle (which also covers O/E + E/O). */
+    /** Cycles of optical time-of-flight over @p distance, clamped to
+     *  at least one cycle (which also covers O/E + E/O). */
     int
-    opticalCycles(double distance_m) const
+    opticalCycles(Meters distance) const
     {
-        double seconds = distance_m / waveguideLightSpeed;
+        double seconds = distance.meters() / waveguideLightSpeed;
         double cycles = seconds * clockHz;
         int whole = static_cast<int>(cycles);
         if (static_cast<double>(whole) < cycles)

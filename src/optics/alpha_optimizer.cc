@@ -146,7 +146,7 @@ optimizeAlphaVector(const std::vector<double> &mode_cost,
 AlphaOptimizer::AlphaOptimizer(const SplitterChain &chain,
                                std::vector<int> mode_of_dest,
                                std::vector<double> mode_weights,
-                               double pmin, double min_alpha)
+                               WattPower pmin, double min_alpha)
     : chain_(chain), modeOfDest_(std::move(mode_of_dest)),
       weights_(std::move(mode_weights)), pmin_(pmin),
       minAlpha_(min_alpha)
@@ -158,7 +158,7 @@ AlphaOptimizer::AlphaOptimizer(const SplitterChain &chain,
     fatalIf(m < 1, "need at least one power mode");
     fatalIf(static_cast<int>(modeOfDest_.size()) != n,
             "mode assignment size must equal node count");
-    fatalIf(pmin_ <= 0.0, "pmin must be positive");
+    fatalIf(pmin_ <= WattPower(0.0), "pmin must be positive");
 
     double weight_sum = 0.0;
     for (double w : weights_) {
@@ -176,7 +176,7 @@ AlphaOptimizer::AlphaOptimizer(const SplitterChain &chain,
         int mode = modeOfDest_[dest];
         fatalIf(mode < 0 || mode >= m,
                 "destination mode out of range");
-        modeCost_[mode] += chain_.tapAttenuation(dest);
+        modeCost_[mode] += chain_.tapAttenuation(dest).value();
     }
 }
 
@@ -187,7 +187,7 @@ AlphaOptimizer::modeCost(int mode) const
     return modeCost_[mode];
 }
 
-double
+WattPower
 AlphaOptimizer::expectedPowerFor(const std::vector<double> &alpha) const
 {
     int m = numModes();
@@ -200,7 +200,7 @@ AlphaOptimizer::expectedPowerFor(const std::vector<double> &alpha) const
         cost += modeCost_[i] * alpha[i];
         inv += weights_[i] / alpha[i];
     }
-    return pmin_ * cost * inv;
+    return pmin_ * (cost * inv);
 }
 
 MultiModeDesign
@@ -218,7 +218,7 @@ AlphaOptimizer::build(const std::vector<double> &alpha) const
     for (int dest = 0; dest < n; ++dest) {
         if (dest == chain_.source())
             continue;
-        targets[dest] = alpha[modeOfDest_[dest]] * pmin_;
+        targets[dest] = alpha[modeOfDest_[dest]] * pmin_.watts();
     }
 
     MultiModeDesign out;
@@ -227,7 +227,7 @@ AlphaOptimizer::build(const std::vector<double> &alpha) const
     out.modeOfDest[chain_.source()] = -1;
     out.alpha = alpha;
     out.modePower.resize(m);
-    out.expectedPower = 0.0;
+    out.expectedPower = WattPower(0.0);
     for (int i = 0; i < m; ++i) {
         out.modePower[i] = out.chain.injectedPower / alpha[i];
         out.expectedPower += weights_[i] * out.modePower[i];
@@ -243,12 +243,12 @@ AlphaOptimizer::optimizeGrid(double step) const
 
     std::vector<double> alpha(m, 1.0);
     std::vector<double> best(m, 1.0);
-    double best_power = expectedPowerFor(best);
+    WattPower best_power = expectedPowerFor(best);
 
     // Enumerate non-increasing alpha vectors over the grid.
     auto recurse = [&](auto &&self, int index) -> void {
         if (index == m) {
-            double p = expectedPowerFor(alpha);
+            WattPower p = expectedPowerFor(alpha);
             if (p < best_power) {
                 best_power = p;
                 best = alpha;

@@ -60,10 +60,10 @@ struct MultiModeDesign
     std::vector<int> modeOfDest;
     /** alpha_m values; alpha[0] == 1. */
     std::vector<double> alpha;
-    /** Injected optical power per mode, in watts (non-decreasing). */
-    std::vector<double> modePower;
-    /** Traffic-weighted expected injected power, in watts. */
-    double expectedPower = 0.0;
+    /** Injected optical power per mode (non-decreasing). */
+    std::vector<WattPower> modePower;
+    /** Traffic-weighted expected injected power. */
+    WattPower expectedPower;
 };
 
 /**
@@ -81,11 +81,11 @@ class AlphaOptimizer
      *        (empty modes are tolerated).
      * @param mode_weights Fraction of this source's traffic sent in
      *        each mode; normalized internally.  Size defines M.
-     * @param pmin Required tap power per destination, in watts.
+     * @param pmin Required tap power per destination.
      */
     AlphaOptimizer(const SplitterChain &chain,
                    std::vector<int> mode_of_dest,
-                   std::vector<double> mode_weights, double pmin,
+                   std::vector<double> mode_weights, WattPower pmin,
                    double min_alpha = 0.1);
 
     /** Number of power modes M. */
@@ -95,7 +95,7 @@ class AlphaOptimizer
      * Expected injected power for a candidate alpha vector, using the
      * precomputed per-mode attenuation sums (no chain solve).
      */
-    double expectedPowerFor(const std::vector<double> &alpha) const;
+    WattPower expectedPowerFor(const std::vector<double> &alpha) const;
 
     /** Build the full design (splitters, mode powers) for @p alpha. */
     MultiModeDesign build(const std::vector<double> &alpha) const;
@@ -119,7 +119,7 @@ class AlphaOptimizer
     const SplitterChain &chain_;
     std::vector<int> modeOfDest_;
     std::vector<double> weights_;
-    double pmin_;
+    WattPower pmin_;
     /** Floor on every alpha (bounds the drive dynamic range). */
     double minAlpha_;
     /** C_m: summed tap attenuation per mode. */

@@ -13,7 +13,7 @@ OpticalCrossbar::OpticalCrossbar(const SerpentineLayout &layout,
     chains_.reserve(n);
     broadcastDesigns_.reserve(n);
 
-    double pmin = params_.pminAtTap();
+    double pmin = params_.pminAtTap().watts();
     for (int source = 0; source < n; ++source) {
         chains_.push_back(
             std::make_unique<SplitterChain>(layout_, params_, source));
@@ -30,7 +30,7 @@ OpticalCrossbar::chain(int source) const
     return *chains_[source];
 }
 
-double
+WattPower
 OpticalCrossbar::broadcastPower(int source) const
 {
     return broadcastDesign(source).injectedPower;

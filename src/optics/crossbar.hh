@@ -38,9 +38,9 @@ class OpticalCrossbar
 
     /**
      * Minimal injected optical power for @p source to broadcast (every
-     * destination tap receives pminAtTap), in watts.
+     * destination tap receives pminAtTap).
      */
-    double broadcastPower(int source) const;
+    WattPower broadcastPower(int source) const;
 
     /** The full single-mode design for @p source. */
     const ChainDesign &broadcastDesign(int source) const;

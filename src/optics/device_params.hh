@@ -2,12 +2,12 @@
  * @file
  * Optical device parameters for the mNoC power model (paper Table 3).
  *
- * All dB figures are losses; all powers are in watts.  The receiver-side
- * losses (coupler into the photodetector and the chromophore power loss)
- * are folded into a single per-receiver minimum tap power, pminAtTap(),
- * which is the power a destination's splitter must divert from the
- * waveguide for the photodetector to see its minimum input optical power
- * (mIOP).
+ * Losses are carried as DecibelLoss, powers as WattPower (see
+ * common/units.hh).  The receiver-side losses (coupler into the
+ * photodetector and the chromophore power loss) are folded into a
+ * single per-receiver minimum tap power, pminAtTap(), which is the
+ * power a destination's splitter must divert from the waveguide for
+ * the photodetector to see its minimum input optical power (mIOP).
  */
 
 #ifndef MNOC_OPTICS_DEVICE_PARAMS_HH
@@ -32,37 +32,37 @@ struct DeviceParams
     double qdLedEfficiency = 0.10;
     /** Average fraction of bit slots that carry optical power. */
     double oneToZeroRatio = 1.0;
-    /** Waveguide propagation loss in dB per centimeter. */
-    double waveguideLossDbPerCm = 1.0;
-    /** Coupler loss (source injection and receiver tap), in dB. */
-    double couplerLossDb = 1.0;
-    /** Photodetector minimum input optical power, in watts. */
-    double photodetectorMiop = 10.0 * microWatt;
-    /** Chromophore filtering power loss at the receiver, in watts. */
-    double chromophoreLoss = 5.0 * microWatt;
+    /** Waveguide propagation loss per centimeter of waveguide. */
+    DecibelLoss waveguideLossPerCm{1.0};
+    /** Coupler loss (source injection and receiver tap). */
+    DecibelLoss couplerLoss{1.0};
+    /** Photodetector minimum input optical power. */
+    WattPower photodetectorMiop{10.0 * microWatt};
+    /** Chromophore filtering power loss at the receiver. */
+    WattPower chromophoreLoss{5.0 * microWatt};
     /** Splitter insertion (excess) loss, charged to the diverted
      *  branch at each destination tap and once at the source's own
      *  directional splitter (see splitter_chain.hh for the loss
      *  convention). */
-    double splitterInsertionDb = 0.2;
+    DecibelLoss splitterInsertion{0.2};
 
     /**
      * Minimum power a destination's splitter must divert from the
      * waveguide: the photodetector mIOP plus the chromophore loss,
      * inflated by the receiver-side coupler loss.
      */
-    double
+    WattPower
     pminAtTap() const
     {
         return (photodetectorMiop + chromophoreLoss) *
-               dbToAttenuation(couplerLossDb);
+               couplerLoss.toAttenuation();
     }
 
-    /** Propagation loss over @p length_m meters of waveguide, in dB. */
-    double
-    propagationLossDb(double length_m) const
+    /** Propagation loss over @p length of waveguide. */
+    DecibelLoss
+    propagationLoss(Meters length) const
     {
-        return waveguideLossDbPerCm * (length_m / centimeter);
+        return waveguideLossPerCm * length.centimeters();
     }
 
     /**
@@ -74,16 +74,17 @@ struct DeviceParams
      * (src/faults) to replay designs under device variation.
      */
     DeviceParams
-    perturbed(double waveguide_skew_db_per_cm, double coupler_skew_db,
-              double splitter_skew_db, double miop_scale) const
+    perturbed(DecibelLoss waveguide_skew_per_cm, DecibelLoss coupler_skew,
+              DecibelLoss splitter_skew, double miop_scale) const
     {
         fatalIf(miop_scale <= 0.0, "mIOP scale must be positive");
         DeviceParams out = *this;
-        out.waveguideLossDbPerCm =
-            std::max(0.0, waveguideLossDbPerCm + waveguide_skew_db_per_cm);
-        out.couplerLossDb = std::max(0.0, couplerLossDb + coupler_skew_db);
-        out.splitterInsertionDb =
-            std::max(0.0, splitterInsertionDb + splitter_skew_db);
+        out.waveguideLossPerCm = std::max(
+            DecibelLoss(0.0), waveguideLossPerCm + waveguide_skew_per_cm);
+        out.couplerLoss =
+            std::max(DecibelLoss(0.0), couplerLoss + coupler_skew);
+        out.splitterInsertion =
+            std::max(DecibelLoss(0.0), splitterInsertion + splitter_skew);
         out.photodetectorMiop = photodetectorMiop * miop_scale;
         return out;
     }
@@ -96,11 +97,15 @@ struct DeviceParams
                 "QD LED efficiency must be in (0, 1]");
         fatalIf(oneToZeroRatio <= 0.0 || oneToZeroRatio > 1.0,
                 "1-to-0 ratio must be in (0, 1]");
-        fatalIf(waveguideLossDbPerCm < 0.0, "negative waveguide loss");
-        fatalIf(couplerLossDb < 0.0, "negative coupler loss");
-        fatalIf(photodetectorMiop <= 0.0, "mIOP must be positive");
-        fatalIf(chromophoreLoss < 0.0, "negative chromophore loss");
-        fatalIf(splitterInsertionDb < 0.0, "negative splitter loss");
+        fatalIf(waveguideLossPerCm < DecibelLoss(0.0),
+                "negative waveguide loss");
+        fatalIf(couplerLoss < DecibelLoss(0.0), "negative coupler loss");
+        fatalIf(photodetectorMiop <= WattPower(0.0),
+                "mIOP must be positive");
+        fatalIf(chromophoreLoss < WattPower(0.0),
+                "negative chromophore loss");
+        fatalIf(splitterInsertion < DecibelLoss(0.0),
+                "negative splitter loss");
     }
 };
 

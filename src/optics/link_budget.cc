@@ -9,31 +9,31 @@
 namespace mnoc::optics {
 
 double
-linkBitErrorRate(double received, double pmin, double q_at_pmin)
+linkBitErrorRate(WattPower received, WattPower pmin, double q_at_pmin)
 {
-    fatalIf(pmin <= 0.0, "pmin must be positive");
+    fatalIf(pmin <= WattPower(0.0), "pmin must be positive");
     fatalIf(q_at_pmin <= 0.0, "Q factor must be positive");
-    if (received <= 0.0)
+    if (received <= WattPower(0.0))
         return 0.5; // no light: coin flip
-    double q = q_at_pmin * received / pmin;
+    double q = q_at_pmin * (received / pmin);
     return 0.5 * std::erfc(q / std::sqrt(2.0));
 }
 
 BudgetReport
 validateReceivedPowers(
     const std::vector<std::vector<double>> &received_per_mode,
-    const std::vector<int> &mode_of_dest, int source, double pmin,
-    double required_margin_db, double max_leak_db)
+    const std::vector<int> &mode_of_dest, int source, WattPower pmin,
+    DecibelLoss required_margin, DecibelLoss max_leak)
 {
     int n = static_cast<int>(mode_of_dest.size());
     int num_modes = static_cast<int>(received_per_mode.size());
     fatalIf(num_modes < 1, "design has no modes");
     fatalIf(source < 0 || source >= n, "source index out of range");
-    fatalIf(pmin <= 0.0, "pmin must be positive");
+    fatalIf(pmin <= WattPower(0.0), "pmin must be positive");
 
     BudgetReport report;
-    report.worstReachableMarginDb = 1e9;
-    report.worstUnreachableLeakDb = -1e9;
+    report.worstReachableMargin = DecibelLoss(1e9);
+    report.worstUnreachableLeak = DecibelLoss(-1e9);
 
     for (int mode = 0; mode < num_modes; ++mode) {
         const auto &received = received_per_mode[mode];
@@ -45,36 +45,37 @@ validateReceivedPowers(
             LinkBudget link;
             link.mode = mode;
             link.dest = dest;
-            link.receivedPower = received[dest];
+            link.receivedPower = WattPower(received[dest]);
             link.reachable = mode_of_dest[dest] <= mode;
-            link.marginDb =
+            link.margin =
                 received[dest] > 0.0
-                    ? ratioToDb(received[dest] / pmin)
-                    : -1e9;
-            link.bitErrorRate = linkBitErrorRate(received[dest], pmin);
+                    ? DecibelLoss(ratioToDb(received[dest] /
+                                            pmin.watts()))
+                    : DecibelLoss(-1e9);
+            link.bitErrorRate =
+                linkBitErrorRate(link.receivedPower, pmin);
             if (link.reachable) {
-                report.worstReachableMarginDb =
-                    std::min(report.worstReachableMarginDb,
-                             link.marginDb);
+                report.worstReachableMargin =
+                    std::min(report.worstReachableMargin, link.margin);
             } else {
-                report.worstUnreachableLeakDb =
-                    std::max(report.worstUnreachableLeakDb,
-                             link.marginDb);
+                report.worstUnreachableLeak =
+                    std::max(report.worstUnreachableLeak, link.margin);
             }
             report.links.push_back(link);
         }
     }
 
     report.ok =
-        report.worstReachableMarginDb >= required_margin_db - 1e-9 &&
-        report.worstUnreachableLeakDb <= max_leak_db;
+        report.worstReachableMargin >=
+            required_margin - DecibelLoss(1e-9) &&
+        report.worstUnreachableLeak <= max_leak;
     return report;
 }
 
 BudgetReport
 validateDesign(const SplitterChain &chain,
-               const MultiModeDesign &design, double pmin,
-               double required_margin_db, double max_leak_db)
+               const MultiModeDesign &design, WattPower pmin,
+               DecibelLoss required_margin, DecibelLoss max_leak)
 {
     int n = chain.numNodes();
     int num_modes = static_cast<int>(design.modePower.size());
@@ -88,8 +89,8 @@ validateDesign(const SplitterChain &chain,
         received_per_mode.push_back(
             chain.evaluate(design.chain, design.modePower[mode]));
     return validateReceivedPowers(received_per_mode, design.modeOfDest,
-                                  chain.source(), pmin,
-                                  required_margin_db, max_leak_db);
+                                  chain.source(), pmin, required_margin,
+                                  max_leak);
 }
 
 } // namespace mnoc::optics

@@ -9,6 +9,14 @@
  * This module checks both sides of the budget and estimates the BER of
  * an on/off-keyed link from the ratio of received power to mIOP using
  * the standard Gaussian-noise Q-factor model.
+ *
+ * All thresholds are strong-typed: received powers and pmin are
+ * WattPower, margins and leak levels are DecibelLoss.  Passing a dB
+ * quantity where a linear one is expected (or vice versa) does not
+ * compile -- e.g. validateDesign(chain, design,
+ * params.couplerLoss, ...) is rejected because a DecibelLoss is not a
+ * WattPower, where the old all-double API would have silently used
+ * 1.0 (the coupler's dB figure) as a one-watt threshold.
  */
 
 #ifndef MNOC_OPTICS_LINK_BUDGET_HH
@@ -26,10 +34,10 @@ struct LinkBudget
 {
     int mode = 0;
     int dest = 0;
-    /** Received tap power when driving this mode, in watts. */
-    double receivedPower = 0.0;
-    /** Margin in dB relative to pmin (negative = below threshold). */
-    double marginDb = 0.0;
+    /** Received tap power when driving this mode. */
+    WattPower receivedPower;
+    /** Margin relative to pmin (negative = below threshold). */
+    DecibelLoss margin;
     /** Whether the destination is reachable in this mode. */
     bool reachable = false;
     /** Estimated bit error rate of the on/off-keyed link. */
@@ -40,13 +48,17 @@ struct LinkBudget
 struct BudgetReport
 {
     std::vector<LinkBudget> links;
-    /** Smallest margin over all reachable links, in dB. */
-    double worstReachableMarginDb = 0.0;
+    /** Smallest margin over all reachable links. */
+    DecibelLoss worstReachableMargin;
     /** Largest received power of any unreachable link, relative to
-     *  pmin, in dB (should be comfortably negative). */
-    double worstUnreachableLeakDb = -1e9;
+     *  pmin (should be comfortably negative). */
+    DecibelLoss worstUnreachableLeak{-1e9};
     bool ok = false;
 };
+
+/** The unconstrained leak limit (any sub-threshold level tolerated). */
+inline constexpr DecibelLoss unconstrainedLeak{
+    std::numeric_limits<double>::infinity()};
 
 /**
  * Estimate the BER of an on/off-keyed photonic link whose received
@@ -55,7 +67,7 @@ struct BudgetReport
  * where q_at_pmin (default 7, ~1e-12 BER) is the design point of the
  * receiver chain.
  */
-double linkBitErrorRate(double received, double pmin,
+double linkBitErrorRate(WattPower received, WattPower pmin,
                         double q_at_pmin = 7.0);
 
 /**
@@ -74,9 +86,9 @@ double linkBitErrorRate(double received, double pmin,
  */
 BudgetReport validateReceivedPowers(
     const std::vector<std::vector<double>> &received_per_mode,
-    const std::vector<int> &mode_of_dest, int source, double pmin,
-    double required_margin_db = 0.0,
-    double max_leak_db = std::numeric_limits<double>::infinity());
+    const std::vector<int> &mode_of_dest, int source, WattPower pmin,
+    DecibelLoss required_margin = DecibelLoss(0.0),
+    DecibelLoss max_leak = unconstrainedLeak);
 
 /**
  * Validate a complete multi-mode design for one source.
@@ -84,10 +96,10 @@ BudgetReport validateReceivedPowers(
  * @param chain Waveguide power model of the source.
  * @param design The mode design (splitters, alphas, mode powers).
  * @param pmin Required tap power.
- * @param required_margin_db Minimum acceptable margin for reachable
- *        links (default 0: exactly pmin passes).
- * @param max_leak_db Maximum tolerated sub-threshold level for
- *        unreachable links, in dB relative to pmin.  Unconstrained by
+ * @param required_margin Minimum acceptable margin for reachable
+ *        links (default 0 dB: exactly pmin passes).
+ * @param max_leak Maximum tolerated sub-threshold level for
+ *        unreachable links, relative to pmin.  Unconstrained by
  *        default: a not-yet-reachable node receiving pmin early is
  *        harmless (receivers filter by address) -- it only means two
  *        adjacent modes collapsed to the same drive power.  Pass a
@@ -96,8 +108,8 @@ BudgetReport validateReceivedPowers(
  */
 BudgetReport validateDesign(
     const SplitterChain &chain, const MultiModeDesign &design,
-    double pmin, double required_margin_db = 0.0,
-    double max_leak_db = std::numeric_limits<double>::infinity());
+    WattPower pmin, DecibelLoss required_margin = DecibelLoss(0.0),
+    DecibelLoss max_leak = unconstrainedLeak);
 
 } // namespace mnoc::optics
 

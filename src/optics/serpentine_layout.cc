@@ -7,11 +7,11 @@
 
 namespace mnoc::optics {
 
-SerpentineLayout::SerpentineLayout(int num_nodes, double waveguide_length_m)
-    : numNodes_(num_nodes), waveguideLength_(waveguide_length_m)
+SerpentineLayout::SerpentineLayout(int num_nodes, Meters waveguide_length)
+    : numNodes_(num_nodes), waveguideLength_(waveguide_length)
 {
     fatalIf(num_nodes < 2, "serpentine layout needs at least 2 nodes");
-    fatalIf(waveguide_length_m <= 0.0,
+    fatalIf(waveguide_length <= Meters(0.0),
             "waveguide length must be positive");
     nodeSpacing_ = waveguideLength_ / static_cast<double>(numNodes_ - 1);
 
@@ -20,17 +20,17 @@ SerpentineLayout::SerpentineLayout(int num_nodes, double waveguide_length_m)
     gridRows_ = (numNodes_ + gridCols_ - 1) / gridCols_;
 }
 
-double
+Meters
 SerpentineLayout::arcPosition(int node) const
 {
     panicIf(node < 0 || node >= numNodes_, "node index out of range");
     return nodeSpacing_ * static_cast<double>(node);
 }
 
-double
+Meters
 SerpentineLayout::distanceBetween(int a, int b) const
 {
-    return std::fabs(arcPosition(a) - arcPosition(b));
+    return abs(arcPosition(a) - arcPosition(b));
 }
 
 int
@@ -42,11 +42,11 @@ SerpentineLayout::intermediateNodes(int a, int b) const
     return gap > 1 ? gap - 1 : 0;
 }
 
-double
+Meters
 SerpentineLayout::maxReachDistance(int source) const
 {
-    double to_front = arcPosition(source);
-    double to_back = waveguideLength_ - to_front;
+    Meters to_front = arcPosition(source);
+    Meters to_back = waveguideLength_ - to_front;
     return std::max(to_front, to_back);
 }
 

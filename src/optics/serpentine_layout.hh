@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "common/units.hh"
+
 namespace mnoc::optics {
 
 /**
@@ -26,32 +28,32 @@ class SerpentineLayout
   public:
     /**
      * @param num_nodes Number of crossbar ports (sources = destinations).
-     * @param waveguide_length_m Total serpentine length in meters
+     * @param waveguide_length Total serpentine length
      *        (the paper assumes ~18 cm for a 400 mm^2 die).
      */
-    SerpentineLayout(int num_nodes, double waveguide_length_m);
+    SerpentineLayout(int num_nodes, Meters waveguide_length);
 
     /** Number of nodes on each waveguide. */
     int numNodes() const { return numNodes_; }
 
-    /** Total waveguide length in meters. */
-    double waveguideLength() const { return waveguideLength_; }
+    /** Total waveguide length. */
+    Meters waveguideLength() const { return waveguideLength_; }
 
-    /** Arc-length position of @p node along the waveguide, in meters. */
-    double arcPosition(int node) const;
+    /** Arc-length position of @p node along the waveguide. */
+    Meters arcPosition(int node) const;
 
-    /** Waveguide distance between two nodes, in meters. */
-    double distanceBetween(int a, int b) const;
+    /** Waveguide distance between two nodes. */
+    Meters distanceBetween(int a, int b) const;
 
     /** Number of intermediate nodes strictly between @p a and @p b. */
     int intermediateNodes(int a, int b) const;
 
     /**
-     * Longest waveguide distance from @p source to any node, in meters.
-     * Sources near the middle of the serpentine have the smallest value
-     * (half the waveguide); end sources must span the whole length.
+     * Longest waveguide distance from @p source to any node.  Sources
+     * near the middle of the serpentine have the smallest value (half
+     * the waveguide); end sources must span the whole length.
      */
-    double maxReachDistance(int source) const;
+    Meters maxReachDistance(int source) const;
 
     /**
      * 2D grid coordinate of @p node on the die, following the serpentine
@@ -65,14 +67,14 @@ class SerpentineLayout
 
   private:
     int numNodes_;
-    double waveguideLength_;
-    double nodeSpacing_;
+    Meters waveguideLength_;
+    Meters nodeSpacing_;
     int gridCols_;
     int gridRows_;
 };
 
 /** Default serpentine length for a 400 mm^2 die (paper Section 5.1). */
-inline constexpr double defaultWaveguideLength = 0.18;
+inline constexpr Meters defaultWaveguideLength{0.18};
 
 } // namespace mnoc::optics
 

@@ -18,8 +18,8 @@ SplitterChain::SplitterChain(const SerpentineLayout &layout,
 
     // LED output -> coupler -> source directional splitter.
     sourceFeedTransmission_ =
-        dbToTransmission(params_.couplerLossDb) *
-        dbToTransmission(params_.splitterInsertionDb);
+        params_.couplerLoss.toTransmission() *
+        params_.splitterInsertion.toTransmission();
 
     // Loss convention (see header): pass-through light suffers only
     // propagation loss; the splitter insertion loss applies to the
@@ -27,20 +27,21 @@ SplitterChain::SplitterChain(const SerpentineLayout &layout,
     // own directional splitter.  Charging the insertion loss to every
     // pass-through would accumulate >50 dB across a radix-256
     // serpentine and contradict the paper's scalability analysis.
-    double tap_t = dbToTransmission(params_.splitterInsertionDb);
-    tapAtten_.assign(n, 0.0);
+    LinearFactor tap_t = params_.splitterInsertion.toTransmission();
+    tapAtten_.assign(n, LinearFactor(0.0));
     for (int dest = 0; dest < n; ++dest) {
         if (dest == source_)
             continue;
-        double trans = sourceFeedTransmission_ * tap_t;
-        trans *= dbToTransmission(
-            params_.propagationLossDb(layout_.distanceBetween(source_,
-                                                              dest)));
-        tapAtten_[dest] = 1.0 / trans;
+        LinearFactor trans = sourceFeedTransmission_ * tap_t;
+        trans *= params_
+                     .propagationLoss(
+                         layout_.distanceBetween(source_, dest))
+                     .toTransmission();
+        tapAtten_[dest] = trans.inverse();
     }
 }
 
-double
+LinearFactor
 SplitterChain::tapAttenuation(int dest) const
 {
     panicIf(dest < 0 || dest >= numNodes(), "destination out of range");
@@ -48,30 +49,31 @@ SplitterChain::tapAttenuation(int dest) const
     return tapAtten_[dest];
 }
 
-double
+LinearFactor
 SplitterChain::segmentTransmission(int a) const
 {
-    return dbToTransmission(
-        params_.propagationLossDb(layout_.distanceBetween(a, a + 1)));
+    return params_.propagationLoss(layout_.distanceBetween(a, a + 1))
+        .toTransmission();
 }
 
 ChainDesign
-SplitterChain::design(const std::vector<double> &targets) const
+SplitterChain::design(const std::vector<double> &tap_targets) const
 {
     int n = numNodes();
-    fatalIf(static_cast<int>(targets.size()) != n,
+    fatalIf(static_cast<int>(tap_targets.size()) != n,
             "targets size must equal node count");
-    fatalIf(targets[source_] != 0.0,
+    fatalIf(tap_targets[source_] != 0.0,
             "the source's own target must be zero");
-    for (double t : targets)
+    for (double t : tap_targets)
         fatalIf(t < 0.0, "received-power targets must be non-negative");
 
     ChainDesign out;
     out.source = source_;
-    out.targets = targets;
+    out.targets = tap_targets;
     out.splitterFraction.assign(n, 0.0);
 
-    const double tap_t = dbToTransmission(params_.splitterInsertionDb);
+    const double tap_t =
+        params_.splitterInsertion.toTransmission().value();
 
     // Per-arm backward recurrence.  W_j (power arriving at node j's
     // splitter input) must cover the tap's diversion -- the target
@@ -82,7 +84,7 @@ SplitterChain::design(const std::vector<double> &targets) const
         int last = step > 0 ? n - 1 : 0;
         int tail = -1; // farthest node on this arm that needs power
         for (int j = last; j != source_; j -= step) {
-            if (targets[j] > 0.0) {
+            if (tap_targets[j] > 0.0) {
                 tail = j;
                 break;
             }
@@ -92,11 +94,12 @@ SplitterChain::design(const std::vector<double> &targets) const
 
         double next_need = 0.0; // W of the node one hop farther out
         for (int j = tail; j != source_; j -= step) {
-            double diverted = targets[j] / tap_t;
+            double diverted = tap_targets[j] / tap_t;
             double arriving = diverted;
             if (next_need > 0.0) {
                 int seg_lo = std::min(j, j + step);
-                arriving += next_need / segmentTransmission(seg_lo);
+                arriving +=
+                    next_need / segmentTransmission(seg_lo).value();
             }
             if (arriving > 0.0)
                 out.splitterFraction[j] = diverted / arriving;
@@ -104,14 +107,15 @@ SplitterChain::design(const std::vector<double> &targets) const
         }
         // Undo the segment between the source and the first arm node.
         int seg_lo = std::min(source_, source_ + step);
-        return next_need / segmentTransmission(seg_lo);
+        return next_need / segmentTransmission(seg_lo).value();
     };
 
     double left_need = source_ > 0 ? solve_arm(-1) : 0.0;
     double right_need = source_ < n - 1 ? solve_arm(+1) : 0.0;
 
     double total_arm_power = left_need + right_need;
-    out.injectedPower = total_arm_power / sourceFeedTransmission_;
+    out.injectedPower =
+        WattPower(total_arm_power) / sourceFeedTransmission_;
     out.splitterFraction[source_] =
         total_arm_power > 0.0 ? left_need / total_arm_power : 0.0;
     return out;
@@ -119,13 +123,14 @@ SplitterChain::design(const std::vector<double> &targets) const
 
 std::vector<double>
 SplitterChain::evaluate(const ChainDesign &design,
-                        double injected_power) const
+                        WattPower injected_power) const
 {
     return evaluate(design, injected_power, {});
 }
 
 std::vector<double>
-SplitterChain::evaluate(const ChainDesign &design, double injected_power,
+SplitterChain::evaluate(const ChainDesign &design,
+                        WattPower injected_power,
                         const std::vector<double> &splitter_scale) const
 {
     int n = numNodes();
@@ -151,15 +156,16 @@ SplitterChain::evaluate(const ChainDesign &design, double injected_power,
         return s;
     };
 
-    const double tap_t = dbToTransmission(params_.splitterInsertionDb);
+    const double tap_t =
+        params_.splitterInsertion.toTransmission().value();
     std::vector<double> received(n, 0.0);
-    double fed = injected_power * sourceFeedTransmission_;
+    double fed = (injected_power * sourceFeedTransmission_).watts();
     double left_frac = fraction(source_);
 
     auto walk = [&](double power, int step) {
         for (int j = source_ + step; j >= 0 && j < n; j += step) {
             int seg_lo = std::min(j, j - step);
-            power *= segmentTransmission(seg_lo);
+            power *= segmentTransmission(seg_lo).value();
             double s = fraction(j);
             received[j] = power * s * tap_t;
             power *= (1.0 - s);

@@ -48,9 +48,10 @@ struct ChainDesign
     int source = -1;
     /** S_j per node; entry [source] is the left-arm power share. */
     std::vector<double> splitterFraction;
-    /** Minimal optical power at the QD LED output, in watts. */
-    double injectedPower = 0.0;
-    /** The per-destination tap targets the design was solved for. */
+    /** Minimal optical power at the QD LED output. */
+    WattPower injectedPower;
+    /** The per-destination tap targets the design was solved for, in
+     *  watts per node. */
     std::vector<double> targets;
 };
 
@@ -81,26 +82,27 @@ class SplitterChain
      * tap insertion).  Excludes the (1 - S_k) diversion factors, which
      * the exact design accounts for by construction.
      */
-    double tapAttenuation(int dest) const;
+    LinearFactor tapAttenuation(int dest) const;
 
     /**
      * Solve for the splitter fractions and minimal injected power that
-     * deliver exactly @p targets watts to every destination tap.
+     * deliver exactly @p tap_targets watts to every destination tap.
      *
-     * @param targets Per-node received-power target in watts; the entry
-     *        at the source index must be zero (a source does not listen
-     *        on its own waveguide).
+     * @param tap_targets Per-node received-power target, in watts per
+     *        node; the entry at the source index must be zero (a source
+     *        does not listen on its own waveguide).
      * @return The exact design; splitter fractions lie in [0, 1].
      */
-    ChainDesign design(const std::vector<double> &targets) const;
+    ChainDesign design(const std::vector<double> &tap_targets) const;
 
     /**
-     * Forward-propagate @p injected_power watts through @p design and
-     * return the power delivered to every node's tap.  Used to verify
-     * designs and to compute received power in scaled (higher) modes.
+     * Forward-propagate @p injected_power through @p design and return
+     * the power delivered to every node's tap, in watts per node.  Used
+     * to verify designs and to compute received power in scaled
+     * (higher) modes.
      */
     std::vector<double> evaluate(const ChainDesign &design,
-                                 double injected_power) const;
+                                 WattPower injected_power) const;
 
     /**
      * evaluate() under per-node splitter-ratio variation: node j's
@@ -116,21 +118,21 @@ class SplitterChain
      * pass the per-splitter draw here.
      */
     std::vector<double>
-    evaluate(const ChainDesign &design, double injected_power,
+    evaluate(const ChainDesign &design, WattPower injected_power,
              const std::vector<double> &splitter_scale) const;
 
   private:
     /** Propagation transmission of the waveguide segment between
      *  adjacent nodes @p a and @p a+1 (no splitter insertion). */
-    double segmentTransmission(int a) const;
+    LinearFactor segmentTransmission(int a) const;
 
     const SerpentineLayout &layout_;
     DeviceParams params_;
     int source_;
     /** Precomputed geometric attenuation per destination. */
-    std::vector<double> tapAtten_;
+    std::vector<LinearFactor> tapAtten_;
     /** Transmission from LED output to the waveguide arms. */
-    double sourceFeedTransmission_;
+    LinearFactor sourceFeedTransmission_;
 };
 
 } // namespace mnoc::optics

@@ -1,0 +1,16 @@
+// Deliberately non-conforming header used by test_lint.sh.  Copied to
+// <scratch>/src/optics/bad_header.hh, where the guard must be
+// MNOC_OPTICS_BAD_HEADER_HH and unit-suffixed double parameters are
+// forbidden.
+
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+namespace mnoc::optics {
+
+// unit-param: the dB value should be a DecibelLoss parameter.
+double badBudget(double coupler_loss_db, int taps);
+
+} // namespace mnoc::optics
+
+#endif // WRONG_GUARD_HH

@@ -1,0 +1,35 @@
+// Deliberately non-conforming source used by test_lint.sh.  The
+// self-test copies this file to <scratch>/src/core/bad_misc.cc and
+// expects mnoc-lint to flag every seeded violation below.
+
+#include <vector>
+#include <cmath>
+#include <random>
+
+namespace mnoc {
+
+double
+attenuationFromDb(double loss_db)
+{
+    return std::pow(10, loss_db / 10.0); // raw-pow
+}
+
+double
+noisyDraw()
+{
+    std::mt19937 gen(42); // rng
+    return static_cast<double>(gen()) / 4294967295.0;
+}
+
+float
+badPrecision() // float
+{
+	return 0.5f; // tab indent -> format
+}
+
+double trailing = 1.0;  
+// The line above has trailing whitespace; the line below exceeds the
+// 79-column limit enforced across the tree by check_format in mnoc_lint.py.
+double wayTooLongLine = attenuationFromDb(3.0) + attenuationFromDb(6.0) + 0.125;
+
+} // namespace mnoc

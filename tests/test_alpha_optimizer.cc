@@ -19,7 +19,7 @@ using namespace mnoc::optics;
 
 struct Fixture
 {
-    SerpentineLayout layout{16, 0.05};
+    SerpentineLayout layout{16, Meters(0.05)};
     DeviceParams params;
     SplitterChain chain{layout, params, 7};
 
@@ -43,10 +43,10 @@ TEST(AlphaOptimizer, SingleModeIsBroadcast)
     ASSERT_EQ(design.modePower.size(), 1u);
     EXPECT_DOUBLE_EQ(design.alpha[0], 1.0);
     // Must equal the plain broadcast design power.
-    std::vector<double> targets(16, f.params.pminAtTap());
+    std::vector<double> targets(16, f.params.pminAtTap().watts());
     targets[7] = 0.0;
-    EXPECT_NEAR(design.modePower[0],
-                f.chain.design(targets).injectedPower, 1e-15);
+    EXPECT_NEAR(design.modePower[0].watts(),
+                f.chain.design(targets).injectedPower.watts(), 1e-15);
 }
 
 TEST(AlphaOptimizer, ModePowersAreOrdered)
@@ -65,8 +65,8 @@ TEST(AlphaOptimizer, EveryModeReachesItsDestinations)
 {
     Fixture f;
     auto modes = f.twoModeAssignment();
-    double pmin = f.params.pminAtTap();
-    AlphaOptimizer opt(f.chain, modes, {0.7, 0.3}, pmin);
+    double pmin = f.params.pminAtTap().watts();
+    AlphaOptimizer opt(f.chain, modes, {0.7, 0.3}, WattPower(pmin));
     auto design = opt.optimize();
 
     for (int m = 0; m < 2; ++m) {
@@ -119,8 +119,8 @@ TEST(AlphaOptimizer, ExpectedPowerForAgreesWithBuild)
     AlphaOptimizer opt(f.chain, f.twoModeAssignment(), {0.5, 0.5},
                        f.params.pminAtTap());
     std::vector<double> alpha = {1.0, 0.4};
-    EXPECT_NEAR(opt.expectedPowerFor(alpha),
-                opt.build(alpha).expectedPower, 1e-12);
+    EXPECT_NEAR(opt.expectedPowerFor(alpha).watts(),
+                opt.build(alpha).expectedPower.watts(), 1e-12);
 }
 
 TEST(AlphaOptimizer, SkewedWeightsDeepenTheLowMode)
@@ -130,9 +130,10 @@ TEST(AlphaOptimizer, SkewedWeightsDeepenTheLowMode)
     // w_1 shrinks).
     Fixture f;
     auto modes = f.twoModeAssignment();
-    double pmin = f.params.pminAtTap();
+    double pmin = f.params.pminAtTap().watts();
     auto alpha_for = [&](double w0) {
-        AlphaOptimizer opt(f.chain, modes, {w0, 1.0 - w0}, pmin);
+        AlphaOptimizer opt(f.chain, modes, {w0, 1.0 - w0},
+                           WattPower(pmin));
         return opt.optimize().alpha[1];
     };
     EXPECT_LT(alpha_for(0.95), alpha_for(0.5));
@@ -143,17 +144,18 @@ TEST(AlphaOptimizer, RejectsMalformedInput)
 {
     Fixture f;
     auto modes = f.twoModeAssignment();
-    double pmin = f.params.pminAtTap();
-    EXPECT_THROW(AlphaOptimizer(f.chain, modes, {}, pmin), FatalError);
-    EXPECT_THROW(AlphaOptimizer(f.chain, modes, {0.0, 0.0}, pmin),
+    double pmin = f.params.pminAtTap().watts();
+    WattPower wpmin(pmin);
+    EXPECT_THROW(AlphaOptimizer(f.chain, modes, {}, wpmin), FatalError);
+    EXPECT_THROW(AlphaOptimizer(f.chain, modes, {0.0, 0.0}, wpmin),
                  FatalError);
-    EXPECT_THROW(AlphaOptimizer(f.chain, modes, {-1.0, 2.0}, pmin),
+    EXPECT_THROW(AlphaOptimizer(f.chain, modes, {-1.0, 2.0}, wpmin),
                  FatalError);
     std::vector<int> bad_modes(16, 5);
-    EXPECT_THROW(AlphaOptimizer(f.chain, bad_modes, {0.5, 0.5}, pmin),
+    EXPECT_THROW(AlphaOptimizer(f.chain, bad_modes, {0.5, 0.5}, wpmin),
                  FatalError);
 
-    AlphaOptimizer opt(f.chain, modes, {0.5, 0.5}, pmin);
+    AlphaOptimizer opt(f.chain, modes, {0.5, 0.5}, wpmin);
     EXPECT_THROW(opt.build({0.5, 0.4}), FatalError);  // alpha0 != 1
     EXPECT_THROW(opt.build({1.0, 1.1}), FatalError);  // increasing
 }
@@ -267,8 +269,8 @@ TEST_P(AlphaWeightSweep, FeasibleAndNoWorseThanBroadcastDesign)
     auto [w0, w1] = GetParam();
     Fixture f;
     auto modes = f.twoModeAssignment();
-    double pmin = f.params.pminAtTap();
-    AlphaOptimizer opt(f.chain, modes, {w0, w1}, pmin);
+    double pmin = f.params.pminAtTap().watts();
+    AlphaOptimizer opt(f.chain, modes, {w0, w1}, WattPower(pmin));
     auto design = opt.optimize();
 
     // alpha = {1, 1} corresponds to always driving broadcast power;

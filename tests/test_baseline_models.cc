@@ -78,7 +78,7 @@ TEST(CmnocModel, PortCrossbarUsesShorterWaveguide)
     CmnocPowerModel model;
     // The radix-64 port crossbar's broadcast power is far below a
     // radix-256 full-die source (shorter reach, fewer receivers).
-    optics::SerpentineLayout full(256, optics::defaultWaveguideLength);
+    optics::SerpentineLayout full{256, optics::defaultWaveguideLength};
     optics::OpticalCrossbar full_xbar(full, optics::DeviceParams{});
     EXPECT_LT(model.portCrossbar().broadcastPower(0),
               0.3 * full_xbar.broadcastPower(0));

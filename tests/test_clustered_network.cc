@@ -15,7 +15,7 @@ using namespace mnoc::noc;
 
 struct ClusterFixture
 {
-    optics::SerpentineLayout ports{64, 0.10};
+    optics::SerpentineLayout ports{64, Meters(0.10)};
     NetworkConfig config;
     ClusteredNetwork net{256, ports, config, "rNoC"};
 };
@@ -108,12 +108,12 @@ TEST(ClusteredNetwork, SelfDeliveryIsFree)
 
 TEST(ClusteredNetwork, ValidatesConfiguration)
 {
-    optics::SerpentineLayout ports{64, 0.10};
+    optics::SerpentineLayout ports{64, Meters(0.10)};
     NetworkConfig config;
     // 255 nodes is not a multiple of the cluster size 4.
     EXPECT_THROW(ClusteredNetwork(255, ports, config, "x"), FatalError);
     // Port count mismatch.
-    optics::SerpentineLayout wrong{32, 0.10};
+    optics::SerpentineLayout wrong{32, Meters(0.10)};
     EXPECT_THROW(ClusteredNetwork(256, wrong, config, "x"), FatalError);
 }
 

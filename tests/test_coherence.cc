@@ -16,7 +16,7 @@ using namespace mnoc::sim;
 
 struct CohFixture
 {
-    optics::SerpentineLayout layout{4, 0.01};
+    optics::SerpentineLayout layout{4, Meters(0.01)};
     noc::NetworkConfig netConfig;
     noc::MnocNetwork net{layout, netConfig};
     noc::TrafficRecorder recorder{4};

@@ -16,7 +16,7 @@ using namespace mnoc::core;
 
 struct CaFixture
 {
-    optics::SerpentineLayout layout{16, 0.05};
+    optics::SerpentineLayout layout{16, Meters(0.05)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
 
@@ -77,9 +77,9 @@ TEST(CommAware, BeatsDistanceBasedOnSkewedTraffic)
     double naive_power = 0.0;
     for (int s = 0; s < 16; ++s) {
         aware_power += expectedSourcePower(
-            f.xbar, s, aware.local(s).modeOfDest, 2, flow);
+            f.xbar, s, aware.local(s).modeOfDest, 2, flow).watts();
         naive_power += expectedSourcePower(
-            f.xbar, s, naive.local(s).modeOfDest, 2, flow);
+            f.xbar, s, naive.local(s).modeOfDest, 2, flow).watts();
     }
     EXPECT_LT(aware_power, naive_power);
 }
@@ -155,9 +155,9 @@ TEST(CommAware, FourModeNoWorseThanTwoMode)
     double p4 = 0.0;
     for (int s = 0; s < 16; ++s) {
         p2 += expectedSourcePower(f.xbar, s, g2.local(s).modeOfDest, 2,
-                                  flow);
+                                  flow).watts();
         p4 += expectedSourcePower(f.xbar, s, g4.local(s).modeOfDest, 4,
-                                  flow);
+                                  flow).watts();
     }
     // Four modes strictly generalize two (they could merge to two),
     // so with the refinement step they should not lose.
@@ -181,10 +181,10 @@ TEST(CommAware, GreedyRefinementNeverHurts)
     for (int s = 0; s < 16; ++s) {
         plain += expectedSourcePower(f.xbar, s,
                                      g_plain.local(s).modeOfDest, 4,
-                                     flow);
+                                     flow).watts();
         refined += expectedSourcePower(f.xbar, s,
                                        g_refined.local(s).modeOfDest, 4,
-                                       flow);
+                                       flow).watts();
     }
     EXPECT_LE(refined, plain * (1 + 1e-9));
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "common/csv.hh"
 #include "common/log.hh"
@@ -48,6 +49,86 @@ TEST(Units, NearlyEqual)
     EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-12));
     EXPECT_FALSE(nearlyEqual(1.0, 1.001));
     EXPECT_TRUE(nearlyEqual(0.0, 0.0));
+    EXPECT_TRUE(nearlyEqual(WattPower(1.0), WattPower(1.0 + 1e-12)));
+    EXPECT_FALSE(nearlyEqual(WattPower(1.0), WattPower(1.001)));
+}
+
+TEST(Units, StrongTypesAreNotImplicitlyConvertible)
+{
+    // The whole point of the wrappers: a bare double (or the wrong
+    // wrapper) cannot sneak into a unit-typed parameter.
+    static_assert(!std::is_convertible_v<double, DecibelLoss>);
+    static_assert(!std::is_convertible_v<double, LinearFactor>);
+    static_assert(!std::is_convertible_v<double, WattPower>);
+    static_assert(!std::is_convertible_v<double, Meters>);
+    static_assert(!std::is_convertible_v<DecibelLoss, WattPower>);
+    static_assert(!std::is_convertible_v<DecibelLoss, LinearFactor>);
+    static_assert(!std::is_convertible_v<WattPower, Meters>);
+    // Zero overhead: same size and triviality as the raw double.
+    static_assert(sizeof(DecibelLoss) == sizeof(double));
+    static_assert(sizeof(WattPower) == sizeof(double));
+    static_assert(std::is_trivially_copyable_v<WattPower>);
+    static_assert(std::is_trivially_copyable_v<Meters>);
+}
+
+TEST(Units, DecibelConversionRoundTrips)
+{
+    for (double db : {-12.0, -0.5, 0.0, 0.1, 3.0, 17.5, 60.0}) {
+        DecibelLoss loss(db);
+        // toTransmission and toAttenuation are exact inverses.
+        EXPECT_NEAR((loss.toTransmission() * loss.toAttenuation())
+                        .value(),
+                    1.0, 1e-12);
+        EXPECT_NEAR(loss.toAttenuation().inverse().value(),
+                    loss.toTransmission().value(), 1e-12);
+        // Linear -> dB -> linear is the identity.
+        EXPECT_NEAR(loss.toAttenuation().toDb().dB(), db, 1e-12);
+        EXPECT_NEAR(loss.toTransmission().toDb().dB(), -db, 1e-12);
+    }
+}
+
+TEST(Units, DbmRoundTrips)
+{
+    using namespace unit_literals;
+    EXPECT_DOUBLE_EQ(WattPower::fromDbm(0.0).watts(), 1e-3);
+    EXPECT_DOUBLE_EQ(WattPower::fromDbm(30.0).watts(), 1.0);
+    EXPECT_NEAR(WattPower::fromDbm(-30.0).microwatts(), 1.0, 1e-12);
+    for (double dbm : {-42.0, -3.0, 0.0, 10.0, 27.5})
+        EXPECT_NEAR(WattPower::fromDbm(dbm).toDbm(), dbm, 1e-12);
+    EXPECT_NEAR((1_mW).toDbm(), 0.0, 1e-12);
+    EXPECT_THROW(WattPower(0.0).toDbm(), PanicError);
+}
+
+TEST(Units, ArithmeticPreservesDimensions)
+{
+    using namespace unit_literals;
+    // Powers: add, scale, attenuate; ratios are dimensionless.
+    WattPower p = 2_mW + 500_uW;
+    EXPECT_DOUBLE_EQ(p.watts(), 2.5e-3);
+    EXPECT_DOUBLE_EQ((p * 2.0).watts(), 5e-3);
+    EXPECT_DOUBLE_EQ(p / 500_uW, 5.0);
+    EXPECT_DOUBLE_EQ((p * DecibelLoss(3.0).toTransmission()).watts(),
+                     p.watts() * dbToTransmission(3.0));
+    EXPECT_DOUBLE_EQ((p / DecibelLoss(3.0).toAttenuation()).watts(),
+                     p.watts() * dbToTransmission(3.0));
+    // dB quantities are additive and ordered.
+    EXPECT_DOUBLE_EQ((3.5_dB + 1.5_dB).dB(), 5.0);
+    EXPECT_DOUBLE_EQ((3.5_dB - 1.5_dB).dB(), 2.0);
+    EXPECT_DOUBLE_EQ((-(3_dB)).dB(), -3.0);
+    EXPECT_LT(1_dB, 2_dB);
+    // Lengths: literals agree, ratios are dimensionless.
+    EXPECT_DOUBLE_EQ((18_cm).meters(), (0.18_m).meters());
+    EXPECT_DOUBLE_EQ((0.18_m).centimeters(), 18.0);
+    EXPECT_DOUBLE_EQ(0.1_m / 0.05_m, 2.0);
+    EXPECT_DOUBLE_EQ(mnoc::abs(Meters(-0.3)).meters(), 0.3);
+}
+
+TEST(Units, StreamsPrintWithUnitSuffix)
+{
+    std::ostringstream os;
+    os << DecibelLoss(3.0) << "; " << LinearFactor(2.0) << "; "
+       << WattPower(0.5) << "; " << Meters(0.18);
+    EXPECT_EQ(os.str(), "3 dB; 2x; 0.5 W; 0.18 m");
 }
 
 TEST(Log, FatalAndPanicThrowDistinctTypes)

@@ -16,27 +16,27 @@ using namespace mnoc::optics;
 
 TEST(OpticalCrossbar, BroadcastMatchesManualDesign)
 {
-    SerpentineLayout layout(16, 0.05);
+    SerpentineLayout layout{16, Meters(0.05)};
     DeviceParams params;
     OpticalCrossbar xbar(layout, params);
 
-    std::vector<double> targets(16, params.pminAtTap());
+    std::vector<double> targets(16, params.pminAtTap().watts());
     targets[4] = 0.0;
     SplitterChain chain(layout, params, 4);
-    EXPECT_NEAR(xbar.broadcastPower(4),
-                chain.design(targets).injectedPower, 1e-15);
+    EXPECT_NEAR(xbar.broadcastPower(4).watts(),
+                chain.design(targets).injectedPower.watts(), 1e-15);
 }
 
 TEST(OpticalCrossbar, PowerProfileLowestInTheMiddle)
 {
     // Figure 6: the per-source single-mode power is maximal at the
     // waveguide ends and minimal near the middle.
-    SerpentineLayout layout(64, 0.18);
+    SerpentineLayout layout{64, Meters(0.18)};
     OpticalCrossbar xbar(layout, DeviceParams{});
 
-    double end0 = xbar.broadcastPower(0);
-    double end1 = xbar.broadcastPower(63);
-    double mid = xbar.broadcastPower(32);
+    WattPower end0 = xbar.broadcastPower(0);
+    WattPower end1 = xbar.broadcastPower(63);
+    WattPower mid = xbar.broadcastPower(32);
     EXPECT_GT(end0, mid);
     EXPECT_GT(end1, mid);
     // The ratio for an 18 cm waveguide is substantial (about 4-5x).
@@ -49,16 +49,17 @@ TEST(OpticalCrossbar, PowerProfileLowestInTheMiddle)
 
 TEST(OpticalCrossbar, ProfileIsSymmetric)
 {
-    SerpentineLayout layout(32, 0.1);
+    SerpentineLayout layout{32, Meters(0.1)};
     OpticalCrossbar xbar(layout, DeviceParams{});
     for (int s = 0; s < 16; ++s)
-        EXPECT_NEAR(xbar.broadcastPower(s), xbar.broadcastPower(31 - s),
-                    1e-9 * xbar.broadcastPower(s));
+        EXPECT_NEAR(xbar.broadcastPower(s).watts(),
+                    xbar.broadcastPower(31 - s).watts(),
+                    1e-9 * xbar.broadcastPower(s).watts());
 }
 
 TEST(OpticalCrossbar, ChainAccessorsValidateRange)
 {
-    SerpentineLayout layout(8, 0.02);
+    SerpentineLayout layout{8, Meters(0.02)};
     OpticalCrossbar xbar(layout, DeviceParams{});
     EXPECT_EQ(xbar.numNodes(), 8);
     EXPECT_EQ(xbar.chain(3).source(), 3);
@@ -72,11 +73,13 @@ TEST(OpticalCrossbar, BroadcastElectricalPowerInPaperRange)
     // parameters on the 18 cm serpentine, a radix-256 source drives
     // roughly 0.1 W (optical) at the ends and a few tens of mW in the
     // middle -- about 1 W and 0.2 W electrical at 10% LED efficiency.
-    SerpentineLayout layout(256, defaultWaveguideLength);
+    SerpentineLayout layout{256, defaultWaveguideLength};
     DeviceParams params;
     OpticalCrossbar xbar(layout, params);
-    double end_elec = xbar.broadcastPower(0) / params.qdLedEfficiency;
-    double mid_elec = xbar.broadcastPower(128) / params.qdLedEfficiency;
+    double end_elec =
+        (xbar.broadcastPower(0) / params.qdLedEfficiency).watts();
+    double mid_elec =
+        (xbar.broadcastPower(128) / params.qdLedEfficiency).watts();
     EXPECT_GT(end_elec, 0.3);
     EXPECT_LT(end_elec, 3.0);
     EXPECT_GT(mid_elec, 0.05);

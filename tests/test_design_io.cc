@@ -19,7 +19,7 @@ using namespace mnoc::core;
 
 struct IoFixture
 {
-    optics::SerpentineLayout layout{12, 0.04};
+    optics::SerpentineLayout layout{12, Meters(0.04)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
     MnocPowerModel model{xbar};
@@ -82,7 +82,7 @@ TEST(DesignIo, RoundTripPreservesSplitters)
             if (d == s)
                 continue;
             EXPECT_GE(received[d],
-                      f.params.pminAtTap() * (1.0 - 1e-9));
+                      f.params.pminAtTap().watts() * (1.0 - 1e-9));
         }
     }
     std::remove(path.c_str());
@@ -129,9 +129,10 @@ TEST(DesignIo, DriveTableMatchesDesign)
         EXPECT_NE(entry.dest, 4);
         EXPECT_EQ(entry.mode,
                   design.topology.local(4).modeOfDest[entry.dest]);
-        EXPECT_DOUBLE_EQ(entry.drivePower,
-                         design.sources[4].modePower[entry.mode]);
-        EXPECT_GT(entry.drivePower, 0.0);
+        EXPECT_DOUBLE_EQ(entry.drivePower.watts(),
+                         design.sources[4].modePower[entry.mode]
+                             .watts());
+        EXPECT_GT(entry.drivePower.watts(), 0.0);
     }
     // Drive powers are non-decreasing in mode.
     for (std::size_t i = 0; i + 1 < table.size(); ++i) {

@@ -23,7 +23,7 @@ using namespace mnoc::core;
 struct FaultsFixture
 {
     static constexpr int kNodes = 16;
-    optics::SerpentineLayout layout{kNodes, 0.05};
+    optics::SerpentineLayout layout{kNodes, Meters(0.05)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
     Designer designer{xbar};
@@ -41,7 +41,7 @@ struct FaultsFixture
 
     /** A two-mode design at the given built-in margin. */
     MnocDesign
-    twoModeDesign(double margin_db) const
+    twoModeDesign(DecibelLoss margin) const
     {
         DesignSpec spec;
         spec.numModes = 2;
@@ -49,7 +49,7 @@ struct FaultsFixture
         spec.weights = WeightSource::DesignFlow;
         FlowMatrix flow = neighbourFlow();
         auto topology = designer.buildTopology(spec, flow);
-        return designer.buildDesign(spec, topology, flow, margin_db);
+        return designer.buildDesign(spec, topology, flow, margin);
     }
 };
 
@@ -79,17 +79,18 @@ TEST(Variation, DrawRespectsSpecAndScaling)
         EXPECT_GE(led, 0.1);
     }
     // Losses never go negative, whatever the draw.
-    EXPECT_GE(draw.params.couplerLossDb, 0.0);
-    EXPECT_GE(draw.params.waveguideLossDbPerCm, 0.0);
-    EXPECT_GE(draw.params.splitterInsertionDb, 0.0);
+    EXPECT_GE(draw.params.couplerLoss.dB(), 0.0);
+    EXPECT_GE(draw.params.waveguideLossPerCm.dB(), 0.0);
+    EXPECT_GE(draw.params.splitterInsertion.dB(), 0.0);
 
     // A zero-scaled spec is the identity draw.
     Prng zero_prng(7);
     auto none =
         faults::drawVariation(spec.scaled(0.0), nominal, 8, zero_prng);
-    EXPECT_DOUBLE_EQ(none.params.couplerLossDb, nominal.couplerLossDb);
-    EXPECT_DOUBLE_EQ(none.params.photodetectorMiop,
-                     nominal.photodetectorMiop);
+    EXPECT_DOUBLE_EQ(none.params.couplerLoss.dB(),
+                     nominal.couplerLoss.dB());
+    EXPECT_DOUBLE_EQ(none.params.photodetectorMiop.watts(),
+                     nominal.photodetectorMiop.watts());
     for (const auto &row : none.splitterScale)
         for (double s : row)
             EXPECT_DOUBLE_EQ(s, 1.0);
@@ -100,7 +101,7 @@ TEST(Variation, DrawRespectsSpecAndScaling)
 TEST(Yield, SeededDrawsAreReproducible)
 {
     FaultsFixture fx;
-    auto design = fx.twoModeDesign(2.0);
+    auto design = fx.twoModeDesign(DecibelLoss(2.0));
     faults::VariationSpec spec;
     auto a = faults::analyzeYield(fx.layout, fx.params, design.sources,
                                   spec, 60, 99);
@@ -110,27 +111,28 @@ TEST(Yield, SeededDrawsAreReproducible)
     EXPECT_EQ(a.yield, b.yield);
     for (std::size_t i = 0; i < a.draws.size(); ++i) {
         EXPECT_EQ(a.draws[i].pass, b.draws[i].pass);
-        EXPECT_EQ(a.draws[i].worstMarginDb, b.draws[i].worstMarginDb);
+        EXPECT_EQ(a.draws[i].worstMargin.dB(),
+                  b.draws[i].worstMargin.dB());
         EXPECT_EQ(a.draws[i].worstBitErrorRate,
                   b.draws[i].worstBitErrorRate);
     }
 
     auto c = faults::analyzeYield(fx.layout, fx.params, design.sources,
                                   spec, 60, 100);
-    EXPECT_NE(a.draws[0].worstMarginDb, c.draws[0].worstMarginDb);
+    EXPECT_NE(a.draws[0].worstMargin.dB(), c.draws[0].worstMargin.dB());
 }
 
 TEST(Yield, ZeroVariationPassesAndTighterToleranceIsNoWorse)
 {
     FaultsFixture fx;
-    auto design = fx.twoModeDesign(1.5);
+    auto design = fx.twoModeDesign(DecibelLoss(1.5));
     faults::VariationSpec spec;
 
     auto none = faults::analyzeYield(
         fx.layout, fx.params, design.sources, spec.scaled(0.0), 10, 5);
     EXPECT_DOUBLE_EQ(none.yield, 1.0);
     // The designed-in margin survives the identity draw exactly.
-    EXPECT_NEAR(none.marginMinDb, 1.5, 1e-6);
+    EXPECT_NEAR(none.marginMin.dB(), 1.5, 1e-6);
 
     auto tight = faults::analyzeYield(
         fx.layout, fx.params, design.sources, spec.scaled(0.25), 150, 5);
@@ -144,7 +146,7 @@ TEST(Yield, UnhardenedDesignHasPoorYield)
     FaultsFixture fx;
     // No margin: every mode-unique link sits exactly at pmin, so any
     // symmetric perturbation fails about half the links.
-    auto design = fx.twoModeDesign(0.0);
+    auto design = fx.twoModeDesign(DecibelLoss(0.0));
     faults::VariationSpec spec;
     auto report = faults::analyzeYield(fx.layout, fx.params,
                                        design.sources, spec, 50, 11);
@@ -192,12 +194,12 @@ TEST(Hardening, LoopConvergesToYieldTarget)
 
     EXPECT_TRUE(hardened.summary.metTarget);
     EXPECT_GE(hardened.summary.finalYield, 0.9);
-    EXPECT_GT(hardened.summary.finalMarginDb, 0.0);
+    EXPECT_GT(hardened.summary.finalMargin.dB(), 0.0);
     EXPECT_FALSE(hardened.summary.path.empty());
     EXPECT_EQ(hardened.yield.yield, hardened.summary.finalYield);
 
     // The emitted design holds its nominal link budgets.
-    double pmin = fx.params.pminAtTap();
+    WattPower pmin = fx.params.pminAtTap();
     for (int s = 0; s < FaultsFixture::kNodes; ++s) {
         auto budget = optics::validateDesign(
             fx.xbar.chain(s), hardened.design.sources[s], pmin);
@@ -223,8 +225,8 @@ TEST(Hardening, GracefulDegradationEndsAtBroadcast)
     resilience.trials = 40;
     resilience.seed = 5;
     resilience.variation = faults::VariationSpec{}.scaled(8.0);
-    resilience.maxMarginDb = 1.0;
-    resilience.marginStepDb = 0.5;
+    resilience.maxMargin = DecibelLoss(1.0);
+    resilience.marginStep = DecibelLoss(0.5);
     auto degraded = fx.designer.buildResilientDesign(
         spec, topology, flow, resilience);
 
@@ -243,7 +245,7 @@ TEST(Hardening, GracefulDegradationEndsAtBroadcast)
     }
     EXPECT_EQ(collapses, 3);
 
-    double pmin = fx.params.pminAtTap();
+    WattPower pmin = fx.params.pminAtTap();
     for (int s = 0; s < FaultsFixture::kNodes; ++s) {
         auto budget = optics::validateDesign(
             fx.xbar.chain(s), degraded.design.sources[s], pmin);
@@ -280,8 +282,8 @@ TEST(DesignIo, ResilienceSummaryRoundTrips)
     EXPECT_EQ(summary.seed, 13u);
     EXPECT_DOUBLE_EQ(summary.finalYield,
                      hardened.summary.finalYield);
-    EXPECT_DOUBLE_EQ(summary.finalMarginDb,
-                     hardened.summary.finalMarginDb);
+    EXPECT_DOUBLE_EQ(summary.finalMargin.dB(),
+                     hardened.summary.finalMargin.dB());
     EXPECT_EQ(summary.metTarget, hardened.summary.metTarget);
     ASSERT_EQ(summary.path.size(), hardened.summary.path.size());
     for (std::size_t i = 0; i < summary.path.size(); ++i) {

@@ -23,7 +23,7 @@ using namespace mnoc::core;
 struct EndToEnd
 {
     static constexpr int n = 64;
-    optics::SerpentineLayout layout{n, 0.09};
+    optics::SerpentineLayout layout{n, Meters(0.09)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
     noc::NetworkConfig netConfig;
@@ -129,7 +129,7 @@ TEST(Integration, MnocOutperformsClusteredNetworks)
     // clustered topologies' two router crossings (here at radix 64
     // with 16 optical ports).
     EndToEnd e;
-    optics::SerpentineLayout ports(16, 0.06);
+    optics::SerpentineLayout ports{16, Meters(0.06)};
     noc::NetworkConfig config;
     noc::ClusteredNetwork clustered(EndToEnd::n, ports, config,
                                     "rNoC");

@@ -15,7 +15,7 @@ using namespace mnoc::optics;
 
 struct LbFixture
 {
-    SerpentineLayout layout{16, 0.05};
+    SerpentineLayout layout{16, Meters(0.05)};
     DeviceParams params;
     SplitterChain chain{layout, params, 6};
 
@@ -33,23 +33,25 @@ struct LbFixture
 
 TEST(LinkBudget, BerDecreasesWithReceivedPower)
 {
-    double pmin = 1e-5;
-    double high = linkBitErrorRate(2e-5, pmin);
-    double nominal = linkBitErrorRate(1e-5, pmin);
-    double low = linkBitErrorRate(0.5e-5, pmin);
+    WattPower pmin(1e-5);
+    double high = linkBitErrorRate(WattPower(2e-5), pmin);
+    double nominal = linkBitErrorRate(WattPower(1e-5), pmin);
+    double low = linkBitErrorRate(WattPower(0.5e-5), pmin);
     EXPECT_LT(high, nominal);
     EXPECT_LT(nominal, low);
     // Design point Q = 7: about 1e-12.
     EXPECT_LT(nominal, 1e-11);
     EXPECT_GT(nominal, 1e-14);
     // No light: coin flip.
-    EXPECT_DOUBLE_EQ(linkBitErrorRate(0.0, pmin), 0.5);
+    EXPECT_DOUBLE_EQ(linkBitErrorRate(WattPower(0.0), pmin), 0.5);
 }
 
 TEST(LinkBudget, BerRejectsBadArguments)
 {
-    EXPECT_THROW(linkBitErrorRate(1e-5, 0.0), FatalError);
-    EXPECT_THROW(linkBitErrorRate(1e-5, 1e-5, -1.0), FatalError);
+    EXPECT_THROW(linkBitErrorRate(WattPower(1e-5), WattPower(0.0)),
+                 FatalError);
+    EXPECT_THROW(linkBitErrorRate(WattPower(1e-5), WattPower(1e-5), -1.0),
+                 FatalError);
 }
 
 TEST(LinkBudget, OptimizedDesignValidates)
@@ -60,9 +62,9 @@ TEST(LinkBudget, OptimizedDesignValidates)
                                  f.params.pminAtTap());
     EXPECT_TRUE(report.ok);
     // Reachable links sit at or above pmin.
-    EXPECT_GE(report.worstReachableMarginDb, -1e-9);
+    EXPECT_GE(report.worstReachableMargin.dB(), -1e-9);
     // Unreachable links sit strictly below pmin.
-    EXPECT_LT(report.worstUnreachableLeakDb, 0.0);
+    EXPECT_LT(report.worstUnreachableLeak.dB(), 0.0);
 }
 
 TEST(LinkBudget, ReportsEveryModeDestinationPair)
@@ -104,7 +106,8 @@ TEST(LinkBudget, StrictGapRequirementCanFail)
     LbFixture f;
     auto design = f.twoModeDesign({0.5, 0.5});
     auto report = validateDesign(f.chain, design,
-                                 f.params.pminAtTap(), 0.0, -10.0);
+                                 f.params.pminAtTap(), DecibelLoss(0.0),
+                                 DecibelLoss(-10.0));
     // The leak level in mode 1 is alpha-relative; with moderate
     // weights alpha_1 is well above 0.1, so this must fail.
     EXPECT_FALSE(report.ok);
@@ -117,7 +120,7 @@ TEST(LinkBudget, MarginRequirementCanFail)
     // The exact design hits pmin with zero margin, so demanding +3 dB
     // must fail.
     auto report = validateDesign(f.chain, design,
-                                 f.params.pminAtTap(), 3.0);
+                                 f.params.pminAtTap(), DecibelLoss(3.0));
     EXPECT_FALSE(report.ok);
 }
 

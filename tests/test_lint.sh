@@ -1,0 +1,61 @@
+#!/bin/sh
+# Self-test for tools/mnoc_lint.py, run as a ctest.
+#
+# Two halves:
+#   1. the real tree must lint clean (exit 0);
+#   2. the seeded fixtures in tests/lint_fixtures/ must trip every
+#      rule the linter implements (exit 1, with one finding per rule).
+#
+# Usage: test_lint.sh <repo-root>
+set -eu
+
+root=${1:?usage: test_lint.sh <repo-root>}
+lint="$root/tools/mnoc_lint.py"
+
+fail() {
+    echo "test_lint: FAIL: $*" >&2
+    exit 1
+}
+
+[ -f "$lint" ] || fail "linter not found at $lint"
+
+# --- 1. The tree itself is clean. ---------------------------------
+if ! python3 "$lint" --root "$root"; then
+    fail "mnoc-lint reported findings on the real tree"
+fi
+
+# --- 2. The fixtures trip every rule. -----------------------------
+# The path-scoped rules (float, unit-param) only apply under src/, so
+# stage the fixtures into a scratch tree that mimics the real layout.
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+mkdir -p "$scratch/src/core" "$scratch/src/optics"
+cp "$root/tests/lint_fixtures/bad_misc.cc" "$scratch/src/core/"
+cp "$root/tests/lint_fixtures/bad_header.hh" "$scratch/src/optics/"
+
+out="$scratch/findings.txt"
+if python3 "$lint" --root "$scratch" \
+        "$scratch/src/core/bad_misc.cc" \
+        "$scratch/src/optics/bad_header.hh" > "$out" 2>&1; then
+    cat "$out" >&2
+    fail "mnoc-lint accepted fixtures with seeded violations"
+fi
+
+for rule in raw-pow rng float unit-param header-guard \
+            include-order format; do
+    grep -q "\[$rule\]" "$out" || {
+        cat "$out" >&2
+        fail "seeded '$rule' violation was not flagged"
+    }
+done
+
+# Format violations are seeded three ways; check each message.
+for message in "tab character" "trailing whitespace" "columns"; do
+    grep -q "$message" "$out" || {
+        cat "$out" >&2
+        fail "seeded format violation '$message' was not flagged"
+    }
+done
+
+echo "test_lint: PASS (tree clean, all seeded violations flagged)"

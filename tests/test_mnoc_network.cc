@@ -159,10 +159,10 @@ TEST(NetworkConfig, OpticalCyclesMatchesTableTwo)
 {
     NetworkConfig config;
     // 18 cm at 10 cm/ns = 1.8 ns = 9 cycles at 5 GHz.
-    EXPECT_EQ(config.opticalCycles(0.18), 9);
+    EXPECT_EQ(config.opticalCycles(Meters(0.18)), 9);
     // Anything short still costs one cycle (O/E + E/O).
-    EXPECT_EQ(config.opticalCycles(0.0001), 1);
-    EXPECT_EQ(config.opticalCycles(0.10), 5);
+    EXPECT_EQ(config.opticalCycles(Meters(0.0001)), 1);
+    EXPECT_EQ(config.opticalCycles(Meters(0.10)), 5);
 }
 
 } // namespace

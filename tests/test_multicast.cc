@@ -18,7 +18,7 @@ using namespace mnoc::sim;
 
 struct McFixture
 {
-    optics::SerpentineLayout layout{8, 0.02};
+    optics::SerpentineLayout layout{8, Meters(0.02)};
     noc::NetworkConfig netConfig;
     noc::MnocNetwork net{layout, netConfig};
     noc::TrafficRecorder recorder{8};
@@ -116,7 +116,7 @@ TEST(Multicast, EndToEndRunIsFasterOrEqualOnSharingWorkload)
     // Hotspot reads + owner writes cause invalidation storms; the
     // multicast run must not be slower and must send fewer packets.
     auto run = [](bool multicast) {
-        optics::SerpentineLayout layout(16, 0.05);
+        optics::SerpentineLayout layout{16, Meters(0.05)};
         noc::NetworkConfig net_config;
         noc::MnocNetwork net(layout, net_config);
         sim::SimConfig config;

@@ -17,7 +17,7 @@ using namespace mnoc::core;
 
 struct PmFixture
 {
-    optics::SerpentineLayout layout{16, 0.05};
+    optics::SerpentineLayout layout{16, Meters(0.05)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
     PowerParams power;
@@ -50,10 +50,10 @@ TEST(PowerModel, SingleModeDesignUsesBroadcastPower)
     auto design = f.model.designUniform(topo);
     for (int s = 0; s < 16; ++s) {
         ASSERT_EQ(design.sources[s].modePower.size(), 1u);
-        EXPECT_NEAR(design.sources[s].modePower[0],
-                    f.xbar.broadcastPower(s), 1e-12);
-        EXPECT_NEAR(design.powerFor(s, (s + 1) % 16),
-                    f.xbar.broadcastPower(s), 1e-12);
+        EXPECT_NEAR(design.sources[s].modePower[0].watts(),
+                    f.xbar.broadcastPower(s).watts(), 1e-12);
+        EXPECT_NEAR(design.powerFor(s, (s + 1) % 16).watts(),
+                    f.xbar.broadcastPower(s).watts(), 1e-12);
     }
 }
 
@@ -171,14 +171,14 @@ TEST(PowerModel, OePowerFollowsReachableReceivers)
 TEST(PowerModel, OeModelIsLinearInMiop)
 {
     PowerParams p;
-    double at1 = p.oePowerPerReceiver(1e-6);
-    double at5 = p.oePowerPerReceiver(5e-6);
-    double at10 = p.oePowerPerReceiver(10e-6);
+    double at1 = p.oePowerPerReceiver(WattPower(1e-6)).watts();
+    double at5 = p.oePowerPerReceiver(WattPower(5e-6)).watts();
+    double at10 = p.oePowerPerReceiver(WattPower(10e-6)).watts();
     EXPECT_GT(at1, at5);
     EXPECT_GT(at5, at10);
     // Equal slope on both halves of the range.
     EXPECT_NEAR((at1 - at5) / 4e-6, (at5 - at10) / 5e-6, 1e-9);
-    EXPECT_GE(p.oePowerPerReceiver(1.0), p.oeMinW); // floor holds
+    EXPECT_GE(p.oePowerPerReceiver(WattPower(1.0)), p.oeMin); // floor
 }
 
 TEST(PowerModel, DesignWithFractionsRespectsModeCount)

@@ -22,7 +22,7 @@ using namespace mnoc::core;
 struct PropRig
 {
     static constexpr int n = 32;
-    optics::SerpentineLayout layout{n, 0.06};
+    optics::SerpentineLayout layout{n, Meters(0.06)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
     MnocPowerModel model{xbar};
@@ -92,15 +92,15 @@ TEST_P(BenchmarkProperties, CommAwareDesignsAlwaysValidate)
     auto topo = commAwareTopology(rig.xbar, flow, config);
     auto design = rig.model.designFor(topo, flow);
 
-    double pmin = rig.params.pminAtTap();
+    WattPower pmin = rig.params.pminAtTap();
     for (int s = 0; s < PropRig::n; s += 5) {
         auto report = optics::validateDesign(rig.xbar.chain(s),
                                              design.sources[s], pmin);
         EXPECT_TRUE(report.ok) << GetParam() << " source " << s
                                << " margin "
-                               << report.worstReachableMarginDb
+                               << report.worstReachableMargin
                                << " leak "
-                               << report.worstUnreachableLeakDb;
+                               << report.worstUnreachableLeak;
     }
 }
 
@@ -130,6 +130,6 @@ TEST_P(BenchmarkProperties, PowerIsTrafficLinear)
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, BenchmarkProperties,
     testing::ValuesIn(workloads::splashBenchmarks()),
-    [](const auto &info) { return info.param; });
+    [](const auto &suite_info) { return suite_info.param; });
 
 } // namespace

@@ -15,25 +15,27 @@ using optics::SerpentineLayout;
 
 TEST(Serpentine, EndpointsSpanTheWaveguide)
 {
-    SerpentineLayout layout(256, 0.18);
-    EXPECT_DOUBLE_EQ(layout.arcPosition(0), 0.0);
-    EXPECT_DOUBLE_EQ(layout.arcPosition(255), 0.18);
-    EXPECT_NEAR(layout.arcPosition(128), 0.18 * 128 / 255, 1e-12);
+    SerpentineLayout layout{256, Meters(0.18)};
+    EXPECT_DOUBLE_EQ(layout.arcPosition(0).meters(), 0.0);
+    EXPECT_DOUBLE_EQ(layout.arcPosition(255).meters(), 0.18);
+    EXPECT_NEAR(layout.arcPosition(128).meters(), 0.18 * 128 / 255,
+                1e-12);
 }
 
 TEST(Serpentine, DistanceIsSymmetricAndProportional)
 {
-    SerpentineLayout layout(256, 0.18);
-    EXPECT_DOUBLE_EQ(layout.distanceBetween(10, 30),
-                     layout.distanceBetween(30, 10));
-    EXPECT_NEAR(layout.distanceBetween(0, 255), 0.18, 1e-12);
-    EXPECT_NEAR(layout.distanceBetween(100, 101), 0.18 / 255, 1e-12);
-    EXPECT_DOUBLE_EQ(layout.distanceBetween(42, 42), 0.0);
+    SerpentineLayout layout{256, Meters(0.18)};
+    EXPECT_DOUBLE_EQ(layout.distanceBetween(10, 30).meters(),
+                     layout.distanceBetween(30, 10).meters());
+    EXPECT_NEAR(layout.distanceBetween(0, 255).meters(), 0.18, 1e-12);
+    EXPECT_NEAR(layout.distanceBetween(100, 101).meters(), 0.18 / 255,
+                1e-12);
+    EXPECT_DOUBLE_EQ(layout.distanceBetween(42, 42).meters(), 0.0);
 }
 
 TEST(Serpentine, IntermediateNodeCount)
 {
-    SerpentineLayout layout(16, 0.1);
+    SerpentineLayout layout{16, Meters(0.1)};
     EXPECT_EQ(layout.intermediateNodes(0, 1), 0);
     EXPECT_EQ(layout.intermediateNodes(0, 2), 1);
     EXPECT_EQ(layout.intermediateNodes(5, 15), 9);
@@ -43,11 +45,11 @@ TEST(Serpentine, IntermediateNodeCount)
 
 TEST(Serpentine, MaxReachSmallestAtMiddle)
 {
-    SerpentineLayout layout(256, 0.18);
-    double end = layout.maxReachDistance(0);
-    double mid = layout.maxReachDistance(127);
-    EXPECT_DOUBLE_EQ(end, 0.18);
-    EXPECT_NEAR(mid, 0.18 * 128 / 255, 1e-12);
+    SerpentineLayout layout{256, Meters(0.18)};
+    Meters end = layout.maxReachDistance(0);
+    Meters mid = layout.maxReachDistance(127);
+    EXPECT_DOUBLE_EQ(end.meters(), 0.18);
+    EXPECT_NEAR(mid.meters(), 0.18 * 128 / 255, 1e-12);
     EXPECT_LT(mid, end);
     // The profile is monotone from the end to the middle.
     for (int s = 1; s <= 127; ++s)
@@ -57,7 +59,7 @@ TEST(Serpentine, MaxReachSmallestAtMiddle)
 
 TEST(Serpentine, GridCoversAllNodesUniquely)
 {
-    SerpentineLayout layout(256, 0.18);
+    SerpentineLayout layout{256, Meters(0.18)};
     auto [cols, rows] = layout.gridShape();
     EXPECT_EQ(cols, 16);
     EXPECT_EQ(rows, 16);
@@ -72,7 +74,7 @@ TEST(Serpentine, GridCoversAllNodesUniquely)
 
 TEST(Serpentine, GridRowsAlternateDirection)
 {
-    SerpentineLayout layout(16, 0.1); // 4x4 grid
+    SerpentineLayout layout{16, Meters(0.1)}; // 4x4 grid
     EXPECT_EQ(layout.gridCoordinate(0), std::make_pair(0, 0));
     EXPECT_EQ(layout.gridCoordinate(3), std::make_pair(3, 0));
     // Second row runs right-to-left.
@@ -82,7 +84,7 @@ TEST(Serpentine, GridRowsAlternateDirection)
 
 TEST(Serpentine, AdjacentGridNodesAreWaveguideNeighbours)
 {
-    SerpentineLayout layout(16, 0.1);
+    SerpentineLayout layout{16, Meters(0.1)};
     // Along a row, consecutive indices are physical neighbours, so the
     // serpentine never jumps across the die within a row.
     for (int node = 0; node + 1 < 16; ++node) {
@@ -97,10 +99,10 @@ TEST(Serpentine, AdjacentGridNodesAreWaveguideNeighbours)
 
 TEST(Serpentine, RejectsDegenerateConfigs)
 {
-    EXPECT_THROW(SerpentineLayout(1, 0.1), FatalError);
-    EXPECT_THROW(SerpentineLayout(4, 0.0), FatalError);
-    EXPECT_THROW(SerpentineLayout(4, -1.0), FatalError);
-    SerpentineLayout ok(4, 0.1);
+    EXPECT_THROW(SerpentineLayout(1, Meters(0.1)), FatalError);
+    EXPECT_THROW(SerpentineLayout(4, Meters(0.0)), FatalError);
+    EXPECT_THROW(SerpentineLayout(4, Meters(-1.0)), FatalError);
+    SerpentineLayout ok{4, Meters(0.1)};
     EXPECT_THROW(ok.arcPosition(-1), PanicError);
     EXPECT_THROW(ok.arcPosition(4), PanicError);
 }

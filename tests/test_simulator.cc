@@ -19,7 +19,7 @@ using namespace mnoc::sim;
 struct SimFixture
 {
     int n = 16;
-    optics::SerpentineLayout layout{16, 0.05};
+    optics::SerpentineLayout layout{16, Meters(0.05)};
     noc::NetworkConfig netConfig;
     noc::MnocNetwork net{layout, netConfig};
 

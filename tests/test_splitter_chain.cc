@@ -28,9 +28,9 @@ tableThreeParams()
 
 TEST(SplitterChain, DesignDeliversExactTargets)
 {
-    SerpentineLayout layout(16, 0.05);
+    SerpentineLayout layout{16, Meters(0.05)};
     SplitterChain chain(layout, tableThreeParams(), 5);
-    double pmin = tableThreeParams().pminAtTap();
+    double pmin = tableThreeParams().pminAtTap().watts();
 
     std::vector<double> targets(16, pmin);
     targets[5] = 0.0;
@@ -46,9 +46,9 @@ TEST(SplitterChain, DesignDeliversExactTargets)
 
 TEST(SplitterChain, InjectedPowerMatchesConservationForm)
 {
-    SerpentineLayout layout(32, 0.08);
+    SerpentineLayout layout{32, Meters(0.08)};
     SplitterChain chain(layout, tableThreeParams(), 10);
-    double pmin = tableThreeParams().pminAtTap();
+    double pmin = tableThreeParams().pminAtTap().watts();
 
     std::vector<double> targets(32, 0.0);
     for (int d = 0; d < 32; ++d)
@@ -59,15 +59,16 @@ TEST(SplitterChain, InjectedPowerMatchesConservationForm)
     double expected = 0.0;
     for (int d = 0; d < 32; ++d)
         if (d != 10)
-            expected += targets[d] * chain.tapAttenuation(d);
-    EXPECT_NEAR(design.injectedPower, expected, 1e-12 * expected);
+            expected += targets[d] * chain.tapAttenuation(d).value();
+    EXPECT_NEAR(design.injectedPower.watts(), expected,
+                1e-12 * expected);
 }
 
 TEST(SplitterChain, SplitterFractionsValidAndTailTakesAll)
 {
-    SerpentineLayout layout(16, 0.05);
+    SerpentineLayout layout{16, Meters(0.05)};
     SplitterChain chain(layout, tableThreeParams(), 3);
-    double pmin = tableThreeParams().pminAtTap();
+    double pmin = tableThreeParams().pminAtTap().watts();
     std::vector<double> targets(16, pmin);
     targets[3] = 0.0;
 
@@ -85,9 +86,9 @@ TEST(SplitterChain, SplitterFractionsValidAndTailTakesAll)
 
 TEST(SplitterChain, ReceivedPowerScalesLinearlyWithDrive)
 {
-    SerpentineLayout layout(16, 0.05);
+    SerpentineLayout layout{16, Meters(0.05)};
     SplitterChain chain(layout, tableThreeParams(), 8);
-    double pmin = tableThreeParams().pminAtTap();
+    double pmin = tableThreeParams().pminAtTap().watts();
     std::vector<double> targets(16, pmin);
     targets[8] = 0.0;
 
@@ -100,45 +101,45 @@ TEST(SplitterChain, ReceivedPowerScalesLinearlyWithDrive)
 
 TEST(SplitterChain, MoreTargetsNeedMorePower)
 {
-    SerpentineLayout layout(16, 0.05);
+    SerpentineLayout layout{16, Meters(0.05)};
     SplitterChain chain(layout, tableThreeParams(), 0);
-    double pmin = tableThreeParams().pminAtTap();
+    double pmin = tableThreeParams().pminAtTap().watts();
 
     std::vector<double> few(16, 0.0);
     few[1] = pmin;
     std::vector<double> more = few;
     more[15] = pmin;
 
-    double p_few = chain.design(few).injectedPower;
-    double p_more = chain.design(more).injectedPower;
+    WattPower p_few = chain.design(few).injectedPower;
+    WattPower p_more = chain.design(more).injectedPower;
     EXPECT_GT(p_more, p_few);
 }
 
 TEST(SplitterChain, SingleDestinationMatchesAttenuation)
 {
-    SerpentineLayout layout(16, 0.05);
+    SerpentineLayout layout{16, Meters(0.05)};
     SplitterChain chain(layout, tableThreeParams(), 4);
     std::vector<double> targets(16, 0.0);
     targets[11] = 2e-5;
     ChainDesign design = chain.design(targets);
-    EXPECT_NEAR(design.injectedPower,
-                2e-5 * chain.tapAttenuation(11), 1e-18);
+    EXPECT_NEAR(design.injectedPower.watts(),
+                2e-5 * chain.tapAttenuation(11).value(), 1e-18);
     // All power goes to the right arm.
     EXPECT_DOUBLE_EQ(design.splitterFraction[4], 0.0);
 }
 
 TEST(SplitterChain, ZeroTargetsNeedNoPower)
 {
-    SerpentineLayout layout(8, 0.02);
+    SerpentineLayout layout{8, Meters(0.02)};
     SplitterChain chain(layout, tableThreeParams(), 2);
     std::vector<double> targets(8, 0.0);
     ChainDesign design = chain.design(targets);
-    EXPECT_DOUBLE_EQ(design.injectedPower, 0.0);
+    EXPECT_DOUBLE_EQ(design.injectedPower.watts(), 0.0);
 }
 
 TEST(SplitterChain, EndSourceHasOnlyOneArm)
 {
-    SerpentineLayout layout(8, 0.02);
+    SerpentineLayout layout{8, Meters(0.02)};
     SplitterChain chain(layout, tableThreeParams(), 0);
     std::vector<double> targets(8, 1e-5);
     targets[0] = 0.0;
@@ -152,24 +153,26 @@ TEST(SplitterChain, EndSourceHasOnlyOneArm)
 
 TEST(SplitterChain, AttenuationGrowsWithDistance)
 {
-    SerpentineLayout layout(64, 0.18);
+    SerpentineLayout layout{64, Meters(0.18)};
     SplitterChain chain(layout, tableThreeParams(), 0);
     for (int d = 2; d < 64; ++d)
-        EXPECT_GT(chain.tapAttenuation(d), chain.tapAttenuation(d - 1));
+        EXPECT_GT(chain.tapAttenuation(d), chain.tapAttenuation(d - 1))
+            << "destination " << d;
 }
 
 TEST(SplitterChain, AttenuationSymmetricBetweenNodePairs)
 {
-    SerpentineLayout layout(32, 0.1);
+    SerpentineLayout layout{32, Meters(0.1)};
     DeviceParams params = tableThreeParams();
     SplitterChain a(layout, params, 7);
     SplitterChain b(layout, params, 23);
-    EXPECT_NEAR(a.tapAttenuation(23), b.tapAttenuation(7), 1e-6);
+    EXPECT_NEAR(a.tapAttenuation(23).value(), b.tapAttenuation(7).value(),
+                1e-6);
 }
 
 TEST(SplitterChain, RejectsMalformedTargets)
 {
-    SerpentineLayout layout(8, 0.02);
+    SerpentineLayout layout{8, Meters(0.02)};
     SplitterChain chain(layout, tableThreeParams(), 2);
     std::vector<double> wrong_size(7, 0.0);
     EXPECT_THROW(chain.design(wrong_size), FatalError);
@@ -193,10 +196,10 @@ class SplitterChainSweep : public testing::TestWithParam<int>
 TEST_P(SplitterChainSweep, BroadcastDesignIsExactEverywhere)
 {
     int source = GetParam();
-    SerpentineLayout layout(24, 0.07);
+    SerpentineLayout layout{24, Meters(0.07)};
     DeviceParams params = tableThreeParams();
     SplitterChain chain(layout, params, source);
-    double pmin = params.pminAtTap();
+    double pmin = params.pminAtTap().watts();
 
     std::vector<double> targets(24, pmin);
     targets[source] = 0.0;
@@ -205,8 +208,9 @@ TEST_P(SplitterChainSweep, BroadcastDesignIsExactEverywhere)
     double expected = 0.0;
     for (int d = 0; d < 24; ++d)
         if (d != source)
-            expected += pmin * chain.tapAttenuation(d);
-    EXPECT_NEAR(design.injectedPower, expected, 1e-12 * expected);
+            expected += pmin * chain.tapAttenuation(d).value();
+    EXPECT_NEAR(design.injectedPower.watts(), expected,
+                1e-12 * expected);
 
     auto received = chain.evaluate(design, design.injectedPower);
     for (int d = 0; d < 24; ++d) {

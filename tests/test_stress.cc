@@ -21,7 +21,7 @@ using namespace mnoc::sim;
 struct StressRig
 {
     static constexpr int n = 8;
-    optics::SerpentineLayout layout{n, 0.02};
+    optics::SerpentineLayout layout{n, Meters(0.02)};
     noc::NetworkConfig netConfig;
     noc::MnocNetwork net{layout, netConfig};
     noc::TrafficRecorder recorder{n};
@@ -104,10 +104,12 @@ TEST_P(CoherenceStress, RandomTrafficKeepsInvariants)
 INSTANTIATE_TEST_SUITE_P(
     Seeds, CoherenceStress,
     testing::Combine(testing::Bool(), testing::Range(1, 6)),
-    [](const auto &info) {
-        return std::string(std::get<0>(info.param) ? "multicast"
-                                                   : "unicast") +
-               "_seed" + std::to_string(std::get<1>(info.param));
+    [](const auto &suite_info) {
+        return std::string(std::get<0>(suite_info.param)
+                               ? "multicast"
+                               : "unicast") +
+               "_seed" +
+               std::to_string(std::get<1>(suite_info.param));
     });
 
 TEST(CoherenceStress, WriteOnlyStorm)

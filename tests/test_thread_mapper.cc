@@ -15,7 +15,7 @@ using namespace mnoc::core;
 
 struct MapFixture
 {
-    optics::SerpentineLayout layout{16, 0.05};
+    optics::SerpentineLayout layout{16, Meters(0.05)};
     optics::DeviceParams params;
     optics::OpticalCrossbar xbar{layout, params};
 };

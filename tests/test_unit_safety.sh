@@ -1,0 +1,68 @@
+#!/bin/sh
+# Negative-compile test for the strong unit types, run as a ctest.
+#
+# The point of DecibelLoss/WattPower is that a dB-for-watts argument
+# swap is a type error, not a silently wrong power budget.  This test
+# proves it: a translation unit that passes a DecibelLoss where
+# linkBitErrorRate() expects its WattPower pmin must FAIL to compile,
+# while the correctly-typed twin must compile.
+#
+# Usage: test_unit_safety.sh <repo-root> [c++-compiler]
+set -eu
+
+root=${1:?usage: test_unit_safety.sh <repo-root> [compiler]}
+cxx=${2:-c++}
+
+fail() {
+    echo "test_unit_safety: FAIL: $*" >&2
+    exit 1
+}
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+cat > "$scratch/good.cc" <<'EOF'
+#include "optics/device_params.hh"
+#include "optics/link_budget.hh"
+
+double
+berAtThreshold(const mnoc::optics::DeviceParams &params)
+{
+    // Correct: both arguments are WattPower.
+    return mnoc::optics::linkBitErrorRate(params.pminAtTap(),
+                                          params.pminAtTap());
+}
+EOF
+
+# Identical except the second argument is the coupler loss -- a
+# DecibelLoss.  Before the strong types this was a plausible bug: both
+# were plain doubles and 0.5 (dB) would quietly masquerade as 0.5 W.
+cat > "$scratch/bad.cc" <<'EOF'
+#include "optics/device_params.hh"
+#include "optics/link_budget.hh"
+
+double
+berAtThreshold(const mnoc::optics::DeviceParams &params)
+{
+    return mnoc::optics::linkBitErrorRate(params.pminAtTap(),
+                                          params.couplerLoss);
+}
+EOF
+
+flags="-std=c++20 -fsyntax-only -I $root/src"
+
+if ! $cxx $flags "$scratch/good.cc" 2> "$scratch/good.log"; then
+    cat "$scratch/good.log" >&2
+    fail "correctly-typed call failed to compile"
+fi
+
+if $cxx $flags "$scratch/bad.cc" 2> "$scratch/bad.log"; then
+    fail "dB-for-watts argument swap compiled; unit safety is broken"
+fi
+
+grep -q "DecibelLoss" "$scratch/bad.log" || {
+    cat "$scratch/bad.log" >&2
+    fail "rejection does not mention DecibelLoss; wrong failure mode"
+}
+
+echo "test_unit_safety: PASS (swap rejected at compile time)"

@@ -87,7 +87,7 @@ TEST(Workloads, GridHandlesNonSquareCounts)
 sim::SimulationResult
 runBenchmark(const std::string &name, int n = 16, int ops = 600)
 {
-    optics::SerpentineLayout layout(n, 0.05);
+    optics::SerpentineLayout layout{n, Meters(0.05)};
     noc::NetworkConfig config;
     noc::MnocNetwork net(layout, config);
     sim::SimConfig sim_config;
@@ -218,7 +218,8 @@ TEST(Workloads, RadixBucketsAreSkewedTowardLowThreads)
         else
             high += outbound;
     }
-    EXPECT_GT(low, static_cast<std::uint64_t>(1.3 * high));
+    EXPECT_GT(static_cast<double>(low),
+              1.3 * static_cast<double>(high));
 }
 
 TEST(Workloads, OceanBoundaryThreadsTalkLess)
@@ -296,9 +297,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, WorkloadSizeSweep,
     testing::Combine(testing::ValuesIn(splashBenchmarks()),
                      testing::Values(8, 16, 32)),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_n" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &suite_info) {
+        return std::get<0>(suite_info.param) + "_n" +
+               std::to_string(std::get<1>(suite_info.param));
     });
 
 } // namespace

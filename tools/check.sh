@@ -1,8 +1,9 @@
 #!/bin/sh
-# Run the full test suite in both build configurations: the regular
-# optimized build and an ASan+UBSan build (-DMNOC_SANITIZE=ON).
+# Full pre-merge gate: static analysis, then the test suite in three
+# build configurations -- the regular optimized build, an ASan+UBSan
+# build (-DMNOC_SANITIZE=ON), and a TSan build (-DMNOC_TSAN=ON).
 # Usage: tools/check.sh [jobs]
-set -e
+set -eu
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 
@@ -15,9 +16,15 @@ run_config() {
 }
 
 echo "== regular configuration =="
-run_config build
+run_config build -DMNOC_WERROR=ON
+
+echo "== static analysis (mnoc-lint, clang-format, clang-tidy) =="
+sh tools/lint.sh build
 
 echo "== sanitizer configuration (ASan+UBSan) =="
 run_config build-asan -DMNOC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+
+echo "== sanitizer configuration (TSan) =="
+run_config build-tsan -DMNOC_TSAN=ON -DCMAKE_BUILD_TYPE=Debug
 
 echo "all checks passed"

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""mnoc-lint: domain-specific static checks for the mNoC tree.
+
+The strong unit types in src/common/units.hh only help if the rest of
+the tree goes through them, so this linter enforces the conventions
+that the compiler cannot:
+
+  raw-pow         10^(x/10) conversions must live in units.hh only
+                  (everything else converts through DecibelLoss /
+                  LinearFactor).
+  unit-param      public headers must not declare `double` parameters
+                  or fields whose names carry a unit suffix (_db, _w,
+                  _uw, _mw, _dbm, _m, _cm): use DecibelLoss, WattPower
+                  or Meters so the type carries the unit.
+  rng             all randomness goes through common/prng.hh (seeded
+                  xoshiro256**); std::rand / std::mt19937 /
+                  std::random_device make runs irreproducible.
+  float           power math is double-only; float halves the mantissa
+                  on dB sums that are differenced later.
+  header-guard    headers use #ifndef MNOC_<PATH>_HH guards matching
+                  their path, with a matching trailing comment.
+  include-order   own header first (in .cc files), then <system>
+                  includes, then "project" includes, each block sorted.
+  format          no tabs, no trailing whitespace, lines <= 79 columns
+                  (mirrors .clang-format for containers without
+                  clang-format).
+
+Usage:
+  tools/mnoc_lint.py [--root DIR] [FILE...]
+
+With no FILE arguments, lints the standard source directories under
+the root.  Exits 0 when clean, 1 when any finding is reported, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+MAX_LINE = 79
+
+# Directories holding first-party sources, relative to the repo root.
+DEFAULT_DIRS = ("src", "tests", "tools", "bench", "examples")
+
+# Files allowed to do raw dB <-> linear conversions.
+POW_ALLOWLIST = ("src/common/units.hh",)
+
+# Files allowed to reference std RNG machinery.
+RNG_ALLOWLIST = ("src/common/prng.hh",)
+
+# Directories whose sources are power math (float-free zone).
+FLOAT_DIRS = ("src/optics", "src/core", "src/faults", "src/common")
+
+RAW_POW_RE = re.compile(r"\bpow\s*\(\s*10(?:\.0*)?\s*,")
+RNG_RE = re.compile(
+    r"std::rand\b|\bsrand\s*\(|std::random_device\b|std::mt19937\b"
+    r"|std::default_random_engine\b|std::minstd_rand\b")
+FLOAT_RE = re.compile(r"\bfloat\b")
+UNIT_PARAM_RE = re.compile(
+    r"\bdouble\s+(\w*_(?:db|dbm|w|uw|mw|m|cm))\b")
+INCLUDE_RE = re.compile(r'#\s*include\s*([<"])([^>"]+)[>"]')
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, line, rule, message):
+        self.items.append((str(path), line, rule, message))
+
+    def report(self, out=sys.stdout):
+        for path, line, rule, message in sorted(self.items):
+            out.write(f"{path}:{line}: [{rule}] {message}\n")
+        return 1 if self.items else 0
+
+
+def strip_comments(lines):
+    """Yield (lineno, text) with string literals and comments blanked,
+    so rules do not fire on documentation or quoted text."""
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        out = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = raw[i]
+            if ch == "/" and i + 1 < n and raw[i + 1] == "/":
+                break
+            if ch == "/" and i + 1 < n and raw[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                out.append(ch)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        break
+                    i += 1
+                if i < n:
+                    out.append(quote)
+                    i += 1
+                continue
+            out.append(ch)
+            i += 1
+        yield lineno, "".join(out)
+
+
+def rel(path, root):
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def expected_guard(relpath):
+    """src/optics/link_budget.hh -> MNOC_OPTICS_LINK_BUDGET_HH."""
+    parts = Path(relpath).parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.hh$", "", stem)
+    return "MNOC_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_HH"
+
+
+def check_raw_pow(relpath, code_lines, findings):
+    if relpath in POW_ALLOWLIST:
+        return
+    for lineno, text in code_lines:
+        if RAW_POW_RE.search(text):
+            findings.add(relpath, lineno, "raw-pow",
+                         "raw pow(10, ...) conversion; use "
+                         "DecibelLoss::toTransmission()/toAttenuation()"
+                         " from common/units.hh")
+
+
+def check_rng(relpath, code_lines, findings):
+    if relpath in RNG_ALLOWLIST:
+        return
+    for lineno, text in code_lines:
+        match = RNG_RE.search(text)
+        if match:
+            findings.add(relpath, lineno, "rng",
+                         f"'{match.group(0)}' bypasses the seeded "
+                         "Prng in common/prng.hh; draws must be "
+                         "reproducible")
+
+
+def check_float(relpath, code_lines, findings):
+    if not relpath.endswith((".cc", ".hh")):
+        return
+    if not any(relpath.startswith(d + "/") for d in FLOAT_DIRS):
+        return
+    for lineno, text in code_lines:
+        if FLOAT_RE.search(text):
+            findings.add(relpath, lineno, "float",
+                         "power math is double-only; float loses "
+                         "precision on accumulated dB/watt terms")
+
+
+def check_unit_params(relpath, code_lines, findings):
+    if not (relpath.startswith("src/") and relpath.endswith(".hh")):
+        return
+    for lineno, text in code_lines:
+        match = UNIT_PARAM_RE.search(text)
+        if match:
+            findings.add(relpath, lineno, "unit-param",
+                         f"'double {match.group(1)}' carries a unit in "
+                         "its name; use DecibelLoss/WattPower/Meters "
+                         "so the type carries the unit")
+
+
+def check_header_guard(relpath, lines, findings):
+    if not relpath.endswith(".hh"):
+        return
+    guard = expected_guard(relpath)
+    ifndef = f"#ifndef {guard}"
+    define = f"#define {guard}"
+    endif = f"#endif // {guard}"
+    stripped = [line.rstrip("\n") for line in lines]
+    try:
+        at = stripped.index(ifndef)
+    except ValueError:
+        findings.add(relpath, 1, "header-guard",
+                     f"missing '{ifndef}'")
+        return
+    if at + 1 >= len(stripped) or stripped[at + 1] != define:
+        findings.add(relpath, at + 2, "header-guard",
+                     f"'{ifndef}' not followed by '{define}'")
+    tail = [line for line in stripped if line.strip()]
+    if not tail or tail[-1] != endif:
+        findings.add(relpath, len(stripped), "header-guard",
+                     f"file must end with '{endif}'")
+
+
+def check_include_order(relpath, lines, findings):
+    includes = []  # (lineno, kind, target, preceded_by_blank)
+    blank = False
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.rstrip("\n")
+        match = INCLUDE_RE.match(text.strip())
+        if match:
+            includes.append((lineno, match.group(1), match.group(2),
+                             blank))
+            blank = False
+        elif not text.strip():
+            blank = True
+        else:
+            blank = False
+    if not includes:
+        return
+
+    start = 0
+    if relpath.endswith(".cc"):
+        own = re.sub(r"\.cc$", ".hh", relpath)
+        if own.startswith("src/"):
+            own = own[len("src/"):]
+        has_own = any(kind == '"' and target == own
+                      for _, kind, target, _ in includes)
+        first_lineno, first_kind, _, _ = includes[0]
+        # A lone quoted include at the top is the primary header --
+        # the header this file implements (gem5 style; it may be
+        # shared by several .cc files, e.g. workloads/splash.hh).
+        lone_primary = (first_kind == '"' and
+                        (len(includes) == 1 or includes[1][3]))
+        if has_own:
+            _, kind, target, _ = includes[0]
+            if kind != '"' or target != own:
+                findings.add(relpath, first_lineno, "include-order",
+                             f'own header "{own}" must be the first '
+                             "include")
+            start = 1
+        elif lone_primary:
+            start = 1
+
+    groups = []
+    for entry in includes[start:]:
+        if entry[3] or not groups:
+            groups.append([entry])
+        else:
+            groups[-1].append(entry)
+
+    seen_quoted_group = False
+    for group in groups:
+        kinds = {kind for _, kind, _, _ in group}
+        if len(kinds) > 1:
+            findings.add(relpath, group[0][0], "include-order",
+                         "mixed <system> and \"project\" includes in "
+                         "one block; separate them with a blank line")
+            continue
+        kind = kinds.pop()
+        if kind == '"':
+            seen_quoted_group = True
+        elif seen_quoted_group:
+            findings.add(relpath, group[0][0], "include-order",
+                         "<system> include block after a \"project\" "
+                         "block; system includes come first")
+        targets = [target for _, _, target, _ in group]
+        if targets != sorted(targets):
+            findings.add(relpath, group[0][0], "include-order",
+                         "includes within a block must be sorted: " +
+                         ", ".join(targets))
+
+
+def check_format(relpath, lines, findings):
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.rstrip("\n")
+        if "\t" in text:
+            findings.add(relpath, lineno, "format", "tab character")
+        if text != text.rstrip():
+            findings.add(relpath, lineno, "format",
+                         "trailing whitespace")
+        if len(text) > MAX_LINE:
+            findings.add(relpath, lineno, "format",
+                         f"line is {len(text)} columns "
+                         f"(max {MAX_LINE})")
+
+
+def lint_file(path, root, findings):
+    relpath = rel(path, root)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines(True)
+    except (OSError, UnicodeDecodeError) as error:
+        findings.add(relpath, 1, "io", f"unreadable: {error}")
+        return
+    code_lines = list(strip_comments(lines))
+    check_raw_pow(relpath, code_lines, findings)
+    check_rng(relpath, code_lines, findings)
+    check_float(relpath, code_lines, findings)
+    check_unit_params(relpath, code_lines, findings)
+    check_header_guard(relpath, lines, findings)
+    check_include_order(relpath, lines, findings)
+    check_format(relpath, lines, findings)
+
+
+def collect_default(root):
+    out = []
+    for directory in DEFAULT_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for suffix in ("*.cc", "*.hh", "*.cpp"):
+            out.extend(sorted(base.rglob(suffix)))
+    # Fixture files carry deliberate violations for the linter's own
+    # tests; never lint them as part of the tree.
+    return [p for p in out if "lint_fixtures" not in p.parts]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repository root (default: cwd)")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="files to lint (default: the tree)")
+    args = parser.parse_args(argv)
+
+    files = args.files or collect_default(args.root)
+    if not files:
+        print("mnoc-lint: no files to lint", file=sys.stderr)
+        return 2
+
+    findings = Findings()
+    for path in files:
+        lint_file(path, args.root, findings)
+    status = findings.report()
+    if status == 0:
+        print(f"mnoc-lint: {len(files)} files clean")
+    else:
+        print(f"mnoc-lint: {len(findings.items)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

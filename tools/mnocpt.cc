@@ -150,11 +150,26 @@ loadMapping(const std::string &path, int cores)
     std::ifstream in(path);
     fatalIf(!in.is_open(), "cannot open mapping file: " + path);
     std::vector<int> map;
-    int core;
-    while (in >> core)
+    std::string token;
+    int line = 0;
+    while (in >> token) {
+        ++line;
+        std::size_t used = 0;
+        int core = 0;
+        try {
+            core = std::stoi(token, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        fatalIf(used != token.size(),
+                path + ":" + std::to_string(line) +
+                    ": field 'core': expected an integer, got '" +
+                    token + "'");
         map.push_back(core);
+    }
     fatalIf(static_cast<int>(map.size()) != cores,
-            "mapping size mismatch in " + path);
+            path + ": mapping lists " + std::to_string(map.size()) +
+                " cores, expected " + std::to_string(cores));
     return map;
 }
 
@@ -228,11 +243,13 @@ resilienceOptions(const Args &args)
         faults::VariationSpec{}.scaled(args.getDouble("vtol", 1.0));
     out.trials = args.getInt("trials", 200);
     out.seed = static_cast<std::uint64_t>(args.getInt("vseed", 1));
-    out.marginStepDb = args.getDouble("margin-step", 0.5);
-    out.maxMarginDb = args.getDouble("max-margin", 6.0);
-    out.criteria.requiredMarginDb = args.getDouble("link-margin", 0.0);
+    out.marginStep = DecibelLoss(args.getDouble("margin-step", 0.5));
+    out.maxMargin = DecibelLoss(args.getDouble("max-margin", 6.0));
+    out.criteria.requiredMargin =
+        DecibelLoss(args.getDouble("link-margin", 0.0));
     if (args.has("leak-gap"))
-        out.criteria.maxLeakDb = args.getDouble("leak-gap", 0.0);
+        out.criteria.maxLeak =
+            DecibelLoss(args.getDouble("leak-gap", 0.0));
     return out;
 }
 
@@ -245,7 +262,7 @@ printDegradationPath(const core::ResilienceSummary &summary)
     for (const auto &step : summary.path) {
         if (step.kind == core::DegradationStep::Kind::Margin) {
             std::cout << "  " << step.numModes << " modes @ "
-                      << TextTable::num(step.marginDb, 2)
+                      << TextTable::num(step.margin.dB(), 2)
                       << " dB margin -> yield "
                       << TextTable::num(step.yield, 4) << "\n";
         } else {
@@ -279,11 +296,11 @@ cmdYield(const Args &args)
     table.addRow({"trials", std::to_string(report.trials)});
     table.addRow({"seed", std::to_string(report.seed)});
     table.addRow({"worst margin mean (dB)",
-                  TextTable::num(report.marginMeanDb, 3)});
+                  TextTable::num(report.marginMean.dB(), 3)});
     table.addRow({"worst margin p5 (dB)",
-                  TextTable::num(report.marginP5Db, 3)});
+                  TextTable::num(report.marginP5.dB(), 3)});
     table.addRow({"worst margin min (dB)",
-                  TextTable::num(report.marginMinDb, 3)});
+                  TextTable::num(report.marginMin.dB(), 3)});
     auto sci = [](double value) {
         std::ostringstream os;
         os << std::scientific << std::setprecision(2) << value;
@@ -321,8 +338,8 @@ cmdYield(const Args &args)
             const auto &draw = report.draws[i];
             csv.cell(static_cast<long long>(i))
                 .cell(static_cast<long long>(draw.pass ? 1 : 0))
-                .cell(draw.worstMarginDb)
-                .cell(draw.worstLeakDb)
+                .cell(draw.worstMargin.dB())
+                .cell(draw.worstLeak.dB())
                 .cell(draw.worstBitErrorRate)
                 .cell(static_cast<long long>(draw.marginFailures))
                 .cell(static_cast<long long>(draw.leakFailures));
@@ -378,7 +395,7 @@ cmdDesign(const Args &args)
                   << (summary.metTarget ? "met" : "MISSED")
                   << " target "
                   << TextTable::num(summary.yieldTarget, 4) << ") at "
-                  << TextTable::num(summary.finalMarginDb, 2)
+                  << TextTable::num(summary.finalMargin.dB(), 2)
                   << " dB margin, " << summary.finalNumModes
                   << " modes, written to " << args.get("out") << "\n";
         printDegradationPath(summary);
@@ -421,7 +438,7 @@ cmdBudget(const Args &args)
     auto design = core::loadDesign(args.get("design"));
     int cores = design.topology.numNodes;
     Context ctx(cores);
-    double pmin = ctx.crossbar.params().pminAtTap();
+    WattPower pmin = ctx.crossbar.params().pminAtTap();
 
     double worst_margin = 1e9;
     double worst_leak = -1e9;
@@ -430,9 +447,9 @@ cmdBudget(const Args &args)
         auto report = optics::validateDesign(ctx.crossbar.chain(s),
                                              design.sources[s], pmin);
         worst_margin = std::min(worst_margin,
-                                report.worstReachableMarginDb);
+                                report.worstReachableMargin.dB());
         worst_leak = std::max(worst_leak,
-                              report.worstUnreachableLeakDb);
+                              report.worstUnreachableLeak.dB());
         all_ok = all_ok && report.ok;
     }
     std::cout << "link budget: "
