@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Machine-readable writer for BENCH_parallel.json: the perf
+ * trajectory of the parallel execution layer.  One record per
+ * workload (yield Monte Carlo, QAP multi-start, SPLASH suite), each
+ * carrying serial vs parallel wall-clock, the speedup, and whether
+ * the parallel result was verified bit-identical to the serial one.
+ *
+ * Schema "mnoc-bench-parallel-v1":
+ *
+ *   {
+ *     "schema": "mnoc-bench-parallel-v1",
+ *     "threads": <int>,            // pool size used for parallel runs
+ *     "sections": [
+ *       {
+ *         "name": <string>,        // workload identifier
+ *         "work_items": <int>,     // draws / restarts / benchmarks
+ *         "serial_seconds": <double>,
+ *         "parallel_seconds": <double>,
+ *         "speedup": <double>,     // serial / parallel
+ *         "bit_identical": <bool>  // parallel result == serial result
+ *       }, ...
+ *     ]
+ *   }
+ */
+
+#ifndef MNOC_BENCH_BENCH_JSON_HH
+#define MNOC_BENCH_BENCH_JSON_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mnoc::bench {
+
+/** One serial-vs-parallel measurement of BENCH_parallel.json. */
+struct ParallelRecord
+{
+    std::string name;
+    long long workItems = 0;
+    double serialSeconds = 0.0;
+    double parallelSeconds = 0.0;
+    bool bitIdentical = false;
+
+    double
+    speedup() const
+    {
+        return parallelSeconds > 0.0 ? serialSeconds / parallelSeconds
+                                     : 0.0;
+    }
+};
+
+/** Minimal JSON string escaping (quotes, backslashes, control
+ *  characters); section names are plain identifiers in practice. */
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        if (ch == '"' || ch == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(ch) < 0x20) {
+            out += "\\u00";
+            const char *digits = "0123456789abcdef";
+            out += digits[(ch >> 4) & 0xf];
+            out += digits[ch & 0xf];
+            continue;
+        }
+        out += ch;
+    }
+    return out;
+}
+
+/** Write @p records as BENCH_parallel.json-schema JSON to @p path. */
+inline void
+writeParallelJson(const std::string &path, int threads,
+                  const std::vector<ParallelRecord> &records)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot write " + path);
+    out.precision(6);
+    out << std::fixed;
+    out << "{\n";
+    out << "  \"schema\": \"mnoc-bench-parallel-v1\",\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"sections\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &record = records[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << jsonEscape(record.name)
+            << "\",\n";
+        out << "      \"work_items\": " << record.workItems << ",\n";
+        out << "      \"serial_seconds\": " << record.serialSeconds
+            << ",\n";
+        out << "      \"parallel_seconds\": "
+            << record.parallelSeconds << ",\n";
+        out << "      \"speedup\": " << record.speedup() << ",\n";
+        out << "      \"bit_identical\": "
+            << (record.bitIdentical ? "true" : "false") << "\n";
+        out << "    }" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    fatalIf(!out.good(), "failed writing " + path);
+}
+
+} // namespace mnoc::bench
+
+#endif // MNOC_BENCH_BENCH_JSON_HH

@@ -91,27 +91,52 @@ Harness::trace(const std::string &benchmark,
                const std::string &network)
 {
     std::string key = cacheKey(benchmark, network);
-    auto it = traces_.find(key);
-    if (it != traces_.end())
-        return it->second;
-
-    std::string path = outDir_ + "/cache/" + key + ".trace";
-    if (std::filesystem::exists(path)) {
-        traces_[key] = sim::loadTrace(path);
-    } else {
-        sim::Trace t = simulate(benchmark, network);
-        sim::saveTrace(path, t);
-        traces_[key] = std::move(t);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = traces_.find(key);
+        if (it != traces_.end())
+            return it->second;
     }
-    return traces_[key];
+
+    // Simulate (or load) outside the lock: concurrent callers for the
+    // *same* key may duplicate work, but both produce identical
+    // traces, and the first insert wins.
+    std::string path = outDir_ + "/cache/" + key + ".trace";
+    sim::Trace t;
+    if (std::filesystem::exists(path)) {
+        t = sim::loadTrace(path);
+    } else {
+        t = simulate(benchmark, network);
+        sim::saveTrace(path, t);
+    }
+
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    // Map references stay valid across later inserts, so the returned
+    // reference outlives the lock.
+    return traces_.emplace(key, std::move(t)).first->second;
+}
+
+void
+Harness::simulateSuite(const std::string &network, ThreadPool *pool)
+{
+    const auto &names = benchmarks();
+    ThreadPool &workers = pool != nullptr ? *pool
+                                          : ThreadPool::global();
+    workers.parallelFor(
+        static_cast<long long>(names.size()), [&](long long i) {
+            trace(names[static_cast<std::size_t>(i)], network);
+        });
 }
 
 const std::vector<int> &
 Harness::mapping(const std::string &benchmark)
 {
-    auto it = mappings_.find(benchmark);
-    if (it != mappings_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = mappings_.find(benchmark);
+        if (it != mappings_.end())
+            return it->second;
+    }
 
     std::string path = outDir_ + "/cache/" +
                        cacheKey(benchmark, "mnoc") + ".map";
@@ -136,8 +161,9 @@ Harness::mapping(const std::string &benchmark)
         for (int core : map)
             out << core << "\n";
     }
-    mappings_[benchmark] = std::move(map);
-    return mappings_[benchmark];
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return mappings_.emplace(benchmark, std::move(map))
+        .first->second;
 }
 
 std::vector<int>

@@ -1,14 +1,24 @@
 /**
  * @file
  * Shared support for the experiment-reproduction binaries: one
- * simulation/mapping context with a disk cache, so that each
- * table/figure binary stays self-contained without re-simulating the
- * whole SPLASH suite.
+ * simulation/mapping context with a disk cache keyed by benchmark,
+ * network, core count and ops-per-thread, so that each table/figure
+ * binary stays self-contained and the whole suite is simulated once
+ * *across binaries* -- later binaries (and later runs of the same
+ * binary) load the cached trace/mapping instead of re-simulating.
  *
  * Cache files live under ./bench_out (override with MNOC_BENCH_DIR);
  * delete the directory to force re-simulation.  Simulation scale is
  * controlled with MNOC_BENCH_OPS (operations per thread, default 4000)
  * and MNOC_BENCH_CORES (default 256).
+ *
+ * The in-memory trace/mapping caches are guarded by a mutex, so
+ * trace() and mapping() may be called from concurrent ThreadPool
+ * tasks (simulateSuite() does exactly that); the expensive simulate
+ * and QAP-mapping work runs outside the lock.  The disk cache itself
+ * is not locked across processes -- concurrent *processes* may
+ * duplicate work but never corrupt results, because each writer
+ * produces an identical file for a given key.
  */
 
 #ifndef MNOC_BENCH_HARNESS_HH
@@ -16,9 +26,11 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "core/designer.hh"
 #include "noc/clustered_network.hh"
 #include "noc/mnoc_network.hh"
@@ -49,12 +61,25 @@ class Harness
     /**
      * Identity-mapped trace of @p benchmark on the given network
      * ("mnoc" or "rnoc"), simulated on demand and cached on disk.
+     * Safe to call from concurrent pool tasks; the returned reference
+     * stays valid for the harness's lifetime.
      */
     const sim::Trace &trace(const std::string &benchmark,
                             const std::string &network = "mnoc");
 
-    /** Taboo thread mapping for @p benchmark (cached on disk). */
+    /** Taboo thread mapping for @p benchmark (cached on disk).
+     *  Thread-safe like trace(). */
     const std::vector<int> &mapping(const std::string &benchmark);
+
+    /**
+     * Simulate (or load from cache) every benchmark of the suite on
+     * @p network, running the per-benchmark simulations concurrently
+     * on @p pool (null: the global pool).  Each simulation is
+     * independent and seed-deterministic, so the cached traces are
+     * bit-identical to a serial warm-up at any thread count.
+     */
+    void simulateSuite(const std::string &network = "mnoc",
+                       ThreadPool *pool = nullptr);
 
     /** Identity thread mapping. */
     std::vector<int> identityMapping() const;
@@ -70,7 +95,7 @@ class Harness
     /** Flow matrix (thread coordinates) of one benchmark's trace. */
     FlowMatrix threadFlow(const std::string &benchmark);
 
-    /** Full path for an output artifact (CSV, PGM). */
+    /** Full path for an output artifact (CSV, PGM, JSON). */
     std::string outPath(const std::string &name) const;
 
   private:
@@ -88,6 +113,9 @@ class Harness
     std::unique_ptr<optics::SerpentineLayout> portLayout_;
     std::unique_ptr<optics::OpticalCrossbar> xbar_;
     std::unique_ptr<core::Designer> designer_;
+    /** Guards traces_ and mappings_ (pool-aware: simulate/map work
+     *  happens outside the lock, lookups and inserts inside). */
+    std::mutex cacheMutex_;
     std::map<std::string, sim::Trace> traces_;
     std::map<std::string, std::vector<int>> mappings_;
 };

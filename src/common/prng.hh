@@ -121,6 +121,22 @@ class Prng
     std::uint64_t state_[4];
 };
 
+/**
+ * Seed of the @p index-th independent stream derived from @p base:
+ * the index-th output of a splitmix64 generator seeded with @p base.
+ * Parallel code seeds one Prng per task this way (never sharing a
+ * stream across tasks), so results do not depend on the execution
+ * order of the tasks; see DESIGN.md §9 for the seeding policy.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace mnoc
 
 #endif // MNOC_COMMON_PRNG_HH

@@ -1,9 +1,8 @@
 #include "core/thread_mapper.hh"
 
 #include "common/log.hh"
-#include "qap/annealing.hh"
+#include "qap/multi_start.hh"
 #include "qap/qap.hh"
-#include "qap/taboo.hh"
 
 namespace mnoc::core {
 
@@ -76,7 +75,8 @@ mapThreads(const optics::OpticalCrossbar &crossbar,
         qap::TabooParams tp;
         tp.iterations = params.tabooIterations;
         tp.seed = params.seed;
-        auto r = qap::tabooSearch(instance, identity, tp);
+        auto r = qap::multiStartTaboo(instance, identity, tp,
+                                      params.restarts);
         result.threadToCore = r.perm;
         result.qapCost = r.cost;
         break;
@@ -85,7 +85,8 @@ mapThreads(const optics::OpticalCrossbar &crossbar,
         qap::AnnealingParams ap;
         ap.iterations = params.annealingIterations;
         ap.seed = params.seed;
-        auto r = qap::simulatedAnnealing(instance, identity, ap);
+        auto r = qap::multiStartAnnealing(instance, identity, ap,
+                                          params.restarts);
         result.threadToCore = r.perm;
         result.qapCost = r.cost;
         break;

@@ -61,6 +61,11 @@ struct MappingParams
     long long tabooIterations = 20000;
     long long annealingIterations = 400000;
     std::uint64_t seed = 1;
+    /** Independently seeded restarts run concurrently on the shared
+     *  ThreadPool; the best permutation wins (ordered reduction, so
+     *  the result is identical at any MNOC_THREADS).  1 restores the
+     *  single-start searches. */
+    int restarts = 4;
 };
 
 /**

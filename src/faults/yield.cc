@@ -11,18 +11,31 @@ namespace mnoc::faults {
 
 namespace {
 
+/** One draw's outcome plus its private per-mode failure tallies;
+ *  draws run concurrently, so nothing here is shared. */
+struct DrawRecord
+{
+    DrawOutcome outcome;
+    std::vector<long long> marginFailuresByMode;
+    std::vector<long long> leakFailuresByMode;
+};
+
 /** Replay every source under one draw and fold the link budgets. */
-DrawOutcome
+DrawRecord
 runDraw(const optics::SerpentineLayout &layout,
         const std::vector<optics::MultiModeDesign> &sources,
-        const DeviceVariation &variation, const YieldCriteria &criteria,
-        std::vector<long long> &margin_failures_by_mode,
-        std::vector<long long> &leak_failures_by_mode)
+        const DeviceVariation &variation,
+        const YieldCriteria &criteria, int num_modes)
 {
     int n = static_cast<int>(sources.size());
     WattPower pmin = variation.params.pminAtTap();
 
-    DrawOutcome outcome;
+    DrawRecord record;
+    record.marginFailuresByMode.assign(
+        static_cast<std::size_t>(num_modes), 0);
+    record.leakFailuresByMode.assign(
+        static_cast<std::size_t>(num_modes), 0);
+    DrawOutcome &outcome = record.outcome;
     outcome.pass = true;
     outcome.worstMargin = DecibelLoss(1e9);
     outcome.worstLeak = DecibelLoss(-1e9);
@@ -30,12 +43,12 @@ runDraw(const optics::SerpentineLayout &layout,
 
     for (int s = 0; s < n; ++s) {
         const auto &design = sources[s];
-        int num_modes = static_cast<int>(design.modePower.size());
+        int source_modes = static_cast<int>(design.modePower.size());
         optics::SplitterChain chain(layout, variation.params, s);
 
         std::vector<std::vector<double>> received;
-        received.reserve(num_modes);
-        for (int m = 0; m < num_modes; ++m)
+        received.reserve(static_cast<std::size_t>(source_modes));
+        for (int m = 0; m < source_modes; ++m)
             received.push_back(chain.evaluate(
                 design.chain,
                 design.modePower[m] * variation.ledOutputScale[s],
@@ -56,16 +69,16 @@ runDraw(const optics::SerpentineLayout &layout,
                 if (link.margin <
                     criteria.requiredMargin - DecibelLoss(1e-9)) {
                     ++outcome.marginFailures;
-                    ++margin_failures_by_mode[link.mode];
+                    ++record.marginFailuresByMode[link.mode];
                 }
             } else if (link.margin > criteria.maxLeak) {
                 ++outcome.leakFailures;
-                ++leak_failures_by_mode[link.mode];
+                ++record.leakFailuresByMode[link.mode];
             }
         }
         outcome.pass = outcome.pass && report.ok;
     }
-    return outcome;
+    return record;
 }
 
 } // namespace
@@ -75,7 +88,7 @@ analyzeYield(const optics::SerpentineLayout &layout,
              const optics::DeviceParams &nominal,
              const std::vector<optics::MultiModeDesign> &sources,
              const VariationSpec &spec, int trials, std::uint64_t seed,
-             const YieldCriteria &criteria)
+             const YieldCriteria &criteria, ThreadPool *pool)
 {
     spec.validate();
     int n = static_cast<int>(sources.size());
@@ -95,26 +108,46 @@ analyzeYield(const optics::SerpentineLayout &layout,
     report.trials = trials;
     report.seed = seed;
     report.spec = spec;
-    report.marginFailuresByMode.assign(num_modes, 0);
-    report.leakFailuresByMode.assign(num_modes, 0);
-    report.draws.reserve(trials);
+    report.marginFailuresByMode.assign(
+        static_cast<std::size_t>(num_modes), 0);
+    report.leakFailuresByMode.assign(
+        static_cast<std::size_t>(num_modes), 0);
 
-    Prng prng(seed);
+    // Draw t is a pure function of deriveSeed(seed, t): each draw
+    // owns its slot of `records`, so any thread interleaving writes
+    // the same contents.
+    ThreadPool &workers = pool != nullptr ? *pool
+                                          : ThreadPool::global();
+    std::vector<DrawRecord> records(
+        static_cast<std::size_t>(trials));
+    workers.parallelFor(trials, [&](long long t) {
+        Prng draw_prng(
+            deriveSeed(seed, static_cast<std::uint64_t>(t)));
+        auto variation = drawVariation(spec, nominal, n, draw_prng);
+        records[static_cast<std::size_t>(t)] =
+            runDraw(layout, sources, variation, criteria, num_modes);
+    });
+
+    // Ordered reduction in draw order: the aggregates below are
+    // identical at any thread count because the fold order is the
+    // slot order, never the completion order.
+    report.draws.reserve(static_cast<std::size_t>(trials));
     int passes = 0;
     std::vector<double> margins;
     std::vector<double> bers;
-    margins.reserve(trials);
-    bers.reserve(trials);
-    for (int t = 0; t < trials; ++t) {
-        auto variation = drawVariation(spec, nominal, n, prng);
-        auto outcome =
-            runDraw(layout, sources, variation, criteria,
-                    report.marginFailuresByMode,
-                    report.leakFailuresByMode);
-        passes += outcome.pass ? 1 : 0;
-        margins.push_back(outcome.worstMargin.dB());
-        bers.push_back(outcome.worstBitErrorRate);
-        report.draws.push_back(outcome);
+    margins.reserve(static_cast<std::size_t>(trials));
+    bers.reserve(static_cast<std::size_t>(trials));
+    for (const auto &record : records) {
+        passes += record.outcome.pass ? 1 : 0;
+        margins.push_back(record.outcome.worstMargin.dB());
+        bers.push_back(record.outcome.worstBitErrorRate);
+        for (int m = 0; m < num_modes; ++m) {
+            report.marginFailuresByMode[m] +=
+                record.marginFailuresByMode[m];
+            report.leakFailuresByMode[m] +=
+                record.leakFailuresByMode[m];
+        }
+        report.draws.push_back(record.outcome);
     }
 
     report.yield = static_cast<double>(passes) / trials;

@@ -20,6 +20,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "faults/variation.hh"
 #include "optics/link_budget.hh"
 #include "optics/serpentine_layout.hh"
@@ -83,19 +84,29 @@ struct YieldCriteria
  * Replay @p sources (one MultiModeDesign per node, index == source)
  * under @p trials seeded variation draws.
  *
+ * The draws run concurrently on the ThreadPool.  Draw t consumes its
+ * own Prng stream seeded with deriveSeed(seed, t) and the outcomes
+ * are reduced in draw order, so the report -- yield fraction, margin
+ * and BER distributions, per-mode failure counts, and every per-draw
+ * outcome -- is bit-identical at any thread count (DESIGN.md §9).
+ *
  * @param layout Shared serpentine geometry.
  * @param nominal Nominal device parameters the designs were built for.
  * @param sources Per-source designs; sources.size() is the radix.
  * @param spec Variation sigmas.
  * @param trials Number of Monte Carlo draws (>= 1).
  * @param seed PRNG seed; equal seeds give bit-identical reports.
+ * @param criteria Validation thresholds shared by all draws.
+ * @param pool Pool to run the draws on; null uses the global pool
+ *        (sized by MNOC_THREADS).
  */
 YieldReport analyzeYield(const optics::SerpentineLayout &layout,
                          const optics::DeviceParams &nominal,
                          const std::vector<optics::MultiModeDesign> &sources,
                          const VariationSpec &spec, int trials,
                          std::uint64_t seed,
-                         const YieldCriteria &criteria = {});
+                         const YieldCriteria &criteria = {},
+                         ThreadPool *pool = nullptr);
 
 } // namespace mnoc::faults
 

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Parallel multi-start wrappers over the QAP heuristics.
+ *
+ * Taillard's robust taboo search was designed for parallel restarts:
+ * N independently seeded searches explore N basins and the best
+ * permutation wins.  These wrappers run the restarts concurrently on
+ * the shared ThreadPool with per-restart splitmix-derived seeds and
+ * an ordered reduction, so the result is bit-identical to a serial
+ * run at any thread count (DESIGN.md §9).
+ */
+
+#ifndef MNOC_QAP_MULTI_START_HH
+#define MNOC_QAP_MULTI_START_HH
+
+#include "common/thread_pool.hh"
+#include "qap/annealing.hh"
+#include "qap/qap.hh"
+#include "qap/taboo.hh"
+
+namespace mnoc::qap {
+
+/**
+ * Run @p restarts independently seeded taboo searches and return the
+ * best result.  Restart 0 reproduces tabooSearch(instance, start,
+ * params) exactly (so restarts == 1 is the plain single-start
+ * search); restart r > 0 starts from a seeded shuffle of @p start
+ * and runs under the r-th seed derived from params.seed.  The
+ * reduction is ordered -- lowest cost wins, ties go to the lowest
+ * restart index -- and the returned iteration count sums over all
+ * restarts.
+ *
+ * @param pool Pool to run the restarts on; null uses the global
+ *        pool (sized by MNOC_THREADS).
+ */
+QapResult multiStartTaboo(const QapInstance &instance,
+                          const Permutation &start,
+                          const TabooParams &params = {},
+                          int restarts = 4,
+                          ThreadPool *pool = nullptr);
+
+/** Multi-start simulated annealing; same contract as
+ *  multiStartTaboo. */
+QapResult multiStartAnnealing(const QapInstance &instance,
+                              const Permutation &start,
+                              const AnnealingParams &params = {},
+                              int restarts = 4,
+                              ThreadPool *pool = nullptr);
+
+} // namespace mnoc::qap
+
+#endif // MNOC_QAP_MULTI_START_HH

@@ -5,6 +5,8 @@
 #include <vector>
 #include <cmath>
 #include <random>
+#include <thread>
+#include <future>
 
 namespace mnoc {
 
@@ -19,6 +21,15 @@ noisyDraw()
 {
     std::mt19937 gen(42); // rng
     return static_cast<double>(gen()) / 4294967295.0;
+}
+
+void
+spawnUnpooled()
+{
+    std::thread worker(noisyDraw); // raw-thread
+    worker.join();
+    auto f = std::async(noisyDraw); // raw-thread
+    f.wait();
 }
 
 float

@@ -42,7 +42,7 @@ if python3 "$lint" --root "$scratch" \
     fail "mnoc-lint accepted fixtures with seeded violations"
 fi
 
-for rule in raw-pow rng float unit-param header-guard \
+for rule in raw-pow rng raw-thread float unit-param header-guard \
             include-order format; do
     grep -q "\[$rule\]" "$out" || {
         cat "$out" >&2

@@ -17,6 +17,9 @@ that the compiler cannot:
                   std::random_device make runs irreproducible.
   float           power math is double-only; float halves the mantissa
                   on dB sums that are differenced later.
+  raw-thread      all concurrency goes through the shared pool in
+                  common/thread_pool.hh; raw std::thread / std::async
+                  escapes the determinism contract of DESIGN.md §9.
   header-guard    headers use #ifndef MNOC_<PATH>_HH guards matching
                   their path, with a matching trailing comment.
   include-order   own header first (in .cc files), then <system>
@@ -51,6 +54,12 @@ POW_ALLOWLIST = ("src/common/units.hh",)
 # Files allowed to reference std RNG machinery.
 RNG_ALLOWLIST = ("src/common/prng.hh",)
 
+# Files allowed to touch raw threading primitives: the pool itself and
+# its unit test (which compares std::thread::id values).
+THREAD_ALLOWLIST = ("src/common/thread_pool.hh",
+                    "src/common/thread_pool.cc",
+                    "tests/test_thread_pool.cc")
+
 # Directories whose sources are power math (float-free zone).
 FLOAT_DIRS = ("src/optics", "src/core", "src/faults", "src/common")
 
@@ -59,6 +68,9 @@ RNG_RE = re.compile(
     r"std::rand\b|\bsrand\s*\(|std::random_device\b|std::mt19937\b"
     r"|std::default_random_engine\b|std::minstd_rand\b")
 FLOAT_RE = re.compile(r"\bfloat\b")
+# Matches std::thread (including std::thread::id) but not
+# std::this_thread, which is harmless introspection.
+THREAD_RE = re.compile(r"std::(?:thread|jthread|async)\b")
 UNIT_PARAM_RE = re.compile(
     r"\bdouble\s+(\w*_(?:db|dbm|w|uw|mw|m|cm))\b")
 INCLUDE_RE = re.compile(r'#\s*include\s*([<"])([^>"]+)[>"]')
@@ -159,6 +171,19 @@ def check_rng(relpath, code_lines, findings):
                          f"'{match.group(0)}' bypasses the seeded "
                          "Prng in common/prng.hh; draws must be "
                          "reproducible")
+
+
+def check_raw_thread(relpath, code_lines, findings):
+    if relpath in THREAD_ALLOWLIST:
+        return
+    for lineno, text in code_lines:
+        match = THREAD_RE.search(text)
+        if match:
+            findings.add(relpath, lineno, "raw-thread",
+                         f"'{match.group(0)}' bypasses the shared "
+                         "ThreadPool in common/thread_pool.hh; raw "
+                         "threads break the deterministic-parallelism "
+                         "contract (DESIGN.md §9)")
 
 
 def check_float(relpath, code_lines, findings):
@@ -301,6 +326,7 @@ def lint_file(path, root, findings):
     code_lines = list(strip_comments(lines))
     check_raw_pow(relpath, code_lines, findings)
     check_rng(relpath, code_lines, findings)
+    check_raw_thread(relpath, code_lines, findings)
     check_float(relpath, code_lines, findings)
     check_unit_params(relpath, code_lines, findings)
     check_header_guard(relpath, lines, findings)
