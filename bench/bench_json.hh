@@ -5,12 +5,18 @@
  * workload (yield Monte Carlo, QAP multi-start, SPLASH suite), each
  * carrying serial vs parallel wall-clock, the speedup, and whether
  * the parallel result was verified bit-identical to the serial one.
+ * Every file also embeds the run manifest (seed, git SHA, thread
+ * count, env knobs) so a stored artifact is reproducible.
  *
- * Schema "mnoc-bench-parallel-v1":
+ * Schema "mnoc-bench-parallel-v2":
  *
  *   {
- *     "schema": "mnoc-bench-parallel-v1",
+ *     "schema": "mnoc-bench-parallel-v2",
  *     "threads": <int>,            // pool size used for parallel runs
+ *     "manifest": {                // provenance (common/manifest.hh)
+ *       "seed": <int>, "git": <string>, "threads": <int>,
+ *       "config": <string>, "env": { <name>: <string>, ... }
+ *     },
  *     "sections": [
  *       {
  *         "name": <string>,        // workload identifier
@@ -31,7 +37,9 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
+#include "common/manifest.hh"
 
 namespace mnoc::bench {
 
@@ -52,31 +60,13 @@ struct ParallelRecord
     }
 };
 
-/** Minimal JSON string escaping (quotes, backslashes, control
- *  characters); section names are plain identifiers in practice. */
-inline std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char ch : text) {
-        if (ch == '"' || ch == '\\')
-            out += '\\';
-        if (static_cast<unsigned char>(ch) < 0x20) {
-            out += "\\u00";
-            const char *digits = "0123456789abcdef";
-            out += digits[(ch >> 4) & 0xf];
-            out += digits[ch & 0xf];
-            continue;
-        }
-        out += ch;
-    }
-    return out;
-}
-
-/** Write @p records as BENCH_parallel.json-schema JSON to @p path. */
+/** Write @p records as BENCH_parallel.json-schema JSON to @p path,
+ *  stamped with @p manifest for provenance.  Every string field goes
+ *  through escapeJson so hostile workload names cannot break the
+ *  document. */
 inline void
 writeParallelJson(const std::string &path, int threads,
+                  const RunManifest &manifest,
                   const std::vector<ParallelRecord> &records)
 {
     std::ofstream out(path);
@@ -84,13 +74,14 @@ writeParallelJson(const std::string &path, int threads,
     out.precision(6);
     out << std::fixed;
     out << "{\n";
-    out << "  \"schema\": \"mnoc-bench-parallel-v1\",\n";
+    out << "  \"schema\": \"mnoc-bench-parallel-v2\",\n";
     out << "  \"threads\": " << threads << ",\n";
+    out << "  \"manifest\": " << manifestJson(manifest) << ",\n";
     out << "  \"sections\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const auto &record = records[i];
         out << "    {\n";
-        out << "      \"name\": \"" << jsonEscape(record.name)
+        out << "      \"name\": \"" << escapeJson(record.name)
             << "\",\n";
         out << "      \"work_items\": " << record.workItems << ",\n";
         out << "      \"serial_seconds\": " << record.serialSeconds
@@ -104,6 +95,7 @@ writeParallelJson(const std::string &path, int threads,
     }
     out << "  ]\n";
     out << "}\n";
+    out.flush();
     fatalIf(!out.good(), "failed writing " + path);
 }
 

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "bench_json.hh"
+#include "common/manifest.hh"
 #include "common/prng.hh"
 #include "common/thread_pool.hh"
 #include "faults/yield.hh"
@@ -236,7 +237,8 @@ main()
     std::filesystem::remove_all(scratch);
 
     std::string json_path = out_dir + "/BENCH_parallel.json";
-    bench::writeParallelJson(json_path, threads, records);
+    bench::writeParallelJson(json_path, threads, currentManifest(),
+                             records);
     std::cout << "\nwrote " << json_path << "\n";
 
     bool all_identical = true;

@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 
 namespace mnoc::bench {
 
@@ -82,6 +84,7 @@ Harness::simulate(const std::string &benchmark,
     auto workload = workloads::makeWorkload(benchmark, scale);
     std::cerr << "[harness] simulating " << benchmark << " on "
               << network << "...\n";
+    TraceSpan span("harness.simulate:" + benchmark, "bench");
     return sim::toTrace(
         sim::runSimulation(config, *net, *workload, 1));
 }
@@ -90,12 +93,15 @@ const sim::Trace &
 Harness::trace(const std::string &benchmark,
                const std::string &network)
 {
+    auto &metrics = MetricsRegistry::global();
     std::string key = cacheKey(benchmark, network);
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         auto it = traces_.find(key);
-        if (it != traces_.end())
+        if (it != traces_.end()) {
+            metrics.counter("bench.trace_cache.memory_hits").add();
             return it->second;
+        }
     }
 
     // Simulate (or load) outside the lock: concurrent callers for the
@@ -104,8 +110,10 @@ Harness::trace(const std::string &benchmark,
     std::string path = outDir_ + "/cache/" + key + ".trace";
     sim::Trace t;
     if (std::filesystem::exists(path)) {
+        metrics.counter("bench.trace_cache.disk_hits").add();
         t = sim::loadTrace(path);
     } else {
+        metrics.counter("bench.trace_cache.misses").add();
         t = simulate(benchmark, network);
         sim::saveTrace(path, t);
     }
@@ -119,6 +127,7 @@ Harness::trace(const std::string &benchmark,
 void
 Harness::simulateSuite(const std::string &network, ThreadPool *pool)
 {
+    TraceSpan span("harness.simulateSuite:" + network, "bench");
     const auto &names = benchmarks();
     ThreadPool &workers = pool != nullptr ? *pool
                                           : ThreadPool::global();
@@ -151,6 +160,7 @@ Harness::mapping(const std::string &benchmark)
     } else {
         std::cerr << "[harness] taboo mapping for " << benchmark
                   << "...\n";
+        TraceSpan span("harness.mapping:" + benchmark, "bench");
         core::MappingParams params;
         params.tabooIterations = 20000;
         auto result = designer_->map(threadFlow(benchmark),

@@ -2,12 +2,15 @@
  * @file
  * google-benchmark microbenchmarks of the library's inner kernels:
  * splitter-chain design, alpha optimization, QAP delta evaluation,
- * channel booking, and cache lookups.
+ * channel booking, cache lookups, and the disabled-path cost of the
+ * metrics/span instrumentation (must stay a branch, not a syscall).
  */
 
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.hh"
 #include "common/prng.hh"
+#include "common/trace_span.hh"
 #include "noc/channel.hh"
 #include "optics/alpha_optimizer.hh"
 #include "optics/crossbar.hh"
@@ -106,6 +109,61 @@ BM_CacheLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheLookup);
+
+/** Counter::add with collection off: the before/after check of the
+ *  "off = zero overhead" contract (one relaxed load + branch). */
+void
+BM_MetricsCounterOff(benchmark::State &state)
+{
+    MetricsRegistry::setEnabled(false);
+    Counter &counter =
+        MetricsRegistry::global().counter("bench.off_counter");
+    for (auto _ : state)
+        counter.add();
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterOff);
+
+void
+BM_MetricsCounterOn(benchmark::State &state)
+{
+    MetricsRegistry::setEnabled(true);
+    Counter &counter =
+        MetricsRegistry::global().counter("bench.on_counter");
+    for (auto _ : state)
+        counter.add();
+    benchmark::DoNotOptimize(counter.value());
+    MetricsRegistry::setEnabled(false);
+}
+BENCHMARK(BM_MetricsCounterOn);
+
+void
+BM_HistogramObserveOn(benchmark::State &state)
+{
+    MetricsRegistry::setEnabled(true);
+    Histogram &hist = MetricsRegistry::global().histogram(
+        "bench.on_histogram", {1.0, 10.0, 100.0});
+    double value = 0.0;
+    for (auto _ : state) {
+        hist.observe(value);
+        value = value < 200.0 ? value + 1.0 : 0.0;
+    }
+    benchmark::DoNotOptimize(hist.totalCount());
+    MetricsRegistry::setEnabled(false);
+}
+BENCHMARK(BM_HistogramObserveOn);
+
+/** TraceSpan construction/destruction with recording off. */
+void
+BM_TraceSpanOff(benchmark::State &state)
+{
+    SpanRecorder::setEnabled(false);
+    for (auto _ : state) {
+        TraceSpan span("bench.span", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_TraceSpanOff);
 
 } // namespace
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by every artifact writer
+ * (metrics registry export, span traces, BENCH_*.json, manifests).
+ * Only escaping and number formatting live here -- the writers
+ * assemble their own structure, which keeps the output byte-stable
+ * (no map reordering, no locale surprises).
+ */
+
+#ifndef MNOC_COMMON_JSON_HH
+#define MNOC_COMMON_JSON_HH
+
+#include <sstream>
+#include <string>
+
+namespace mnoc {
+
+/**
+ * Escape @p text for embedding inside a JSON string literal: quotes
+ * and backslashes are backslash-escaped, the common control
+ * characters use their short forms, and every other control
+ * character becomes a \\u00XX sequence.  Non-ASCII bytes pass
+ * through untouched (the files are UTF-8).
+ */
+inline std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        auto byte = static_cast<unsigned char>(ch);
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            continue;
+          case '\\':
+            out += "\\\\";
+            continue;
+          case '\n':
+            out += "\\n";
+            continue;
+          case '\t':
+            out += "\\t";
+            continue;
+          case '\r':
+            out += "\\r";
+            continue;
+          case '\b':
+            out += "\\b";
+            continue;
+          case '\f':
+            out += "\\f";
+            continue;
+          default:
+            break;
+        }
+        if (byte < 0x20) {
+            const char *digits = "0123456789abcdef";
+            out += "\\u00";
+            out += digits[(byte >> 4) & 0xf];
+            out += digits[byte & 0xf];
+            continue;
+        }
+        out += ch;
+    }
+    return out;
+}
+
+/**
+ * Deterministic decimal rendering of a double for JSON: 17
+ * significant digits round-trip every distinct bit pattern, so two
+ * runs that computed identical doubles emit identical bytes.
+ */
+inline std::string
+jsonNumber(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_JSON_HH

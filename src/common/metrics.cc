@@ -1,0 +1,328 @@
+#include "common/metrics.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/manifest.hh"
+
+namespace mnoc {
+
+namespace {
+
+/** Raw MNOC_METRICS value ("" when unset). */
+std::string
+envValue()
+{
+    const char *value = std::getenv("MNOC_METRICS");
+    return value != nullptr ? std::string(value) : std::string();
+}
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag(!envValue().empty() &&
+                                  envValue() != "0");
+    return flag;
+}
+
+std::atomic<int> next_shard_slot{0};
+
+void
+exportGlobalAtExit()
+{
+    MetricsRegistry::global().writeJson(
+        MetricsRegistry::exportPath());
+}
+
+} // namespace
+
+int
+metricShardSlot()
+{
+    thread_local int slot =
+        next_shard_slot.fetch_add(1, std::memory_order_relaxed);
+    return slot & (kMetricShards - 1);
+}
+
+bool
+metricsEnabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (Shard &shard : shards_)
+        shard.count.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::string name, std::vector<double> edges)
+    : name_(std::move(name)), edges_(std::move(edges)),
+      buckets_(edges_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    for (std::size_t i = 1; i < edges_.size(); ++i)
+        fatalIf(edges_[i] <= edges_[i - 1],
+                "histogram '" + name_ +
+                    "' bucket edges must be strictly ascending");
+}
+
+void
+Histogram::observe(double value)
+{
+    if (!metricsEnabled())
+        return;
+    std::size_t bucket = edges_.size();
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (value <= edges_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+
+    // Commutative folds: the final min/max are independent of the
+    // order in which concurrent observers run.
+    double seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(buckets_.size());
+    for (const auto &bucket : buckets_)
+        out.push_back(bucket.load(std::memory_order_relaxed));
+    return out;
+}
+
+std::uint64_t
+Histogram::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::minValue() const
+{
+    return min_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::maxValue() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *instance = [] {
+        auto *registry = new MetricsRegistry();
+        if (!exportPath().empty())
+            std::atexit(exportGlobalAtExit);
+        return registry;
+    }();
+    return *instance;
+}
+
+void
+MetricsRegistry::setEnabled(bool on)
+{
+    enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+std::string
+MetricsRegistry::exportPath()
+{
+    std::string value = envValue();
+    if (value.empty() || value == "0" || value == "1")
+        return "";
+    return value;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(name, std::unique_ptr<Counter>(
+                                    new Counter(name)))
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(name,
+                          std::unique_ptr<Gauge>(new Gauge(name)))
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &edges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(name, std::unique_ptr<Histogram>(
+                                    new Histogram(name, edges)))
+                 .first;
+    fatalIf(it->second->edges().size() != edges.size(),
+            "histogram '" + name +
+                "' re-registered with a different bucket count");
+    return *it->second;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\n  \"schema\": \"mnoc-metrics-v1\",\n";
+    // Provenance: stable within a process, so it never perturbs the
+    // bit-identity comparison across pool sizes.
+    out += "  \"manifest\": " + manifestJson(currentManifest()) +
+           ",\n";
+
+    out += "  \"counters\": {";
+    const char *sep = "";
+    for (const auto &[name, counter] : counters_) {
+        out += sep;
+        out += "\n    \"" + escapeJson(name) +
+               "\": " + std::to_string(counter->value());
+        sep = ",";
+    }
+    out += counters_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    sep = "";
+    for (const auto &[name, gauge] : gauges_) {
+        out += sep;
+        out += "\n    \"" + escapeJson(name) +
+               "\": " + std::to_string(gauge->value());
+        sep = ",";
+    }
+    out += gauges_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    sep = "";
+    for (const auto &[name, hist] : histograms_) {
+        out += sep;
+        out += "\n    \"" + escapeJson(name) + "\": {\n";
+        out += "      \"edges\": [";
+        const char *comma = "";
+        for (double edge : hist->edges()) {
+            out += comma;
+            out += jsonNumber(edge);
+            comma = ", ";
+        }
+        out += "],\n      \"counts\": [";
+        comma = "";
+        for (std::uint64_t count : hist->bucketCounts()) {
+            out += comma;
+            out += std::to_string(count);
+            comma = ", ";
+        }
+        std::uint64_t total = hist->totalCount();
+        out += "],\n      \"count\": " + std::to_string(total);
+        out += ",\n      \"min\": ";
+        out += total > 0 ? jsonNumber(hist->minValue()) : "null";
+        out += ",\n      \"max\": ";
+        out += total > 0 ? jsonNumber(hist->maxValue()) : "null";
+        out += "\n    }";
+        sep = ",";
+    }
+    out += histograms_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out.is_open(),
+            "cannot open metrics export file: " + path);
+    out << toJson();
+    out.flush();
+    fatalIf(!out.good(), "failed writing metrics export: " + path);
+}
+
+void
+MetricsRegistry::printText(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        out << name << " " << counter->value() << "\n";
+    for (const auto &[name, gauge] : gauges_)
+        out << name << " " << gauge->value() << "\n";
+    for (const auto &[name, hist] : histograms_) {
+        out << name << " count " << hist->totalCount();
+        if (hist->totalCount() > 0)
+            out << " min " << jsonNumber(hist->minValue()) << " max "
+                << jsonNumber(hist->maxValue());
+        out << "\n";
+    }
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, hist] : histograms_)
+        hist->reset();
+}
+
+} // namespace mnoc

@@ -1,0 +1,198 @@
+#include "common/trace_span.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <tuple>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace mnoc {
+
+namespace {
+
+/** Raw MNOC_TRACE_SPANS value ("" when unset). */
+std::string
+envValue()
+{
+    const char *value = std::getenv("MNOC_TRACE_SPANS");
+    return value != nullptr ? std::string(value) : std::string();
+}
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag(!envValue().empty() &&
+                                  envValue() != "0");
+    return flag;
+}
+
+std::uint64_t
+steadyNowUs()
+{
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now);
+    return static_cast<std::uint64_t>(us.count());
+}
+
+void
+exportGlobalAtExit()
+{
+    SpanRecorder::global().writeJson(SpanRecorder::exportPath());
+}
+
+/** Per-thread event buffer and id, registered lazily with the
+ *  recorder (one mutex acquisition per thread, not per span). */
+thread_local std::vector<SpanEvent> *tl_buffer = nullptr;
+thread_local int tl_tid = 0;
+
+} // namespace
+
+bool
+spansEnabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+SpanRecorder::SpanRecorder() : epochUs_(steadyNowUs()) {}
+
+SpanRecorder &
+SpanRecorder::global()
+{
+    static SpanRecorder *instance = [] {
+        auto *recorder = new SpanRecorder();
+        if (!exportPath().empty())
+            std::atexit(exportGlobalAtExit);
+        return recorder;
+    }();
+    return *instance;
+}
+
+void
+SpanRecorder::setEnabled(bool on)
+{
+    enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+std::string
+SpanRecorder::exportPath()
+{
+    std::string value = envValue();
+    if (value.empty() || value == "0")
+        return "";
+    if (value == "1")
+        return "mnoc_spans.json";
+    return value;
+}
+
+std::uint64_t
+SpanRecorder::nowUs() const
+{
+    return steadyNowUs() - epochUs_;
+}
+
+std::vector<SpanEvent> &
+SpanRecorder::threadBuffer()
+{
+    if (tl_buffer == nullptr) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(std::make_unique<std::vector<SpanEvent>>());
+        tl_tid = static_cast<int>(buffers_.size());
+        tl_buffer = buffers_.back().get();
+    }
+    return *tl_buffer;
+}
+
+void
+SpanRecorder::record(SpanEvent event)
+{
+    std::vector<SpanEvent> &buffer = threadBuffer();
+    event.tid = tl_tid;
+    buffer.push_back(std::move(event));
+}
+
+std::vector<SpanEvent>
+SpanRecorder::events() const
+{
+    std::vector<SpanEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &buffer : buffers_)
+            out.insert(out.end(), buffer->begin(), buffer->end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SpanEvent &a, const SpanEvent &b) {
+                         return std::tie(a.startUs, a.tid, a.name) <
+                                std::tie(b.startUs, b.tid, b.name);
+                     });
+    return out;
+}
+
+std::string
+SpanRecorder::toJson() const
+{
+    std::string out = "{\n  \"traceEvents\": [";
+    const char *sep = "";
+    for (const SpanEvent &event : events()) {
+        out += sep;
+        out += "\n    {\"name\": \"" + escapeJson(event.name) +
+               "\", \"cat\": \"" + escapeJson(event.category) +
+               "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " +
+               std::to_string(event.tid) +
+               ", \"ts\": " + std::to_string(event.startUs) +
+               ", \"dur\": " + std::to_string(event.durationUs) + "}";
+        sep = ",";
+    }
+    if (*sep != '\0')
+        out += "\n  ";
+    out += "],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+    return out;
+}
+
+void
+SpanRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatalIf(!out.is_open(),
+            "cannot open span export file: " + path);
+    out << toJson();
+    out.flush();
+    fatalIf(!out.good(), "failed writing span export: " + path);
+}
+
+void
+SpanRecorder::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &buffer : buffers_)
+        buffer->clear();
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category)
+{
+    if (!spansEnabled())
+        return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    startUs_ = SpanRecorder::global().nowUs();
+    active_ = true;
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    SpanRecorder &recorder = SpanRecorder::global();
+    SpanEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.startUs = startUs_;
+    event.durationUs = recorder.nowUs() - startUs_;
+    recorder.record(std::move(event));
+}
+
+} // namespace mnoc

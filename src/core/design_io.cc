@@ -11,7 +11,8 @@ namespace mnoc::core {
 
 void
 saveDesign(const std::string &path, const MnocDesign &design,
-           const ResilienceSummary *resilience)
+           const ResilienceSummary *resilience,
+           const RunManifest *manifest)
 {
     design.topology.validate();
     int n = design.topology.numNodes;
@@ -74,6 +75,17 @@ saveDesign(const std::string &path, const MnocDesign &design,
                 << " " << step.margin.dB() << " " << step.yield << "\n";
         }
     }
+    if (manifest) {
+        auto lines = manifestLines(*manifest);
+        out << "manifest " << lines.size() << "\n";
+        for (const auto &line : lines)
+            out << line << "\n";
+    }
+    // Surface a full disk or revoked permissions here, not as a
+    // truncated design on the next load.
+    out.flush();
+    fatalIf(!out.good(), "failed writing design file (disk full or "
+                         "I/O error): " + path);
 }
 
 namespace {
@@ -374,14 +386,32 @@ loadDesignReport(const std::string &path)
     }
     design.topology.validate();
 
-    if (!parser.atEnd()) {
+    while (!parser.atEnd()) {
         std::string trailer = parser.token("trailer");
-        if (trailer != "resilience")
+        if (trailer == "resilience") {
+            if (report.resilience)
+                parser.fail("trailer", "duplicate resilience block");
+            report.resilience = readResilience(parser);
+        } else if (trailer == "manifest") {
+            if (report.manifest)
+                parser.fail("trailer", "duplicate manifest block");
+            long long count = parser.integer("manifest entry count");
+            if (count < 0 || count > 1000)
+                parser.fail("manifest entry count", "out of range");
+            RunManifest manifest;
+            for (long long i = 0; i < count; ++i) {
+                std::string key = parser.token("manifest key");
+                std::string a = parser.token("manifest value");
+                std::string b;
+                if (key == "env")
+                    b = parser.token("manifest env value");
+                setManifestField(manifest, key, a, b);
+            }
+            report.manifest = manifest;
+        } else {
             parser.fail("trailer",
                         "trailing garbage '" + trailer + "'");
-        report.resilience = readResilience(parser);
-        if (!parser.atEnd())
-            parser.fail("trailer", "trailing garbage after resilience");
+        }
     }
     return report;
 }

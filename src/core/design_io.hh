@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "common/manifest.hh"
 #include "core/designer.hh"
 #include "core/power_model.hh"
 
@@ -26,11 +27,14 @@ namespace mnoc::core {
  * Write @p design to @p path.  When @p resilience is non-null, the
  * hardening outcome (yield numbers and the degradation path) is
  * appended so downstream consumers can see how the design was hardened
- * and whether it met its yield target.
+ * and whether it met its yield target.  When @p manifest is non-null,
+ * a run-manifest trailer (seed, git SHA, thread count, env knobs) is
+ * appended for provenance.
  * @throws FatalError when the file cannot be written.
  */
 void saveDesign(const std::string &path, const MnocDesign &design,
-                const ResilienceSummary *resilience = nullptr);
+                const ResilienceSummary *resilience = nullptr,
+                const RunManifest *manifest = nullptr);
 
 /**
  * Read a design written by saveDesign().
@@ -38,11 +42,13 @@ void saveDesign(const std::string &path, const MnocDesign &design,
  */
 MnocDesign loadDesign(const std::string &path);
 
-/** A loaded design plus its optional hardening record. */
+/** A loaded design plus its optional hardening record and the
+ *  provenance manifest the producing run embedded, when present. */
 struct DesignReport
 {
     MnocDesign design;
     std::optional<ResilienceSummary> resilience;
+    std::optional<RunManifest> manifest;
 };
 
 /**

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
+#include "common/trace_span.hh"
 #include "optics/splitter_chain.hh"
 
 namespace mnoc::faults {
@@ -116,6 +118,13 @@ analyzeYield(const optics::SerpentineLayout &layout,
     // Draw t is a pure function of deriveSeed(seed, t): each draw
     // owns its slot of `records`, so any thread interleaving writes
     // the same contents.
+    TraceSpan span("analyzeYield", "faults");
+    auto &metrics = MetricsRegistry::global();
+    Counter &draw_tally = metrics.counter("yield.draws");
+    Counter &pass_tally = metrics.counter("yield.passes");
+    Histogram &margin_hist = metrics.histogram(
+        "yield.worst_margin_db",
+        {-3.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0});
     ThreadPool &workers = pool != nullptr ? *pool
                                           : ThreadPool::global();
     std::vector<DrawRecord> records(
@@ -126,6 +135,15 @@ analyzeYield(const optics::SerpentineLayout &layout,
         auto variation = drawVariation(spec, nominal, n, draw_prng);
         records[static_cast<std::size_t>(t)] =
             runDraw(layout, sources, variation, criteria, num_modes);
+        // Integer tallies and a commutative histogram fold: the
+        // registry stays bit-identical at any thread count
+        // (DESIGN.md §10).
+        const DrawOutcome &outcome =
+            records[static_cast<std::size_t>(t)].outcome;
+        draw_tally.add();
+        if (outcome.pass)
+            pass_tally.add();
+        margin_hist.observe(outcome.worstMargin.dB());
     });
 
     // Ordered reduction in draw order: the aggregates below are

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/prng.hh"
+#include "common/trace_span.hh"
 
 namespace mnoc::qap {
 
@@ -38,6 +40,9 @@ multiStart(const QapInstance &instance, const Permutation &start,
     fatalIf(restarts < 1, "multi-start needs at least one restart");
     instance.checkPermutation(start);
 
+    TraceSpan span("qapMultiStart", "qap");
+    Counter &restart_tally =
+        MetricsRegistry::global().counter("qap.restarts");
     ThreadPool &workers = pool != nullptr ? *pool
                                           : ThreadPool::global();
     std::vector<QapResult> results(
@@ -53,6 +58,9 @@ multiStart(const QapInstance &instance, const Permutation &start,
                          deriveSeed(base_seed ^ kShuffleSalt, index));
         results[static_cast<std::size_t>(r)] =
             solve(perm, solver_seed);
+        // Sharded integer add: deterministic total at any thread
+        // count (DESIGN.md §10).
+        restart_tally.add();
     });
 
     // Ordered reduction: lowest cost wins and ties go to the lowest
@@ -65,6 +73,9 @@ multiStart(const QapInstance &instance, const Permutation &start,
             best = results[r];
     }
     best.iterations = total_iterations;
+    MetricsRegistry::global()
+        .counter("qap.iterations")
+        .add(static_cast<std::uint64_t>(total_iterations));
     return best;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 
 namespace mnoc::sim {
 
@@ -13,6 +15,7 @@ SimulationResult
 runSimulation(const SimConfig &config, noc::Network &network,
               Workload &workload, std::uint64_t seed)
 {
+    TraceSpan span("simulate:" + workload.name(), "sim");
     int n = config.numCores;
     fatalIf(n < 1, "need at least one core");
     fatalIf(network.numNodes() != n,
@@ -96,6 +99,18 @@ runSimulation(const SimConfig &config, noc::Network &network,
             : 0.0;
     result.networkName = network.name();
     result.workloadName = workload.name();
+    result.seed = seed;
+
+    // Deterministic observability: pure tallies of the (already
+    // deterministic) run, safe under any thread interleaving.
+    auto &metrics = MetricsRegistry::global();
+    metrics.counter("sim.runs").add();
+    metrics.counter("sim.ops").add(result.coherence.accesses);
+    metrics.counter("sim.packets").add(result.coherence.packetsSent);
+    metrics
+        .histogram("sim.avg_packet_latency_cycles",
+                   {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0})
+        .observe(result.avgPacketLatency);
     return result;
 }
 

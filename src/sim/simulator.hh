@@ -55,6 +55,8 @@ struct SimulationResult
     std::string networkName;
     /** Workload name. */
     std::string workloadName;
+    /** Workload seed the run used (recorded for provenance). */
+    std::uint64_t seed = 0;
 };
 
 /**

@@ -4,8 +4,21 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/trace_span.hh"
 
 namespace mnoc::sim {
+
+namespace {
+
+/** "path:line: why" fatal for the strict trace parser. */
+[[noreturn]] void
+parseFail(const std::string &path, int line, const std::string &why)
+{
+    fatal(path + ":" + std::to_string(line) + ": " + why);
+}
+
+} // namespace
 
 Trace
 toTrace(const SimulationResult &result)
@@ -16,18 +29,28 @@ toTrace(const SimulationResult &result)
     t.totalTicks = result.totalTicks;
     t.packets = result.packets;
     t.flits = result.flits;
+    t.manifest = currentManifest(
+        result.seed,
+        hexDigest(fnv1a64(result.workloadName + "|" +
+                          result.networkName + "|" +
+                          std::to_string(result.packets.rows()))));
     return t;
 }
 
 void
 saveTrace(const std::string &path, const Trace &trace)
 {
+    TraceSpan span("saveTrace", "io");
     std::ofstream out(path);
     fatalIf(!out.is_open(), "cannot open trace file for write: " + path);
     int n = static_cast<int>(trace.packets.rows());
-    out << "mnoc-trace 1\n";
+    out << "mnoc-trace 2\n";
     out << trace.workloadName << "\n" << trace.networkName << "\n";
     out << n << " " << trace.totalTicks << "\n";
+    auto lines = manifestLines(trace.manifest);
+    out << "manifest " << lines.size() << "\n";
+    for (const auto &line : lines)
+        out << line << "\n";
     // Sparse triplets: src dst packets flits.
     for (int s = 0; s < n; ++s) {
         for (int d = 0; d < n; ++d) {
@@ -37,6 +60,12 @@ saveTrace(const std::string &path, const Trace &trace)
                 << trace.flits(s, d) << "\n";
         }
     }
+    // A full disk or revoked permissions surface here, not as a
+    // silently truncated trace on the next load.
+    out.flush();
+    fatalIf(!out.good(), "failed writing trace file (disk full or "
+                         "I/O error): " + path);
+    MetricsRegistry::global().counter("trace.saves").add();
 }
 
 Trace
@@ -46,19 +75,29 @@ mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
     fatalIf(static_cast<int>(thread_to_core.size()) != n,
             "thread mapping must cover every thread");
 
-    for (int c : thread_to_core)
+    // The mapping must be a permutation: a duplicated target core
+    // would merge two threads' traffic rows, silently corrupting
+    // every downstream power number.
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    for (int c : thread_to_core) {
         fatalIf(c < 0 || c >= n, "mapped core out of range");
+        fatalIf(used[static_cast<std::size_t>(c)],
+                "thread mapping is not a permutation: core " +
+                    std::to_string(c) + " is used twice");
+        used[static_cast<std::size_t>(c)] = true;
+    }
 
     Trace out;
     out.workloadName = trace.workloadName;
     out.networkName = trace.networkName;
     out.totalTicks = trace.totalTicks;
+    out.manifest = trace.manifest;
     out.packets = CountMatrix(n, n, 0);
     out.flits = CountMatrix(n, n, 0);
     for (int s = 0; s < n; ++s) {
-        int sc = thread_to_core[s];
+        int sc = thread_to_core[static_cast<std::size_t>(s)];
         for (int d = 0; d < n; ++d) {
-            int dc = thread_to_core[d];
+            int dc = thread_to_core[static_cast<std::size_t>(d)];
             out.packets(sc, dc) += trace.packets(s, d);
             out.flits(sc, dc) += trace.flits(s, d);
         }
@@ -69,33 +108,99 @@ mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
 Trace
 loadTrace(const std::string &path)
 {
+    TraceSpan span("loadTrace", "io");
     std::ifstream in(path);
     fatalIf(!in.is_open(), "cannot open trace file: " + path);
 
+    int lineno = 0;
+    std::string line;
+    auto nextLine = [&]() -> bool {
+        if (!std::getline(in, line))
+            return false;
+        ++lineno;
+        return true;
+    };
+
+    if (!nextLine())
+        parseFail(path, 1, "empty trace file");
     std::string magic;
     int version = 0;
-    in >> magic >> version;
-    fatalIf(magic != "mnoc-trace" || version != 1,
-            "unrecognized trace file header: " + path);
-    in.ignore();
+    {
+        std::istringstream header(line);
+        header >> magic >> version;
+        if (header.fail() || magic != "mnoc-trace" ||
+            (version != 1 && version != 2))
+            parseFail(path, lineno,
+                      "unrecognized trace file header: " + line);
+    }
 
     Trace t;
-    std::getline(in, t.workloadName);
-    std::getline(in, t.networkName);
+    if (!nextLine())
+        parseFail(path, lineno + 1, "missing workload name");
+    t.workloadName = line;
+    if (!nextLine())
+        parseFail(path, lineno + 1, "missing network name");
+    t.networkName = line;
+
+    if (!nextLine())
+        parseFail(path, lineno + 1, "missing trace dimensions");
     int n = 0;
-    in >> n >> t.totalTicks;
-    fatalIf(n <= 0 || in.fail(), "malformed trace dimensions: " + path);
+    {
+        std::istringstream dims(line);
+        dims >> n >> t.totalTicks;
+        if (dims.fail() || n <= 0)
+            parseFail(path, lineno,
+                      "malformed trace dimensions: " + line);
+    }
     t.packets = CountMatrix(n, n, 0);
     t.flits = CountMatrix(n, n, 0);
 
-    int s, d;
-    std::uint64_t p, f;
-    while (in >> s >> d >> p >> f) {
-        fatalIf(s < 0 || s >= n || d < 0 || d >= n,
-                "trace endpoint out of range: " + path);
+    bool pending = nextLine();
+    if (version >= 2) {
+        if (!pending)
+            parseFail(path, lineno + 1, "missing manifest block");
+        std::istringstream head(line);
+        std::string keyword;
+        std::size_t count = 0;
+        head >> keyword >> count;
+        if (head.fail() || keyword != "manifest")
+            parseFail(path, lineno,
+                      "expected 'manifest <n>', got: " + line);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!nextLine())
+                parseFail(path, lineno + 1,
+                          "truncated manifest block");
+            if (!parseManifestEntry(line, t.manifest))
+                parseFail(path, lineno,
+                          "malformed manifest entry: " + line);
+        }
+        pending = nextLine();
+    }
+
+    // Triplet lines.  The loop distinguishes clean end-of-file from
+    // a malformed or truncated line: only the former returns.
+    while (pending) {
+        std::istringstream triplet(line);
+        int s = 0, d = 0;
+        std::uint64_t p = 0, f = 0;
+        triplet >> s >> d >> p >> f;
+        if (triplet.fail())
+            parseFail(path, lineno,
+                      "malformed trace triplet (expected 'src dst "
+                      "packets flits'): " + line);
+        std::string extra;
+        if (triplet >> extra)
+            parseFail(path, lineno,
+                      "trailing garbage after triplet: " + line);
+        if (s < 0 || s >= n || d < 0 || d >= n)
+            parseFail(path, lineno,
+                      "trace endpoint out of range: " + line);
         t.packets(s, d) = p;
         t.flits(s, d) = f;
+        pending = nextLine();
     }
+    fatalIf(in.bad(), "I/O error reading trace file: " + path);
+    MetricsRegistry::global().counter("trace.loads").add();
     return t;
 }
 

@@ -2,6 +2,22 @@
  * @file
  * Saving and loading captured communication traces, so expensive
  * simulations can be reused across tools.
+ *
+ * Format "mnoc-trace 2" (version 1 files, which lack the manifest
+ * block, still load):
+ *
+ *   mnoc-trace 2
+ *   <workload name>
+ *   <network name>
+ *   <n> <total ticks>
+ *   manifest <k>
+ *   ...k provenance lines (common/manifest.hh)...
+ *   <src> <dst> <packets> <flits>     (sparse triplets)
+ *
+ * loadTrace() is strict: a truncated or garbled triplet line is a
+ * fatal error naming the file and line, never a silently shortened
+ * matrix, and saveTrace() verifies the stream after flushing so a
+ * full disk cannot truncate a trace quietly.
  */
 
 #ifndef MNOC_SIM_TRACE_HH
@@ -9,6 +25,7 @@
 
 #include <string>
 
+#include "common/manifest.hh"
 #include "sim/simulator.hh"
 
 namespace mnoc::sim {
@@ -21,20 +38,27 @@ struct Trace
     noc::Tick totalTicks = 0;
     CountMatrix packets;
     CountMatrix flits;
+    /** Provenance of the run that captured the trace; embedded in
+     *  the file so the experiment can be re-run from it alone. */
+    RunManifest manifest;
 };
 
-/** Extract the trace from a simulation result. */
+/** Extract the trace from a simulation result, stamping the current
+ *  run manifest (seed, git SHA, MNOC_* knobs, config digest). */
 Trace toTrace(const SimulationResult &result);
 
 /**
  * Write @p trace to @p path in a line-oriented text format.
- * @throws FatalError when the file cannot be written.
+ * @throws FatalError when the file cannot be written or the stream
+ *         reports an error after flushing (disk full, permissions).
  */
 void saveTrace(const std::string &path, const Trace &trace);
 
 /**
  * Read a trace previously written by saveTrace().
- * @throws FatalError on malformed input.
+ * @throws FatalError on malformed input, with the offending file and
+ *         line in the message; clean end-of-file is the only
+ *         accepted termination.
  */
 Trace loadTrace(const std::string &path);
 
@@ -42,6 +66,9 @@ Trace loadTrace(const std::string &path);
  * Re-express a thread-granularity trace (captured with the identity
  * mapping) in core coordinates under @p thread_to_core: traffic
  * between threads s and d becomes traffic between their cores.
+ * @throws FatalError unless @p thread_to_core is a permutation of
+ *         [0, n) -- two threads on one core would silently merge
+ *         traffic rows, which is never a valid QAP assignment.
  */
 Trace mapTrace(const Trace &trace,
                const std::vector<int> &thread_to_core);

@@ -119,6 +119,35 @@ TEST(DesignIo, LoadRejectsTruncation)
     std::remove(cut.c_str());
 }
 
+TEST(DesignIo, ManifestTrailerRoundTrips)
+{
+    IoFixture f;
+    std::string path = testing::TempDir() + "mnoc_design_manifest.txt";
+    RunManifest manifest;
+    manifest.seed = 77;
+    manifest.gitSha = "beef001";
+    manifest.threads = 5;
+    manifest.configDigest = "0011223344556677";
+    manifest.env.emplace_back("MNOC_THREADS", "5");
+    saveDesign(path, f.sample(), nullptr, &manifest);
+
+    DesignReport report = loadDesignReport(path);
+    ASSERT_TRUE(report.manifest.has_value());
+    EXPECT_EQ(report.manifest->seed, 77u);
+    EXPECT_EQ(report.manifest->gitSha, "beef001");
+    EXPECT_EQ(report.manifest->threads, 5);
+    EXPECT_EQ(report.manifest->configDigest, "0011223344556677");
+    EXPECT_EQ(report.manifest->env, manifest.env);
+    EXPECT_FALSE(report.resilience.has_value());
+
+    // A design without a trailer loads with no manifest.
+    std::string bare = testing::TempDir() + "mnoc_design_bare.txt";
+    saveDesign(bare, f.sample());
+    EXPECT_FALSE(loadDesignReport(bare).manifest.has_value());
+    std::remove(path.c_str());
+    std::remove(bare.c_str());
+}
+
 TEST(DesignIo, DriveTableMatchesDesign)
 {
     IoFixture f;

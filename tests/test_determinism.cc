@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/metrics.hh"
 #include "common/prng.hh"
 #include "common/thread_pool.hh"
 #include "core/designer.hh"
@@ -208,6 +212,40 @@ TEST(Determinism, MultiStartNeverLosesToSingleStart)
     // only improve on it.
     EXPECT_LE(multi.cost, single.cost);
     EXPECT_EQ(multi.iterations, single.iterations * 6);
+}
+
+TEST(Determinism, MetricsJsonIsBitIdenticalAcrossPoolSizes)
+{
+    // The DESIGN.md §10 contract: the metrics the yield analyzer
+    // records from inside parallelFor (sharded counters, histogram
+    // tallies) export byte-identically at any pool size.
+    YieldFixture fx;
+    auto design = fx.design();
+    faults::VariationSpec spec;
+    constexpr int kTrials = 120;
+
+    MetricsRegistry::setEnabled(true);
+    auto &registry = MetricsRegistry::global();
+    std::vector<std::string> exports;
+    std::vector<faults::YieldReport> reports;
+    for (int threads : {1, 2, 8}) {
+        registry.reset();
+        ThreadPool pool(threads);
+        reports.push_back(
+            faults::analyzeYield(fx.layout, fx.params, design.sources,
+                                 spec, kTrials, 99, {}, &pool));
+        exports.push_back(registry.toJson());
+    }
+    registry.reset();
+    MetricsRegistry::setEnabled(false);
+
+    expectSameReport(reports[0], reports[1]);
+    expectSameReport(reports[0], reports[2]);
+    EXPECT_EQ(exports[0], exports[1]);
+    EXPECT_EQ(exports[0], exports[2]);
+    EXPECT_NE(exports[0].find("yield.draws"), std::string::npos);
+    EXPECT_NE(exports[0].find("yield.worst_margin_db"),
+              std::string::npos);
 }
 
 TEST(Determinism, DeriveSeedStreamsAreStableAndDistinct)

@@ -1,12 +1,17 @@
 /**
  * @file
- * Tests of trace capture, serialization, and mapping.
+ * Tests of trace capture, serialization, and mapping: round trips,
+ * the strict parser's rejection of corrupt files, write-failure
+ * detection, permutation validation, and a golden 256-node fixture
+ * pinning the on-disk format (including the manifest block).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/log.hh"
 #include "sim/trace.hh"
@@ -30,6 +35,35 @@ sampleTrace()
     t.packets(2, 3) = 5;
     t.flits(2, 3) = 5;
     return t;
+}
+
+/** Write @p body to a temp file named @p stem and return its path. */
+std::string
+writeFixture(const std::string &stem, const std::string &body)
+{
+    std::string path = testing::TempDir() + stem;
+    std::ofstream out(path);
+    out << body;
+    return path;
+}
+
+/** Expect loadTrace(@p path) to fail with @p needle in the message
+ *  and the 1-based @p line in the path:line prefix. */
+void
+expectLoadFailure(const std::string &path, int line,
+                  const std::string &needle)
+{
+    try {
+        loadTrace(path);
+        FAIL() << "loadTrace accepted a corrupt file: " << needle;
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find(path + ":" + std::to_string(line)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Trace, SaveLoadRoundTrip)
@@ -85,6 +119,213 @@ TEST(Trace, MapTraceChecksSize)
     Trace t = sampleTrace();
     EXPECT_THROW(mapTrace(t, {0, 1}), FatalError);
     EXPECT_THROW(mapTrace(t, {0, 1, 2, 9}), FatalError);
+}
+
+TEST(Trace, MapTraceRejectsDuplicateCores)
+{
+    // Regression: a duplicated target used to silently merge two
+    // threads' rows; it must be rejected as a non-permutation.
+    Trace t = sampleTrace();
+    try {
+        mapTrace(t, {0, 1, 2, 2});
+        FAIL() << "mapTrace accepted a non-permutation";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("not a permutation: core 2"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Trace, ManifestRoundTripsThroughSaveLoad)
+{
+    Trace t = sampleTrace();
+    t.manifest.seed = 99;
+    t.manifest.gitSha = "cafe123";
+    t.manifest.threads = 3;
+    t.manifest.configDigest = "0123456789abcdef";
+    t.manifest.env.emplace_back("MNOC_THREADS", "3");
+    t.manifest.env.emplace_back("MNOC_BENCH_DIR", "out dir");
+
+    std::string path = testing::TempDir() + "mnoc_trace_manifest.txt";
+    saveTrace(path, t);
+    Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded.manifest.seed, 99u);
+    EXPECT_EQ(loaded.manifest.gitSha, "cafe123");
+    EXPECT_EQ(loaded.manifest.threads, 3);
+    EXPECT_EQ(loaded.manifest.configDigest, "0123456789abcdef");
+    EXPECT_EQ(loaded.manifest.env, t.manifest.env);
+
+    // mapTrace must carry the provenance along.
+    Trace mapped = mapTrace(loaded, {3, 2, 1, 0});
+    EXPECT_EQ(mapped.manifest.seed, 99u);
+    EXPECT_EQ(mapped.manifest.gitSha, "cafe123");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadStillReadsVersionOneFiles)
+{
+    std::string path = writeFixture(
+        "mnoc_trace_v1.txt",
+        "mnoc-trace 1\nlegacy\nmNoC\n2 100\n0 1 4 8\n");
+    Trace t = loadTrace(path);
+    EXPECT_EQ(t.workloadName, "legacy");
+    EXPECT_EQ(t.packets(0, 1), 4u);
+    EXPECT_EQ(t.flits(0, 1), 8u);
+    // v1 predates manifests: the loaded one is the default.
+    EXPECT_EQ(t.manifest.gitSha, "");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsTruncatedTriplet)
+{
+    // Regression: a short read (e.g. a truncated copy) used to parse
+    // as clean EOF; it must fail and name the offending line.
+    expectLoadFailure(
+        writeFixture("mnoc_trace_short.txt",
+                     "mnoc-trace 2\nw\nn\n2 10\nmanifest 0\n"
+                     "0 1 4 8\n1 0 2\n"),
+        7, "malformed trace triplet");
+}
+
+TEST(Trace, LoadRejectsNonNumericTriplet)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_alpha.txt",
+                     "mnoc-trace 2\nw\nn\n2 10\nmanifest 0\n"
+                     "0 one 4 8\n"),
+        6, "malformed trace triplet");
+}
+
+TEST(Trace, LoadRejectsTrailingGarbageOnTriplet)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_extra.txt",
+                     "mnoc-trace 2\nw\nn\n2 10\nmanifest 0\n"
+                     "0 1 4 8 junk\n"),
+        6, "trailing garbage");
+}
+
+TEST(Trace, LoadRejectsOutOfRangeEndpoint)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_range.txt",
+                     "mnoc-trace 2\nw\nn\n2 10\nmanifest 0\n"
+                     "0 5 4 8\n"),
+        6, "out of range");
+}
+
+TEST(Trace, LoadRejectsTruncatedManifest)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_mtrunc.txt",
+                     "mnoc-trace 2\nw\nn\n2 10\nmanifest 3\n"
+                     "seed 1\n"),
+        7, "truncated manifest");
+}
+
+TEST(Trace, SaveTraceDetectsFullDisk)
+{
+    // Regression: saveTrace used to return successfully after writing
+    // to a full device, leaving a truncated artifact behind.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    try {
+        saveTrace("/dev/full", sampleTrace());
+        FAIL() << "saveTrace missed the write failure";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("disk full"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+/** Deterministic 256-node trace with a pinned manifest: the fixture
+ *  behind the golden-file test (regenerate by saving this trace). */
+Trace
+golden256Trace()
+{
+    constexpr int kNodes = 256;
+    Trace t;
+    t.workloadName = "golden_all_to_some";
+    t.networkName = "mNoC";
+    t.totalTicks = 987654;
+    t.packets = CountMatrix(kNodes, kNodes, 0);
+    t.flits = CountMatrix(kNodes, kNodes, 0);
+    for (int s = 0; s < kNodes; ++s) {
+        for (int d = 0; d < kNodes; ++d) {
+            if (s == d || (s * 7 + d * 13) % 11 != 0)
+                continue;
+            auto packets = static_cast<std::uint64_t>(
+                1 + (s * 31 + d) % 17);
+            t.packets(s, d) = packets;
+            t.flits(s, d) = packets * 4;
+        }
+    }
+    t.manifest.seed = 42;
+    t.manifest.gitSha = "0000000";
+    t.manifest.threads = 4;
+    t.manifest.configDigest = "feedfacefeedface";
+    t.manifest.env.emplace_back("MNOC_THREADS", "4");
+    return t;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(Trace, GoldenFileStaysByteIdentical)
+{
+    // The golden fixture pins the v2 on-disk format, manifest block
+    // included: any serialization change must be deliberate and come
+    // with a regenerated fixture.
+    std::string golden =
+        std::string(MNOC_TEST_DATA_DIR) + "/golden_trace_256.trace";
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << "missing fixture " << golden;
+    std::string path = testing::TempDir() + "mnoc_trace_golden.trace";
+    saveTrace(path, golden256Trace());
+    EXPECT_EQ(fileBytes(path), fileBytes(golden));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, GoldenFileRoundTripsAndMaps)
+{
+    std::string golden =
+        std::string(MNOC_TEST_DATA_DIR) + "/golden_trace_256.trace";
+    ASSERT_TRUE(std::filesystem::exists(golden))
+        << "missing fixture " << golden;
+    Trace expected = golden256Trace();
+    Trace loaded = loadTrace(golden);
+    EXPECT_EQ(loaded.workloadName, expected.workloadName);
+    EXPECT_EQ(loaded.totalTicks, expected.totalTicks);
+    EXPECT_TRUE(loaded.packets == expected.packets);
+    EXPECT_TRUE(loaded.flits == expected.flits);
+    EXPECT_EQ(loaded.manifest.seed, 42u);
+    EXPECT_EQ(loaded.manifest.gitSha, "0000000");
+    EXPECT_EQ(loaded.manifest.threads, 4);
+    EXPECT_EQ(loaded.manifest.configDigest, "feedfacefeedface");
+    ASSERT_EQ(loaded.manifest.env.size(), 1u);
+    EXPECT_EQ(loaded.manifest.env[0].first, "MNOC_THREADS");
+
+    // Reversal is an involution: mapping twice restores the trace.
+    int n = static_cast<int>(loaded.packets.rows());
+    std::vector<int> reverse(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        reverse[static_cast<std::size_t>(i)] = n - 1 - i;
+    Trace mapped = mapTrace(loaded, reverse);
+    EXPECT_EQ(mapped.packets.total(), loaded.packets.total());
+    EXPECT_FALSE(mapped.packets == loaded.packets);
+    Trace restored = mapTrace(mapped, reverse);
+    EXPECT_TRUE(restored.packets == loaded.packets);
+    EXPECT_TRUE(restored.flits == loaded.flits);
+    EXPECT_EQ(restored.manifest.seed, 42u);
 }
 
 } // namespace

@@ -11,6 +11,9 @@
  *   budget    validate a design's link budgets / BER
  *   yield     Monte Carlo yield / margin distributions under device
  *             variation
+ *   stats     print a trace's embedded run manifest and the metrics
+ *             the command collected (set MNOC_METRICS=1 to collect
+ *             in any command; see README "Environment knobs")
  *
  * Examples:
  *   mnocpt simulate --benchmark water_s --cores 64 --out ws.trace
@@ -23,6 +26,7 @@
  *   mnocpt budget --design ws.design
  *   mnocpt yield --design ws.design --trials 500 --seed 7 \
  *                --csv ws_yield.csv
+ *   mnocpt stats --trace ws.trace --json ws_metrics.json
  */
 
 #include <cerrno>
@@ -41,6 +45,8 @@
 
 #include "common/csv.hh"
 #include "common/log.hh"
+#include "common/manifest.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
 #include "core/design_io.hh"
 #include "core/designer.hh"
@@ -381,13 +387,18 @@ cmdDesign(const Args &args)
     }
 
     auto topology = ctx.designer.buildTopology(spec, flow);
+    // Provenance trailer: who built this design, from what knobs.
+    RunManifest manifest = currentManifest(
+        trace.manifest.seed,
+        hexDigest(fnv1a64(spec.label() + "|" +
+                          std::to_string(cores))));
     if (args.has("yield-target")) {
         core::ResilienceParams resilience = resilienceOptions(args);
         resilience.yieldTarget = args.getDouble("yield-target", 0.95);
         auto hardened = ctx.designer.buildResilientDesign(
             spec, topology, flow, resilience);
         core::saveDesign(args.get("out"), hardened.design,
-                         &hardened.summary);
+                         &hardened.summary, &manifest);
         const auto &summary = hardened.summary;
         std::cout << "design " << spec.label() << " for " << cores
                   << " cores hardened to yield "
@@ -402,7 +413,7 @@ cmdDesign(const Args &args)
         return 0;
     }
     auto design = ctx.designer.buildDesign(spec, topology, flow);
-    core::saveDesign(args.get("out"), design);
+    core::saveDesign(args.get("out"), design, nullptr, &manifest);
     std::cout << "design " << spec.label() << " for " << cores
               << " cores written to " << args.get("out") << "\n";
     return 0;
@@ -461,11 +472,36 @@ cmdBudget(const Args &args)
     return all_ok ? 0 : 1;
 }
 
+int
+cmdStats(const Args &args)
+{
+    // Force collection on so the work below is always counted, even
+    // without MNOC_METRICS in the environment.
+    MetricsRegistry::setEnabled(true);
+    if (args.has("trace")) {
+        auto trace = sim::loadTrace(args.get("trace"));
+        std::cout << "trace " << args.get("trace") << ": "
+                  << trace.workloadName << " on " << trace.networkName
+                  << ", " << trace.packets.rows() << " nodes, "
+                  << trace.totalTicks << " cycles\n";
+        std::cout << "manifest: " << manifestJson(trace.manifest)
+                  << "\n";
+    }
+    auto &metrics = MetricsRegistry::global();
+    metrics.printText(std::cout);
+    if (args.has("json")) {
+        metrics.writeJson(args.get("json"));
+        std::cout << "metrics written to " << args.get("json") << "\n";
+    }
+    return 0;
+}
+
 void
 usage()
 {
     std::cerr
-        << "usage: mnocpt <simulate|map|design|evaluate|budget|yield> "
+        << "usage: mnocpt "
+           "<simulate|map|design|evaluate|budget|yield|stats> "
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
            "[--seed N] --out FILE\n"
@@ -480,7 +516,8 @@ usage()
            "  budget   --design FILE\n"
            "  yield    --design FILE [--trials N] [--seed N] "
            "[--vtol F] [--link-margin DB]\n"
-           "           [--leak-gap DB] [--csv FILE]\n";
+           "           [--leak-gap DB] [--csv FILE]\n"
+           "  stats    [--trace FILE] [--json FILE]\n";
 }
 
 } // namespace
@@ -507,6 +544,8 @@ main(int argc, char **argv)
             return cmdBudget(args);
         if (command == "yield")
             return cmdYield(args);
+        if (command == "stats")
+            return cmdStats(args);
         usage();
         return 2;
     } catch (const std::exception &error) {
