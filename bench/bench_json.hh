@@ -33,10 +33,10 @@
 #ifndef MNOC_BENCH_BENCH_JSON_HH
 #define MNOC_BENCH_BENCH_JSON_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/io.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/manifest.hh"
@@ -69,8 +69,8 @@ writeParallelJson(const std::string &path, int threads,
                   const RunManifest &manifest,
                   const std::vector<ParallelRecord> &records)
 {
-    std::ofstream out(path);
-    fatalIf(!out, "cannot write " + path);
+    FileWriter writer(path);
+    auto &out = writer.stream();
     out.precision(6);
     out << std::fixed;
     out << "{\n";
@@ -95,8 +95,7 @@ writeParallelJson(const std::string &path, int threads,
     }
     out << "  ]\n";
     out << "}\n";
-    out.flush();
-    fatalIf(!out.good(), "failed writing " + path);
+    writer.close();
 }
 
 } // namespace mnoc::bench

@@ -13,6 +13,7 @@
 #include "common/csv.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "core/energy_ledger.hh"
 #include "harness.hh"
 
 using namespace mnoc;
@@ -69,6 +70,30 @@ main()
         acc.electrical += power.electrical * seconds;
     };
 
+    // mNoC rows read their power from the energy-attribution ledger
+    // (core/energy_ledger.hh), so this figure and `mnocpt report`
+    // can never disagree about the same design + trace.  The
+    // delivered-fraction tally below rides along from the ledger's
+    // loss walk.
+    double optical_injected_j = 0.0;
+    double optical_delivered_j = 0.0;
+    auto ledgerPower = [&](const core::MnocDesign &design,
+                           const sim::Trace &trace,
+                           const std::vector<int> &map) {
+        auto ledger = designer.buildLedger(design, trace, map);
+        for (int s = 0; s < ledger.numSources(); ++s) {
+            for (int m = 0; m < ledger.numModes(); ++m) {
+                double tx = 0.0;
+                for (std::size_t e = 0; e < ledger.numEpochs(); ++e)
+                    tx += ledger.cell(s, m, e).txSeconds;
+                const auto &loss = ledger.loss(s, m);
+                optical_injected_j += tx * loss.injected;
+                optical_delivered_j += tx * loss.delivered;
+            }
+        }
+        return ledger.averagePower();
+    };
+
     for (const auto &name : harness.benchmarks()) {
         const auto &mnoc_trace = harness.trace(name, "mnoc");
         const auto &rnoc_trace = harness.trace(name, "rnoc");
@@ -78,10 +103,9 @@ main()
             rnoc_trace.totalTicks);
         add(cmnoc, cmnoc_model.evaluate(rnoc_trace),
             rnoc_trace.totalTicks);
-        add(mnoc,
-            designer.evaluate(base_design, mnoc_trace, identity),
+        add(mnoc, ledgerPower(base_design, mnoc_trace, identity),
             mnoc_trace.totalTicks);
-        add(pt, designer.evaluate(pt_design, mnoc_trace, taboo),
+        add(pt, ledgerPower(pt_design, mnoc_trace, taboo),
             mnoc_trace.totalTicks);
     }
 
@@ -111,6 +135,13 @@ main()
     row("c_mNoC", cmnoc);
     row("PT_mNoC (4M_T_G_S12)", pt);
     table.print(std::cout);
+
+    if (optical_injected_j > 0.0)
+        std::cout << "\nledger optical accounting: "
+                  << TextTable::num(100.0 * optical_delivered_j /
+                                        optical_injected_j, 2)
+                  << "% of injected optical energy reaches "
+                     "photodetectors\n";
 
     std::cout << "\nPaper anchors: base mNoC ~0.57 of rNoC energy, "
                  "c_mNoC ~0.21,\nPT_mNoC ~0.28 (72% reduction); rNoC is "

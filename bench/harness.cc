@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/io.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/trace_span.hh"
@@ -167,9 +168,10 @@ Harness::mapping(const std::string &benchmark)
                                      core::MappingMethod::Taboo,
                                      params);
         map = result.threadToCore;
-        std::ofstream out(path);
+        FileWriter out(path);
         for (int core : map)
-            out << core << "\n";
+            out.stream() << core << "\n";
+        out.close();
     }
     std::lock_guard<std::mutex> lock(cacheMutex_);
     return mappings_.emplace(benchmark, std::move(map))

@@ -7,20 +7,21 @@
 namespace mnoc {
 
 CsvWriter::CsvWriter(const std::string &path)
-    : out_(path)
+    : writer_(path)
 {
-    fatalIf(!out_.is_open(), "cannot open CSV file: " + path);
 }
 
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
+    auto &out = writer_.stream();
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i)
-            out_ << ',';
-        out_ << escape(cells[i]);
+            out << ',';
+        out << escape(cells[i]);
     }
-    out_ << '\n';
+    out << '\n';
+    writer_.failIfBad();
 }
 
 CsvWriter &
@@ -52,6 +53,12 @@ CsvWriter::endRow()
 {
     writeRow(pending_);
     pending_.clear();
+}
+
+void
+CsvWriter::close()
+{
+    writer_.close();
 }
 
 std::string

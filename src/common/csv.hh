@@ -7,9 +7,10 @@
 #ifndef MNOC_COMMON_CSV_HH
 #define MNOC_COMMON_CSV_HH
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "common/io.hh"
 
 namespace mnoc {
 
@@ -17,6 +18,11 @@ namespace mnoc {
  * Streams rows of string/number cells into a CSV file.  Quoting follows
  * RFC 4180: cells containing commas, quotes, or newlines are quoted and
  * embedded quotes doubled.
+ *
+ * Stream health is checked after every row and again in close(), so a
+ * full disk fails fatally with the path instead of truncating the file
+ * silently.  Call close() when the data matters; the destructor only
+ * warn()s about unreported errors (it must not throw).
  */
 class CsvWriter
 {
@@ -27,7 +33,10 @@ class CsvWriter
      */
     explicit CsvWriter(const std::string &path);
 
-    /** Write one row of already-formatted cells. */
+    /**
+     * Write one row of already-formatted cells.
+     * @throws FatalError when the stream reports a write error.
+     */
     void writeRow(const std::vector<std::string> &cells);
 
     /** Append a string cell to the pending row. */
@@ -39,10 +48,17 @@ class CsvWriter
     /** Terminate the pending row. */
     void endRow();
 
+    /**
+     * Flush and close the file, reporting errors the destructor would
+     * swallow.  Idempotent.
+     * @throws FatalError naming the path on any I/O error.
+     */
+    void close();
+
   private:
     static std::string escape(const std::string &raw);
 
-    std::ofstream out_;
+    FileWriter writer_;
     std::vector<std::string> pending_;
 };
 

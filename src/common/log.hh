@@ -10,6 +10,8 @@
 #ifndef MNOC_COMMON_LOG_HH
 #define MNOC_COMMON_LOG_HH
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -17,6 +19,71 @@
 #include <string>
 
 namespace mnoc {
+
+/**
+ * Verbosity threshold for the non-fatal log helpers, from the
+ * MNOC_LOG_LEVEL environment variable: "quiet" silences warn() and
+ * inform(), "warn" silences only inform(), "info" (the default, and
+ * any unrecognized value) prints both.  fatal()/panic() are never
+ * suppressed.
+ */
+enum class LogLevel
+{
+    Quiet = 0,
+    Warn = 1,
+    Info = 2,
+};
+
+namespace log_detail {
+
+inline std::atomic<int> &
+levelFlag()
+{
+    static std::atomic<int> level = [] {
+        const char *value = std::getenv("MNOC_LOG_LEVEL");
+        std::string raw = value != nullptr ? value : "";
+        if (raw == "quiet")
+            return static_cast<int>(LogLevel::Quiet);
+        if (raw == "warn")
+            return static_cast<int>(LogLevel::Warn);
+        return static_cast<int>(LogLevel::Info);
+    }();
+    return level;
+}
+
+inline std::atomic<std::uint64_t> &
+suppressedWarnings()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
+} // namespace log_detail
+
+/** Current verbosity threshold. */
+inline LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        log_detail::levelFlag().load(std::memory_order_relaxed));
+}
+
+/** Override the MNOC_LOG_LEVEL threshold (tests, `mnocpt stats`). */
+inline void
+setLogLevel(LogLevel level)
+{
+    log_detail::levelFlag().store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+/** How many warn() calls were swallowed by a quiet log level; let
+ *  `mnocpt stats` reveal that silence was not the same as health. */
+inline std::uint64_t
+suppressedWarningCount()
+{
+    return log_detail::suppressedWarnings().load(
+        std::memory_order_relaxed);
+}
 
 /** Exception thrown by fatal(): the caller supplied an invalid request. */
 class FatalError : public std::runtime_error
@@ -60,17 +127,26 @@ panic(const std::string &msg)
     throw PanicError(msg);
 }
 
-/** Emit a non-fatal warning to stderr. */
+/** Emit a non-fatal warning to stderr (counted, not printed, below
+ *  LogLevel::Warn). */
 inline void
 warn(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn) {
+        log_detail::suppressedWarnings().fetch_add(
+            1, std::memory_order_relaxed);
+        return;
+    }
     std::cerr << "warn: " << msg << "\n";
 }
 
-/** Emit an informational status message to stderr. */
+/** Emit an informational status message to stderr (dropped below
+ *  LogLevel::Info). */
 inline void
 inform(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::cerr << "info: " << msg << "\n";
 }
 

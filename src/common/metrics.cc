@@ -2,9 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <limits>
 
+#include "common/io.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/manifest.hh"
@@ -30,6 +30,26 @@ enabledFlag()
 }
 
 std::atomic<int> next_shard_slot{0};
+
+/** Raw MNOC_LEDGER value ("" when unset). */
+std::string
+ledgerEnvValue()
+{
+    const char *value = std::getenv("MNOC_LEDGER");
+    return value != nullptr ? std::string(value) : std::string();
+}
+
+std::atomic<bool> &
+ledgerFlag()
+{
+    static std::atomic<bool> flag(!ledgerEnvValue().empty() &&
+                                  ledgerEnvValue() != "0");
+    return flag;
+}
+
+/** Backstop against a corrupt epoch index allocating the machine
+ *  away: 2^24 epochs of 8-byte slots is already a 128 MiB series. */
+constexpr std::size_t kMaxSeriesSlots = std::size_t{1} << 24;
 
 void
 exportGlobalAtExit()
@@ -152,6 +172,75 @@ Histogram::reset()
                std::memory_order_relaxed);
 }
 
+void
+Series::add(std::size_t index, std::uint64_t n)
+{
+    if (!metricsEnabled())
+        return;
+    fatalIf(index >= kMaxSeriesSlots,
+            "series '" + name_ + "' index out of range: " +
+                std::to_string(index));
+    auto slot = static_cast<std::size_t>(metricShardSlot());
+    Shard &shard = shards_[slot];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.slots.size() <= index)
+        shard.slots.resize(index + 1, 0);
+    shard.slots[index] += n;
+}
+
+std::vector<std::uint64_t>
+Series::values() const
+{
+    std::vector<std::uint64_t> merged;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (merged.size() < shard.slots.size())
+            merged.resize(shard.slots.size(), 0);
+        for (std::size_t i = 0; i < shard.slots.size(); ++i)
+            merged[i] += shard.slots[i];
+    }
+    return merged;
+}
+
+void
+Series::reset()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.slots.clear();
+    }
+}
+
+bool
+ledgerEnabled()
+{
+    return ledgerFlag().load(std::memory_order_relaxed);
+}
+
+void
+setLedgerEnabled(bool on)
+{
+    ledgerFlag().store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+ledgerEpochMessages()
+{
+    static std::uint64_t cached = [] {
+        const char *value = std::getenv("MNOC_EPOCH_MSGS");
+        if (value == nullptr || *value == '\0')
+            return std::uint64_t{1024};
+        char *end = nullptr;
+        long long parsed = std::strtoll(value, &end, 10);
+        fatalIf(end == nullptr || *end != '\0' || parsed < 1,
+                std::string("MNOC_EPOCH_MSGS must be a positive "
+                            "integer, got '") +
+                    value + "'");
+        return static_cast<std::uint64_t>(parsed);
+    }();
+    return cached;
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {
@@ -205,6 +294,19 @@ MetricsRegistry::gauge(const std::string &name)
     return *it->second;
 }
 
+Series &
+MetricsRegistry::series(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(name);
+    if (it == series_.end())
+        it = series_
+                 .emplace(name,
+                          std::unique_ptr<Series>(new Series(name)))
+                 .first;
+    return *it->second;
+}
+
 Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            const std::vector<double> &edges)
@@ -226,7 +328,7 @@ std::string
 MetricsRegistry::toJson() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::string out = "{\n  \"schema\": \"mnoc-metrics-v1\",\n";
+    std::string out = "{\n  \"schema\": \"mnoc-metrics-v2\",\n";
     // Provenance: stable within a process, so it never perturbs the
     // bit-identity comparison across pool sizes.
     out += "  \"manifest\": " + manifestJson(currentManifest()) +
@@ -280,7 +382,23 @@ MetricsRegistry::toJson() const
         out += "\n    }";
         sep = ",";
     }
-    out += histograms_.empty() ? "}\n" : "\n  }\n";
+    out += histograms_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"series\": {";
+    sep = "";
+    for (const auto &[name, s] : series_) {
+        out += sep;
+        out += "\n    \"" + escapeJson(name) + "\": [";
+        const char *comma = "";
+        for (std::uint64_t v : s->values()) {
+            out += comma;
+            out += std::to_string(v);
+            comma = ", ";
+        }
+        out += "]";
+        sep = ",";
+    }
+    out += series_.empty() ? "}\n" : "\n  }\n";
     out += "}\n";
     return out;
 }
@@ -288,12 +406,9 @@ MetricsRegistry::toJson() const
 void
 MetricsRegistry::writeJson(const std::string &path) const
 {
-    std::ofstream out(path);
-    fatalIf(!out.is_open(),
-            "cannot open metrics export file: " + path);
-    out << toJson();
-    out.flush();
-    fatalIf(!out.good(), "failed writing metrics export: " + path);
+    FileWriter writer(path);
+    writer.stream() << toJson();
+    writer.close();
 }
 
 void
@@ -311,6 +426,14 @@ MetricsRegistry::printText(std::ostream &out) const
                 << jsonNumber(hist->maxValue());
         out << "\n";
     }
+    for (const auto &[name, s] : series_) {
+        std::vector<std::uint64_t> values = s->values();
+        std::uint64_t total = 0;
+        for (std::uint64_t v : values)
+            total += v;
+        out << name << " slots " << values.size() << " total "
+            << total << "\n";
+    }
 }
 
 void
@@ -323,6 +446,8 @@ MetricsRegistry::reset()
         gauge->reset();
     for (auto &[name, hist] : histograms_)
         hist->reset();
+    for (auto &[name, s] : series_)
+        s->reset();
 }
 
 } // namespace mnoc

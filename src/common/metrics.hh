@@ -144,6 +144,52 @@ class Histogram
 };
 
 /**
+ * Labeled time-series: an indexed sequence of unsigned tallies (one
+ * slot per epoch) that grows on demand.  Each shard owns a
+ * mutex-guarded vector; add() locks only the caller's shard, and
+ * values() merges shards by slot-wise addition.  Integer adds
+ * commute, so the merged series is bit-identical at any thread
+ * count, preserving the DESIGN.md §9 contract for per-epoch data.
+ */
+class Series
+{
+  public:
+    /** Accrue @p n into slot @p index; no-op while metrics are
+     *  disabled.  @p index is capped (fatal) to keep a corrupt epoch
+     *  id from allocating unbounded memory. */
+    void add(std::size_t index, std::uint64_t n = 1);
+
+    /** Slot-wise sum across shards, sized to the largest index
+     *  touched (deterministic: integer adds commute). */
+    std::vector<std::uint64_t> values() const;
+
+  private:
+    friend class MetricsRegistry;
+    explicit Series(std::string name) : name_(std::move(name)) {}
+    void reset();
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<std::uint64_t> slots;
+    };
+
+    std::string name_;
+    std::array<Shard, kMetricShards> shards_;
+};
+
+/** True when the energy-attribution ledger should be collected
+ *  (MNOC_LEDGER unset/empty/"0" disables; overridable in tests). */
+bool ledgerEnabled();
+
+/** Force ledger collection on/off, overriding MNOC_LEDGER. */
+void setLedgerEnabled(bool on);
+
+/** Messages per attribution epoch (MNOC_EPOCH_MSGS, default 1024;
+ *  values < 1 are a fatal configuration error). */
+std::uint64_t ledgerEpochMessages();
+
+/**
  * Process-wide registry of named metrics.  Registration is
  * mutex-guarded and handles are stable for the registry's lifetime,
  * so call sites fetch a handle once and record lock-free afterwards.
@@ -177,7 +223,10 @@ class MetricsRegistry
     Histogram &histogram(const std::string &name,
                          const std::vector<double> &edges);
 
-    /** Deterministic JSON export (schema "mnoc-metrics-v1"):
+    /** Find-or-create the named time-series. */
+    Series &series(const std::string &name);
+
+    /** Deterministic JSON export (schema "mnoc-metrics-v2"):
      *  sorted names, 17-digit doubles, integer tallies. */
     std::string toJson() const;
 
@@ -198,6 +247,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<Series>> series_;
 };
 
 } // namespace mnoc

@@ -1,18 +1,17 @@
 #include "common/pgm.hh"
 
 #include <cmath>
-#include <fstream>
 
-#include "common/log.hh"
+#include "common/io.hh"
 
 namespace mnoc {
 
 void
 writePgmHeatmap(const std::string &path, const FlowMatrix &data,
-                bool log_scale)
+                bool log_scale, const std::string &comment)
 {
-    std::ofstream out(path, std::ios::binary);
-    fatalIf(!out.is_open(), "cannot open PGM file: " + path);
+    FileWriter writer(path, /*binary=*/true);
+    auto &out = writer.stream();
 
     double max_value = 0.0;
     for (std::size_t r = 0; r < data.rows(); ++r) {
@@ -24,7 +23,15 @@ writePgmHeatmap(const std::string &path, const FlowMatrix &data,
         }
     }
 
-    out << "P5\n" << data.cols() << " " << data.rows() << "\n255\n";
+    out << "P5\n";
+    if (!comment.empty()) {
+        std::string flat = comment;
+        for (char &c : flat)
+            if (c == '\n' || c == '\r')
+                c = ' ';
+        out << "# " << flat << "\n";
+    }
+    out << data.cols() << " " << data.rows() << "\n255\n";
     for (std::size_t r = 0; r < data.rows(); ++r) {
         for (std::size_t c = 0; c < data.cols(); ++c) {
             double v = data(r, c);
@@ -37,6 +44,9 @@ writePgmHeatmap(const std::string &path, const FlowMatrix &data,
             out.put(static_cast<char>(pixel));
         }
     }
+    // A full disk or revoked permissions surface here with the path,
+    // not as a truncated image discovered by a viewer later.
+    writer.close();
 }
 
 } // namespace mnoc

@@ -1,7 +1,8 @@
 /**
  * @file
  * Grayscale PGM heatmap emission for the Figure 7 communication and
- * power-mode maps.
+ * power-mode maps and the per-epoch source-power maps of
+ * `mnocpt report`.
  */
 
 #ifndef MNOC_COMMON_PGM_HH
@@ -21,12 +22,19 @@ namespace mnoc {
  * @p log_scale is set, values are log-compressed first, which matches
  * how heavy-tailed communication matrices are usually rendered.
  *
+ * The stream is flushed and checked after the pixel data, so a full
+ * disk is a fatal error naming the path, never a silently truncated
+ * image.
+ *
  * @param path Output file path.
  * @param data Matrix to render (one pixel per element).
  * @param log_scale Apply log1p compression before scaling.
+ * @param comment Optional provenance stamp emitted as a PGM `#`
+ *        comment line (newlines are replaced with spaces).
  */
 void writePgmHeatmap(const std::string &path, const FlowMatrix &data,
-                     bool log_scale = true);
+                     bool log_scale = true,
+                     const std::string &comment = "");
 
 } // namespace mnoc
 

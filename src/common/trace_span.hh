@@ -97,6 +97,37 @@ class SpanRecorder
 };
 
 /**
+ * Parse Chrome trace-event JSON back into SpanEvents (`mnocpt
+ * profile` reads files written by SpanRecorder::writeJson or any
+ * other ph="X" producer).  A tolerant extractor, not a full JSON
+ * parser: it collects the complete-event objects and reads their
+ * name/cat/tid/ts/dur fields, skipping events without a duration.
+ *
+ * @throws FatalError when @p text contains no traceEvents array.
+ */
+std::vector<SpanEvent> parseSpanJson(const std::string &text);
+
+/** One aggregated hotspot of a span profile. */
+struct ProfileRow
+{
+    std::string name;
+    /** Number of spans bearing the name. */
+    std::uint64_t calls = 0;
+    /** Total wall time inside the span, children included. */
+    std::uint64_t inclusiveUs = 0;
+    /** Wall time not covered by nested spans on the same thread. */
+    std::uint64_t exclusiveUs = 0;
+};
+
+/**
+ * Aggregate raw span events into per-name hotspot rows, sorted by
+ * inclusive wall time (descending; ties by name).  Exclusive time
+ * subtracts each span's same-thread nested children, so the column
+ * sums to thread wall time without double counting.
+ */
+std::vector<ProfileRow> profileSpans(std::vector<SpanEvent> events);
+
+/**
  * RAII span: times its own lifetime and records it into the global
  * SpanRecorder on destruction.  Constructing one while spans are
  * disabled costs a single branch and records nothing.

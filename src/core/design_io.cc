@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/io.hh"
 #include "common/log.hh"
 
 namespace mnoc::core {
@@ -19,8 +20,8 @@ saveDesign(const std::string &path, const MnocDesign &design,
     fatalIf(static_cast<int>(design.sources.size()) != n,
             "design is missing per-source solutions");
 
-    std::ofstream out(path);
-    fatalIf(!out.is_open(), "cannot open design file: " + path);
+    FileWriter writer(path);
+    auto &out = writer.stream();
     out << std::setprecision(17);
     out << "mnoc-design 1\n";
     out << n << " " << design.topology.numModes << "\n";
@@ -83,9 +84,7 @@ saveDesign(const std::string &path, const MnocDesign &design,
     }
     // Surface a full disk or revoked permissions here, not as a
     // truncated design on the next load.
-    out.flush();
-    fatalIf(!out.good(), "failed writing design file (disk full or "
-                         "I/O error): " + path);
+    writer.close();
 }
 
 namespace {

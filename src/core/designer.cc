@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "core/energy_ledger.hh"
 #include "optics/link_budget.hh"
 
 namespace mnoc::core {
@@ -280,6 +281,15 @@ Designer::evaluate(const MnocDesign &design,
 {
     sim::Trace mapped = sim::mapTrace(thread_trace, thread_to_core);
     return model_.evaluate(design, mapped);
+}
+
+EnergyLedger
+Designer::buildLedger(const MnocDesign &design,
+                      const sim::Trace &thread_trace,
+                      const std::vector<int> &thread_to_core) const
+{
+    sim::Trace mapped = sim::mapTrace(thread_trace, thread_to_core);
+    return model_.buildLedger(design, mapped);
 }
 
 } // namespace mnoc::core

@@ -184,6 +184,15 @@ class Designer
                             const sim::Trace &thread_trace,
                             const std::vector<int> &thread_to_core) const;
 
+    /**
+     * Energy-attribution ledger of @p design over @p thread_trace
+     * run under @p thread_to_core (core/energy_ledger.hh); the
+     * per-cell view behind evaluate()'s averages.
+     */
+    EnergyLedger buildLedger(
+        const MnocDesign &design, const sim::Trace &thread_trace,
+        const std::vector<int> &thread_to_core) const;
+
     const MnocPowerModel &model() const { return model_; }
     const optics::OpticalCrossbar &crossbar() const { return crossbar_; }
 

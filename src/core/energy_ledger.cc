@@ -1,0 +1,207 @@
+#include "core/energy_ledger.hh"
+
+#include "common/log.hh"
+#include "common/metrics.hh"
+
+namespace mnoc::core {
+
+EnergyLedger::EnergyLedger(int num_sources, int num_modes,
+                           std::size_t num_epochs,
+                           double duration_seconds)
+    : numSources_(num_sources), numModes_(num_modes),
+      numEpochs_(num_epochs), duration_(duration_seconds)
+{
+    panicIf(num_sources < 1 || num_modes < 1 || num_epochs < 1,
+            "ledger dimensions must be positive");
+    panicIf(duration_seconds <= 0.0,
+            "ledger duration must be positive");
+    cells_.resize(static_cast<std::size_t>(num_sources) *
+                  static_cast<std::size_t>(num_modes) * num_epochs);
+    losses_.resize(static_cast<std::size_t>(num_sources) *
+                   static_cast<std::size_t>(num_modes));
+}
+
+std::size_t
+EnergyLedger::index(int source, int mode, std::size_t epoch) const
+{
+    panicIf(source < 0 || source >= numSources_,
+            "ledger source out of range");
+    panicIf(mode < 0 || mode >= numModes_,
+            "ledger mode out of range");
+    panicIf(epoch >= numEpochs_, "ledger epoch out of range");
+    return (static_cast<std::size_t>(source) *
+                static_cast<std::size_t>(numModes_) +
+            static_cast<std::size_t>(mode)) *
+               numEpochs_ +
+           epoch;
+}
+
+LedgerCell &
+EnergyLedger::cell(int source, int mode, std::size_t epoch)
+{
+    return cells_[index(source, mode, epoch)];
+}
+
+const LedgerCell &
+EnergyLedger::cell(int source, int mode, std::size_t epoch) const
+{
+    return cells_[index(source, mode, epoch)];
+}
+
+const optics::ChainLossBreakdown &
+EnergyLedger::loss(int source, int mode) const
+{
+    panicIf(source < 0 || source >= numSources_,
+            "ledger source out of range");
+    panicIf(mode < 0 || mode >= numModes_,
+            "ledger mode out of range");
+    return losses_[static_cast<std::size_t>(source) *
+                       static_cast<std::size_t>(numModes_) +
+                   static_cast<std::size_t>(mode)];
+}
+
+PowerBreakdown
+EnergyLedger::averagePower() const
+{
+    double source_energy = 0.0;
+    double oe_energy = 0.0;
+    double electrical_energy = 0.0;
+    for (const LedgerCell &cell : cells_) {
+        source_energy += cell.sourceEnergy;
+        oe_energy += cell.oeEnergy;
+        electrical_energy += cell.electricalEnergy;
+    }
+    PowerBreakdown out;
+    out.source = source_energy / duration_;
+    out.oe = oe_energy / duration_;
+    out.electrical = electrical_energy / duration_;
+    return out;
+}
+
+double
+EnergyLedger::totalEnergy() const
+{
+    double total = 0.0;
+    for (const LedgerCell &cell : cells_)
+        total += cell.totalEnergy();
+    return total;
+}
+
+FlowMatrix
+EnergyLedger::sourceEpochPower() const
+{
+    // Rendered as watts assuming equal-time windows: attributed
+    // energy over the mean window duration.  Epochs are message
+    // windows, so this is the natural normalization for comparing
+    // sources within one row of the heatmap.
+    double window = duration_ / static_cast<double>(numEpochs_);
+    FlowMatrix out(numEpochs_, numSources_, 0.0);
+    for (std::size_t e = 0; e < numEpochs_; ++e) {
+        for (int s = 0; s < numSources_; ++s) {
+            double energy = 0.0;
+            for (int m = 0; m < numModes_; ++m)
+                energy += cell(s, m, e).totalEnergy();
+            out(e, s) = energy / window;
+        }
+    }
+    return out;
+}
+
+EnergyLedger
+MnocPowerModel::buildLedger(const MnocDesign &design,
+                            const sim::Trace &trace) const
+{
+    int n = crossbar_.numNodes();
+    fatalIf(static_cast<int>(trace.flits.rows()) != n ||
+                static_cast<int>(trace.flits.cols()) != n,
+            "trace size mismatch");
+    fatalIf(trace.totalTicks == 0, "trace has zero duration");
+
+    const auto &optics_params = crossbar_.params();
+    double flit_time = 1.0 / params_.net.clockHz; // one flit per cycle
+    double duration =
+        static_cast<double>(trace.totalTicks) / params_.net.clockHz;
+    double oe_per_receiver =
+        params_.oePowerPerReceiver(optics_params.photodetectorMiop)
+            .watts();
+
+    // Receiver population per (source, mode).
+    std::vector<std::vector<int>> reach(n);
+    for (int s = 0; s < n; ++s) {
+        reach[s].resize(design.topology.numModes);
+        for (int m = 0; m < design.topology.numModes; ++m)
+            reach[s][m] = design.topology.local(s).reachableCount(m);
+    }
+
+    // An epoch-free trace (MNOC_LEDGER was off at capture, or a
+    // version-2 file) attributes the whole run to a single epoch, so
+    // every consumer handles both trace kinds uniformly.
+    std::size_t num_epochs =
+        trace.epochs.empty() ? 1 : trace.epochs.epochs.size();
+    EnergyLedger ledger(n, design.topology.numModes, num_epochs,
+                        duration);
+    ledger.epochMsgs_ = trace.epochs.messagesPerEpoch;
+
+    auto accrue = [&](int src, int dst, std::uint64_t flit_count,
+                      std::size_t epoch) {
+        if (flit_count == 0 || dst == src)
+            return;
+        int mode = design.topology.local(src).modeOfDest[dst];
+        auto flits = static_cast<double>(flit_count);
+        double tx_time = flits * flit_time;
+        LedgerCell &cell = ledger.cell(src, mode, epoch);
+        cell.flits += flit_count;
+        cell.txSeconds += tx_time;
+        // QD LED electrical drive, derated by the 1-to-0 ratio.
+        cell.sourceEnergy += tx_time *
+            design.sources[src].modePower[mode].watts() *
+            optics_params.oneToZeroRatio /
+            optics_params.qdLedEfficiency;
+        // Every receiver reachable in this mode sees the light and
+        // burns O/E power for the packet duration.
+        cell.oeEnergy += tx_time * reach[src][mode] * oe_per_receiver;
+        // Injection + ejection buffers.
+        cell.electricalEnergy +=
+            flits * 2.0 * params_.bufferEnergyPerFlit;
+    };
+
+    if (trace.epochs.empty()) {
+        for (int s = 0; s < n; ++s)
+            for (int d = 0; d < n; ++d)
+                accrue(s, d, trace.flits(s, d), 0);
+    } else {
+        for (std::size_t e = 0; e < num_epochs; ++e)
+            for (const noc::EpochCell &cell : trace.epochs.epochs[e])
+                accrue(cell.src, cell.dst, cell.flits, e);
+    }
+
+    // Per-(source, mode) optical loss attribution at that mode's
+    // injected power.  lossBreakdown() self-checks that the buckets
+    // sum to the injected power (photon conservation).
+    for (int s = 0; s < n; ++s) {
+        const auto &source = design.sources[s];
+        for (int m = 0; m < design.topology.numModes; ++m) {
+            std::size_t slot =
+                static_cast<std::size_t>(s) *
+                    static_cast<std::size_t>(
+                        design.topology.numModes) +
+                static_cast<std::size_t>(m);
+            ledger.losses_[slot] = crossbar_.chain(s).lossBreakdown(
+                source.chain, source.modePower[m]);
+        }
+    }
+
+    auto &metrics = MetricsRegistry::global();
+    metrics.counter("ledger.builds").add();
+    Series &epoch_flits = metrics.series("ledger.epoch_flits");
+    for (std::size_t e = 0; e < num_epochs; ++e) {
+        std::uint64_t flits = 0;
+        for (int s = 0; s < n; ++s)
+            for (int m = 0; m < design.topology.numModes; ++m)
+                flits += ledger.cell(s, m, e).flits;
+        epoch_flits.add(e, flits);
+    }
+    return ledger;
+}
+
+} // namespace mnoc::core

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/units.hh"
+#include "core/energy_ledger.hh"
 #include "optics/alpha_optimizer.hh"
 
 namespace mnoc::core {
@@ -112,60 +113,7 @@ PowerBreakdown
 MnocPowerModel::evaluate(const MnocDesign &design,
                          const sim::Trace &trace) const
 {
-    int n = crossbar_.numNodes();
-    fatalIf(static_cast<int>(trace.flits.rows()) != n ||
-            static_cast<int>(trace.flits.cols()) != n,
-            "trace size mismatch");
-    fatalIf(trace.totalTicks == 0, "trace has zero duration");
-
-    const auto &optics_params = crossbar_.params();
-    double flit_time = 1.0 / params_.net.clockHz; // one flit per cycle
-    double duration =
-        static_cast<double>(trace.totalTicks) / params_.net.clockHz;
-    double oe_per_receiver =
-        params_.oePowerPerReceiver(optics_params.photodetectorMiop)
-            .watts();
-
-    // Precompute the receiver population per (source, mode).
-    std::vector<std::vector<int>> reach(n);
-    for (int s = 0; s < n; ++s) {
-        reach[s].resize(design.topology.numModes);
-        for (int m = 0; m < design.topology.numModes; ++m)
-            reach[s][m] = design.topology.local(s).reachableCount(m);
-    }
-
-    double source_energy = 0.0;
-    double oe_energy = 0.0;
-    double electrical_energy = 0.0;
-    for (int s = 0; s < n; ++s) {
-        const auto &local = design.topology.local(s);
-        for (int d = 0; d < n; ++d) {
-            if (d == s)
-                continue;
-            auto flits = static_cast<double>(trace.flits(s, d));
-            if (flits == 0.0)
-                continue;
-            int mode = local.modeOfDest[d];
-            double tx_time = flits * flit_time;
-            // QD LED electrical drive, derated by the 1-to-0 ratio.
-            source_energy += tx_time *
-                design.sources[s].modePower[mode].watts() *
-                optics_params.oneToZeroRatio /
-                optics_params.qdLedEfficiency;
-            // Every receiver reachable in this mode sees the light and
-            // burns O/E power for the packet duration.
-            oe_energy += tx_time * reach[s][mode] * oe_per_receiver;
-            // Injection + ejection buffers.
-            electrical_energy +=
-                flits * 2.0 * params_.bufferEnergyPerFlit;
-        }
-    }
-
-    PowerBreakdown out;
-    out.source = source_energy / duration;
-    out.oe = oe_energy / duration;
-    out.electrical = electrical_energy / duration;
-    return out;
+    return buildLedger(design, trace).averagePower();
 }
 
 } // namespace mnoc::core

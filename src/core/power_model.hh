@@ -24,6 +24,8 @@
 
 namespace mnoc::core {
 
+class EnergyLedger;
+
 /** Electrical-side power parameters. */
 struct PowerParams
 {
@@ -115,9 +117,22 @@ class MnocPowerModel
         const std::vector<double> &mode_fractions,
         DecibelLoss design_margin = DecibelLoss(0.0)) const;
 
-    /** Average power over the traced interval. */
+    /**
+     * Average power over the traced interval.  Implemented as the
+     * total over the energy-attribution ledger, so the summary and
+     * the per-cell attribution can never disagree.
+     */
     PowerBreakdown evaluate(const MnocDesign &design,
                             const sim::Trace &trace) const;
+
+    /**
+     * Attribute every message of @p trace to a (source, mode, epoch)
+     * energy cell and compute per-(source, mode) optical loss
+     * breakdowns (core/energy_ledger.hh).  Traces without epoch
+     * buckets get a single epoch spanning the run.
+     */
+    EnergyLedger buildLedger(const MnocDesign &design,
+                             const sim::Trace &trace) const;
 
     const optics::OpticalCrossbar &crossbar() const { return crossbar_; }
     const PowerParams &params() const { return params_; }

@@ -7,7 +7,11 @@
 #ifndef MNOC_NOC_NETWORK_HH
 #define MNOC_NOC_NETWORK_HH
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/matrix.hh"
 #include "noc/packet.hh"
@@ -43,10 +47,36 @@ class Network
     virtual void reset() = 0;
 };
 
+/** One (src, dst) traffic entry inside an attribution epoch. */
+struct EpochCell
+{
+    int src = 0;
+    int dst = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t flits = 0;
+};
+
+/**
+ * Traffic bucketed into fixed message-count windows, in delivery
+ * order: epoch e holds messages [e*messagesPerEpoch,
+ * (e+1)*messagesPerEpoch).  Cells within an epoch are sorted by
+ * (src, dst), so the representation is canonical and two captures of
+ * the same run compare byte-identical.
+ */
+struct EpochTraffic
+{
+    std::uint64_t messagesPerEpoch = 0;
+    std::vector<std::vector<EpochCell>> epochs;
+
+    bool empty() const { return epochs.empty(); }
+};
+
 /**
  * Records per-(src, dst) packet and flit counts.  The power models
  * consume the flit matrix; the thread mapper consumes the packet
- * matrix.
+ * matrix.  With enableEpochs(), traffic is additionally bucketed
+ * into message-count windows for the energy-attribution ledger.
+ * record() is serial (the event loop owns it), so no locking.
  */
 class TrafficRecorder
 {
@@ -56,6 +86,14 @@ class TrafficRecorder
           flits_(num_nodes, num_nodes, 0)
     {}
 
+    /** Start bucketing traffic into windows of @p messages_per_epoch
+     *  delivered packets (0 disables; the default). */
+    void
+    enableEpochs(std::uint64_t messages_per_epoch)
+    {
+        epochs_.messagesPerEpoch = messages_per_epoch;
+    }
+
     /** Record one delivered packet. */
     void
     record(const Packet &packet)
@@ -63,6 +101,26 @@ class TrafficRecorder
         packets_(packet.src, packet.dst) += 1;
         flits_(packet.src, packet.dst) +=
             static_cast<std::uint64_t>(packet.flits);
+        if (epochs_.messagesPerEpoch == 0)
+            return;
+        auto &cell = current_[{packet.src, packet.dst}];
+        cell.first += 1;
+        cell.second += static_cast<std::uint64_t>(packet.flits);
+        if (++messages_in_epoch_ == epochs_.messagesPerEpoch)
+            sealEpoch();
+    }
+
+    /** Finish the partial epoch (if any) and hand over the captured
+     *  windows; the recorder's epoch state is left empty. */
+    EpochTraffic
+    takeEpochs()
+    {
+        if (messages_in_epoch_ > 0)
+            sealEpoch();
+        EpochTraffic out = std::move(epochs_);
+        epochs_ = EpochTraffic{};
+        epochs_.messagesPerEpoch = out.messagesPerEpoch;
+        return out;
     }
 
     const CountMatrix &packets() const { return packets_; }
@@ -74,8 +132,28 @@ class TrafficRecorder
     std::uint64_t totalFlits() const { return flits_.total(); }
 
   private:
+    void
+    sealEpoch()
+    {
+        std::vector<EpochCell> cells;
+        cells.reserve(current_.size());
+        // std::map iterates in key order, so the sealed epoch is
+        // already sorted by (src, dst).
+        for (const auto &[key, counts] : current_)
+            cells.push_back(EpochCell{key.first, key.second,
+                                      counts.first, counts.second});
+        epochs_.epochs.push_back(std::move(cells));
+        current_.clear();
+        messages_in_epoch_ = 0;
+    }
+
     CountMatrix packets_;
     CountMatrix flits_;
+    EpochTraffic epochs_;
+    std::map<std::pair<int, int>,
+             std::pair<std::uint64_t, std::uint64_t>>
+        current_;
+    std::uint64_t messages_in_epoch_ = 0;
 };
 
 } // namespace mnoc::noc

@@ -179,4 +179,64 @@ SplitterChain::evaluate(const ChainDesign &design,
     return received;
 }
 
+ChainLossBreakdown
+SplitterChain::lossBreakdown(const ChainDesign &design,
+                             WattPower injected_power) const
+{
+    int n = numNodes();
+    panicIf(design.source != source_,
+            "design is for a different source");
+    panicIf(static_cast<int>(design.splitterFraction.size()) != n,
+            "design size mismatch");
+
+    const double coupler_t = params_.couplerLoss.toTransmission().value();
+    const double split_t =
+        params_.splitterInsertion.toTransmission().value();
+    const double tap_t = split_t;
+
+    ChainLossBreakdown out;
+    out.injected = injected_power.watts();
+    // LED output -> coupler -> source directional splitter; what the
+    // two arms are fed is what survives both.
+    out.sourceCoupling = out.injected * (1.0 - coupler_t);
+    double after_coupler = out.injected * coupler_t;
+    out.sourceSplit = after_coupler * (1.0 - split_t);
+    double fed = after_coupler * split_t;
+    double left_frac = design.splitterFraction[source_];
+
+    // Mirror of evaluate()'s walk, with each subtraction booked to
+    // the bucket that physically absorbs it.
+    auto walk = [&](double power, int step) {
+        for (int j = source_ + step; j >= 0 && j < n; j += step) {
+            int seg_lo = std::min(j, j - step);
+            double seg_t = segmentTransmission(seg_lo).value();
+            out.waveguide += power * (1.0 - seg_t);
+            power *= seg_t;
+            double s = design.splitterFraction[j];
+            double diverted = power * s;
+            out.tapInsertion += diverted * (1.0 - tap_t);
+            double at_tap = diverted * tap_t;
+            out.receiverCoupling += at_tap * (1.0 - coupler_t);
+            out.delivered += at_tap * coupler_t;
+            power *= (1.0 - s);
+            if (power <= 0.0)
+                break;
+        }
+        out.residual += power;
+    };
+
+    walk(fed * left_frac, -1);
+    walk(fed * (1.0 - left_frac), +1);
+
+    // Conservation self-check: every injected watt must land in
+    // exactly one bucket.  A violation is a modeling bug, not a bad
+    // user request.
+    double accounted = out.accountedFor();
+    double scale = std::max(out.injected, 1e-30);
+    panicIf(std::abs(accounted - out.injected) > 1e-9 * scale,
+            "splitter-chain loss breakdown violates power "
+            "conservation for source " + std::to_string(source_));
+    return out;
+}
+
 } // namespace mnoc::optics

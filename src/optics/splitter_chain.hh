@@ -56,6 +56,40 @@ struct ChainDesign
 };
 
 /**
+ * Where the injected optical power of one waveguide goes, in watts.
+ * Every photon leaving the QD LED lands in exactly one bucket, so
+ * the buckets sum to the injected power; lossBreakdown() enforces
+ * that conservation with a panic-level self-check.
+ */
+struct ChainLossBreakdown
+{
+    /** Power at the QD LED output. */
+    double injected = 0.0;
+    /** Lost in the LED-side coupler. */
+    double sourceCoupling = 0.0;
+    /** Insertion loss of the source's directional splitter. */
+    double sourceSplit = 0.0;
+    /** Propagation loss along both serpentine arms. */
+    double waveguide = 0.0;
+    /** Insertion loss of the destination taps (diverted branch). */
+    double tapInsertion = 0.0;
+    /** Lost in the receiver-side couplers. */
+    double receiverCoupling = 0.0;
+    /** Reaches the photodetectors (signal plus receiver margin). */
+    double delivered = 0.0;
+    /** Exits the arm ends unused. */
+    double residual = 0.0;
+
+    /** Sum of every sink bucket; equals injected by conservation. */
+    double
+    accountedFor() const
+    {
+        return sourceCoupling + sourceSplit + waveguide +
+               tapInsertion + receiverCoupling + delivered + residual;
+    }
+};
+
+/**
  * Power-propagation model for a single source's serpentine waveguide.
  *
  * Construction precomputes the geometric tap attenuations; design() and
@@ -120,6 +154,18 @@ class SplitterChain
     std::vector<double>
     evaluate(const ChainDesign &design, WattPower injected_power,
              const std::vector<double> &splitter_scale) const;
+
+    /**
+     * Propagate @p injected_power through @p design while attributing
+     * every lost or delivered watt to a loss bucket.  The buckets sum
+     * to the injected power (photon conservation).
+     *
+     * @throws PanicError when the accounted power deviates from the
+     *         injected power by more than a 1e-9 relative tolerance
+     *         -- that would mean the model leaks or invents energy.
+     */
+    ChainLossBreakdown lossBreakdown(const ChainDesign &design,
+                                     WattPower injected_power) const;
 
   private:
     /** Propagation transmission of the waveguide segment between

@@ -40,6 +40,10 @@ runSimulation(const SimConfig &config, noc::Network &network,
 
     network.reset();
     noc::TrafficRecorder recorder(n);
+    // Epoch bucketing feeds the energy-attribution ledger; one
+    // branch per packet when MNOC_LEDGER is off.
+    if (ledgerEnabled())
+        recorder.enableEpochs(ledgerEpochMessages());
     CoherenceController coherence(n, config.memory, network, recorder);
     coherence.setHomeMap(thread_to_core);
     workload.reset(n, seed);
@@ -100,6 +104,7 @@ runSimulation(const SimConfig &config, noc::Network &network,
     result.networkName = network.name();
     result.workloadName = workload.name();
     result.seed = seed;
+    result.epochs = recorder.takeEpochs();
 
     // Deterministic observability: pure tallies of the (already
     // deterministic) run, safe under any thread interleaving.

@@ -57,6 +57,10 @@ struct SimulationResult
     std::string workloadName;
     /** Workload seed the run used (recorded for provenance). */
     std::uint64_t seed = 0;
+    /** Traffic bucketed into message-count windows; populated only
+     *  when the energy-attribution ledger is enabled (MNOC_LEDGER),
+     *  otherwise empty. */
+    noc::EpochTraffic epochs;
 };
 
 /**

@@ -1,8 +1,11 @@
 #include "sim/trace.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
+#include "common/io.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/trace_span.hh"
@@ -34,6 +37,7 @@ toTrace(const SimulationResult &result)
         hexDigest(fnv1a64(result.workloadName + "|" +
                           result.networkName + "|" +
                           std::to_string(result.packets.rows()))));
+    t.epochs = result.epochs;
     return t;
 }
 
@@ -41,16 +45,29 @@ void
 saveTrace(const std::string &path, const Trace &trace)
 {
     TraceSpan span("saveTrace", "io");
-    std::ofstream out(path);
-    fatalIf(!out.is_open(), "cannot open trace file for write: " + path);
+    FileWriter writer(path);
+    auto &out = writer.stream();
     int n = static_cast<int>(trace.packets.rows());
-    out << "mnoc-trace 2\n";
+    // Epoch-free traces stay on version 2, byte-identical to what
+    // earlier builds wrote (the golden fixture pins this).
+    int version = trace.epochs.empty() ? 2 : 3;
+    out << "mnoc-trace " << version << "\n";
     out << trace.workloadName << "\n" << trace.networkName << "\n";
     out << n << " " << trace.totalTicks << "\n";
     auto lines = manifestLines(trace.manifest);
     out << "manifest " << lines.size() << "\n";
     for (const auto &line : lines)
         out << line << "\n";
+    if (version >= 3) {
+        out << "epochs " << trace.epochs.epochs.size() << " "
+            << trace.epochs.messagesPerEpoch << "\n";
+        for (const auto &cells : trace.epochs.epochs) {
+            out << "epoch " << cells.size() << "\n";
+            for (const noc::EpochCell &cell : cells)
+                out << cell.src << " " << cell.dst << " "
+                    << cell.packets << " " << cell.flits << "\n";
+        }
+    }
     // Sparse triplets: src dst packets flits.
     for (int s = 0; s < n; ++s) {
         for (int d = 0; d < n; ++d) {
@@ -62,9 +79,7 @@ saveTrace(const std::string &path, const Trace &trace)
     }
     // A full disk or revoked permissions surface here, not as a
     // silently truncated trace on the next load.
-    out.flush();
-    fatalIf(!out.good(), "failed writing trace file (disk full or "
-                         "I/O error): " + path);
+    writer.close();
     MetricsRegistry::global().counter("trace.saves").add();
 }
 
@@ -102,6 +117,26 @@ mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
             out.flits(sc, dc) += trace.flits(s, d);
         }
     }
+    out.epochs.messagesPerEpoch = trace.epochs.messagesPerEpoch;
+    for (const auto &cells : trace.epochs.epochs) {
+        std::vector<noc::EpochCell> mapped;
+        mapped.reserve(cells.size());
+        for (noc::EpochCell cell : cells) {
+            cell.src =
+                thread_to_core[static_cast<std::size_t>(cell.src)];
+            cell.dst =
+                thread_to_core[static_cast<std::size_t>(cell.dst)];
+            mapped.push_back(cell);
+        }
+        // Re-canonicalize: the permutation scrambles (src, dst)
+        // order, and downstream byte-identity depends on it.
+        std::sort(mapped.begin(), mapped.end(),
+                  [](const noc::EpochCell &a, const noc::EpochCell &b) {
+                      return std::tie(a.src, a.dst) <
+                             std::tie(b.src, b.dst);
+                  });
+        out.epochs.epochs.push_back(std::move(mapped));
+    }
     return out;
 }
 
@@ -128,8 +163,8 @@ loadTrace(const std::string &path)
     {
         std::istringstream header(line);
         header >> magic >> version;
-        if (header.fail() || magic != "mnoc-trace" ||
-            (version != 1 && version != 2))
+        if (header.fail() || magic != "mnoc-trace" || version < 1 ||
+            version > 3)
             parseFail(path, lineno,
                       "unrecognized trace file header: " + line);
     }
@@ -173,6 +208,53 @@ loadTrace(const std::string &path)
             if (!parseManifestEntry(line, t.manifest))
                 parseFail(path, lineno,
                           "malformed manifest entry: " + line);
+        }
+        pending = nextLine();
+    }
+
+    if (version >= 3) {
+        if (!pending)
+            parseFail(path, lineno + 1, "missing epochs block");
+        std::istringstream head(line);
+        std::string keyword;
+        std::size_t num_epochs = 0;
+        head >> keyword >> num_epochs >> t.epochs.messagesPerEpoch;
+        if (head.fail() || keyword != "epochs")
+            parseFail(path, lineno,
+                      "expected 'epochs <n> <msgs>', got: " + line);
+        for (std::size_t e = 0; e < num_epochs; ++e) {
+            if (!nextLine())
+                parseFail(path, lineno + 1,
+                          "truncated epochs block");
+            std::istringstream epoch_head(line);
+            std::string epoch_keyword;
+            std::size_t cell_count = 0;
+            epoch_head >> epoch_keyword >> cell_count;
+            if (epoch_head.fail() || epoch_keyword != "epoch")
+                parseFail(path, lineno,
+                          "expected 'epoch <cells>', got: " + line);
+            std::vector<noc::EpochCell> cells;
+            cells.reserve(cell_count);
+            for (std::size_t c = 0; c < cell_count; ++c) {
+                if (!nextLine())
+                    parseFail(path, lineno + 1,
+                              "truncated epoch cell list");
+                std::istringstream cell_line(line);
+                noc::EpochCell cell;
+                cell_line >> cell.src >> cell.dst >> cell.packets >>
+                    cell.flits;
+                if (cell_line.fail())
+                    parseFail(path, lineno,
+                              "malformed epoch cell (expected 'src "
+                              "dst packets flits'): " + line);
+                if (cell.src < 0 || cell.src >= n || cell.dst < 0 ||
+                    cell.dst >= n)
+                    parseFail(path, lineno,
+                              "epoch cell endpoint out of range: " +
+                                  line);
+                cells.push_back(cell);
+            }
+            t.epochs.epochs.push_back(std::move(cells));
         }
         pending = nextLine();
     }

@@ -14,6 +14,15 @@
  *   ...k provenance lines (common/manifest.hh)...
  *   <src> <dst> <packets> <flits>     (sparse triplets)
  *
+ * Version 3 (written only when the trace carries epoch buckets for
+ * the energy-attribution ledger, so ledger-free traces stay
+ * byte-identical to version 2) inserts an epochs block between the
+ * manifest and the triplets:
+ *
+ *   epochs <e> <messages per epoch>
+ *   epoch <c>                         (e times)
+ *   <src> <dst> <packets> <flits>     (c cells, sorted by src, dst)
+ *
  * loadTrace() is strict: a truncated or garbled triplet line is a
  * fatal error naming the file and line, never a silently shortened
  * matrix, and saveTrace() verifies the stream after flushing so a
@@ -41,6 +50,9 @@ struct Trace
     /** Provenance of the run that captured the trace; embedded in
      *  the file so the experiment can be re-run from it alone. */
     RunManifest manifest;
+    /** Per-epoch traffic buckets for the energy-attribution ledger;
+     *  empty unless the run was captured with MNOC_LEDGER on. */
+    noc::EpochTraffic epochs;
 };
 
 /** Extract the trace from a simulation result, stamping the current

@@ -1,6 +1,7 @@
 #!/bin/sh
 # End-to-end smoke test of the mnocpt CLI: simulate -> map -> design ->
-# evaluate -> budget on a small system.  Any non-zero exit fails.
+# evaluate -> budget -> report -> profile on a small system.  Any
+# non-zero exit fails.
 set -e
 MNOCPT="$1"
 DIR="${TMPDIR:-/tmp}/mnocpt_smoke_$$"
@@ -33,6 +34,38 @@ cmp -s "$DIR/y1.txt" "$DIR/y2.txt"
     --out "$DIR/th.design" | grep -q "hardened to yield"
 grep -q "resilience" "$DIR/th.design"
 "$MNOCPT" budget --design "$DIR/th.design" | grep -q "link budget: OK"
+
+# Report pipeline: an epoch-carrying trace renders a full report.
+MNOC_LEDGER=1 MNOC_EPOCH_MSGS=200 "$MNOCPT" simulate \
+    --benchmark water_s --cores 16 --ops 400 --out "$DIR/e.trace"
+grep -q "^epochs " "$DIR/e.trace"
+"$MNOCPT" report --design "$DIR/t.design" --trace "$DIR/e.trace" \
+    --map "$DIR/t.map" --dir "$DIR/report" \
+    | grep -q "report written"
+grep -q "Average power" "$DIR/report/mnoc_report.md"
+grep -q "messages each" "$DIR/report/mnoc_report.md"
+grep -q "source_energy_j" "$DIR/report/mnoc_power.csv"
+grep -q "total_energy_j" "$DIR/report/mnoc_epochs.csv"
+[ -s "$DIR/report/mnoc_source_power.pgm" ]
+
+# Re-rendering the same trace is byte-identical (ledger determinism).
+"$MNOCPT" report --design "$DIR/t.design" --trace "$DIR/e.trace" \
+    --map "$DIR/t.map" --dir "$DIR/report2" > /dev/null
+cmp -s "$DIR/report/mnoc_report.md" "$DIR/report2/mnoc_report.md"
+cmp -s "$DIR/report/mnoc_power.csv" "$DIR/report2/mnoc_power.csv"
+cmp -s "$DIR/report/mnoc_source_power.pgm" \
+    "$DIR/report2/mnoc_source_power.pgm"
+
+# Profile: aggregate a span trace into a hotspot table.
+MNOC_TRACE_SPANS="$DIR/spans.json" "$MNOCPT" evaluate \
+    --design "$DIR/t.design" --trace "$DIR/t.trace" > /dev/null
+"$MNOCPT" profile --spans "$DIR/spans.json" \
+    --csv "$DIR/profile.csv" | grep -q "inclusive"
+grep -q "loadTrace" "$DIR/profile.csv"
+
+# Suppressed warnings surface in stats even when silenced.
+"$MNOCPT" stats --trace "$DIR/t.trace" \
+    | grep -q "log.suppressed_warnings"
 
 # Unknown subcommands and missing/malformed options must fail cleanly.
 if "$MNOCPT" frobnicate 2>/dev/null; then exit 1; fi

@@ -4,6 +4,7 @@
 
 #include <vector>
 #include <cmath>
+#include <fstream>
 #include <random>
 #include <thread>
 #include <future>
@@ -30,6 +31,13 @@ spawnUnpooled()
     worker.join();
     auto f = std::async(noisyDraw); // raw-thread
     f.wait();
+}
+
+void
+silentWriter()
+{
+    std::ofstream out("result.txt"); // raw-ofstream
+    out << noisyDraw();
 }
 
 float

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <type_traits>
 
 #include "common/csv.hh"
+#include "common/io.hh"
 #include "common/log.hh"
 #include "common/matrix.hh"
 #include "common/pgm.hh"
@@ -141,6 +143,72 @@ TEST(Log, FatalAndPanicThrowDistinctTypes)
     EXPECT_THROW(panicIf(true, "bad"), PanicError);
 }
 
+TEST(Log, QuietLevelCountsSuppressedWarnings)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    std::uint64_t base = suppressedWarningCount();
+    warn("swallowed");
+    warn("also swallowed");
+    EXPECT_EQ(suppressedWarningCount(), base + 2);
+    // At Warn and above, warn() prints and the counter holds still.
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    warn("printed");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: printed"), std::string::npos);
+    EXPECT_EQ(suppressedWarningCount(), base + 2);
+    setLogLevel(before);
+}
+
+TEST(Log, InformRespectsLevelWithoutCounting)
+{
+    LogLevel before = logLevel();
+    std::uint64_t base = suppressedWarningCount();
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    inform("dropped");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    inform("printed");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "info: printed"),
+              std::string::npos);
+    // Only warn() feeds the suppressed-warnings trail.
+    EXPECT_EQ(suppressedWarningCount(), base);
+    setLogLevel(before);
+}
+
+TEST(Io, FileWriterFatalsOnUnwritablePath)
+{
+    try {
+        FileWriter writer("/nonexistent/dir/out.txt");
+        FAIL() << "FileWriter opened an impossible path";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("/nonexistent/dir/out.txt"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Io, FileWriterCloseDetectsFullDisk)
+{
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    try {
+        FileWriter writer("/dev/full");
+        writer.stream() << std::string(1 << 16, 'x');
+        writer.close();
+        FAIL() << "FileWriter missed the write failure";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("disk full"), std::string::npos) << what;
+        EXPECT_NE(what.find("/dev/full"), std::string::npos) << what;
+    }
+}
+
 TEST(Matrix, BasicAccessAndTotals)
 {
     FlowMatrix m(3, 4, 0.0);
@@ -226,6 +294,25 @@ TEST(Csv, EscapesSpecialCharacters)
     std::remove(path.c_str());
 }
 
+TEST(Csv, CloseDetectsFullDisk)
+{
+    // Regression: CsvWriter used to report success after writing a
+    // report to a full device, leaving a truncated table behind.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    try {
+        CsvWriter csv("/dev/full");
+        for (int i = 0; i < 10000; ++i)
+            csv.writeRow({"some", "row", "payload"});
+        csv.close();
+        FAIL() << "CsvWriter missed the write failure";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("disk full"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(Pgm, WritesHeaderAndPixels)
 {
     std::string path = testing::TempDir() + "mnoc_pgm_test.pgm";
@@ -247,6 +334,44 @@ TEST(Pgm, WritesHeaderAndPixels)
     EXPECT_EQ(static_cast<unsigned char>(pixels[0]), 0);
     EXPECT_EQ(static_cast<unsigned char>(pixels[1]), 255);
     std::remove(path.c_str());
+}
+
+TEST(Pgm, StampsCommentIntoHeader)
+{
+    std::string path = testing::TempDir() + "mnoc_pgm_comment.pgm";
+    FlowMatrix m(1, 2, 0.0);
+    m(0, 0) = 1.0;
+    writePgmHeatmap(path, m, true, "run stamp\nwith newline");
+    std::ifstream in(path, std::ios::binary);
+    std::string magic, comment;
+    std::getline(in, magic);
+    std::getline(in, comment);
+    EXPECT_EQ(magic, "P5");
+    // Newlines are flattened so the comment stays one header line.
+    EXPECT_EQ(comment, "# run stamp with newline");
+    int w = 0, h = 0, maxval = 0;
+    in >> w >> h >> maxval;
+    EXPECT_EQ(w, 2);
+    EXPECT_EQ(h, 1);
+    EXPECT_EQ(maxval, 255);
+    std::remove(path.c_str());
+}
+
+TEST(Pgm, WriteDetectsFullDisk)
+{
+    // Regression: writePgmHeatmap used to drop ostream errors,
+    // yielding truncated heatmaps on full disks.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+    FlowMatrix m(256, 256, 1.0);
+    try {
+        writePgmHeatmap("/dev/full", m);
+        FAIL() << "writePgmHeatmap missed the write failure";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("disk full"), std::string::npos) << what;
+        EXPECT_NE(what.find("/dev/full"), std::string::npos) << what;
+    }
 }
 
 TEST(Table, AlignsAndUnderlinesHeader)

@@ -9,13 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/metrics.hh"
 #include "common/prng.hh"
 #include "common/thread_pool.hh"
 #include "core/designer.hh"
+#include "core/energy_ledger.hh"
 #include "faults/yield.hh"
 #include "qap/multi_start.hh"
 
@@ -245,6 +248,79 @@ TEST(Determinism, MetricsJsonIsBitIdenticalAcrossPoolSizes)
     EXPECT_EQ(exports[0], exports[2]);
     EXPECT_NE(exports[0].find("yield.draws"), std::string::npos);
     EXPECT_NE(exports[0].find("yield.worst_margin_db"),
+              std::string::npos);
+}
+
+TEST(Determinism, LedgerAndSeriesAreBitIdenticalAcrossPoolSizes)
+{
+    // The ledger is a pure function of (design, trace), and the
+    // series it feeds uses sharded commutative folds, so both its
+    // canonical rendering and the metrics JSON must export
+    // byte-identically whether ledgers are built from a 1-, 2-, or
+    // 8-thread pool.
+    YieldFixture fx;
+    auto design = fx.design();
+
+    sim::Trace trace;
+    trace.workloadName = "synthetic";
+    trace.networkName = "mNoC";
+    trace.totalTicks = 100000;
+    trace.packets = CountMatrix(16, 16, 0);
+    trace.flits = CountMatrix(16, 16, 0);
+    trace.epochs.messagesPerEpoch = 64;
+    std::vector<noc::EpochCell> first, second;
+    for (int s = 0; s < 16; ++s) {
+        int d = (s + 1) % 16;
+        trace.packets(s, d) = 40;
+        trace.flits(s, d) = 120;
+        first.push_back({s, d, 25, 75});
+        second.push_back({s, d, 15, 45});
+    }
+    trace.epochs.epochs = {first, second};
+
+    auto render = [](const core::EnergyLedger &ledger) {
+        std::string out;
+        for (int s = 0; s < ledger.numSources(); ++s)
+            for (int m = 0; m < ledger.numModes(); ++m)
+                for (std::size_t e = 0; e < ledger.numEpochs(); ++e) {
+                    const auto &cell = ledger.cell(s, m, e);
+                    out += std::to_string(cell.flits) + " " +
+                           jsonNumber(cell.txSeconds) + " " +
+                           jsonNumber(cell.totalEnergy()) + "\n";
+                }
+        return out;
+    };
+
+    MetricsRegistry::setEnabled(true);
+    auto &registry = MetricsRegistry::global();
+    std::vector<std::string> metric_exports;
+    std::vector<std::string> ledger_dumps;
+    for (int threads : {1, 2, 8}) {
+        registry.reset();
+        ThreadPool pool(threads);
+        std::mutex dump_mutex;
+        std::string dump;
+        pool.parallelFor(8, [&](long long i) {
+            auto ledger =
+                fx.designer.model().buildLedger(design, trace);
+            if (i == 0) {
+                std::lock_guard<std::mutex> lock(dump_mutex);
+                dump = render(ledger);
+            }
+        });
+        ledger_dumps.push_back(std::move(dump));
+        metric_exports.push_back(registry.toJson());
+    }
+    registry.reset();
+    MetricsRegistry::setEnabled(false);
+
+    EXPECT_EQ(ledger_dumps[0], ledger_dumps[1]);
+    EXPECT_EQ(ledger_dumps[0], ledger_dumps[2]);
+    EXPECT_EQ(metric_exports[0], metric_exports[1]);
+    EXPECT_EQ(metric_exports[0], metric_exports[2]);
+    EXPECT_NE(metric_exports[0].find("ledger.epoch_flits"),
+              std::string::npos);
+    EXPECT_NE(metric_exports[0].find("ledger.builds"),
               std::string::npos);
 }
 

@@ -42,8 +42,8 @@ if python3 "$lint" --root "$scratch" \
     fail "mnoc-lint accepted fixtures with seeded violations"
 fi
 
-for rule in raw-pow rng raw-thread float unit-param header-guard \
-            include-order format; do
+for rule in raw-pow rng raw-thread raw-ofstream float unit-param \
+            header-guard include-order format; do
     grep -q "\[$rule\]" "$out" || {
         cat "$out" >&2
         fail "seeded '$rule' violation was not flagged"

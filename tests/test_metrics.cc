@@ -135,7 +135,62 @@ TEST_F(MetricsTest, JsonIsBitIdenticalAcrossThreadCounts)
     }
     EXPECT_EQ(exports[0], exports[1]);
     EXPECT_EQ(exports[0], exports[2]);
-    EXPECT_NE(exports[0].find("\"schema\": \"mnoc-metrics-v1\""),
+    EXPECT_NE(exports[0].find("\"schema\": \"mnoc-metrics-v2\""),
+              std::string::npos);
+}
+
+TEST_F(MetricsTest, SeriesAccumulatesPerSlot)
+{
+    Series &series = MetricsRegistry::global().series("test.series");
+    series.add(0, 5);
+    series.add(2, 7);
+    series.add(0, 1);
+    auto values = series.values();
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values[0], 6u);
+    EXPECT_EQ(values[1], 0u);
+    EXPECT_EQ(values[2], 7u);
+    MetricsRegistry::global().reset();
+    EXPECT_TRUE(series.values().empty());
+}
+
+TEST_F(MetricsTest, DisabledSeriesRecordsNothing)
+{
+    Series &series = MetricsRegistry::global().series("test.s_off");
+    MetricsRegistry::setEnabled(false);
+    series.add(0, 3);
+    EXPECT_TRUE(series.values().empty());
+}
+
+TEST_F(MetricsTest, SeriesParallelSumIsExact)
+{
+    Series &series = MetricsRegistry::global().series("test.s_par");
+    constexpr long long kItems = 10000;
+    ThreadPool pool(8);
+    pool.parallelFor(kItems, [&](long long i) {
+        series.add(static_cast<std::size_t>(i % 7), 1);
+    });
+    auto values = series.values();
+    ASSERT_EQ(values.size(), 7u);
+    std::uint64_t total = 0;
+    for (std::uint64_t v : values)
+        total += v;
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kItems));
+}
+
+TEST_F(MetricsTest, SeriesRejectsAbsurdSlotIndex)
+{
+    Series &series = MetricsRegistry::global().series("test.s_cap");
+    EXPECT_THROW(series.add(std::size_t{1} << 30, 1), FatalError);
+}
+
+TEST_F(MetricsTest, SeriesAppearsInJsonExport)
+{
+    auto &registry = MetricsRegistry::global();
+    registry.series("test.s_json").add(1, 4);
+    std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"series\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.s_json\": [0, 4]"),
               std::string::npos);
 }
 

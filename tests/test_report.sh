@@ -1,0 +1,36 @@
+#!/bin/sh
+# Golden-file test for `mnocpt report`: rendering the pinned 256-node
+# trace fixture must reproduce the committed artifacts byte-for-byte.
+# The report stamps its outputs with the *trace's* embedded manifest
+# (gitSha pinned to "0000000" in the fixture), so the bytes are
+# stable across commits; any drift is a deliberate format change and
+# needs regenerated goldens (re-run this pipeline and copy the
+# artifacts into tests/data/golden_report/).
+#
+# Usage: test_report.sh <mnocpt-binary> <tests/data-dir>
+set -eu
+
+MNOCPT=${1:?usage: test_report.sh <mnocpt> <data-dir>}
+DATA=${2:?usage: test_report.sh <mnocpt> <data-dir>}
+DIR="${TMPDIR:-/tmp}/mnocpt_report_$$"
+mkdir -p "$DIR"
+trap 'rm -rf "$DIR"' EXIT
+
+"$MNOCPT" design --trace "$DATA/golden_trace_256.trace" \
+    --modes 2 --assign distance --out "$DIR/g.design" > /dev/null
+"$MNOCPT" report --design "$DIR/g.design" \
+    --trace "$DATA/golden_trace_256.trace" \
+    --dir "$DIR/out" > /dev/null
+
+status=0
+for name in mnoc_report.md mnoc_power.csv mnoc_epochs.csv \
+            mnoc_source_power.pgm; do
+    if ! cmp -s "$DIR/out/$name" "$DATA/golden_report/$name"; then
+        echo "test_report: FAIL: $name differs from golden" >&2
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    exit 1
+fi
+echo "test_report: PASS (report artifacts byte-identical)"

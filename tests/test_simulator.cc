@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "noc/mnoc_network.hh"
 #include "sim/simulator.hh"
 #include "workloads/synthetic.hh"
@@ -57,6 +58,72 @@ TEST(Simulator, SeedChangesTraffic)
     auto a = runSimulation(f.config(), f.net, w, 1);
     auto b = runSimulation(f.config(), f.net, w, 2);
     EXPECT_FALSE(a.packets == b.packets);
+}
+
+TEST(Simulator, CapturesEpochsWhenLedgerEnabled)
+{
+    SimFixture f;
+    workloads::WorkloadScale scale;
+    scale.opsPerThread = 200;
+    workloads::UniformWorkload w1(scale);
+    workloads::UniformWorkload w2(scale);
+
+    bool before = ledgerEnabled();
+    setLedgerEnabled(true);
+    auto a = runSimulation(f.config(), f.net, w1, 7);
+    auto b = runSimulation(f.config(), f.net, w2, 7);
+    setLedgerEnabled(before);
+
+    ASSERT_FALSE(a.epochs.empty());
+    EXPECT_EQ(a.epochs.messagesPerEpoch, ledgerEpochMessages());
+
+    // Epoch cells canonically sorted, and their flits total exactly
+    // the traffic matrix: the buckets are a partition, not a sample.
+    std::uint64_t epoch_flits = 0;
+    for (const auto &cells : a.epochs.epochs) {
+        for (std::size_t i = 1; i < cells.size(); ++i) {
+            bool ordered =
+                cells[i - 1].src < cells[i].src ||
+                (cells[i - 1].src == cells[i].src &&
+                 cells[i - 1].dst < cells[i].dst);
+            EXPECT_TRUE(ordered) << "epoch cells out of order";
+        }
+        for (const auto &cell : cells)
+            epoch_flits += cell.flits;
+    }
+    std::uint64_t matrix_flits = 0;
+    for (int s = 0; s < 16; ++s)
+        for (int d = 0; d < 16; ++d)
+            matrix_flits += a.flits(s, d);
+    EXPECT_EQ(epoch_flits, matrix_flits);
+
+    // Same seed, same epochs: capture is deterministic.
+    ASSERT_EQ(a.epochs.epochs.size(), b.epochs.epochs.size());
+    for (std::size_t e = 0; e < a.epochs.epochs.size(); ++e) {
+        const auto &ca = a.epochs.epochs[e];
+        const auto &cb = b.epochs.epochs[e];
+        ASSERT_EQ(ca.size(), cb.size()) << "epoch " << e;
+        for (std::size_t i = 0; i < ca.size(); ++i) {
+            EXPECT_EQ(ca[i].src, cb[i].src);
+            EXPECT_EQ(ca[i].dst, cb[i].dst);
+            EXPECT_EQ(ca[i].packets, cb[i].packets);
+            EXPECT_EQ(ca[i].flits, cb[i].flits);
+        }
+    }
+}
+
+TEST(Simulator, LedgerDisabledCapturesNoEpochs)
+{
+    SimFixture f;
+    workloads::WorkloadScale scale;
+    scale.opsPerThread = 50;
+    workloads::UniformWorkload w(scale);
+    bool before = ledgerEnabled();
+    setLedgerEnabled(false);
+    auto result = runSimulation(f.config(), f.net, w, 7);
+    setLedgerEnabled(before);
+    EXPECT_TRUE(result.epochs.empty());
+    EXPECT_EQ(result.epochs.messagesPerEpoch, 0u);
 }
 
 TEST(Simulator, RunsAllOps)

@@ -224,6 +224,115 @@ TEST(Trace, LoadRejectsTruncatedManifest)
         7, "truncated manifest");
 }
 
+Trace
+sampleTraceWithEpochs()
+{
+    Trace t = sampleTrace();
+    t.epochs.messagesPerEpoch = 8;
+    t.epochs.epochs.push_back(
+        {{0, 1, 6, 18}, {2, 3, 2, 2}});
+    t.epochs.epochs.push_back(
+        {{0, 1, 4, 12}, {2, 3, 3, 3}});
+    return t;
+}
+
+TEST(Trace, EpochsRoundTripThroughVersionThree)
+{
+    std::string path = testing::TempDir() + "mnoc_trace_v3.txt";
+    Trace original = sampleTraceWithEpochs();
+    saveTrace(path, original);
+
+    // Epoch-carrying traces are written as version 3.
+    {
+        std::ifstream in(path);
+        std::string header;
+        std::getline(in, header);
+        EXPECT_EQ(header, "mnoc-trace 3");
+    }
+
+    Trace loaded = loadTrace(path);
+    EXPECT_TRUE(loaded.packets == original.packets);
+    EXPECT_TRUE(loaded.flits == original.flits);
+    EXPECT_EQ(loaded.epochs.messagesPerEpoch, 8u);
+    ASSERT_EQ(loaded.epochs.epochs.size(), 2u);
+    ASSERT_EQ(loaded.epochs.epochs[0].size(), 2u);
+    EXPECT_EQ(loaded.epochs.epochs[0][0].src, 0);
+    EXPECT_EQ(loaded.epochs.epochs[0][0].dst, 1);
+    EXPECT_EQ(loaded.epochs.epochs[0][0].packets, 6u);
+    EXPECT_EQ(loaded.epochs.epochs[0][0].flits, 18u);
+    EXPECT_EQ(loaded.epochs.epochs[1][1].src, 2);
+    EXPECT_EQ(loaded.epochs.epochs[1][1].flits, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, EpochFreeTraceStaysOnVersionTwo)
+{
+    // The v2 byte format is pinned by the golden fixture; a trace
+    // captured without MNOC_LEDGER must keep producing it.
+    std::string path = testing::TempDir() + "mnoc_trace_v2.txt";
+    saveTrace(path, sampleTrace());
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "mnoc-trace 2");
+    in.close();
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsMissingEpochsBlock)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_noep.txt",
+                     "mnoc-trace 3\nw\nn\n2 10\nmanifest 0\n"
+                     "0 1 4 8\n"),
+        6, "expected 'epochs <n> <msgs>'");
+}
+
+TEST(Trace, LoadRejectsMalformedEpochCell)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_badcell.txt",
+                     "mnoc-trace 3\nw\nn\n2 10\nmanifest 0\n"
+                     "epochs 1 8\nepoch 1\n0 one 4 8\n"),
+        8, "malformed epoch cell");
+}
+
+TEST(Trace, LoadRejectsEpochEndpointOutOfRange)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_eprange.txt",
+                     "mnoc-trace 3\nw\nn\n2 10\nmanifest 0\n"
+                     "epochs 1 8\nepoch 1\n0 5 4 8\n"),
+        8, "epoch cell endpoint out of range");
+}
+
+TEST(Trace, LoadRejectsTruncatedEpochBlock)
+{
+    expectLoadFailure(
+        writeFixture("mnoc_trace_eptrunc.txt",
+                     "mnoc-trace 3\nw\nn\n2 10\nmanifest 0\n"
+                     "epochs 2 8\nepoch 1\n0 1 4 8\n"),
+        9, "truncated epochs block");
+}
+
+TEST(Trace, MapTracePermutesAndResortsEpochCells)
+{
+    Trace t = sampleTraceWithEpochs();
+    Trace mapped = mapTrace(t, {3, 2, 1, 0});
+    EXPECT_EQ(mapped.epochs.messagesPerEpoch, 8u);
+    ASSERT_EQ(mapped.epochs.epochs.size(), 2u);
+    // (0,1)->(3,2) and (2,3)->(1,0); cells come back sorted by
+    // (src, dst), so the permuted (2,3) cell now leads.
+    const auto &cells = mapped.epochs.epochs[0];
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].src, 1);
+    EXPECT_EQ(cells[0].dst, 0);
+    EXPECT_EQ(cells[0].flits, 2u);
+    EXPECT_EQ(cells[1].src, 3);
+    EXPECT_EQ(cells[1].dst, 2);
+    EXPECT_EQ(cells[1].flits, 18u);
+}
+
 TEST(Trace, SaveTraceDetectsFullDisk)
 {
     // Regression: saveTrace used to return successfully after writing

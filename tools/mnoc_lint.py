@@ -20,6 +20,11 @@ that the compiler cannot:
   raw-thread      all concurrency goes through the shared pool in
                   common/thread_pool.hh; raw std::thread / std::async
                   escapes the determinism contract of DESIGN.md §9.
+  raw-ofstream    all file writes go through FileWriter (or a helper
+                  built on it) in common/io.hh; a raw std::ofstream
+                  drops write errors on the floor and produces
+                  truncated artifacts on full disks.  Tests are
+                  exempt (they stage fixtures).
   header-guard    headers use #ifndef MNOC_<PATH>_HH guards matching
                   their path, with a matching trailing comment.
   include-order   own header first (in .cc files), then <system>
@@ -60,6 +65,10 @@ THREAD_ALLOWLIST = ("src/common/thread_pool.hh",
                     "src/common/thread_pool.cc",
                     "tests/test_thread_pool.cc")
 
+# The one place allowed to own a raw output stream: the FileWriter
+# choke point every other writer builds on.
+OFSTREAM_ALLOWLIST = ("src/common/io.hh", "src/common/io.cc")
+
 # Directories whose sources are power math (float-free zone).
 FLOAT_DIRS = ("src/optics", "src/core", "src/faults", "src/common")
 
@@ -71,6 +80,7 @@ FLOAT_RE = re.compile(r"\bfloat\b")
 # Matches std::thread (including std::thread::id) but not
 # std::this_thread, which is harmless introspection.
 THREAD_RE = re.compile(r"std::(?:thread|jthread|async)\b")
+OFSTREAM_RE = re.compile(r"std::ofstream\b")
 UNIT_PARAM_RE = re.compile(
     r"\bdouble\s+(\w*_(?:db|dbm|w|uw|mw|m|cm))\b")
 INCLUDE_RE = re.compile(r'#\s*include\s*([<"])([^>"]+)[>"]')
@@ -184,6 +194,19 @@ def check_raw_thread(relpath, code_lines, findings):
                          "ThreadPool in common/thread_pool.hh; raw "
                          "threads break the deterministic-parallelism "
                          "contract (DESIGN.md §9)")
+
+
+def check_raw_ofstream(relpath, code_lines, findings):
+    if relpath in OFSTREAM_ALLOWLIST:
+        return
+    if relpath.startswith("tests/"):
+        return
+    for lineno, text in code_lines:
+        if OFSTREAM_RE.search(text):
+            findings.add(relpath, lineno, "raw-ofstream",
+                         "raw std::ofstream drops write errors; use "
+                         "FileWriter from common/io.hh (or CsvWriter/"
+                         "writePgmHeatmap built on it)")
 
 
 def check_float(relpath, code_lines, findings):
@@ -327,6 +350,7 @@ def lint_file(path, root, findings):
     check_raw_pow(relpath, code_lines, findings)
     check_rng(relpath, code_lines, findings)
     check_raw_thread(relpath, code_lines, findings)
+    check_raw_ofstream(relpath, code_lines, findings)
     check_float(relpath, code_lines, findings)
     check_unit_params(relpath, code_lines, findings)
     check_header_guard(relpath, lines, findings)

@@ -11,6 +11,12 @@
  *   budget    validate a design's link budgets / BER
  *   yield     Monte Carlo yield / margin distributions under device
  *             variation
+ *   report    render a design + trace into the energy-attribution
+ *             report: markdown summary, per-(source, mode) and
+ *             per-epoch CSV tables, and a source-power heatmap, all
+ *             stamped with the trace's embedded manifest
+ *   profile   aggregate a span trace (MNOC_TRACE_SPANS output) into
+ *             an inclusive/exclusive hotspot table
  *   stats     print a trace's embedded run manifest and the metrics
  *             the command collected (set MNOC_METRICS=1 to collect
  *             in any command; see README "Environment knobs")
@@ -26,6 +32,9 @@
  *   mnocpt budget --design ws.design
  *   mnocpt yield --design ws.design --trials 500 --seed 7 \
  *                --csv ws_yield.csv
+ *   mnocpt report --design ws.design --trace ws.trace --map ws.map \
+ *                 --dir report_out
+ *   mnocpt profile --spans mnoc_spans.json --top 20
  *   mnocpt stats --trace ws.trace --json ws_metrics.json
  */
 
@@ -34,6 +43,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -44,12 +54,16 @@
 #include <vector>
 
 #include "common/csv.hh"
+#include "common/io.hh"
 #include "common/log.hh"
 #include "common/manifest.hh"
 #include "common/metrics.hh"
+#include "common/pgm.hh"
 #include "common/table.hh"
+#include "common/trace_span.hh"
 #include "core/design_io.hh"
 #include "core/designer.hh"
+#include "core/energy_ledger.hh"
 #include "faults/yield.hh"
 #include "noc/mnoc_network.hh"
 #include "optics/link_budget.hh"
@@ -225,10 +239,10 @@ cmdMap(const Args &args)
     auto result = ctx.designer.map(toFlowMatrix(trace.flits),
                                    core::MappingMethod::Taboo, params);
 
-    std::ofstream out(args.get("out"));
-    fatalIf(!out.is_open(), "cannot open output mapping file");
+    FileWriter out(args.get("out"));
     for (int core : result.threadToCore)
-        out << core << "\n";
+        out.stream() << core << "\n";
+    out.close();
     std::cout << "QAP cost " << result.identityCost << " -> "
               << result.qapCost << " ("
               << 100.0 * (1.0 - result.qapCost / result.identityCost)
@@ -472,6 +486,267 @@ cmdBudget(const Args &args)
     return all_ok ? 0 : 1;
 }
 
+/** Deterministic scientific rendering for report numbers. */
+std::string
+sci(double value)
+{
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(6) << value;
+    return os.str();
+}
+
+int
+cmdReport(const Args &args)
+{
+    auto design = core::loadDesign(args.get("design"));
+    auto trace = sim::loadTrace(args.get("trace"));
+    int cores = design.topology.numNodes;
+    Context ctx(cores);
+
+    auto mapping = args.has("map")
+                       ? loadMapping(args.get("map"), cores)
+                       : identity(cores);
+    auto ledger = ctx.designer.buildLedger(design, trace, mapping);
+    auto power = ledger.averagePower();
+
+    std::string dir = args.get("dir", ".");
+    std::filesystem::create_directories(dir);
+    std::string prefix = args.get("prefix", "mnoc_");
+    std::string base = dir + "/" + prefix;
+    // Stamp artifacts with the *trace's* embedded manifest: the
+    // report describes that captured run, not this invocation, and
+    // the stamp stays stable when the same trace is re-rendered.
+    std::string stamp = manifestJson(trace.manifest);
+
+    int modes = ledger.numModes();
+    std::size_t num_epochs = ledger.numEpochs();
+
+    // Per-(source, mode) totals across epochs, and the
+    // time-weighted optical-loss energy attribution.
+    std::vector<core::LedgerCell> totals(
+        static_cast<std::size_t>(cores) *
+        static_cast<std::size_t>(modes));
+    optics::ChainLossBreakdown optical; // joules, not watts, here
+    for (int s = 0; s < cores; ++s) {
+        for (int m = 0; m < modes; ++m) {
+            auto &total =
+                totals[static_cast<std::size_t>(s) *
+                           static_cast<std::size_t>(modes) +
+                       static_cast<std::size_t>(m)];
+            for (std::size_t e = 0; e < num_epochs; ++e) {
+                const auto &cell = ledger.cell(s, m, e);
+                total.flits += cell.flits;
+                total.txSeconds += cell.txSeconds;
+                total.sourceEnergy += cell.sourceEnergy;
+                total.oeEnergy += cell.oeEnergy;
+                total.electricalEnergy += cell.electricalEnergy;
+            }
+            const auto &loss = ledger.loss(s, m);
+            double tx = total.txSeconds;
+            optical.injected += tx * loss.injected;
+            optical.sourceCoupling += tx * loss.sourceCoupling;
+            optical.sourceSplit += tx * loss.sourceSplit;
+            optical.waveguide += tx * loss.waveguide;
+            optical.tapInsertion += tx * loss.tapInsertion;
+            optical.receiverCoupling += tx * loss.receiverCoupling;
+            optical.delivered += tx * loss.delivered;
+            optical.residual += tx * loss.residual;
+        }
+    }
+
+    // Per-(source, mode) attribution table.
+    std::string power_csv = base + "power.csv";
+    {
+        CsvWriter csv(power_csv);
+        csv.writeRow({"# " + stamp});
+        csv.writeRow({"source", "mode", "flits", "tx_seconds",
+                      "source_energy_j", "oe_energy_j",
+                      "electrical_energy_j", "injected_w",
+                      "source_coupling_w", "source_split_w",
+                      "waveguide_w", "tap_insertion_w",
+                      "receiver_coupling_w", "delivered_w",
+                      "residual_w"});
+        for (int s = 0; s < cores; ++s) {
+            for (int m = 0; m < modes; ++m) {
+                const auto &total =
+                    totals[static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(modes) +
+                           static_cast<std::size_t>(m)];
+                if (total.flits == 0)
+                    continue;
+                const auto &loss = ledger.loss(s, m);
+                csv.cell(static_cast<long long>(s))
+                    .cell(static_cast<long long>(m))
+                    .cell(static_cast<long long>(total.flits))
+                    .cell(total.txSeconds)
+                    .cell(total.sourceEnergy)
+                    .cell(total.oeEnergy)
+                    .cell(total.electricalEnergy)
+                    .cell(loss.injected)
+                    .cell(loss.sourceCoupling)
+                    .cell(loss.sourceSplit)
+                    .cell(loss.waveguide)
+                    .cell(loss.tapInsertion)
+                    .cell(loss.receiverCoupling)
+                    .cell(loss.delivered)
+                    .cell(loss.residual);
+                csv.endRow();
+            }
+        }
+        csv.close();
+    }
+
+    // Per-epoch time series.
+    std::string epochs_csv = base + "epochs.csv";
+    {
+        CsvWriter csv(epochs_csv);
+        csv.writeRow({"# " + stamp});
+        csv.writeRow({"epoch", "flits", "tx_seconds",
+                      "source_energy_j", "oe_energy_j",
+                      "electrical_energy_j", "total_energy_j"});
+        for (std::size_t e = 0; e < num_epochs; ++e) {
+            core::LedgerCell window;
+            for (int s = 0; s < cores; ++s) {
+                for (int m = 0; m < modes; ++m) {
+                    const auto &cell = ledger.cell(s, m, e);
+                    window.flits += cell.flits;
+                    window.txSeconds += cell.txSeconds;
+                    window.sourceEnergy += cell.sourceEnergy;
+                    window.oeEnergy += cell.oeEnergy;
+                    window.electricalEnergy += cell.electricalEnergy;
+                }
+            }
+            csv.cell(static_cast<long long>(e))
+                .cell(static_cast<long long>(window.flits))
+                .cell(window.txSeconds)
+                .cell(window.sourceEnergy)
+                .cell(window.oeEnergy)
+                .cell(window.electricalEnergy)
+                .cell(window.totalEnergy());
+            csv.endRow();
+        }
+        csv.close();
+    }
+
+    // (epoch, source) power heatmap.
+    std::string pgm = base + "source_power.pgm";
+    writePgmHeatmap(pgm, ledger.sourceEpochPower(), true, stamp);
+
+    // Markdown summary.
+    std::string report_md = base + "report.md";
+    {
+        FileWriter writer(report_md);
+        auto &out = writer.stream();
+        out << "# mNoC energy-attribution report\n\n";
+        out << "- workload: " << trace.workloadName << "\n";
+        out << "- network: " << trace.networkName << "\n";
+        out << "- nodes: " << cores << ", modes: " << modes << "\n";
+        out << "- cycles: " << trace.totalTicks << ", duration: "
+            << sci(ledger.durationSeconds()) << " s\n";
+        out << "- epochs: " << num_epochs;
+        if (ledger.messagesPerEpoch() > 0)
+            out << " (" << ledger.messagesPerEpoch()
+                << " messages each)";
+        else
+            out << " (whole run; trace carries no epoch buckets)";
+        out << "\n";
+        out << "- trace manifest: `" << stamp << "`\n\n";
+
+        out << "## Average power (W)\n\n";
+        out << "| component | power (W) |\n";
+        out << "|---|---|\n";
+        out << "| QD LED source | " << sci(power.source) << " |\n";
+        out << "| O/E conversion | " << sci(power.oe) << " |\n";
+        out << "| electrical | " << sci(power.electrical) << " |\n";
+        out << "| total | " << sci(power.total()) << " |\n\n";
+
+        out << "## Optical energy attribution (J)\n\n";
+        out << "Time-weighted splitter-chain walk; buckets sum to "
+               "the injected optical energy (self-checked by the "
+               "ledger).\n\n";
+        out << "| bucket | energy (J) |\n";
+        out << "|---|---|\n";
+        out << "| injected | " << sci(optical.injected) << " |\n";
+        out << "| source coupling | " << sci(optical.sourceCoupling)
+            << " |\n";
+        out << "| source split | " << sci(optical.sourceSplit)
+            << " |\n";
+        out << "| waveguide | " << sci(optical.waveguide) << " |\n";
+        out << "| tap insertion | " << sci(optical.tapInsertion)
+            << " |\n";
+        out << "| receiver coupling | "
+            << sci(optical.receiverCoupling) << " |\n";
+        out << "| delivered | " << sci(optical.delivered) << " |\n";
+        out << "| residual | " << sci(optical.residual) << " |\n\n";
+
+        out << "## Artifacts\n\n";
+        out << "- per-(source, mode) attribution: " << prefix
+            << "power.csv\n";
+        out << "- per-epoch time series: " << prefix
+            << "epochs.csv\n";
+        out << "- (epoch, source) power heatmap: " << prefix
+            << "source_power.pgm\n";
+        writer.close();
+    }
+
+    std::cout << "report written to " << report_md << " (+ "
+              << prefix << "power.csv, " << prefix << "epochs.csv, "
+              << prefix << "source_power.pgm)\n";
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    std::string path = args.get("spans");
+    std::ifstream in(path);
+    fatalIf(!in.is_open(), "cannot open span file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fatalIf(in.bad(), "I/O error reading span file: " + path);
+
+    auto events = parseSpanJson(buffer.str());
+    auto rows = profileSpans(std::move(events));
+
+    int top = args.getInt("top", 0);
+    std::size_t limit = rows.size();
+    if (top > 0 && static_cast<std::size_t>(top) < limit)
+        limit = static_cast<std::size_t>(top);
+
+    TextTable table;
+    table.addRow({"span", "calls", "inclusive (ms)",
+                  "exclusive (ms)"});
+    for (std::size_t i = 0; i < limit; ++i) {
+        const auto &row = rows[i];
+        table.addRow(
+            {row.name, std::to_string(row.calls),
+             TextTable::num(
+                 static_cast<double>(row.inclusiveUs) / 1000.0, 3),
+             TextTable::num(
+                 static_cast<double>(row.exclusiveUs) / 1000.0, 3)});
+    }
+    table.print(std::cout);
+    if (limit < rows.size())
+        std::cout << "(" << rows.size() - limit
+                  << " more spans; raise --top)\n";
+
+    if (args.has("csv")) {
+        CsvWriter csv(args.get("csv"));
+        csv.writeRow(
+            {"span", "calls", "inclusive_us", "exclusive_us"});
+        for (const auto &row : rows) {
+            csv.cell(row.name)
+                .cell(static_cast<long long>(row.calls))
+                .cell(static_cast<long long>(row.inclusiveUs))
+                .cell(static_cast<long long>(row.exclusiveUs));
+            csv.endRow();
+        }
+        csv.close();
+        std::cout << "profile written to " << args.get("csv") << "\n";
+    }
+    return 0;
+}
+
 int
 cmdStats(const Args &args)
 {
@@ -489,6 +764,9 @@ cmdStats(const Args &args)
     }
     auto &metrics = MetricsRegistry::global();
     metrics.printText(std::cout);
+    // Warnings swallowed by MNOC_LOG_LEVEL still leave a trail here.
+    std::cout << "log.suppressed_warnings " << suppressedWarningCount()
+              << "\n";
     if (args.has("json")) {
         metrics.writeJson(args.get("json"));
         std::cout << "metrics written to " << args.get("json") << "\n";
@@ -501,7 +779,8 @@ usage()
 {
     std::cerr
         << "usage: mnocpt "
-           "<simulate|map|design|evaluate|budget|yield|stats> "
+           "<simulate|map|design|evaluate|budget|yield|report|"
+           "profile|stats> "
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
            "[--seed N] --out FILE\n"
@@ -517,6 +796,9 @@ usage()
            "  yield    --design FILE [--trials N] [--seed N] "
            "[--vtol F] [--link-margin DB]\n"
            "           [--leak-gap DB] [--csv FILE]\n"
+           "  report   --design FILE --trace FILE [--map FILE] "
+           "[--dir DIR] [--prefix P]\n"
+           "  profile  --spans FILE [--top N] [--csv FILE]\n"
            "  stats    [--trace FILE] [--json FILE]\n";
 }
 
@@ -544,6 +826,10 @@ main(int argc, char **argv)
             return cmdBudget(args);
         if (command == "yield")
             return cmdYield(args);
+        if (command == "report")
+            return cmdReport(args);
+        if (command == "profile")
+            return cmdProfile(args);
         if (command == "stats")
             return cmdStats(args);
         usage();
