@@ -10,11 +10,16 @@
 
 #include "common/metrics.hh"
 #include "common/prng.hh"
+#include "common/thread_pool.hh"
 #include "common/trace_span.hh"
+#include "core/designer.hh"
+#include "faults/variation.hh"
 #include "noc/channel.hh"
 #include "optics/alpha_optimizer.hh"
 #include "optics/crossbar.hh"
 #include "qap/qap.hh"
+#include "runtime/degradation_controller.hh"
+#include "runtime/fault_timeline.hh"
 #include "sim/cache.hh"
 
 using namespace mnoc;
@@ -164,6 +169,60 @@ BM_TraceSpanOff(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceSpanOff);
+
+/** Composing one epoch's fault state from a dense event list: the
+ *  per-epoch fixed cost the degradation controller pays before any
+ *  link budgets are evaluated. */
+void
+BM_FaultTimelineStateAt(benchmark::State &state)
+{
+    constexpr std::size_t kEpochs = 64;
+    runtime::FaultTimeline timeline(
+        runtime::FaultTimelineSpec{}.scaled(4.0), 256, 4, kEpochs,
+        7);
+    std::size_t epoch = 0;
+    for (auto _ : state) {
+        auto fault_state = timeline.stateAt(epoch % kEpochs);
+        benchmark::DoNotOptimize(fault_state.activeEvents);
+        ++epoch;
+    }
+}
+BENCHMARK(BM_FaultTimelineStateAt);
+
+/** Full controller run over a faulted window: per-source link-budget
+ *  re-evaluation plus the rule table, serial pool. */
+void
+BM_DegradationController(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    optics::SerpentineLayout layout{n, Meters(0.18)};
+    optics::OpticalCrossbar crossbar(layout,
+                                     optics::DeviceParams{});
+    core::Designer designer(crossbar);
+    core::DesignSpec spec;
+    spec.numModes = 2;
+    spec.assignment = core::Assignment::Clustered;
+    spec.weights = core::WeightSource::Uniform;
+    FlowMatrix flow(n, n, 1.0);
+    auto topology = designer.buildTopology(spec, flow);
+    auto design = designer.buildDesign(spec, topology, flow);
+
+    Prng prng(1);
+    auto variation = faults::drawVariation(
+        faults::VariationSpec{}.scaled(0.0), crossbar.params(), n,
+        prng);
+    runtime::FaultTimeline timeline(runtime::FaultTimelineSpec{}, n,
+                                    spec.numModes, 8, 7);
+    runtime::DegradationPolicy policy;
+    ThreadPool pool(1);
+    for (auto _ : state) {
+        auto log = runtime::runDegradationController(
+            layout, design, variation, timeline, policy, nullptr,
+            &pool);
+        benchmark::DoNotOptimize(log.finalNumModes);
+    }
+}
+BENCHMARK(BM_DegradationController)->Arg(64);
 
 } // namespace
 

@@ -19,6 +19,7 @@ namespace {
 constexpr const char *kKnobs[] = {
     "MNOC_THREADS",     "MNOC_METRICS",   "MNOC_TRACE_SPANS",
     "MNOC_BENCH_CORES", "MNOC_BENCH_OPS", "MNOC_BENCH_DIR",
+    "MNOC_FAULTS",      "MNOC_FAULT_SEED",
 };
 
 bool

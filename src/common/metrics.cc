@@ -224,20 +224,50 @@ setLedgerEnabled(bool on)
 }
 
 std::uint64_t
+parsePositiveCount(const char *text, const char *knob,
+                   std::uint64_t fallback)
+{
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(text, &end, 10);
+    fatalIf(end == text || *end != '\0' || parsed < 1,
+            std::string(knob) +
+                " must be a positive integer, got '" + text + "'");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::uint64_t
 ledgerEpochMessages()
 {
-    static std::uint64_t cached = [] {
-        const char *value = std::getenv("MNOC_EPOCH_MSGS");
-        if (value == nullptr || *value == '\0')
-            return std::uint64_t{1024};
-        char *end = nullptr;
-        long long parsed = std::strtoll(value, &end, 10);
-        fatalIf(end == nullptr || *end != '\0' || parsed < 1,
-                std::string("MNOC_EPOCH_MSGS must be a positive "
-                            "integer, got '") +
+    static std::uint64_t cached =
+        parsePositiveCount(std::getenv("MNOC_EPOCH_MSGS"),
+                           "MNOC_EPOCH_MSGS", 1024);
+    return cached;
+}
+
+bool
+faultsEnabled()
+{
+    static bool cached = [] {
+        const char *value = std::getenv("MNOC_FAULTS");
+        if (value == nullptr || *value == '\0' ||
+            std::strcmp(value, "0") == 0)
+            return false;
+        fatalIf(std::strcmp(value, "1") != 0,
+                std::string("MNOC_FAULTS must be 0 or 1, got '") +
                     value + "'");
-        return static_cast<std::uint64_t>(parsed);
+        return true;
     }();
+    return cached;
+}
+
+std::uint64_t
+faultSeed()
+{
+    static std::uint64_t cached =
+        parsePositiveCount(std::getenv("MNOC_FAULT_SEED"),
+                           "MNOC_FAULT_SEED", 1);
     return cached;
 }
 

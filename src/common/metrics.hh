@@ -190,6 +190,26 @@ void setLedgerEnabled(bool on);
 std::uint64_t ledgerEpochMessages();
 
 /**
+ * Strict parser behind the counted environment knobs
+ * (MNOC_EPOCH_MSGS, MNOC_FAULT_SEED): null or empty @p text yields
+ * @p fallback; anything else must parse entirely as a positive
+ * integer, or the call fatals naming @p knob and the offending
+ * value.  Silent fallback on garbage is deliberately not offered --
+ * a mistyped knob must stop the run, not quietly reconfigure it.
+ */
+std::uint64_t parsePositiveCount(const char *text, const char *knob,
+                                 std::uint64_t fallback);
+
+/** True when the runtime fault-injection engine should run
+ *  (MNOC_FAULTS: unset, empty or "0" disables, "1" enables; any
+ *  other value is a fatal configuration error). */
+bool faultsEnabled();
+
+/** Seed of the runtime fault timeline (MNOC_FAULT_SEED, default 1;
+ *  garbage, zero or negative values are a fatal error). */
+std::uint64_t faultSeed();
+
+/**
  * Process-wide registry of named metrics.  Registration is
  * mutex-guarded and handles are stable for the registry's lifetime,
  * so call sites fetch a handle once and record lock-free afterwards.

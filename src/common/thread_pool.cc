@@ -134,11 +134,14 @@ ThreadPool::parseThreads(const char *text, int fallback)
         return fallback;
     char *end = nullptr;
     long value = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0' || value < 1 || value > 4096) {
-        warn("ignoring invalid MNOC_THREADS value '" +
-             std::string(text) + "'");
-        return fallback;
-    }
+    // A mistyped override must stop the run: silently falling back
+    // would run at a different thread count than the user asked
+    // for, and nobody would notice until the provenance manifests
+    // disagree.
+    fatalIf(end == text || *end != '\0' || value < 1 ||
+                value > 4096,
+            "MNOC_THREADS must be an integer in [1, 4096], got '" +
+                std::string(text) + "'");
     return static_cast<int>(value);
 }
 

@@ -98,8 +98,9 @@ class ThreadPool
      *  concurrency (at least 1). */
     static int configuredThreads();
 
-    /** Parse a thread-count override; returns @p fallback (with a
-     *  warning) on null, empty, non-numeric or out-of-range text. */
+    /** Parse a thread-count override; returns @p fallback on null
+     *  or empty text and fatals (naming the offending value) on
+     *  garbage, zero, negative or out-of-range input. */
     static int parseThreads(const char *text, int fallback);
 
   private:

@@ -19,6 +19,32 @@ EnergyLedger::EnergyLedger(int num_sources, int num_modes,
                   static_cast<std::size_t>(num_modes) * num_epochs);
     losses_.resize(static_cast<std::size_t>(num_sources) *
                    static_cast<std::size_t>(num_modes));
+    reconfig_.resize(num_epochs, 0.0);
+}
+
+void
+EnergyLedger::addReconfigEnergy(std::size_t epoch, double joules)
+{
+    panicIf(epoch >= numEpochs_, "ledger epoch out of range");
+    panicIf(joules < 0.0, "reconfiguration energy must be "
+                          "non-negative");
+    reconfig_[epoch] += joules;
+}
+
+double
+EnergyLedger::reconfigEnergy(std::size_t epoch) const
+{
+    panicIf(epoch >= numEpochs_, "ledger epoch out of range");
+    return reconfig_[epoch];
+}
+
+double
+EnergyLedger::totalReconfigEnergy() const
+{
+    double total = 0.0;
+    for (double joules : reconfig_)
+        total += joules;
+    return total;
 }
 
 std::size_t
@@ -75,6 +101,7 @@ EnergyLedger::averagePower() const
     out.source = source_energy / duration_;
     out.oe = oe_energy / duration_;
     out.electrical = electrical_energy / duration_;
+    out.reconfig = totalReconfigEnergy() / duration_;
     return out;
 }
 
@@ -84,7 +111,7 @@ EnergyLedger::totalEnergy() const
     double total = 0.0;
     for (const LedgerCell &cell : cells_)
         total += cell.totalEnergy();
-    return total;
+    return total + totalReconfigEnergy();
 }
 
 FlowMatrix

@@ -80,6 +80,22 @@ class EnergyLedger
     const optics::ChainLossBreakdown &loss(int source,
                                            int mode) const;
 
+    /**
+     * Charge @p joules of reconfiguration energy (drive re-trims,
+     * mode failovers and collapses booked by the degradation
+     * controller) to @p epoch.  Reconfiguration cells sit beside
+     * the per-(source, mode) cells so degraded runs still account
+     * for every joule: totalEnergy() and averagePower() include
+     * them.
+     */
+    void addReconfigEnergy(std::size_t epoch, double joules);
+
+    /** Reconfiguration energy charged to @p epoch, in joules. */
+    double reconfigEnergy(std::size_t epoch) const;
+
+    /** Total reconfiguration energy across every epoch. */
+    double totalReconfigEnergy() const;
+
     /** Average power over the traced interval; the ledger-sourced
      *  equivalent of MnocPowerModel::evaluate(). */
     PowerBreakdown averagePower() const;
@@ -104,6 +120,8 @@ class EnergyLedger
     std::vector<LedgerCell> cells_;
     /** Indexed [source * numModes + mode]. */
     std::vector<optics::ChainLossBreakdown> losses_;
+    /** Per-epoch reconfiguration-cost cells, in joules. */
+    std::vector<double> reconfig_;
 };
 
 } // namespace mnoc::core

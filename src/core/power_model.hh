@@ -56,11 +56,13 @@ struct PowerBreakdown
     double electrical = 0.0;  ///< buffers, links, routers
     double ringHeating = 0.0; ///< rNoC ring thermal trimming
     double laser = 0.0;       ///< rNoC external laser
+    double reconfig = 0.0;    ///< runtime reconfiguration actions
 
     double
     total() const
     {
-        return source + oe + electrical + ringHeating + laser;
+        return source + oe + electrical + ringHeating + laser +
+               reconfig;
     }
 };
 

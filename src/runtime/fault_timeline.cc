@@ -1,0 +1,237 @@
+#include "runtime/fault_timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/log.hh"
+#include "common/prng.hh"
+
+namespace mnoc::runtime {
+
+namespace {
+
+/** Kinds in generation order; the enum order is the canonical sort
+ *  order, so keep the two lists identical. */
+constexpr FaultKind kKinds[] = {
+    FaultKind::ThermalDrift,   FaultKind::LaserDroop,
+    FaultKind::SplitterAging,  FaultKind::ReceiverDrift,
+    FaultKind::DeadMode,
+};
+
+double
+rateOf(const FaultTimelineSpec &spec, FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ThermalDrift:
+        return spec.thermalDriftRate;
+    case FaultKind::LaserDroop:
+        return spec.laserDroopRate;
+    case FaultKind::SplitterAging:
+        return spec.splitterAgingRate;
+    case FaultKind::ReceiverDrift:
+        return spec.receiverDriftRate;
+    case FaultKind::DeadMode:
+        return spec.deadModeRate;
+    }
+    panic("unhandled fault kind");
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ThermalDrift:
+        return "thermal_drift";
+    case FaultKind::LaserDroop:
+        return "laser_droop";
+    case FaultKind::SplitterAging:
+        return "splitter_aging";
+    case FaultKind::ReceiverDrift:
+        return "receiver_drift";
+    case FaultKind::DeadMode:
+        return "dead_mode";
+    }
+    panic("unhandled fault kind");
+}
+
+FaultTimelineSpec
+FaultTimelineSpec::scaled(double factor) const
+{
+    fatalIf(factor < 0.0, "fault rate scale must be non-negative");
+    FaultTimelineSpec out = *this;
+    out.thermalDriftRate *= factor;
+    out.laserDroopRate *= factor;
+    out.splitterAgingRate *= factor;
+    out.receiverDriftRate *= factor;
+    out.deadModeRate *= factor;
+    return out;
+}
+
+void
+FaultTimelineSpec::validate() const
+{
+    fatalIf(thermalDriftRate < 0.0 || laserDroopRate < 0.0 ||
+                splitterAgingRate < 0.0 || receiverDriftRate < 0.0 ||
+                deadModeRate < 0.0,
+            "fault rates must be non-negative");
+    fatalIf(thermalDriftPeak < DecibelLoss(0.0),
+            "thermal drift peak must be non-negative");
+    fatalIf(receiverDriftStep < DecibelLoss(0.0),
+            "receiver drift step must be non-negative");
+    fatalIf(laserDroopStep < 0.0 || laserDroopStep >= 1.0,
+            "laser droop step must lie in [0, 1)");
+    fatalIf(splitterAgingStep < 0.0 || splitterAgingStep >= 1.0,
+            "splitter aging step must lie in [0, 1)");
+    fatalIf(thermalDriftEpochs < 1,
+            "thermal drift needs at least one epoch");
+    fatalIf(deadModeEpochs < 1,
+            "dead-mode outages need at least one epoch");
+}
+
+FaultTimeline::FaultTimeline(const FaultTimelineSpec &spec,
+                             int num_nodes, int num_modes,
+                             std::size_t num_epochs,
+                             std::uint64_t seed)
+    : numNodes_(num_nodes), numModes_(num_modes),
+      numEpochs_(num_epochs), seed_(seed)
+{
+    spec.validate();
+    fatalIf(num_nodes < 1, "fault timeline needs at least one node");
+    fatalIf(num_modes < 1, "fault timeline needs at least one mode");
+    fatalIf(num_modes > 32,
+            "fault timeline supports at most 32 modes");
+    fatalIf(num_epochs < 1,
+            "fault timeline needs at least one epoch");
+
+    // Every event consumes exactly four variates, whatever its kind
+    // or the spec's magnitudes, so timelines that differ only in
+    // rates or magnitudes see the same underlying draws (the same
+    // property drawVariation() maintains for fabrication draws).
+    Prng prng(seed);
+    for (FaultKind kind : kKinds) {
+        auto count = static_cast<long long>(
+            std::llround(rateOf(spec, kind) *
+                         static_cast<double>(num_epochs)));
+        if (kind == FaultKind::DeadMode && num_modes < 2)
+            count = 0; // broadcast-only: no spare to fail over to
+        for (long long i = 0; i < count; ++i) {
+            std::size_t start =
+                prng.below(static_cast<std::uint64_t>(num_epochs));
+            int node = static_cast<int>(
+                prng.below(static_cast<std::uint64_t>(num_nodes)));
+            double aux = prng.uniform();
+            double unit = 0.5 + prng.uniform(); // in [0.5, 1.5)
+
+            FaultEvent event;
+            event.kind = kind;
+            event.startEpoch = start;
+            event.node = node;
+            switch (kind) {
+            case FaultKind::ThermalDrift:
+                event.endEpoch = std::min(
+                    num_epochs, start + spec.thermalDriftEpochs);
+                event.magnitude = spec.thermalDriftPeak.dB() * unit;
+                break;
+            case FaultKind::LaserDroop:
+                event.endEpoch = num_epochs;
+                event.magnitude = spec.laserDroopStep * unit;
+                break;
+            case FaultKind::SplitterAging:
+                event.endEpoch = num_epochs;
+                // Ratios creep in either direction; aux picks the
+                // sign so the magnitude draw stays one-sided.
+                event.magnitude = spec.splitterAgingStep * unit *
+                                  (aux < 0.5 ? -1.0 : 1.0);
+                break;
+            case FaultKind::ReceiverDrift:
+                event.endEpoch = num_epochs;
+                event.node = -1; // die-wide
+                event.magnitude = spec.receiverDriftStep.dB() * unit;
+                break;
+            case FaultKind::DeadMode:
+                event.endEpoch = std::min(num_epochs,
+                                          start + spec.deadModeEpochs);
+                // Only modes below broadcast can die: the broadcast
+                // mode is the spare of last resort.
+                event.mode = static_cast<int>(
+                    aux * static_cast<double>(num_modes - 1));
+                event.mode =
+                    std::min(event.mode, num_modes - 2);
+                break;
+            }
+            events_.push_back(event);
+        }
+    }
+
+    // Canonical order: the schedule compares equal element-wise for
+    // equal inputs, and every consumer iterates deterministically.
+    std::sort(events_.begin(), events_.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  return std::tie(a.startEpoch, a.kind, a.node,
+                                  a.mode, a.magnitude) <
+                         std::tie(b.startEpoch, b.kind, b.node,
+                                  b.mode, b.magnitude);
+              });
+}
+
+RuntimeFaultState
+FaultTimeline::stateAt(std::size_t epoch) const
+{
+    panicIf(epoch >= numEpochs_, "fault epoch out of range");
+    RuntimeFaultState state;
+    auto n = static_cast<std::size_t>(numNodes_);
+    state.thermalSkew.assign(n, DecibelLoss(0.0));
+    state.ledScale.assign(n, 1.0);
+    state.splitterAgeScale.assign(n, 1.0);
+    state.deadModes.assign(n, 0u);
+
+    for (const FaultEvent &event : events_) {
+        if (epoch < event.startEpoch || epoch >= event.endEpoch)
+            continue;
+        ++state.activeEvents;
+        auto node = static_cast<std::size_t>(
+            event.node < 0 ? 0 : event.node);
+        switch (event.kind) {
+        case FaultKind::ThermalDrift: {
+            // Triangular ramp: detuning rises to the peak at the
+            // window's midpoint and recovers by its end.
+            auto dur = static_cast<double>(event.endEpoch -
+                                           event.startEpoch);
+            auto pos = static_cast<double>(epoch - event.startEpoch);
+            double ramp =
+                dur <= 1.0
+                    ? 1.0
+                    : 1.0 - std::abs(2.0 * pos / (dur - 1.0) - 1.0);
+            state.thermalSkew[node] +=
+                DecibelLoss(event.magnitude * ramp);
+            break;
+        }
+        case FaultKind::LaserDroop:
+            // Repeated droops compound; clamp keeps a much-faulted
+            // LED at a sliver of output rather than exactly zero,
+            // which would make every budget identically -inf dB.
+            state.ledScale[node] = std::max(
+                0.05, state.ledScale[node] * (1.0 - event.magnitude));
+            break;
+        case FaultKind::SplitterAging:
+            state.splitterAgeScale[node] = std::max(
+                0.05,
+                state.splitterAgeScale[node] *
+                    (1.0 + event.magnitude));
+            break;
+        case FaultKind::ReceiverDrift:
+            state.receiverSkew += DecibelLoss(event.magnitude);
+            break;
+        case FaultKind::DeadMode:
+            state.deadModes[node] |=
+                1u << static_cast<unsigned>(event.mode);
+            break;
+        }
+    }
+    return state;
+}
+
+} // namespace mnoc::runtime

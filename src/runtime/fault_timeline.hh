@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Seeded, deterministic schedule of runtime fault events.
+ *
+ * PR 1's DeviceVariation captures *fabrication-time* variation: one
+ * frozen draw per die.  A deployed crossbar also degrades while
+ * traffic flows -- ring heaters drift with the thermal environment,
+ * QD LED output droops with age, evanescent splitter ratios creep,
+ * receivers lose sensitivity, and a drive mode can die outright
+ * (PROTEUS-style runtime faults; see PAPERS.md).  The FaultTimeline
+ * turns a rate/magnitude spec plus a seed into a canonical, sorted
+ * list of FaultEvents over the epochs of a traced run, and
+ * stateAt(epoch) composes the events active in one epoch into a
+ * RuntimeFaultState that layers *on top of* a base DeviceVariation.
+ *
+ * Determinism: event generation is a pure function of (spec,
+ * num_nodes, num_modes, num_epochs, seed); composition is a pure
+ * function of the event list.  The timeline never consults wall
+ * clocks or global RNGs, so a faulted run replays bit-identically at
+ * any MNOC_THREADS (DESIGN.md §9).
+ */
+
+#ifndef MNOC_RUNTIME_FAULT_TIMELINE_HH
+#define MNOC_RUNTIME_FAULT_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "faults/variation.hh"
+
+namespace mnoc::runtime {
+
+/** The modeled classes of runtime degradation. */
+enum class FaultKind
+{
+    /** Transient per-source ring thermal detuning: extra coupling
+     *  loss ramping up and back down over a window of epochs. */
+    ThermalDrift,
+    /** Permanent relative QD LED output droop of one source. */
+    LaserDroop,
+    /** Permanent multiplicative creep of one node's splitter
+     *  ratio on every waveguide that taps it. */
+    SplitterAging,
+    /** Permanent die-wide receiver-sensitivity loss (mIOP rises). */
+    ReceiverDrift,
+    /** Transient outage of one (source, mode) drive level; the
+     *  controller must fail traffic over to a higher mode. */
+    DeadMode,
+};
+
+/** Stable lower-case name used in CSVs and logs. */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault event. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::ThermalDrift;
+    /** First epoch the event is active in. */
+    std::size_t startEpoch = 0;
+    /** One past the last active epoch (permanent events extend to
+     *  the end of the run). */
+    std::size_t endEpoch = 0;
+    /** Affected source or tap node; -1 for die-wide events. */
+    int node = -1;
+    /** Affected drive mode (DeadMode only; -1 otherwise). */
+    int mode = -1;
+    /** Kind-specific magnitude: peak dB for ThermalDrift and
+     *  ReceiverDrift, relative output loss for LaserDroop, relative
+     *  ratio shift for SplitterAging, unused for DeadMode. */
+    double magnitude = 0.0;
+};
+
+/**
+ * Rates and magnitudes of the generated schedule.  Rates are
+ * expected events per epoch over the whole die, so the event count
+ * of a run scales with its length; magnitudes are per-event peaks.
+ */
+struct FaultTimelineSpec
+{
+    double thermalDriftRate = 0.10;
+    double laserDroopRate = 0.05;
+    double splitterAgingRate = 0.05;
+    double receiverDriftRate = 0.03;
+    double deadModeRate = 0.02;
+    /** Peak per-source thermal coupling excursion. */
+    DecibelLoss thermalDriftPeak{0.6};
+    /** Length of a thermal ramp, in epochs. */
+    std::size_t thermalDriftEpochs = 8;
+    /** Relative LED output lost per droop event, in (0, 1). */
+    double laserDroopStep = 0.04;
+    /** Relative splitter-ratio shift per aging event. */
+    double splitterAgingStep = 0.03;
+    /** Die-wide mIOP rise per receiver-drift event. */
+    DecibelLoss receiverDriftStep{0.15};
+    /** Length of a dead-mode outage, in epochs. */
+    std::size_t deadModeEpochs = 6;
+
+    /** A copy with every rate multiplied by @p factor (0 disables
+     *  event generation entirely). */
+    FaultTimelineSpec scaled(double factor) const;
+
+    /** Fatal on negative rates or out-of-range magnitudes. */
+    void validate() const;
+};
+
+/**
+ * The composed fault state of one epoch, applied on top of a base
+ * DeviceVariation when replaying link budgets (the base draw gives
+ * the as-fabricated die; this adds what the run did to it since).
+ */
+struct RuntimeFaultState
+{
+    /** Extra per-source coupling-loss skew from thermal drift. */
+    std::vector<DecibelLoss> thermalSkew;
+    /** Multiplicative per-source LED output derating, in (0, 1]. */
+    std::vector<double> ledScale;
+    /** Multiplicative per-node splitter-ratio aging scale. */
+    std::vector<double> splitterAgeScale;
+    /** Die-wide receiver-sensitivity loss (raises pmin). */
+    DecibelLoss receiverSkew{0.0};
+    /** Per-source bitmask of dead drive modes (bit m set = source
+     *  cannot drive mode m this epoch; the broadcast mode is never
+     *  marked dead -- it is the spare of last resort). */
+    std::vector<std::uint32_t> deadModes;
+    /** Events active during the epoch. */
+    int activeEvents = 0;
+};
+
+/**
+ * A generated fault schedule over one run.  Events are canonically
+ * ordered by (startEpoch, kind, node, mode), so two timelines built
+ * from the same inputs compare equal element-wise.
+ */
+class FaultTimeline
+{
+  public:
+    /**
+     * Generate the schedule.  The number of events of each kind is
+     * round(rate * num_epochs); their epochs, targets and magnitudes
+     * are drawn from a Prng seeded with @p seed, consuming a
+     * spec-independent number of variates per event.
+     *
+     * @param num_modes Modes of the design the timeline will run
+     *        against; DeadMode events target modes below the
+     *        broadcast mode (none are generated when num_modes < 2).
+     */
+    FaultTimeline(const FaultTimelineSpec &spec, int num_nodes,
+                  int num_modes, std::size_t num_epochs,
+                  std::uint64_t seed);
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    int numNodes() const { return numNodes_; }
+    int numModes() const { return numModes_; }
+    std::size_t numEpochs() const { return numEpochs_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Compose the state active during @p epoch (pure function of
+     *  the event list; O(events) per call). */
+    RuntimeFaultState stateAt(std::size_t epoch) const;
+
+  private:
+    int numNodes_;
+    int numModes_;
+    std::size_t numEpochs_;
+    std::uint64_t seed_;
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace mnoc::runtime
+
+#endif // MNOC_RUNTIME_FAULT_TIMELINE_HH

@@ -14,11 +14,19 @@ namespace mnoc::sim {
 
 namespace {
 
-/** "path:line: why" fatal for the strict trace parser. */
+/**
+ * "path:line: why [kind record at byte N]" fatal for the strict
+ * trace parser.  Every failure names the record kind being parsed
+ * and the byte offset where it starts (for truncation, the offset
+ * where the file ends), so a cut or corrupted trace can be opened
+ * at the exact damage point instead of re-parsed by hand.
+ */
 [[noreturn]] void
-parseFail(const std::string &path, int line, const std::string &why)
+parseFail(const std::string &path, int line, std::size_t offset,
+          const std::string &kind, const std::string &why)
 {
-    fatal(path + ":" + std::to_string(line) + ": " + why);
+    fatal(path + ":" + std::to_string(line) + ": " + why + " [" +
+          kind + " record at byte " + std::to_string(offset) + "]");
 }
 
 } // namespace
@@ -149,15 +157,22 @@ loadTrace(const std::string &path)
 
     int lineno = 0;
     std::string line;
+    // Byte bookkeeping for parseFail: line_offset is where the
+    // current line starts; offset is one past its newline, i.e. the
+    // end-of-file position when nextLine() returns false.
+    std::size_t line_offset = 0;
+    std::size_t offset = 0;
     auto nextLine = [&]() -> bool {
+        line_offset = offset;
         if (!std::getline(in, line))
             return false;
         ++lineno;
+        offset += line.size() + 1;
         return true;
     };
 
     if (!nextLine())
-        parseFail(path, 1, "empty trace file");
+        parseFail(path, 1, 0, "header", "empty trace file");
     std::string magic;
     int version = 0;
     {
@@ -165,26 +180,29 @@ loadTrace(const std::string &path)
         header >> magic >> version;
         if (header.fail() || magic != "mnoc-trace" || version < 1 ||
             version > 3)
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "header",
                       "unrecognized trace file header: " + line);
     }
 
     Trace t;
     if (!nextLine())
-        parseFail(path, lineno + 1, "missing workload name");
+        parseFail(path, lineno + 1, line_offset, "workload",
+                  "missing workload name");
     t.workloadName = line;
     if (!nextLine())
-        parseFail(path, lineno + 1, "missing network name");
+        parseFail(path, lineno + 1, line_offset, "network",
+                  "missing network name");
     t.networkName = line;
 
     if (!nextLine())
-        parseFail(path, lineno + 1, "missing trace dimensions");
+        parseFail(path, lineno + 1, line_offset, "dimensions",
+                  "missing trace dimensions");
     int n = 0;
     {
         std::istringstream dims(line);
         dims >> n >> t.totalTicks;
         if (dims.fail() || n <= 0)
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "dimensions",
                       "malformed trace dimensions: " + line);
     }
     t.packets = CountMatrix(n, n, 0);
@@ -193,20 +211,23 @@ loadTrace(const std::string &path)
     bool pending = nextLine();
     if (version >= 2) {
         if (!pending)
-            parseFail(path, lineno + 1, "missing manifest block");
+            parseFail(path, lineno + 1, line_offset,
+                      "manifest-header", "missing manifest block");
         std::istringstream head(line);
         std::string keyword;
         std::size_t count = 0;
         head >> keyword >> count;
         if (head.fail() || keyword != "manifest")
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "manifest-header",
                       "expected 'manifest <n>', got: " + line);
         for (std::size_t i = 0; i < count; ++i) {
             if (!nextLine())
-                parseFail(path, lineno + 1,
+                parseFail(path, lineno + 1, line_offset,
+                          "manifest-entry",
                           "truncated manifest block");
             if (!parseManifestEntry(line, t.manifest))
-                parseFail(path, lineno,
+                parseFail(path, lineno, line_offset,
+                          "manifest-entry",
                           "malformed manifest entry: " + line);
         }
         pending = nextLine();
@@ -214,42 +235,46 @@ loadTrace(const std::string &path)
 
     if (version >= 3) {
         if (!pending)
-            parseFail(path, lineno + 1, "missing epochs block");
+            parseFail(path, lineno + 1, line_offset,
+                      "epochs-header", "missing epochs block");
         std::istringstream head(line);
         std::string keyword;
         std::size_t num_epochs = 0;
         head >> keyword >> num_epochs >> t.epochs.messagesPerEpoch;
         if (head.fail() || keyword != "epochs")
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "epochs-header",
                       "expected 'epochs <n> <msgs>', got: " + line);
         for (std::size_t e = 0; e < num_epochs; ++e) {
             if (!nextLine())
-                parseFail(path, lineno + 1,
-                          "truncated epochs block");
+                parseFail(path, lineno + 1, line_offset,
+                          "epoch-header", "truncated epochs block");
             std::istringstream epoch_head(line);
             std::string epoch_keyword;
             std::size_t cell_count = 0;
             epoch_head >> epoch_keyword >> cell_count;
             if (epoch_head.fail() || epoch_keyword != "epoch")
-                parseFail(path, lineno,
+                parseFail(path, lineno, line_offset, "epoch-header",
                           "expected 'epoch <cells>', got: " + line);
             std::vector<noc::EpochCell> cells;
             cells.reserve(cell_count);
             for (std::size_t c = 0; c < cell_count; ++c) {
                 if (!nextLine())
-                    parseFail(path, lineno + 1,
+                    parseFail(path, lineno + 1, line_offset,
+                              "epoch-cell",
                               "truncated epoch cell list");
                 std::istringstream cell_line(line);
                 noc::EpochCell cell;
                 cell_line >> cell.src >> cell.dst >> cell.packets >>
                     cell.flits;
                 if (cell_line.fail())
-                    parseFail(path, lineno,
+                    parseFail(path, lineno, line_offset,
+                              "epoch-cell",
                               "malformed epoch cell (expected 'src "
                               "dst packets flits'): " + line);
                 if (cell.src < 0 || cell.src >= n || cell.dst < 0 ||
                     cell.dst >= n)
-                    parseFail(path, lineno,
+                    parseFail(path, lineno, line_offset,
+                              "epoch-cell",
                               "epoch cell endpoint out of range: " +
                                   line);
                 cells.push_back(cell);
@@ -267,15 +292,15 @@ loadTrace(const std::string &path)
         std::uint64_t p = 0, f = 0;
         triplet >> s >> d >> p >> f;
         if (triplet.fail())
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "triplet",
                       "malformed trace triplet (expected 'src dst "
                       "packets flits'): " + line);
         std::string extra;
         if (triplet >> extra)
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "triplet",
                       "trailing garbage after triplet: " + line);
         if (s < 0 || s >= n || d < 0 || d >= n)
-            parseFail(path, lineno,
+            parseFail(path, lineno, line_offset, "triplet",
                       "trace endpoint out of range: " + line);
         t.packets(s, d) = p;
         t.flits(s, d) = f;

@@ -67,11 +67,56 @@ grep -q "loadTrace" "$DIR/profile.csv"
 "$MNOCPT" stats --trace "$DIR/t.trace" \
     | grep -q "log.suppressed_warnings"
 
-# Unknown subcommands and missing/malformed options must fail cleanly.
-if "$MNOCPT" frobnicate 2>/dev/null; then exit 1; fi
+# Runtime fault injection: the faults verb replays the trace under a
+# seeded fault schedule and emits an event log plus a reliability
+# time series; MNOC_FAULTS=1 folds the same engine into report.
+"$MNOCPT" faults --design "$DIR/t.design" --trace "$DIR/e.trace" \
+    --map "$DIR/t.map" --seed 7 --fault-scale 2.0 \
+    --link-margin 0.5 --dir "$DIR/faults" \
+    | grep -q "fault log written"
+grep -q "start_epoch" "$DIR/faults/mnoc_fault_events.csv"
+grep -q "margin_after_db" "$DIR/faults/mnoc_reliability.csv"
+MNOC_FAULTS=1 "$MNOCPT" report --design "$DIR/t.design" \
+    --trace "$DIR/e.trace" --map "$DIR/t.map" \
+    --dir "$DIR/report_f" > /dev/null
+grep -q "Reliability" "$DIR/report_f/mnoc_report.md"
+grep -q "reconfig_energy_j" "$DIR/report_f/mnoc_reliability.csv"
+
+# The same seed produces the same fault log and reliability series.
+"$MNOCPT" faults --design "$DIR/t.design" --trace "$DIR/e.trace" \
+    --map "$DIR/t.map" --seed 7 --fault-scale 2.0 \
+    --link-margin 0.5 --dir "$DIR/faults2" > /dev/null
+cmp -s "$DIR/faults/mnoc_fault_events.csv" \
+    "$DIR/faults2/mnoc_fault_events.csv"
+cmp -s "$DIR/faults/mnoc_reliability.csv" \
+    "$DIR/faults2/mnoc_reliability.csv"
+
+# Garbage fault knobs must stop the run, naming the knob.
+if MNOC_FAULTS=2 "$MNOCPT" report --design "$DIR/t.design" \
+    --trace "$DIR/e.trace" --dir "$DIR/report_bad" \
+    2>"$DIR/err_knob.txt"; then exit 1; fi
+grep -q "MNOC_FAULTS" "$DIR/err_knob.txt"
+
+# Unknown subcommands and missing/malformed options must fail cleanly,
+# with a diagnostic that names the offender.
+if "$MNOCPT" frobnicate 2>"$DIR/err_verb.txt"; then exit 1; fi
+grep -q "frobnicate" "$DIR/err_verb.txt"
 if "$MNOCPT" design --modes 2 2>/dev/null; then exit 1; fi
 if "$MNOCPT" yield --design "$DIR/t.design" --trials xyz 2>/dev/null
 then exit 1; fi
+
+# A missing trace fails with the path in the diagnostic.
+if "$MNOCPT" evaluate --design "$DIR/t.design" \
+    --trace "$DIR/no_such.trace" 2>"$DIR/err_trace.txt"
+then exit 1; fi
+grep -q "no_such.trace" "$DIR/err_trace.txt"
+
+# An unreadable design (a directory, here) fails with the path.
+mkdir -p "$DIR/not_a_file.design"
+if "$MNOCPT" budget --design "$DIR/not_a_file.design" \
+    2>"$DIR/err_design.txt"
+then exit 1; fi
+grep -q "not_a_file.design" "$DIR/err_design.txt"
 
 # Corrupt design files must be rejected, not misparsed.
 head -c 200 "$DIR/t.design" > "$DIR/bad.design"

@@ -16,6 +16,7 @@
 #include "common/io.hh"
 #include "common/log.hh"
 #include "common/matrix.hh"
+#include "common/metrics.hh"
 #include "common/pgm.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -386,6 +387,49 @@ TEST(Table, AlignsAndUnderlinesHeader)
     EXPECT_NE(text.find("----"), std::string::npos);
     EXPECT_NE(text.find("1.25"), std::string::npos);
     EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+}
+
+TEST(Knobs, ParsePositiveCountFallsBackOnlyWhenUnset)
+{
+    EXPECT_EQ(parsePositiveCount(nullptr, "MNOC_EPOCH_MSGS", 1024),
+              1024u);
+    EXPECT_EQ(parsePositiveCount("", "MNOC_EPOCH_MSGS", 1024),
+              1024u);
+    EXPECT_EQ(parsePositiveCount("1", "MNOC_EPOCH_MSGS", 1024), 1u);
+    EXPECT_EQ(parsePositiveCount("65536", "MNOC_FAULT_SEED", 1),
+              65536u);
+}
+
+TEST(Knobs, ParsePositiveCountFatalsOnGarbageNamingTheKnob)
+{
+    // A mistyped knob must stop the run, not quietly fall back.
+    for (const char *bad : {"banana", "0", "-3", "12abc", "1.5", " 7x"}) {
+        try {
+            parsePositiveCount(bad, "MNOC_EPOCH_MSGS", 1024);
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find(
+                          "MNOC_EPOCH_MSGS"),
+                      std::string::npos);
+            EXPECT_NE(std::string(err.what()).find(bad),
+                      std::string::npos);
+        }
+    }
+    try {
+        parsePositiveCount("0", "MNOC_FAULT_SEED", 1);
+        FAIL() << "accepted zero seed";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("MNOC_FAULT_SEED"),
+                  std::string::npos);
+    }
+}
+
+TEST(Knobs, FaultKnobsDefaultOffWithSeedOne)
+{
+    // The test runner leaves MNOC_FAULTS/MNOC_FAULT_SEED unset, so
+    // the cached getters must land on their documented defaults.
+    EXPECT_FALSE(faultsEnabled());
+    EXPECT_EQ(faultSeed(), 1u);
 }
 
 } // namespace

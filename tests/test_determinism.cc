@@ -21,6 +21,8 @@
 #include "core/energy_ledger.hh"
 #include "faults/yield.hh"
 #include "qap/multi_start.hh"
+#include "runtime/degradation_controller.hh"
+#include "runtime/fault_timeline.hh"
 
 namespace {
 
@@ -322,6 +324,62 @@ TEST(Determinism, LedgerAndSeriesAreBitIdenticalAcrossPoolSizes)
               std::string::npos);
     EXPECT_NE(metric_exports[0].find("ledger.builds"),
               std::string::npos);
+}
+
+TEST(Determinism, FaultedRunIsBitIdenticalAcrossPoolSizes)
+{
+    // A faulted run -- timeline generation plus the degradation
+    // controller's per-source margin fan-out -- must replay
+    // bit-identically at any MNOC_THREADS (ISSUE 6 acceptance).
+    YieldFixture fx;
+    auto design = fx.design();
+    Prng prng(1);
+    auto variation = faults::drawVariation(
+        faults::VariationSpec{}.scaled(0.0), fx.params,
+        YieldFixture::kNodes, prng);
+    runtime::FaultTimelineSpec spec;
+    runtime::FaultTimeline timeline(spec.scaled(2.0),
+                                    YieldFixture::kNodes, 2, 20, 7);
+    runtime::DegradationPolicy policy;
+    policy.requiredMargin = DecibelLoss(0.5);
+
+    std::vector<runtime::DegradationLog> logs;
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        logs.push_back(runtime::runDegradationController(
+            fx.layout, design, variation, timeline, policy, nullptr,
+            &pool));
+    }
+    for (std::size_t i = 1; i < logs.size(); ++i) {
+        const auto &a = logs[0];
+        const auto &b = logs[i];
+        EXPECT_EQ(a.finalNumModes, b.finalNumModes);
+        EXPECT_EQ(a.totalReconfigEnergy, b.totalReconfigEnergy);
+        ASSERT_EQ(a.epochs.size(), b.epochs.size());
+        for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+            EXPECT_EQ(a.epochs[e].marginBefore.dB(),
+                      b.epochs[e].marginBefore.dB());
+            EXPECT_EQ(a.epochs[e].marginAfter.dB(),
+                      b.epochs[e].marginAfter.dB());
+            EXPECT_EQ(a.epochs[e].actions, b.epochs[e].actions);
+            EXPECT_EQ(a.epochs[e].reconfigEnergy,
+                      b.epochs[e].reconfigEnergy);
+        }
+        ASSERT_EQ(a.actions.size(), b.actions.size());
+        for (std::size_t k = 0; k < a.actions.size(); ++k) {
+            EXPECT_EQ(a.actions[k].kind, b.actions[k].kind);
+            EXPECT_EQ(a.actions[k].epoch, b.actions[k].epoch);
+            EXPECT_EQ(a.actions[k].source, b.actions[k].source);
+            EXPECT_EQ(a.actions[k].mode, b.actions[k].mode);
+            EXPECT_EQ(a.actions[k].trimAfter.dB(),
+                      b.actions[k].trimAfter.dB());
+            EXPECT_EQ(a.actions[k].energyCost,
+                      b.actions[k].energyCost);
+        }
+    }
+    // The shared schedule must actually exercise the controller.
+    EXPECT_FALSE(timeline.events().empty());
+    EXPECT_FALSE(logs[0].actions.empty());
 }
 
 TEST(Determinism, DeriveSeedStreamsAreStableAndDistinct)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
@@ -245,6 +246,51 @@ TEST(Hardening, GracefulDegradationEndsAtBroadcast)
     }
     EXPECT_EQ(collapses, 3);
 
+    WattPower pmin = fx.params.pminAtTap();
+    for (int s = 0; s < FaultsFixture::kNodes; ++s) {
+        auto budget = optics::validateDesign(
+            fx.xbar.chain(s), degraded.design.sources[s], pmin);
+        EXPECT_TRUE(budget.ok);
+    }
+}
+
+TEST(Hardening, UnreachableTargetReportsBestAchievableShortfall)
+{
+    FaultsFixture fx;
+    DesignSpec spec;
+    spec.numModes = 2;
+    spec.assignment = Assignment::DistanceBased;
+    spec.weights = WeightSource::DesignFlow;
+    FlowMatrix flow = fx.neighbourFlow();
+    auto topology = fx.designer.buildTopology(spec, flow);
+
+    // Heavy variation and a perfect-yield target the margin budget
+    // cannot buy: the loop must degrade gracefully and report the
+    // shortfall instead of pretending it converged.
+    ResilienceParams resilience;
+    resilience.yieldTarget = 1.0;
+    resilience.trials = 60;
+    resilience.seed = 11;
+    resilience.variation = faults::VariationSpec{}.scaled(6.0);
+    resilience.maxMargin = DecibelLoss(1.5);
+    resilience.marginStep = DecibelLoss(0.5);
+    auto degraded = fx.designer.buildResilientDesign(
+        spec, topology, flow, resilience);
+
+    // Shortfall reporting: the target is marked unmet and the final
+    // yield is the best the path actually measured, not the target.
+    EXPECT_FALSE(degraded.summary.metTarget);
+    EXPECT_LT(degraded.summary.finalYield, resilience.yieldTarget);
+    double best_seen = -1.0;
+    for (const auto &step : degraded.summary.path) {
+        if (step.kind == DegradationStep::Kind::Margin)
+            best_seen = std::max(best_seen, step.yield);
+    }
+    EXPECT_EQ(degraded.summary.finalYield, best_seen);
+    EXPECT_EQ(degraded.yield.yield, best_seen);
+
+    // Best-achievable, not garbage: the emitted design still passes
+    // every nominal link budget.
     WattPower pmin = fx.params.pminAtTap();
     for (int s = 0; s < FaultsFixture::kNodes; ++s) {
         auto budget = optics::validateDesign(

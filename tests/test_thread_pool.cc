@@ -12,9 +12,11 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/thread_pool.hh"
 
 namespace {
@@ -159,13 +161,23 @@ TEST(ThreadPool, ParseThreadsAcceptsCountsRejectsGarbage)
 {
     EXPECT_EQ(ThreadPool::parseThreads("8", 2), 8);
     EXPECT_EQ(ThreadPool::parseThreads("1", 2), 1);
+    // Unset and empty fall back; anything else must be valid -- a
+    // mistyped override is a fatal configuration error, never a
+    // silent fallback to a different thread count.
     EXPECT_EQ(ThreadPool::parseThreads(nullptr, 3), 3);
     EXPECT_EQ(ThreadPool::parseThreads("", 3), 3);
-    EXPECT_EQ(ThreadPool::parseThreads("0", 3), 3);
-    EXPECT_EQ(ThreadPool::parseThreads("-4", 3), 3);
-    EXPECT_EQ(ThreadPool::parseThreads("abc", 3), 3);
-    EXPECT_EQ(ThreadPool::parseThreads("4x", 3), 3);
-    EXPECT_EQ(ThreadPool::parseThreads("999999", 3), 3);
+    EXPECT_THROW(ThreadPool::parseThreads("0", 3), FatalError);
+    EXPECT_THROW(ThreadPool::parseThreads("-4", 3), FatalError);
+    EXPECT_THROW(ThreadPool::parseThreads("abc", 3), FatalError);
+    EXPECT_THROW(ThreadPool::parseThreads("4x", 3), FatalError);
+    EXPECT_THROW(ThreadPool::parseThreads("999999", 3), FatalError);
+    try {
+        ThreadPool::parseThreads("banana", 3);
+        FAIL() << "garbage thread count must throw";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("banana"),
+                  std::string::npos);
+    }
 }
 
 TEST(ThreadPool, GlobalPoolIsConfiguredAndStable)

@@ -315,6 +315,49 @@ TEST(Trace, LoadRejectsTruncatedEpochBlock)
         9, "truncated epochs block");
 }
 
+TEST(Trace, TruncatedEpochRecordNamesByteOffsetAndKind)
+{
+    // Regression: a v3 trace cut mid-epoch-record must fail naming
+    // the record kind and the byte offset of the damage -- never
+    // return a partial trace.  This fixture declares 2 cells but
+    // ends after the first, so the file's EOF is the damage point.
+    std::string body = "mnoc-trace 3\nw\nn\n2 10\nmanifest 0\n"
+                       "epochs 1 8\nepoch 2\n0 1 4 8\n";
+    std::string path = writeFixture("mnoc_trace_cut.txt", body);
+    try {
+        loadTrace(path);
+        FAIL() << "loadTrace returned a partial trace";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("truncated epoch cell list"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("epoch-cell record at byte " +
+                            std::to_string(body.size())),
+                  std::string::npos)
+            << what;
+    }
+    std::remove(path.c_str());
+
+    // Cut mid-line instead: the partial record itself is named, at
+    // the offset where it starts.
+    path = writeFixture("mnoc_trace_cut2.txt", body + "1 0");
+    try {
+        loadTrace(path);
+        FAIL() << "loadTrace returned a partial trace";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("malformed epoch cell"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("epoch-cell record at byte " +
+                            std::to_string(body.size())),
+                  std::string::npos)
+            << what;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Trace, MapTracePermutesAndResortsEpochCells)
 {
     Trace t = sampleTraceWithEpochs();

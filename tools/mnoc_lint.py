@@ -70,7 +70,8 @@ THREAD_ALLOWLIST = ("src/common/thread_pool.hh",
 OFSTREAM_ALLOWLIST = ("src/common/io.hh", "src/common/io.cc")
 
 # Directories whose sources are power math (float-free zone).
-FLOAT_DIRS = ("src/optics", "src/core", "src/faults", "src/common")
+FLOAT_DIRS = ("src/optics", "src/core", "src/faults", "src/common",
+              "src/runtime")
 
 RAW_POW_RE = re.compile(r"\bpow\s*\(\s*10(?:\.0*)?\s*,")
 RNG_RE = re.compile(

@@ -11,6 +11,10 @@
  *   budget    validate a design's link budgets / BER
  *   yield     Monte Carlo yield / margin distributions under device
  *             variation
+ *   faults    replay a trace's epochs under a seeded runtime fault
+ *             timeline with the graceful-degradation controller;
+ *             write the fault event log and the per-epoch
+ *             reliability (margin/action/energy) time series
  *   report    render a design + trace into the energy-attribution
  *             report: markdown summary, per-(source, mode) and
  *             per-epoch CSV tables, and a source-power heatmap, all
@@ -32,6 +36,8 @@
  *   mnocpt budget --design ws.design
  *   mnocpt yield --design ws.design --trials 500 --seed 7 \
  *                --csv ws_yield.csv
+ *   mnocpt faults --design ws.design --trace ws.trace --seed 7 \
+ *                 --dir faults_out
  *   mnocpt report --design ws.design --trace ws.trace --map ws.map \
  *                 --dir report_out
  *   mnocpt profile --spans mnoc_spans.json --top 20
@@ -59,14 +65,18 @@
 #include "common/manifest.hh"
 #include "common/metrics.hh"
 #include "common/pgm.hh"
+#include "common/prng.hh"
 #include "common/table.hh"
 #include "common/trace_span.hh"
 #include "core/design_io.hh"
 #include "core/designer.hh"
 #include "core/energy_ledger.hh"
+#include "faults/variation.hh"
 #include "faults/yield.hh"
 #include "noc/mnoc_network.hh"
 #include "optics/link_budget.hh"
+#include "runtime/degradation_controller.hh"
+#include "runtime/fault_timeline.hh"
 #include "sim/simulator.hh"
 #include "workloads/registry.hh"
 
@@ -495,6 +505,149 @@ sci(double value)
     return os.str();
 }
 
+/** One as-fabricated draw for the runtime controller to degrade
+ *  from; --vtol 0 (the default for `faults`) gives the identity
+ *  draw, i.e. a nominal die. */
+faults::DeviceVariation
+drawBaseVariation(const Context &ctx, int cores, double vtol,
+                  std::uint64_t vseed)
+{
+    Prng prng(vseed);
+    return faults::drawVariation(faults::VariationSpec{}.scaled(vtol),
+                                 ctx.crossbar.params(), cores, prng);
+}
+
+/** Per-epoch reliability time series: margins around the rule table,
+ *  actions fired, surviving mode count, and the epoch's energy
+ *  including the charged reconfiguration cells. */
+void
+writeReliabilityCsv(const std::string &path, const std::string &stamp,
+                    const core::EnergyLedger &ledger,
+                    const runtime::DegradationLog &log)
+{
+    CsvWriter csv(path);
+    csv.writeRow({"# " + stamp});
+    csv.writeRow({"epoch", "active_faults", "margin_before_db",
+                  "margin_after_db", "actions", "num_modes",
+                  "reconfig_energy_j", "total_energy_j"});
+    for (const auto &epoch : log.epochs) {
+        double window = ledger.reconfigEnergy(epoch.epoch);
+        for (int s = 0; s < ledger.numSources(); ++s)
+            for (int m = 0; m < ledger.numModes(); ++m)
+                window +=
+                    ledger.cell(s, m, epoch.epoch).totalEnergy();
+        csv.cell(static_cast<long long>(epoch.epoch))
+            .cell(static_cast<long long>(epoch.activeFaults))
+            .cell(epoch.marginBefore.dB())
+            .cell(epoch.marginAfter.dB())
+            .cell(static_cast<long long>(epoch.actions))
+            .cell(static_cast<long long>(epoch.numModes))
+            .cell(epoch.reconfigEnergy)
+            .cell(window);
+        csv.endRow();
+    }
+    csv.close();
+}
+
+int
+cmdFaults(const Args &args)
+{
+    auto design = core::loadDesign(args.get("design"));
+    auto trace = sim::loadTrace(args.get("trace"));
+    int cores = design.topology.numNodes;
+    Context ctx(cores);
+
+    auto mapping = args.has("map")
+                       ? loadMapping(args.get("map"), cores)
+                       : identity(cores);
+    auto ledger = ctx.designer.buildLedger(design, trace, mapping);
+
+    std::uint64_t seed =
+        args.has("seed")
+            ? static_cast<std::uint64_t>(args.getInt("seed", 1))
+            : faultSeed();
+    auto spec = runtime::FaultTimelineSpec{}.scaled(
+        args.getDouble("fault-scale", 1.0));
+    runtime::FaultTimeline timeline(spec, cores,
+                                    design.topology.numModes,
+                                    ledger.numEpochs(), seed);
+    auto variation = drawBaseVariation(
+        ctx, cores, args.getDouble("vtol", 0.0),
+        static_cast<std::uint64_t>(args.getInt("vseed", 1)));
+
+    runtime::DegradationPolicy policy;
+    policy.requiredMargin =
+        DecibelLoss(args.getDouble("link-margin", 0.0));
+    auto log = runtime::runDegradationController(
+        ctx.layout, design, variation, timeline, policy, &ledger);
+
+    double worst_before = 1e9, worst_after = 1e9;
+    for (const auto &epoch : log.epochs) {
+        worst_before = std::min(worst_before,
+                                epoch.marginBefore.dB());
+        worst_after = std::min(worst_after, epoch.marginAfter.dB());
+    }
+
+    using runtime::ActionKind;
+    TextTable table;
+    table.addRow({"metric", "value"});
+    table.addRow({"epochs", std::to_string(log.epochs.size())});
+    table.addRow(
+        {"fault events", std::to_string(timeline.events().size())});
+    table.addRow({"fault seed", std::to_string(seed)});
+    table.addRow({"trims", std::to_string(log.countActions(
+                               ActionKind::Trim))});
+    table.addRow({"relaxes", std::to_string(log.countActions(
+                                 ActionKind::Relax))});
+    table.addRow({"failovers", std::to_string(log.countActions(
+                                   ActionKind::Failover))});
+    table.addRow({"restores", std::to_string(log.countActions(
+                                  ActionKind::Restore))});
+    table.addRow({"collapses", std::to_string(log.countActions(
+                                   ActionKind::Collapse))});
+    table.addRow({"final modes",
+                  std::to_string(log.finalNumModes)});
+    table.addRow({"worst margin before (dB)",
+                  TextTable::num(worst_before, 3)});
+    table.addRow({"worst margin after (dB)",
+                  TextTable::num(worst_after, 3)});
+    table.addRow({"reconfig energy (J)",
+                  sci(log.totalReconfigEnergy)});
+    table.print(std::cout);
+
+    std::string dir = args.get("dir", ".");
+    std::filesystem::create_directories(dir);
+    std::string prefix = args.get("prefix", "mnoc_");
+    std::string base = dir + "/" + prefix;
+    std::string stamp = manifestJson(trace.manifest);
+
+    std::string events_csv = base + "fault_events.csv";
+    {
+        CsvWriter csv(events_csv);
+        csv.writeRow({"# " + stamp});
+        csv.writeRow({"kind", "start_epoch", "end_epoch", "node",
+                      "mode", "magnitude"});
+        for (const auto &event : timeline.events()) {
+            csv.cell(faultKindName(event.kind))
+                .cell(static_cast<long long>(event.startEpoch))
+                .cell(static_cast<long long>(event.endEpoch))
+                .cell(static_cast<long long>(event.node))
+                .cell(static_cast<long long>(event.mode))
+                .cell(event.magnitude);
+            csv.endRow();
+        }
+        csv.close();
+    }
+
+    std::string reliability_csv = base + "reliability.csv";
+    writeReliabilityCsv(reliability_csv, stamp, ledger, log);
+
+    std::cout << "fault log written to " << events_csv
+              << ", reliability series to " << reliability_csv
+              << "\n";
+    return 0;
+}
+
 int
 cmdReport(const Args &args)
 {
@@ -507,6 +660,28 @@ cmdReport(const Args &args)
                        ? loadMapping(args.get("map"), cores)
                        : identity(cores);
     auto ledger = ctx.designer.buildLedger(design, trace, mapping);
+
+    // MNOC_FAULTS=1 replays the epochs under the default fault
+    // timeline (seeded by MNOC_FAULT_SEED) before the averages are
+    // taken, so the report's power numbers include the charged
+    // reconfiguration energy.  Off by default: the unfaulted report
+    // stays byte-identical.
+    bool faults_on = faultsEnabled();
+    runtime::DegradationLog deg_log;
+    std::size_t fault_events = 0;
+    std::uint64_t fault_seed_used = 0;
+    if (faults_on) {
+        fault_seed_used = faultSeed();
+        runtime::FaultTimeline timeline(
+            runtime::FaultTimelineSpec{}, cores,
+            design.topology.numModes, ledger.numEpochs(),
+            fault_seed_used);
+        fault_events = timeline.events().size();
+        auto variation = drawBaseVariation(ctx, cores, 0.0, 1);
+        deg_log = runtime::runDegradationController(
+            ctx.layout, design, variation, timeline,
+            runtime::DegradationPolicy{}, &ledger);
+    }
     auto power = ledger.averagePower();
 
     std::string dir = args.get("dir", ".");
@@ -632,6 +807,11 @@ cmdReport(const Args &args)
     std::string pgm = base + "source_power.pgm";
     writePgmHeatmap(pgm, ledger.sourceEpochPower(), true, stamp);
 
+    // Per-epoch reliability time series (faulted runs only).
+    std::string reliability_csv = base + "reliability.csv";
+    if (faults_on)
+        writeReliabilityCsv(reliability_csv, stamp, ledger, deg_log);
+
     // Markdown summary.
     std::string report_md = base + "report.md";
     {
@@ -658,6 +838,9 @@ cmdReport(const Args &args)
         out << "| QD LED source | " << sci(power.source) << " |\n";
         out << "| O/E conversion | " << sci(power.oe) << " |\n";
         out << "| electrical | " << sci(power.electrical) << " |\n";
+        if (faults_on)
+            out << "| reconfiguration | " << sci(power.reconfig)
+                << " |\n";
         out << "| total | " << sci(power.total()) << " |\n\n";
 
         out << "## Optical energy attribution (J)\n\n";
@@ -679,6 +862,41 @@ cmdReport(const Args &args)
         out << "| delivered | " << sci(optical.delivered) << " |\n";
         out << "| residual | " << sci(optical.residual) << " |\n\n";
 
+        if (faults_on) {
+            using runtime::ActionKind;
+            double worst_after = 1e9;
+            for (const auto &epoch : deg_log.epochs)
+                worst_after = std::min(worst_after,
+                                       epoch.marginAfter.dB());
+            out << "## Reliability (MNOC_FAULTS=1)\n\n";
+            out << "Epochs replayed under the runtime fault "
+                   "timeline (seed "
+                << fault_seed_used
+                << ") with the graceful-degradation controller.\n\n";
+            out << "| metric | value |\n";
+            out << "|---|---|\n";
+            out << "| fault events | " << fault_events << " |\n";
+            out << "| trims | "
+                << deg_log.countActions(ActionKind::Trim) << " |\n";
+            out << "| relaxes | "
+                << deg_log.countActions(ActionKind::Relax) << " |\n";
+            out << "| failovers | "
+                << deg_log.countActions(ActionKind::Failover)
+                << " |\n";
+            out << "| restores | "
+                << deg_log.countActions(ActionKind::Restore)
+                << " |\n";
+            out << "| collapses | "
+                << deg_log.countActions(ActionKind::Collapse)
+                << " |\n";
+            out << "| final modes | " << deg_log.finalNumModes
+                << " |\n";
+            out << "| worst post-action margin (dB) | "
+                << TextTable::num(worst_after, 3) << " |\n";
+            out << "| reconfiguration energy (J) | "
+                << sci(deg_log.totalReconfigEnergy) << " |\n\n";
+        }
+
         out << "## Artifacts\n\n";
         out << "- per-(source, mode) attribution: " << prefix
             << "power.csv\n";
@@ -686,12 +904,18 @@ cmdReport(const Args &args)
             << "epochs.csv\n";
         out << "- (epoch, source) power heatmap: " << prefix
             << "source_power.pgm\n";
+        if (faults_on)
+            out << "- per-epoch reliability series: " << prefix
+                << "reliability.csv\n";
         writer.close();
     }
 
     std::cout << "report written to " << report_md << " (+ "
               << prefix << "power.csv, " << prefix << "epochs.csv, "
-              << prefix << "source_power.pgm)\n";
+              << prefix << "source_power.pgm";
+    if (faults_on)
+        std::cout << ", " << prefix << "reliability.csv";
+    std::cout << ")\n";
     return 0;
 }
 
@@ -779,8 +1003,8 @@ usage()
 {
     std::cerr
         << "usage: mnocpt "
-           "<simulate|map|design|evaluate|budget|yield|report|"
-           "profile|stats> "
+           "<simulate|map|design|evaluate|budget|yield|faults|"
+           "report|profile|stats> "
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
            "[--seed N] --out FILE\n"
@@ -796,6 +1020,10 @@ usage()
            "  yield    --design FILE [--trials N] [--seed N] "
            "[--vtol F] [--link-margin DB]\n"
            "           [--leak-gap DB] [--csv FILE]\n"
+           "  faults   --design FILE --trace FILE [--map FILE] "
+           "[--seed N] [--fault-scale F]\n"
+           "           [--vtol F] [--vseed N] [--link-margin DB] "
+           "[--dir DIR] [--prefix P]\n"
            "  report   --design FILE --trace FILE [--map FILE] "
            "[--dir DIR] [--prefix P]\n"
            "  profile  --spans FILE [--top N] [--csv FILE]\n"
@@ -826,12 +1054,16 @@ main(int argc, char **argv)
             return cmdBudget(args);
         if (command == "yield")
             return cmdYield(args);
+        if (command == "faults")
+            return cmdFaults(args);
         if (command == "report")
             return cmdReport(args);
         if (command == "profile")
             return cmdProfile(args);
         if (command == "stats")
             return cmdStats(args);
+        std::cerr << "mnocpt: unknown command '" << command
+                  << "'\n";
         usage();
         return 2;
     } catch (const std::exception &error) {
