@@ -1,5 +1,6 @@
 #include "common/metrics.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -24,26 +25,18 @@ envValue()
 std::atomic<bool> &
 enabledFlag()
 {
-    static std::atomic<bool> flag(!envValue().empty() &&
-                                  envValue() != "0");
+    static std::atomic<bool> flag(
+        parsePathKnob(envValue().c_str(), "MNOC_METRICS").enabled);
     return flag;
 }
 
 std::atomic<int> next_shard_slot{0};
 
-/** Raw MNOC_LEDGER value ("" when unset). */
-std::string
-ledgerEnvValue()
-{
-    const char *value = std::getenv("MNOC_LEDGER");
-    return value != nullptr ? std::string(value) : std::string();
-}
-
 std::atomic<bool> &
 ledgerFlag()
 {
-    static std::atomic<bool> flag(!ledgerEnvValue().empty() &&
-                                  ledgerEnvValue() != "0");
+    static std::atomic<bool> flag(parseBoolKnob(
+        std::getenv("MNOC_LEDGER"), "MNOC_LEDGER"));
     return flag;
 }
 
@@ -223,6 +216,45 @@ setLedgerEnabled(bool on)
     ledgerFlag().store(on, std::memory_order_relaxed);
 }
 
+bool
+parseBoolKnob(const char *text, const char *knob)
+{
+    if (text == nullptr || *text == '\0' ||
+        std::strcmp(text, "0") == 0)
+        return false;
+    fatalIf(std::strcmp(text, "1") != 0,
+            std::string(knob) + " must be 0 or 1, got '" + text +
+                "'");
+    return true;
+}
+
+PathKnob
+parsePathKnob(const char *text, const char *knob)
+{
+    if (text == nullptr || *text == '\0' ||
+        std::strcmp(text, "0") == 0)
+        return {};
+    if (std::strcmp(text, "1") == 0)
+        return {true, ""};
+
+    std::string value(text);
+    std::string lowered;
+    for (char c : value)
+        lowered += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    bool flagish = lowered == "true" || lowered == "false" ||
+                   lowered == "yes" || lowered == "no" ||
+                   lowered == "on" || lowered == "off";
+    bool all_digits = true;
+    for (char c : value)
+        all_digits = all_digits && c >= '0' && c <= '9';
+    fatalIf(flagish || all_digits,
+            std::string(knob) + " must be 0, 1 or an export path, "
+                                "got '" +
+                value + "'");
+    return {true, value};
+}
+
 std::uint64_t
 parsePositiveCount(const char *text, const char *knob,
                    std::uint64_t fallback)
@@ -249,16 +281,8 @@ ledgerEpochMessages()
 bool
 faultsEnabled()
 {
-    static bool cached = [] {
-        const char *value = std::getenv("MNOC_FAULTS");
-        if (value == nullptr || *value == '\0' ||
-            std::strcmp(value, "0") == 0)
-            return false;
-        fatalIf(std::strcmp(value, "1") != 0,
-                std::string("MNOC_FAULTS must be 0 or 1, got '") +
-                    value + "'");
-        return true;
-    }();
+    static bool cached =
+        parseBoolKnob(std::getenv("MNOC_FAULTS"), "MNOC_FAULTS");
     return cached;
 }
 
@@ -292,10 +316,7 @@ MetricsRegistry::setEnabled(bool on)
 std::string
 MetricsRegistry::exportPath()
 {
-    std::string value = envValue();
-    if (value.empty() || value == "0" || value == "1")
-        return "";
-    return value;
+    return parsePathKnob(envValue().c_str(), "MNOC_METRICS").path;
 }
 
 Counter &

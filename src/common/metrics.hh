@@ -200,6 +200,32 @@ std::uint64_t ledgerEpochMessages();
 std::uint64_t parsePositiveCount(const char *text, const char *knob,
                                  std::uint64_t fallback);
 
+/**
+ * Strict parser behind the boolean environment knobs (MNOC_LEDGER,
+ * MNOC_FAULTS): null, "" and "0" are off, "1" is on, and any other
+ * value fatals naming @p knob -- a mistyped knob must stop the
+ * run, not silently flip a feature.
+ */
+bool parseBoolKnob(const char *text, const char *knob);
+
+/** Parsed value of a path-or-flag knob (MNOC_METRICS,
+ *  MNOC_TRACE_SPANS). */
+struct PathKnob
+{
+    bool enabled = false;
+    std::string path; ///< export path ("" when the value was "1")
+};
+
+/**
+ * Strict parser behind the path-or-flag environment knobs: null,
+ * "" and "0" disable, "1" enables without an export path, and any
+ * other value enables with that value as the export path -- except
+ * values that are clearly a mistyped flag rather than a path
+ * (true/false/yes/no/on/off in any case, or all-digit strings),
+ * which fatal naming @p knob.
+ */
+PathKnob parsePathKnob(const char *text, const char *knob);
+
 /** True when the runtime fault-injection engine should run
  *  (MNOC_FAULTS: unset, empty or "0" disables, "1" enables; any
  *  other value is a fatal configuration error). */

@@ -10,6 +10,7 @@
 #include "common/io.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 
 namespace mnoc {
 
@@ -26,8 +27,9 @@ envValue()
 std::atomic<bool> &
 enabledFlag()
 {
-    static std::atomic<bool> flag(!envValue().empty() &&
-                                  envValue() != "0");
+    static std::atomic<bool> flag(
+        parsePathKnob(envValue().c_str(), "MNOC_TRACE_SPANS")
+            .enabled);
     return flag;
 }
 
@@ -82,12 +84,11 @@ SpanRecorder::setEnabled(bool on)
 std::string
 SpanRecorder::exportPath()
 {
-    std::string value = envValue();
-    if (value.empty() || value == "0")
+    PathKnob knob =
+        parsePathKnob(envValue().c_str(), "MNOC_TRACE_SPANS");
+    if (!knob.enabled)
         return "";
-    if (value == "1")
-        return "mnoc_spans.json";
-    return value;
+    return knob.path.empty() ? "mnoc_spans.json" : knob.path;
 }
 
 std::uint64_t

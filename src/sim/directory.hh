@@ -115,6 +115,11 @@ struct DirEntry
  * The full distributed directory.  Entries live in one map; the home
  * core of a line (for network purposes) is derived from the address by
  * the coherence controller.
+ *
+ * The map is deliberately lookup-only: no API iterates it, so its
+ * unspecified iteration order can never reach stats or serialization
+ * (the mnoc-analyze unordered-iteration rule keeps it that way; any
+ * future traversal must go through a sorted view).
  */
 class Directory
 {

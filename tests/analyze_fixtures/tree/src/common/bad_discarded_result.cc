@@ -1,0 +1,13 @@
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace mnoc {
+
+void
+warmCache(const std::string &path)
+{
+    loadTrace(path);
+}
+
+} // namespace mnoc

@@ -1,0 +1,13 @@
+#include <fstream>
+#include <string>
+
+namespace mnoc {
+
+void
+writeSummary(const std::string &path, double energy_pj)
+{
+    std::ofstream out(path);
+    out << "energy_pj " << energy_pj << "\n";
+}
+
+} // namespace mnoc

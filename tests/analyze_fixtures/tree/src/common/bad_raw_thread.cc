@@ -1,0 +1,13 @@
+#include <thread>
+#include <vector>
+
+namespace mnoc {
+
+void
+fill(std::vector<double> &out)
+{
+    std::thread worker([&out] { out.assign(out.size(), 0.0); });
+    worker.join();
+}
+
+} // namespace mnoc

@@ -1,0 +1,15 @@
+#include <vector>
+
+#include "common/prng.hh"
+#include "common/thread_pool.hh"
+
+namespace mnoc {
+
+void
+scatter(ThreadPool &pool, Prng &rng, std::vector<double> &out)
+{
+    pool.parallelFor(static_cast<long long>(out.size()),
+                     [&](long long i) { out[i] = rng.uniform(); });
+}
+
+} // namespace mnoc

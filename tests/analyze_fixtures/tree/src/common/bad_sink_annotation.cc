@@ -1,0 +1,19 @@
+#include <string>
+#include <unordered_map>
+
+// appendReport serializes into the run report, so iteration order
+// reaching it is observable:
+// mnoc-analyze-sink(appendReport)
+
+namespace mnoc {
+
+void appendReport(const std::string &row);
+
+void
+reportCounts(const std::unordered_map<std::string, long> &counts)
+{
+    for (const auto &[key, value] : counts)
+        appendReport(key + " " + std::to_string(value));
+}
+
+} // namespace mnoc

@@ -1,0 +1,14 @@
+#include <string>
+
+#include "common/io.hh"
+
+namespace mnoc {
+
+void
+writeSummary(const std::string &path, double energy_pj)
+{
+    FileWriter writer(path);
+    writer.stream() << "energy_pj " << energy_pj << "\n";
+}
+
+} // namespace mnoc

@@ -1,0 +1,16 @@
+#include <string>
+#include <unordered_map>
+
+#include "common/io.hh"
+
+namespace mnoc {
+
+void
+dumpCounts(const std::unordered_map<std::string, long> &counts,
+           FileWriter &writer)
+{
+    for (const auto &[key, value] : counts)
+        writer.stream() << key << " " << value << "\n";
+}
+
+} // namespace mnoc

@@ -1,0 +1,12 @@
+#include <random>
+
+namespace mnoc {
+
+double
+jitter()
+{
+    std::mt19937 gen(std::random_device{}());
+    return static_cast<double>(gen()) / 4294967296.0;
+}
+
+} // namespace mnoc

@@ -1,0 +1,14 @@
+#include <chrono>
+#include <cstdint>
+
+namespace mnoc {
+
+std::uint64_t
+stampEpoch()
+{
+    auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        now.time_since_epoch().count());
+}
+
+} // namespace mnoc

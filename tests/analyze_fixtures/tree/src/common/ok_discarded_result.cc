@@ -1,0 +1,14 @@
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace mnoc {
+
+long
+countEpochs(const std::string &path)
+{
+    Trace trace = loadTrace(path);
+    return static_cast<long>(trace.epochs.size());
+}
+
+} // namespace mnoc

@@ -1,0 +1,15 @@
+#include <string>
+
+#include "common/io.hh"
+
+namespace mnoc {
+
+void
+writeRow(const std::string &path, long row)
+{
+    FileWriter writer(path);
+    writer.stream() << row << "\n";
+    writer.close();
+}
+
+} // namespace mnoc

@@ -1,0 +1,15 @@
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace mnoc {
+
+void
+fill(std::vector<double> &out)
+{
+    ThreadPool::global().parallelFor(
+        static_cast<long long>(out.size()),
+        [&out](long long i) { out[i] = 0.0; });
+}
+
+} // namespace mnoc

@@ -1,0 +1,20 @@
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hh"
+#include "common/thread_pool.hh"
+
+namespace mnoc {
+
+void
+scatter(ThreadPool &pool, std::uint64_t seed,
+        std::vector<double> &out)
+{
+    pool.parallelFor(static_cast<long long>(out.size()),
+                     [&](long long i) {
+                         Prng rng(deriveSeed(seed, i));
+                         out[i] = rng.uniform();
+                     });
+}
+
+} // namespace mnoc

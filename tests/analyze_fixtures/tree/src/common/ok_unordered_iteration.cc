@@ -1,0 +1,20 @@
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/io.hh"
+
+namespace mnoc {
+
+void
+dumpCounts(const std::unordered_map<std::string, long> &counts,
+           FileWriter &writer)
+{
+    std::map<std::string, long> sorted;
+    for (const auto &[key, value] : counts)
+        sorted.emplace(key, value);
+    for (const auto &[key, value] : sorted)
+        writer.stream() << key << " " << value << "\n";
+}
+
+} // namespace mnoc

@@ -1,0 +1,14 @@
+#include <cstdint>
+
+#include "common/prng.hh"
+
+namespace mnoc {
+
+double
+jitter(std::uint64_t seed, std::uint64_t index)
+{
+    Prng rng(deriveSeed(seed, index));
+    return rng.uniform();
+}
+
+} // namespace mnoc

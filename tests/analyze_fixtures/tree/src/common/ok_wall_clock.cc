@@ -1,0 +1,13 @@
+#include <cstdint>
+
+namespace mnoc {
+
+std::uint64_t
+stampEpoch(std::uint64_t logical_epoch)
+{
+    // Results carry logical time only; wall time stays in
+    // trace_span/manifest.
+    return logical_epoch;
+}
+
+} // namespace mnoc

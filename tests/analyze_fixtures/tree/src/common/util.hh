@@ -1,0 +1,14 @@
+#ifndef MNOC_COMMON_UTIL_HH
+#define MNOC_COMMON_UTIL_HH
+
+namespace mnoc {
+
+inline long
+clampCount(long value, long limit)
+{
+    return value < limit ? value : limit;
+}
+
+} // namespace mnoc
+
+#endif // MNOC_COMMON_UTIL_HH

@@ -1,0 +1,15 @@
+#ifndef MNOC_CORE_DESIGN_HH
+#define MNOC_CORE_DESIGN_HH
+
+#include "common/util.hh"
+
+namespace mnoc {
+
+struct Design
+{
+    long tiles = 0;
+};
+
+} // namespace mnoc
+
+#endif // MNOC_CORE_DESIGN_HH

@@ -1,0 +1,11 @@
+#include "noc/ring.hh"
+
+namespace mnoc {
+
+double
+ringPower(const Ring &ring)
+{
+    return ring.source.power_mw;
+}
+
+} // namespace mnoc

@@ -1,0 +1,15 @@
+#ifndef MNOC_NOC_RING_HH
+#define MNOC_NOC_RING_HH
+
+#include "optics/laser.hh"
+
+namespace mnoc {
+
+struct Ring
+{
+    Laser source;
+};
+
+} // namespace mnoc
+
+#endif // MNOC_NOC_RING_HH

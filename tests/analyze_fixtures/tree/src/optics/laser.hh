@@ -1,0 +1,15 @@
+#ifndef MNOC_OPTICS_LASER_HH
+#define MNOC_OPTICS_LASER_HH
+
+#include "noc/ring.hh"
+
+namespace mnoc {
+
+struct Laser
+{
+    double power_mw = 0.0;
+};
+
+} // namespace mnoc
+
+#endif // MNOC_OPTICS_LASER_HH

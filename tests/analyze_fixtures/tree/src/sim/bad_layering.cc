@@ -1,0 +1,11 @@
+#include "core/design.hh"
+
+namespace mnoc {
+
+long
+tileCount(const Design &design)
+{
+    return design.tiles;
+}
+
+} // namespace mnoc

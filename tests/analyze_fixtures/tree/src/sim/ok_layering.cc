@@ -1,0 +1,11 @@
+#include "common/util.hh"
+
+namespace mnoc {
+
+long
+boundedTileCount(long tiles)
+{
+    return clampCount(tiles, 4096);
+}
+
+} // namespace mnoc

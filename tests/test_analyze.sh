@@ -1,0 +1,117 @@
+#!/bin/sh
+# Self-test for tools/analyze (mnoc-analyze), run as a ctest.
+#
+# Four halves:
+#   1. the real tree must analyze clean against the checked-in
+#      baseline (exit 0) using the build's compile_commands.json;
+#   2. the fixture tree in tests/analyze_fixtures/tree/ must trip
+#      every rule exactly where seeded, and no ok_* file may appear;
+#   3. the SARIF export must be structurally valid 2.1.0;
+#   4. the findings must be byte-identical for MNOC_THREADS=1 and 8.
+#
+# Usage: test_analyze.sh <mnoc-analyze> <compile_commands.json> <repo-root>
+set -eu
+
+analyze=${1:?usage: test_analyze.sh <mnoc-analyze> <db> <repo-root>}
+db=${2:?usage: test_analyze.sh <mnoc-analyze> <db> <repo-root>}
+root=${3:?usage: test_analyze.sh <mnoc-analyze> <db> <repo-root>}
+
+fail() {
+    echo "test_analyze: FAIL: $*" >&2
+    exit 1
+}
+
+[ -x "$analyze" ] || fail "analyzer not found at $analyze"
+[ -f "$db" ] || fail "compilation database not found at $db"
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+# --- 1. The tree itself is clean against the baseline. ------------
+if ! "$analyze" --root "$root" --compile-commands "$db" \
+        --baseline "$root/tools/analyze/baseline.txt" \
+        > "$scratch/tree.txt" 2> "$scratch/tree.err"; then
+    cat "$scratch/tree.txt" "$scratch/tree.err" >&2
+    fail "mnoc-analyze reported findings on the real tree"
+fi
+
+# --- 2. The fixtures trip every rule. -----------------------------
+fixtures="$root/tests/analyze_fixtures/tree"
+out="$scratch/findings.txt"
+if "$analyze" --root "$fixtures" --sarif "$scratch/out.sarif" \
+        $(find "$fixtures" -name '*.cc' | sort) \
+        > "$out" 2> "$scratch/fixtures.err"; then
+    cat "$out" >&2
+    fail "mnoc-analyze accepted fixtures with seeded violations"
+fi
+
+# Each seeded violation must be flagged in its bad_* file...
+while read -r needle; do
+    grep -q "$needle" "$out" || {
+        cat "$out" >&2
+        fail "seeded violation '$needle' was not flagged"
+    }
+done <<EOF
+bad_unordered_iteration.cc:12: \[unordered-iteration\]
+bad_sink_annotation.cc:15: \[unordered-iteration\]
+bad_wall_clock.cc:9: \[wall-clock\]
+bad_unseeded_rng.cc:8: \[unseeded-rng\]
+bad_raw_thread.cc:9: \[raw-thread\]
+bad_shared_prng.cc:12: \[shared-prng\]
+bad_discarded_result.cc:10: \[discarded-result\]
+bad_unclosed_writer.cc:10: \[unclosed-writer\]
+bad_raw_ofstream.cc:9: \[raw-ofstream\]
+bad_layering.cc:1: \[layering\]
+ring.hh:4: \[include-cycle\]
+EOF
+
+# ...and no clean counterpart (or suppressed site) may appear.
+if grep -E 'ok_[a-z_]+\.cc' "$out"; then
+    cat "$out" >&2
+    fail "a clean ok_* fixture was flagged"
+fi
+
+# --- 3. The SARIF export is structurally valid. -------------------
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$scratch/out.sarif" <<'EOF' || fail "invalid SARIF"
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    doc = json.load(handle)
+assert doc["version"] == "2.1.0", "version must be 2.1.0"
+assert "sarif-schema-2.1.0" in doc["$schema"], "schema URI"
+run = doc["runs"][0]
+rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+assert len(rules) == 10, "rule catalog incomplete"
+results = run["results"]
+assert results, "fixture run must produce results"
+for result in results:
+    assert result["ruleId"] in rules, "result references unknown rule"
+    assert result["level"] in ("error", "warning"), "bad level"
+    assert result["message"]["text"], "empty message"
+    loc = result["locations"][0]["physicalLocation"]
+    uri = loc["artifactLocation"]["uri"]
+    assert not uri.startswith("/"), "URI must be root-relative"
+    assert loc["region"]["startLine"] >= 1, "bad startLine"
+print("sarif ok:", len(results), "results")
+EOF
+else
+    echo "test_analyze: python3 missing, skipping SARIF check" >&2
+fi
+
+# --- 4. Findings are byte-identical across thread counts. ---------
+MNOC_THREADS=1 "$analyze" --root "$fixtures" \
+    $(find "$fixtures" -name '*.cc' | sort) \
+    > "$scratch/t1.txt" 2> /dev/null || true
+MNOC_THREADS=8 "$analyze" --root "$fixtures" \
+    $(find "$fixtures" -name '*.cc' | sort) \
+    > "$scratch/t8.txt" 2> /dev/null || true
+cmp -s "$scratch/t1.txt" "$scratch/t8.txt" || {
+    diff "$scratch/t1.txt" "$scratch/t8.txt" >&2 || true
+    fail "findings differ between MNOC_THREADS=1 and 8"
+}
+[ -s "$scratch/t1.txt" ] || fail "thread-determinism run was empty"
+
+echo "test_analyze: PASS (tree clean, fixtures flagged, SARIF" \
+     "valid, thread-count deterministic)"

@@ -424,6 +424,62 @@ TEST(Knobs, ParsePositiveCountFatalsOnGarbageNamingTheKnob)
     }
 }
 
+TEST(Knobs, ParseBoolKnobAcceptsOnlyZeroAndOne)
+{
+    EXPECT_FALSE(parseBoolKnob(nullptr, "MNOC_LEDGER"));
+    EXPECT_FALSE(parseBoolKnob("", "MNOC_LEDGER"));
+    EXPECT_FALSE(parseBoolKnob("0", "MNOC_LEDGER"));
+    EXPECT_TRUE(parseBoolKnob("1", "MNOC_LEDGER"));
+
+    // Garbage must stop the run, naming the knob and the value --
+    // the parity contract with MNOC_THREADS/MNOC_FAULTS.
+    for (const char *bad : {"2", "yes", "true", "on", "banana"}) {
+        try {
+            parseBoolKnob(bad, "MNOC_LEDGER");
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find("MNOC_LEDGER"),
+                      std::string::npos);
+            EXPECT_NE(std::string(err.what()).find(bad),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Knobs, ParsePathKnobSplitsFlagFromExportPath)
+{
+    EXPECT_FALSE(parsePathKnob(nullptr, "MNOC_METRICS").enabled);
+    EXPECT_FALSE(parsePathKnob("", "MNOC_METRICS").enabled);
+    EXPECT_FALSE(parsePathKnob("0", "MNOC_METRICS").enabled);
+
+    PathKnob on = parsePathKnob("1", "MNOC_METRICS");
+    EXPECT_TRUE(on.enabled);
+    EXPECT_TRUE(on.path.empty());
+
+    PathKnob path = parsePathKnob("out/metrics.json",
+                                  "MNOC_TRACE_SPANS");
+    EXPECT_TRUE(path.enabled);
+    EXPECT_EQ(path.path, "out/metrics.json");
+}
+
+TEST(Knobs, ParsePathKnobFatalsOnMistypedFlags)
+{
+    // Values that are clearly an attempt at a boolean (or a count)
+    // must not be silently taken as file names.
+    for (const char *bad :
+         {"true", "FALSE", "yes", "No", "ON", "off", "2", "01"}) {
+        try {
+            parsePathKnob(bad, "MNOC_METRICS");
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find("MNOC_METRICS"),
+                      std::string::npos);
+            EXPECT_NE(std::string(err.what()).find(bad),
+                      std::string::npos);
+        }
+    }
+}
+
 TEST(Knobs, FaultKnobsDefaultOffWithSeedOne)
 {
     // The test runner leaves MNOC_FAULTS/MNOC_FAULT_SEED unset, so

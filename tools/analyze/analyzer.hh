@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Driver of mnoc-analyze: worklist construction from the
+ * compilation database (or an explicit file list), parallel per-TU
+ * lexing + rule evaluation on the shared ThreadPool, include-graph
+ * discovery of headers, layering checks, and baseline filtering.
+ *
+ * The analysis is deterministic by construction: the worklist is
+ * sorted, parallelFor writes per-index result slots that are merged
+ * in index order, and findings are sorted before reporting -- so
+ * the output is byte-identical at any MNOC_THREADS.
+ */
+
+#ifndef MNOC_TOOLS_ANALYZE_ANALYZER_HH
+#define MNOC_TOOLS_ANALYZE_ANALYZER_HH
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/analyze/rules.hh"
+
+namespace mnoc::analyze {
+
+/** Inputs of one analysis run. */
+struct AnalyzerConfig
+{
+    std::string root;          ///< repository root (absolute)
+    std::string compileDb;     ///< compile_commands.json, or ""
+    std::vector<std::string> files; ///< explicit files (absolute)
+    std::string baselinePath;  ///< baseline file, or ""
+};
+
+/** Outputs of one analysis run. */
+struct AnalysisResult
+{
+    std::vector<Finding> findings; ///< sorted, baseline-filtered
+    long long baselined = 0; ///< findings hidden by the baseline
+    long long filesAnalyzed = 0;
+};
+
+/** Baseline entries: (root-relative path, rule) pairs. */
+using Baseline = std::set<std::pair<std::string, std::string>>;
+
+/**
+ * Parse a baseline file.  Each non-comment line reads
+ * `path [rule]`; '#' starts a comment.
+ * @throws FatalError on unreadable files or malformed lines.
+ */
+Baseline loadBaseline(const std::string &path);
+
+/** Run the full analysis described by @p config. */
+AnalysisResult runAnalysis(const AnalyzerConfig &config);
+
+} // namespace mnoc::analyze
+
+#endif // MNOC_TOOLS_ANALYZE_ANALYZER_HH

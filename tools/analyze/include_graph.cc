@@ -1,0 +1,232 @@
+#include "tools/analyze/include_graph.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <tuple>
+
+namespace mnoc::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Directories that hold project code; anything else a candidate
+ *  resolves into (build trees, fetched third-party sources) is not
+ *  subject to the layer order. */
+const std::vector<std::string> kProjectTrees = {
+    "src/", "tools/", "tests/", "bench/", "examples/",
+};
+
+/**
+ * Find strongly connected module components with Tarjan's
+ * algorithm.  Modules and edges arrive in sorted containers, so the
+ * component list is deterministic.
+ */
+class SccFinder
+{
+  public:
+    explicit SccFinder(
+        const std::map<std::string, std::set<std::string>> &graph)
+        : graph_(graph)
+    {}
+
+    std::vector<std::vector<std::string>>
+    run()
+    {
+        for (const auto &[node, outs] : graph_)
+            if (index_.find(node) == index_.end())
+                visit(node);
+        return sccs_;
+    }
+
+  private:
+    void
+    visit(const std::string &node)
+    {
+        index_[node] = lowlink_[node] = next_++;
+        stack_.push_back(node);
+        on_stack_.insert(node);
+
+        auto it = graph_.find(node);
+        if (it != graph_.end()) {
+            for (const std::string &succ : it->second) {
+                if (index_.find(succ) == index_.end()) {
+                    visit(succ);
+                    lowlink_[node] = std::min(lowlink_[node],
+                                              lowlink_[succ]);
+                } else if (on_stack_.count(succ) > 0) {
+                    lowlink_[node] = std::min(lowlink_[node],
+                                              index_[succ]);
+                }
+            }
+        }
+
+        if (lowlink_[node] != index_[node])
+            return;
+        std::vector<std::string> scc;
+        while (true) {
+            std::string top = stack_.back();
+            stack_.pop_back();
+            on_stack_.erase(top);
+            scc.push_back(top);
+            if (top == node)
+                break;
+        }
+        if (scc.size() > 1) {
+            std::sort(scc.begin(), scc.end());
+            sccs_.push_back(std::move(scc));
+        }
+    }
+
+    const std::map<std::string, std::set<std::string>> &graph_;
+    std::map<std::string, int> index_;
+    std::map<std::string, int> lowlink_;
+    std::vector<std::string> stack_;
+    std::set<std::string> on_stack_;
+    int next_ = 0;
+    std::vector<std::vector<std::string>> sccs_;
+};
+
+std::string
+joinModules(const std::vector<std::string> &modules)
+{
+    std::string out;
+    for (const std::string &module : modules) {
+        if (!out.empty())
+            out += ", ";
+        out += module;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+inProjectTree(const std::string &relpath)
+{
+    for (const std::string &tree : kProjectTrees)
+        if (relpath.compare(0, tree.size(), tree) == 0)
+            return true;
+    return false;
+}
+
+std::string
+moduleOf(const std::string &relpath)
+{
+    std::size_t first = relpath.find('/');
+    if (first == std::string::npos)
+        return relpath;
+    std::string top = relpath.substr(0, first);
+    if (top != "src")
+        return top;
+    std::size_t second = relpath.find('/', first + 1);
+    if (second == std::string::npos)
+        return top;
+    return relpath.substr(first + 1, second - first - 1);
+}
+
+int
+layerRank(const std::string &module)
+{
+    if (module == "common")
+        return 0;
+    if (module == "optics" || module == "qap" || module == "noc" ||
+        module == "sim" || module == "workloads")
+        return 1;
+    if (module == "core" || module == "faults" ||
+        module == "runtime")
+        return 2;
+    return 3;
+}
+
+std::string
+resolveInclude(const std::string &root,
+               const std::string &from_rel,
+               const std::string &target,
+               const std::vector<std::string> &search_dirs)
+{
+    const fs::path root_path(root);
+    std::vector<fs::path> dirs;
+    dirs.push_back((root_path / from_rel).parent_path());
+    for (const std::string &dir : search_dirs)
+        dirs.emplace_back(dir);
+    dirs.push_back(root_path / "src");
+    dirs.push_back(root_path);
+
+    for (const fs::path &dir : dirs) {
+        fs::path candidate = (dir / target).lexically_normal();
+        std::error_code ec;
+        if (!fs::is_regular_file(candidate, ec))
+            continue;
+        std::string rel = candidate.lexically_relative(root_path)
+                              .generic_string();
+        if (rel.empty() || rel.compare(0, 2, "..") == 0)
+            return std::string();
+        if (!inProjectTree(rel))
+            return std::string();
+        return rel;
+    }
+    return std::string();
+}
+
+std::vector<Finding>
+checkLayering(const std::vector<IncludeEdge> &edges)
+{
+    std::vector<Finding> out;
+    std::map<std::string, std::set<std::string>> graph;
+
+    for (const IncludeEdge &edge : edges) {
+        std::string from_mod = moduleOf(edge.from);
+        std::string to_mod = moduleOf(edge.to);
+        if (from_mod != to_mod) {
+            graph[from_mod].insert(to_mod);
+            graph[to_mod]; // ensure the node exists
+        }
+        int from_rank = layerRank(from_mod);
+        int to_rank = layerRank(to_mod);
+        if (to_rank > from_rank)
+            out.push_back(
+                {edge.from, edge.line, "layering",
+                 "module '" + from_mod + "' (layer " +
+                     std::to_string(from_rank) + ") includes '" +
+                     edge.to + "' from module '" + to_mod +
+                     "' (layer " + std::to_string(to_rank) +
+                     "); includes must point down the layer "
+                     "order common <- optics/qap/noc/sim/"
+                     "workloads <- core/faults/runtime <- "
+                     "tools/bench/tests"});
+    }
+
+    for (const std::vector<std::string> &scc :
+         SccFinder(graph).run()) {
+        std::set<std::string> members(scc.begin(), scc.end());
+        // Anchor the finding on the smallest in-cycle edge so the
+        // report is stable across runs.
+        const IncludeEdge *anchor = nullptr;
+        for (const IncludeEdge &edge : edges) {
+            std::string from_mod = moduleOf(edge.from);
+            std::string to_mod = moduleOf(edge.to);
+            if (from_mod == to_mod ||
+                members.count(from_mod) == 0 ||
+                members.count(to_mod) == 0)
+                continue;
+            if (anchor == nullptr ||
+                std::tie(edge.from, edge.to, edge.line) <
+                    std::tie(anchor->from, anchor->to,
+                             anchor->line))
+                anchor = &edge;
+        }
+        if (anchor != nullptr)
+            out.push_back(
+                {anchor->from, anchor->line, "include-cycle",
+                 "modules {" + joinModules(scc) +
+                     "} include each other in a cycle; the layer "
+                     "order is only meaningful while module "
+                     "dependencies stay acyclic"});
+    }
+    return out;
+}
+
+} // namespace mnoc::analyze

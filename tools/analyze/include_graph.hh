@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Project include graph and layering rules for mnoc-analyze.
+ *
+ * The tree has a directed dependency order (DESIGN.md §13):
+ *
+ *   layer 0   common
+ *   layer 1   optics, qap, noc, sim, workloads
+ *   layer 2   core, faults, runtime
+ *   layer 3   tools, bench, tests, examples
+ *
+ * A file may include files of its own layer or below; an include
+ * that points up the order is a [layering] finding, and any cycle
+ * among modules (even within one layer) is an [include-cycle]
+ * finding, because a cycle makes the order meaningless.
+ */
+
+#ifndef MNOC_TOOLS_ANALYZE_INCLUDE_GRAPH_HH
+#define MNOC_TOOLS_ANALYZE_INCLUDE_GRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/rules.hh"
+
+namespace mnoc::analyze {
+
+/** One resolved project-internal include edge. */
+struct IncludeEdge
+{
+    std::string from; ///< including file (root-relative)
+    std::string to;   ///< included file (root-relative)
+    int line = 0;     ///< line of the #include directive
+};
+
+/** True when a root-relative path lies in one of the project code
+ *  trees (src/, tools/, tests/, bench/, examples/); build output
+ *  and fetched third-party sources are not analyzed. */
+bool inProjectTree(const std::string &relpath);
+
+/** Module a root-relative path belongs to: the directory under
+ *  src/ ("common", "core", ...) or the top-level directory
+ *  ("tools", "bench", "tests", "examples"). */
+std::string moduleOf(const std::string &relpath);
+
+/** Layer rank of @p module (0 = common ... 3 = tools/bench/tests);
+ *  unknown modules rank as the top layer. */
+int layerRank(const std::string &module);
+
+/**
+ * Resolve the include @p target written in @p from_rel against the
+ * repository @p root and the @p search_dirs taken from the
+ * compilation database.  Returns the root-relative path of the
+ * included file, or "" when the target is not part of the project
+ * (system headers, third-party code).
+ */
+std::string resolveInclude(const std::string &root,
+                           const std::string &from_rel,
+                           const std::string &target,
+                           const std::vector<std::string> &search_dirs);
+
+/** Layering and cycle findings over the full edge list. */
+std::vector<Finding>
+checkLayering(const std::vector<IncludeEdge> &edges);
+
+} // namespace mnoc::analyze
+
+#endif // MNOC_TOOLS_ANALYZE_INCLUDE_GRAPH_HH

@@ -1,0 +1,663 @@
+#include "tools/analyze/rules.hh"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace mnoc::analyze {
+
+namespace {
+
+/** Container types whose iteration order is unspecified. */
+const std::set<std::string> kUnorderedTypes = {
+    "std::unordered_map",      "std::unordered_set",
+    "std::unordered_multimap", "std::unordered_multiset",
+};
+
+/** Types whose instances serialize state (drains of the
+ *  unordered-iteration rule). */
+const std::set<std::string> kSinkTypes = {
+    "FileWriter",   "CsvWriter",    "MetricsRegistry",
+    "EnergyLedger", "SpanRecorder", "std::ostream",
+    "std::ofstream",
+};
+
+/** Free functions / helpers that serialize state. */
+const std::set<std::string> kSinkCalls = {
+    "saveTrace", "writePgmHeatmap", "escapeJson", "jsonNumber",
+};
+
+/** std RNG machinery that bypasses the seeded Prng. */
+const std::set<std::string> kStdRng = {
+    "std::rand",
+    "std::srand",
+    "srand",
+    "std::random_device",
+    "std::mt19937",
+    "std::mt19937_64",
+    "std::default_random_engine",
+    "std::minstd_rand",
+    "std::minstd_rand0",
+};
+
+/** Functions whose return value reports work the caller must keep
+ *  (discarding them is either dead I/O or a swallowed result). */
+const std::set<std::string> kMustUseCalls = {
+    "loadTrace",
+    "mapTrace",
+    "toTrace",
+};
+
+const std::vector<RuleInfo> kCatalog = {
+    {"discarded-result", "error-handling", "warning",
+     "result of a fallible I/O call is discarded"},
+    {"include-cycle", "layering", "error",
+     "modules include each other in a cycle"},
+    {"layering", "layering", "error",
+     "include points up the layer order"},
+    {"raw-ofstream", "error-handling", "warning",
+     "raw std::ofstream bypasses the FileWriter choke point"},
+    {"raw-thread", "determinism", "error",
+     "raw thread primitive bypasses the shared ThreadPool"},
+    {"shared-prng", "determinism", "error",
+     "Prng shared by reference across ThreadPool tasks"},
+    {"unclosed-writer", "error-handling", "warning",
+     "FileWriter is never close()d on the checked path"},
+    {"unordered-iteration", "determinism", "error",
+     "unordered-container iteration reaches a serialization sink"},
+    {"unseeded-rng", "determinism", "error",
+     "std RNG machinery bypasses the seeded Prng"},
+    {"wall-clock", "determinism", "error",
+     "wall-clock read outside trace_span/manifest"},
+};
+
+/** Top-level source category of a root-relative path. */
+std::string
+categoryOf(const std::string &relpath)
+{
+    std::size_t slash = relpath.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : relpath.substr(0, slash);
+}
+
+/** True when @p text is @p word or ends with "::word". */
+bool
+endsWithWord(const std::string &text, const std::string &word)
+{
+    if (text == word)
+        return true;
+    if (text.size() <= word.size() + 2)
+        return false;
+    std::size_t at = text.size() - word.size();
+    return text.compare(at, word.size(), word) == 0 &&
+           text.compare(at - 2, 2, "::") == 0;
+}
+
+/** Last ::-segment of a qualified identifier. */
+std::string
+lastSegment(const std::string &text)
+{
+    std::size_t at = text.rfind("::");
+    return at == std::string::npos ? text : text.substr(at + 2);
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/** Index of the token matching @p open_tok ('(' '<' '{' '[') at
+ *  @p at, or kNpos when unbalanced. */
+std::size_t
+matchForward(const std::vector<Token> &toks, std::size_t at,
+             char open_tok, char close_tok)
+{
+    int depth = 0;
+    for (std::size_t i = at; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text[0] == open_tok)
+            ++depth;
+        else if (toks[i].text[0] == close_tok && --depth == 0)
+            return i;
+    }
+    return kNpos;
+}
+
+bool
+isPunct(const Token &tok, char c)
+{
+    return tok.kind == TokKind::Punct && tok.text[0] == c;
+}
+
+/**
+ * Collect names declared with one of @p types: after the type token
+ * an optional template argument list, cv/ref decorations, then the
+ * declared identifier.  Returns name -> declaration token indices.
+ */
+std::map<std::string, std::vector<std::size_t>>
+declaredNames(const std::vector<Token> &toks,
+              const std::set<std::string> &types)
+{
+    std::map<std::string, std::vector<std::size_t>> out;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier)
+            continue;
+        bool is_type = types.count(toks[i].text) > 0;
+        for (const std::string &type : types)
+            is_type = is_type || endsWithWord(toks[i].text, type);
+        if (!is_type)
+            continue;
+        std::size_t j = i + 1;
+        if (j < toks.size() && isPunct(toks[j], '<')) {
+            j = matchForward(toks, j, '<', '>');
+            if (j == kNpos)
+                continue;
+            ++j;
+        }
+        while (j < toks.size() &&
+               (isPunct(toks[j], '&') || isPunct(toks[j], '*') ||
+                (toks[j].kind == TokKind::Identifier &&
+                 toks[j].text == "const")))
+            ++j;
+        if (j < toks.size() &&
+            toks[j].kind == TokKind::Identifier)
+            out[toks[j].text].push_back(j);
+    }
+    return out;
+}
+
+/** Token range [first, last) of the body following token @p at
+ *  (either a balanced brace block or a single statement up to ';');
+ *  returns {kNpos, kNpos} when the body is unterminated. */
+std::pair<std::size_t, std::size_t>
+bodyRange(const std::vector<Token> &toks, std::size_t at)
+{
+    if (at >= toks.size())
+        return {kNpos, kNpos};
+    if (isPunct(toks[at], '{')) {
+        std::size_t close = matchForward(toks, at, '{', '}');
+        if (close == kNpos)
+            return {kNpos, kNpos};
+        return {at + 1, close};
+    }
+    for (std::size_t i = at; i < toks.size(); ++i)
+        if (isPunct(toks[i], ';'))
+            return {at, i};
+    return {kNpos, kNpos};
+}
+
+/** The rule engine for one file; rule methods append findings. */
+class FileChecker
+{
+  public:
+    FileChecker(std::string relpath, const LexedFile &file)
+        : relpath_(std::move(relpath)), file_(file),
+          toks_(file.tokens), category_(categoryOf(relpath_))
+    {}
+
+    std::vector<Finding>
+    run()
+    {
+        checkUnorderedIteration();
+        checkWallClock();
+        checkUnseededRng();
+        checkRawThread();
+        checkRawOfstream();
+        checkSharedPrng();
+        checkDiscardedResult();
+        checkUnclosedWriter();
+        return applySuppressions();
+    }
+
+  private:
+    void
+    add(int line, const std::string &rule,
+        const std::string &message)
+    {
+        findings_.push_back({relpath_, line, rule, message});
+    }
+
+    bool
+    inCategory(std::initializer_list<const char *> cats) const
+    {
+        for (const char *cat : cats)
+            if (category_ == cat)
+                return true;
+        return false;
+    }
+
+    bool
+    pathIsOneOf(std::initializer_list<const char *> paths) const
+    {
+        for (const char *path : paths)
+            if (relpath_ == path)
+                return true;
+        return false;
+    }
+
+    /** Sink words visible in this file: sink types, sink calls,
+     *  variables declared with a sink type, and per-file
+     *  mnoc-analyze-sink annotations. */
+    std::set<std::string>
+    sinkWords() const
+    {
+        std::set<std::string> out(kSinkTypes);
+        out.insert(kSinkCalls.begin(), kSinkCalls.end());
+        out.insert(file_.fileSinks.begin(), file_.fileSinks.end());
+        for (const auto &[name, decls] :
+             declaredNames(toks_, kSinkTypes))
+            out.insert(name);
+        return out;
+    }
+
+    /** First sink identifier inside [first, last), or "" . */
+    std::string
+    findSink(std::size_t first, std::size_t last,
+             const std::set<std::string> &sinks) const
+    {
+        for (std::size_t i = first;
+             i < last && i < toks_.size(); ++i) {
+            if (toks_[i].kind != TokKind::Identifier)
+                continue;
+            if (sinks.count(toks_[i].text) > 0 ||
+                sinks.count(lastSegment(toks_[i].text)) > 0)
+                return toks_[i].text;
+        }
+        return std::string();
+    }
+
+    void
+    checkUnorderedIteration()
+    {
+        if (!inCategory({"src", "tools", "bench"}))
+            return;
+        auto unordered = declaredNames(toks_, kUnorderedTypes);
+        std::set<std::string> sinks = sinkWords();
+
+        for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+            if (toks_[i].kind != TokKind::Identifier ||
+                toks_[i].text != "for" ||
+                !isPunct(toks_[i + 1], '('))
+                continue;
+            std::size_t close =
+                matchForward(toks_, i + 1, '(', ')');
+            if (close == kNpos)
+                continue;
+
+            // Range-for: the range expression after the ':' at
+            // paren depth 1; classic for: the whole control clause
+            // (catches `it = m.begin()` iterator loops).
+            std::size_t range_first = i + 2;
+            int depth = 0;
+            for (std::size_t k = i + 1; k < close; ++k) {
+                if (isPunct(toks_[k], '('))
+                    ++depth;
+                else if (isPunct(toks_[k], ')'))
+                    --depth;
+                else if (depth == 1 && isPunct(toks_[k], ':')) {
+                    range_first = k + 1;
+                    break;
+                }
+            }
+
+            std::string container;
+            for (std::size_t k = range_first;
+                 k < close && container.empty(); ++k) {
+                if (toks_[k].kind != TokKind::Identifier)
+                    continue;
+                if (unordered.count(toks_[k].text) > 0)
+                    container = toks_[k].text;
+                for (const std::string &type : kUnorderedTypes)
+                    if (endsWithWord(toks_[k].text, type))
+                        container = toks_[k].text;
+            }
+            if (container.empty())
+                continue;
+
+            auto [first, last] = bodyRange(toks_, close + 1);
+            if (first == kNpos)
+                continue;
+            std::string sink = findSink(first, last, sinks);
+            if (sink.empty())
+                continue;
+            add(toks_[i].line, "unordered-iteration",
+                "iteration over unordered container '" + container +
+                    "' reaches serialization sink '" + sink +
+                    "'; unordered iteration order leaks into "
+                    "output -- traverse a sorted view instead");
+        }
+    }
+
+    void
+    checkWallClock()
+    {
+        if (!inCategory({"src", "tools"}))
+            return;
+        if (pathIsOneOf({"src/common/trace_span.cc",
+                         "src/common/trace_span.hh",
+                         "src/common/manifest.cc"}))
+            return;
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            const Token &tok = toks_[i];
+            if (tok.kind != TokKind::Identifier)
+                continue;
+            bool chrono_now =
+                tok.text.compare(0, 13, "std::chrono::") == 0 &&
+                endsWithWord(tok.text, "now");
+            bool c_clock = false;
+            if ((tok.text == "time" || tok.text == "std::time" ||
+                 tok.text == "clock" ||
+                 tok.text == "std::clock") &&
+                i + 1 < toks_.size() &&
+                isPunct(toks_[i + 1], '(')) {
+                // Skip member calls: obj.time(...) is not libc.
+                c_clock = i == 0 || (!isPunct(toks_[i - 1], '.') &&
+                                     !isPunct(toks_[i - 1], '>'));
+            }
+            bool posix_clock = tok.text == "gettimeofday" ||
+                               tok.text == "clock_gettime" ||
+                               tok.text == "localtime" ||
+                               tok.text == "gmtime";
+            if (chrono_now || c_clock || posix_clock)
+                add(tok.line, "wall-clock",
+                    "'" + tok.text +
+                        "' reads the wall clock in a result path; "
+                        "only trace_span/manifest may observe time "
+                        "(DESIGN.md §10)");
+        }
+    }
+
+    void
+    checkUnseededRng()
+    {
+        if (pathIsOneOf({"src/common/prng.hh"}))
+            return;
+        for (const Token &tok : toks_) {
+            if (tok.kind != TokKind::Identifier)
+                continue;
+            if (kStdRng.count(tok.text) > 0)
+                add(tok.line, "unseeded-rng",
+                    "'" + tok.text +
+                        "' bypasses the seeded Prng in "
+                        "common/prng.hh; draws must be "
+                        "reproducible");
+        }
+    }
+
+    void
+    checkRawThread()
+    {
+        if (pathIsOneOf({"src/common/thread_pool.hh",
+                         "src/common/thread_pool.cc",
+                         "tests/test_thread_pool.cc"}))
+            return;
+        for (const Token &tok : toks_) {
+            if (tok.kind != TokKind::Identifier)
+                continue;
+            bool hit =
+                tok.text == "std::thread" ||
+                tok.text.compare(0, 13, "std::thread::") == 0 ||
+                tok.text == "std::jthread" ||
+                tok.text == "std::async";
+            if (hit)
+                add(tok.line, "raw-thread",
+                    "'" + tok.text +
+                        "' bypasses the shared ThreadPool in "
+                        "common/thread_pool.hh; raw threads break "
+                        "the deterministic-parallelism contract "
+                        "(DESIGN.md §9)");
+        }
+    }
+
+    void
+    checkRawOfstream()
+    {
+        if (category_ == "tests" ||
+            pathIsOneOf({"src/common/io.hh", "src/common/io.cc"}))
+            return;
+        for (const Token &tok : toks_)
+            if (tok.kind == TokKind::Identifier &&
+                tok.text == "std::ofstream")
+                add(tok.line, "raw-ofstream",
+                    "raw std::ofstream drops write errors; use "
+                    "FileWriter from common/io.hh");
+    }
+
+    void
+    checkSharedPrng()
+    {
+        if (!inCategory({"src", "tools", "bench"}))
+            return;
+        auto prngs = declaredNames(
+            toks_, std::set<std::string>{"Prng", "mnoc::Prng"});
+        if (prngs.empty())
+            return;
+
+        for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+            if (toks_[i].kind != TokKind::Identifier)
+                continue;
+            std::string callee = lastSegment(toks_[i].text);
+            if ((callee != "submit" && callee != "parallelFor") ||
+                !isPunct(toks_[i + 1], '('))
+                continue;
+            std::size_t close =
+                matchForward(toks_, i + 1, '(', ')');
+            if (close == kNpos)
+                continue;
+            scanLambdas(i + 2, close, prngs);
+        }
+    }
+
+    /** Flag by-reference Prng captures in lambdas found inside the
+     *  token range [first, last) of a submit/parallelFor argument
+     *  list. */
+    void
+    scanLambdas(
+        std::size_t first, std::size_t last,
+        const std::map<std::string, std::vector<std::size_t>>
+            &prngs)
+    {
+        for (std::size_t i = first; i < last; ++i) {
+            if (!isPunct(toks_[i], '['))
+                continue;
+            // A capture list follows '(' ',' or an operator, never
+            // an identifier or a closing bracket (array indexing).
+            if (i > 0 && (toks_[i - 1].kind == TokKind::Identifier ||
+                          isPunct(toks_[i - 1], ')') ||
+                          isPunct(toks_[i - 1], ']')))
+                continue;
+            std::size_t cap_end = matchForward(toks_, i, '[', ']');
+            if (cap_end == kNpos || cap_end > last)
+                continue;
+
+            bool ref_default = false;
+            std::set<std::string> ref_names;
+            for (std::size_t k = i + 1; k < cap_end; ++k) {
+                if (!isPunct(toks_[k], '&'))
+                    continue;
+                if (k + 1 < cap_end &&
+                    toks_[k + 1].kind == TokKind::Identifier)
+                    ref_names.insert(toks_[k + 1].text);
+                else
+                    ref_default = true;
+            }
+            if (!ref_default && ref_names.empty())
+                continue;
+
+            // Body: optional parameter list, then the brace block.
+            std::size_t j = cap_end + 1;
+            if (j < toks_.size() && isPunct(toks_[j], '(')) {
+                j = matchForward(toks_, j, '(', ')');
+                if (j == kNpos)
+                    continue;
+                ++j;
+            }
+            while (j < toks_.size() && !isPunct(toks_[j], '{') &&
+                   !isPunct(toks_[j], ';'))
+                ++j;
+            if (j >= toks_.size() || !isPunct(toks_[j], '{'))
+                continue;
+            std::size_t body_end =
+                matchForward(toks_, j, '{', '}');
+            if (body_end == kNpos)
+                continue;
+
+            for (const auto &[name, decls] : prngs) {
+                bool inside = false;
+                for (std::size_t at : decls)
+                    inside = inside || (at > i && at < body_end);
+                if (inside)
+                    continue;
+                bool captured = ref_default ||
+                                ref_names.count(name) > 0;
+                if (!captured)
+                    continue;
+                for (std::size_t k = j + 1; k < body_end; ++k) {
+                    if (toks_[k].kind == TokKind::Identifier &&
+                        toks_[k].text == name) {
+                        add(toks_[i].line, "shared-prng",
+                            "Prng '" + name +
+                                "' is captured by reference into a "
+                                "ThreadPool task; concurrent draws "
+                                "make results schedule-dependent -- "
+                                "fork a per-task stream with "
+                                "deriveSeed (DESIGN.md §9)");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    checkDiscardedResult()
+    {
+        for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+            if (toks_[i].kind != TokKind::Identifier)
+                continue;
+            if (kMustUseCalls.count(lastSegment(toks_[i].text)) ==
+                0)
+                continue;
+            if (!isPunct(toks_[i + 1], '('))
+                continue;
+            if (i > 0 && (isPunct(toks_[i - 1], '.') ||
+                          isPunct(toks_[i - 1], '>')))
+                continue;
+            std::size_t close =
+                matchForward(toks_, i + 1, '(', ')');
+            if (close == kNpos || close + 1 >= toks_.size() ||
+                !isPunct(toks_[close + 1], ';'))
+                continue;
+            bool statement =
+                i == 0 || isPunct(toks_[i - 1], ';') ||
+                isPunct(toks_[i - 1], '{') ||
+                isPunct(toks_[i - 1], '}') ||
+                isPunct(toks_[i - 1], ')') ||
+                (toks_[i - 1].kind == TokKind::Identifier &&
+                 (toks_[i - 1].text == "else" ||
+                  toks_[i - 1].text == "do"));
+            if (statement)
+                add(toks_[i].line, "discarded-result",
+                    "result of '" + lastSegment(toks_[i].text) +
+                        "' is discarded; the call exists only for "
+                        "its return value");
+        }
+    }
+
+    void
+    checkUnclosedWriter()
+    {
+        if (category_ == "tests" ||
+            pathIsOneOf({"src/common/io.hh", "src/common/io.cc"}))
+            return;
+        for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
+            if (toks_[i].kind != TokKind::Identifier ||
+                !endsWithWord(toks_[i].text, "FileWriter"))
+                continue;
+            const Token &name = toks_[i + 1];
+            if (name.kind != TokKind::Identifier ||
+                (!isPunct(toks_[i + 2], '(') &&
+                 !isPunct(toks_[i + 2], '{')))
+                continue;
+            bool closed = false;
+            for (std::size_t k = 0; k + 2 < toks_.size(); ++k)
+                if (toks_[k].kind == TokKind::Identifier &&
+                    toks_[k].text == name.text &&
+                    isPunct(toks_[k + 1], '.') &&
+                    toks_[k + 2].text == "close") {
+                    closed = true;
+                    break;
+                }
+            if (!closed)
+                add(name.line, "unclosed-writer",
+                    "FileWriter '" + name.text +
+                        "' is never close()d; its destructor only "
+                        "warn()s, so a full disk would truncate "
+                        "the artifact silently");
+        }
+    }
+
+    std::vector<Finding>
+    applySuppressions() const
+    {
+        std::vector<Finding> out;
+        for (const Finding &finding : findings_) {
+            bool suppressed = false;
+            for (int line : {finding.line, finding.line - 1}) {
+                auto it = file_.okLines.find(line);
+                if (it == file_.okLines.end())
+                    continue;
+                if (it->second.count(finding.rule) > 0 ||
+                    it->second.count("*") > 0)
+                    suppressed = true;
+            }
+            if (!suppressed)
+                out.push_back(finding);
+        }
+        return out;
+    }
+
+    std::string relpath_;
+    const LexedFile &file_;
+    const std::vector<Token> &toks_;
+    std::string category_;
+    std::vector<Finding> findings_;
+};
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    return kCatalog;
+}
+
+const RuleInfo *
+findRule(const std::string &rule)
+{
+    for (const RuleInfo &info : kCatalog)
+        if (rule == info.id)
+            return &info;
+    return nullptr;
+}
+
+bool
+operator<(const Finding &a, const Finding &b)
+{
+    return std::tie(a.path, a.line, a.rule, a.message) <
+           std::tie(b.path, b.line, b.rule, b.message);
+}
+
+bool
+operator==(const Finding &a, const Finding &b)
+{
+    return std::tie(a.path, a.line, a.rule, a.message) ==
+           std::tie(b.path, b.line, b.rule, b.message);
+}
+
+std::vector<Finding>
+runFileRules(const std::string &relpath, const LexedFile &file)
+{
+    return FileChecker(relpath, file).run();
+}
+
+} // namespace mnoc::analyze

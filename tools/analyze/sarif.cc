@@ -1,0 +1,93 @@
+#include "tools/analyze/sarif.hh"
+
+#include <sstream>
+
+#include "common/io.hh"
+#include "common/json.hh"
+
+namespace mnoc::analyze {
+
+namespace {
+
+const char *kSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json";
+
+} // namespace
+
+std::string
+sarifDocument(const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"" << kSchema << "\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"mnoc-analyze\",\n"
+       << "          \"version\": \"1.0.0\",\n"
+       << "          \"rules\": [\n";
+    const std::vector<RuleInfo> &rules = ruleCatalog();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        const RuleInfo &rule = rules[i];
+        os << "            {\n"
+           << "              \"id\": \"" << escapeJson(rule.id)
+           << "\",\n"
+           << "              \"shortDescription\": {\"text\": \""
+           << escapeJson(rule.summary) << "\"},\n"
+           << "              \"defaultConfiguration\": "
+           << "{\"level\": \"" << escapeJson(rule.level)
+           << "\"},\n"
+           << "              \"properties\": {\"family\": \""
+           << escapeJson(rule.family) << "\"}\n"
+           << "            }"
+           << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &finding = findings[i];
+        const RuleInfo *rule = findRule(finding.rule);
+        const char *level =
+            rule != nullptr ? rule->level : "warning";
+        os << "        {\n"
+           << "          \"ruleId\": \""
+           << escapeJson(finding.rule) << "\",\n"
+           << "          \"level\": \"" << level << "\",\n"
+           << "          \"message\": {\"text\": \""
+           << escapeJson(finding.message) << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": "
+           << "{\"uri\": \"" << escapeJson(finding.path)
+           << "\"},\n"
+           << "                \"region\": {\"startLine\": "
+           << finding.line << "}\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]\n"
+           << "        }"
+           << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+void
+writeSarif(const std::string &path,
+           const std::vector<Finding> &findings)
+{
+    FileWriter writer(path);
+    writer.stream() << sarifDocument(findings);
+    writer.close();
+}
+
+} // namespace mnoc::analyze

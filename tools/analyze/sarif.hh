@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SARIF 2.1.0 export of mnoc-analyze findings, the interchange
+ * format CI code-scanning services ingest.  One run per report: the
+ * tool driver carries the full rule catalog, every finding becomes
+ * a result with a root-relative artifact URI and a start line.
+ */
+
+#ifndef MNOC_TOOLS_ANALYZE_SARIF_HH
+#define MNOC_TOOLS_ANALYZE_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/rules.hh"
+
+namespace mnoc::analyze {
+
+/** The SARIF document for @p findings, as a string (findings must
+ *  already be sorted; the document is byte-stable). */
+std::string sarifDocument(const std::vector<Finding> &findings);
+
+/** Write sarifDocument() to @p path via FileWriter (throws on I/O
+ *  failure, including failures surfaced at close). */
+void writeSarif(const std::string &path,
+                const std::vector<Finding> &findings);
+
+} // namespace mnoc::analyze
+
+#endif // MNOC_TOOLS_ANALYZE_SARIF_HH

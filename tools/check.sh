@@ -21,6 +21,11 @@ run_config build -DMNOC_WERROR=ON
 echo "== static analysis (mnoc-lint, clang-format, clang-tidy) =="
 sh tools/lint.sh build
 
+echo "== static analysis (mnoc-analyze) =="
+./build/tools/analyze/mnoc-analyze --root . \
+    --compile-commands build/compile_commands.json \
+    --baseline tools/analyze/baseline.txt
+
 echo "== sanitizer configuration (ASan+UBSan) =="
 run_config build-asan -DMNOC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 

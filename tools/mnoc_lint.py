@@ -12,19 +12,8 @@ that the compiler cannot:
                   or fields whose names carry a unit suffix (_db, _w,
                   _uw, _mw, _dbm, _m, _cm): use DecibelLoss, WattPower
                   or Meters so the type carries the unit.
-  rng             all randomness goes through common/prng.hh (seeded
-                  xoshiro256**); std::rand / std::mt19937 /
-                  std::random_device make runs irreproducible.
   float           power math is double-only; float halves the mantissa
                   on dB sums that are differenced later.
-  raw-thread      all concurrency goes through the shared pool in
-                  common/thread_pool.hh; raw std::thread / std::async
-                  escapes the determinism contract of DESIGN.md §9.
-  raw-ofstream    all file writes go through FileWriter (or a helper
-                  built on it) in common/io.hh; a raw std::ofstream
-                  drops write errors on the floor and produces
-                  truncated artifacts on full disks.  Tests are
-                  exempt (they stage fixtures).
   header-guard    headers use #ifndef MNOC_<PATH>_HH guards matching
                   their path, with a matching trailing comment.
   include-order   own header first (in .cc files), then <system>
@@ -39,6 +28,10 @@ Usage:
 With no FILE arguments, lints the standard source directories under
 the root.  Exits 0 when clean, 1 when any finding is reported, 2 on
 usage errors.
+
+The former rng / raw-thread / raw-ofstream regex rules moved to
+tools/analyze (mnoc-analyze), which matches them token-accurately
+from the compilation database instead of line-by-line.
 """
 
 from __future__ import annotations
@@ -56,32 +49,12 @@ DEFAULT_DIRS = ("src", "tests", "tools", "bench", "examples")
 # Files allowed to do raw dB <-> linear conversions.
 POW_ALLOWLIST = ("src/common/units.hh",)
 
-# Files allowed to reference std RNG machinery.
-RNG_ALLOWLIST = ("src/common/prng.hh",)
-
-# Files allowed to touch raw threading primitives: the pool itself and
-# its unit test (which compares std::thread::id values).
-THREAD_ALLOWLIST = ("src/common/thread_pool.hh",
-                    "src/common/thread_pool.cc",
-                    "tests/test_thread_pool.cc")
-
-# The one place allowed to own a raw output stream: the FileWriter
-# choke point every other writer builds on.
-OFSTREAM_ALLOWLIST = ("src/common/io.hh", "src/common/io.cc")
-
 # Directories whose sources are power math (float-free zone).
 FLOAT_DIRS = ("src/optics", "src/core", "src/faults", "src/common",
               "src/runtime")
 
 RAW_POW_RE = re.compile(r"\bpow\s*\(\s*10(?:\.0*)?\s*,")
-RNG_RE = re.compile(
-    r"std::rand\b|\bsrand\s*\(|std::random_device\b|std::mt19937\b"
-    r"|std::default_random_engine\b|std::minstd_rand\b")
 FLOAT_RE = re.compile(r"\bfloat\b")
-# Matches std::thread (including std::thread::id) but not
-# std::this_thread, which is harmless introspection.
-THREAD_RE = re.compile(r"std::(?:thread|jthread|async)\b")
-OFSTREAM_RE = re.compile(r"std::ofstream\b")
 UNIT_PARAM_RE = re.compile(
     r"\bdouble\s+(\w*_(?:db|dbm|w|uw|mw|m|cm))\b")
 INCLUDE_RE = re.compile(r'#\s*include\s*([<"])([^>"]+)[>"]')
@@ -170,44 +143,6 @@ def check_raw_pow(relpath, code_lines, findings):
                          "raw pow(10, ...) conversion; use "
                          "DecibelLoss::toTransmission()/toAttenuation()"
                          " from common/units.hh")
-
-
-def check_rng(relpath, code_lines, findings):
-    if relpath in RNG_ALLOWLIST:
-        return
-    for lineno, text in code_lines:
-        match = RNG_RE.search(text)
-        if match:
-            findings.add(relpath, lineno, "rng",
-                         f"'{match.group(0)}' bypasses the seeded "
-                         "Prng in common/prng.hh; draws must be "
-                         "reproducible")
-
-
-def check_raw_thread(relpath, code_lines, findings):
-    if relpath in THREAD_ALLOWLIST:
-        return
-    for lineno, text in code_lines:
-        match = THREAD_RE.search(text)
-        if match:
-            findings.add(relpath, lineno, "raw-thread",
-                         f"'{match.group(0)}' bypasses the shared "
-                         "ThreadPool in common/thread_pool.hh; raw "
-                         "threads break the deterministic-parallelism "
-                         "contract (DESIGN.md §9)")
-
-
-def check_raw_ofstream(relpath, code_lines, findings):
-    if relpath in OFSTREAM_ALLOWLIST:
-        return
-    if relpath.startswith("tests/"):
-        return
-    for lineno, text in code_lines:
-        if OFSTREAM_RE.search(text):
-            findings.add(relpath, lineno, "raw-ofstream",
-                         "raw std::ofstream drops write errors; use "
-                         "FileWriter from common/io.hh (or CsvWriter/"
-                         "writePgmHeatmap built on it)")
 
 
 def check_float(relpath, code_lines, findings):
@@ -349,9 +284,6 @@ def lint_file(path, root, findings):
         return
     code_lines = list(strip_comments(lines))
     check_raw_pow(relpath, code_lines, findings)
-    check_rng(relpath, code_lines, findings)
-    check_raw_thread(relpath, code_lines, findings)
-    check_raw_ofstream(relpath, code_lines, findings)
     check_float(relpath, code_lines, findings)
     check_unit_params(relpath, code_lines, findings)
     check_header_guard(relpath, lines, findings)
@@ -367,9 +299,11 @@ def collect_default(root):
             continue
         for suffix in ("*.cc", "*.hh", "*.cpp"):
             out.extend(sorted(base.rglob(suffix)))
-    # Fixture files carry deliberate violations for the linter's own
-    # tests; never lint them as part of the tree.
-    return [p for p in out if "lint_fixtures" not in p.parts]
+    # Fixture files carry deliberate violations for the linter's and
+    # analyzer's own tests; never lint them as part of the tree.
+    return [p for p in out
+            if "lint_fixtures" not in p.parts
+            and "analyze_fixtures" not in p.parts]
 
 
 def main(argv=None):
