@@ -2,11 +2,15 @@
  * @file
  * Serial-vs-parallel smoke benchmark of the deterministic parallel
  * execution layer (DESIGN.md §9): times the Monte Carlo yield
- * analysis, the QAP multi-start taboo search, and the SPLASH suite
- * simulation on a pool of one and on the configured pool, verifies
- * the parallel results are bit-identical to the serial ones, and
- * writes BENCH_parallel.json (schema in bench/bench_json.hh) so the
- * perf trajectory accumulates run over run.
+ * analysis, the QAP multi-start taboo search, the SPLASH suite
+ * simulation, and the streamed energy-ledger build (whole-file load
+ * on one thread vs sharded TraceReader fan-out on the configured
+ * pool) on a pool of one and on the configured pool, verifies the
+ * parallel results are bit-identical to the serial ones, and writes
+ * BENCH_parallel.json (schema in bench/bench_json.hh) so the perf
+ * trajectory accumulates run over run.  The streaming record's
+ * workItems is the epoch-cell (message) count, so messages/sec for
+ * either path is workItems / *Seconds.
  *
  * Scale knobs: MNOC_THREADS sets the parallel pool; the suite
  * section honors MNOC_BENCH_CORES / MNOC_BENCH_OPS but defaults to a
@@ -18,14 +22,19 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <utility>
 
 #include "bench_json.hh"
 #include "common/manifest.hh"
 #include "common/prng.hh"
 #include "common/thread_pool.hh"
+#include "core/energy_ledger.hh"
 #include "faults/yield.hh"
 #include "harness.hh"
 #include "qap/multi_start.hh"
+#include "sim/trace.hh"
+#include "sim/trace_stream.hh"
 
 using namespace mnoc;
 
@@ -193,6 +202,140 @@ benchSuite(ThreadPool &serial, ThreadPool &parallel,
     return record;
 }
 
+/** Bit-exact comparison of two energy ledgers, cell by cell. */
+bool
+sameLedger(const core::EnergyLedger &a, const core::EnergyLedger &b)
+{
+    if (a.numSources() != b.numSources() ||
+        a.numModes() != b.numModes() ||
+        a.numEpochs() != b.numEpochs() ||
+        a.durationSeconds() != b.durationSeconds() ||
+        a.messagesPerEpoch() != b.messagesPerEpoch())
+        return false;
+    for (int s = 0; s < a.numSources(); ++s) {
+        for (int m = 0; m < a.numModes(); ++m) {
+            for (std::size_t e = 0; e < a.numEpochs(); ++e) {
+                const auto &x = a.cell(s, m, e);
+                const auto &y = b.cell(s, m, e);
+                if (x.flits != y.flits ||
+                    x.txSeconds != y.txSeconds ||
+                    x.sourceEnergy != y.sourceEnergy ||
+                    x.oeEnergy != y.oeEnergy ||
+                    x.electricalEnergy != y.electricalEnergy)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * The streaming section: build one deterministic epoch-carrying trace,
+ * write it both as a single v3 file and as a sharded directory, then
+ * race the whole-file path (loadTrace + in-memory ledger build, the
+ * pre-streaming pipeline) against the streamed path (TraceReader shard
+ * fan-out across the parallel pool).  workItems is the total epoch-
+ * cell count, so messages/sec falls out of the record directly.
+ */
+bench::ParallelRecord
+benchStreamedLedger(ThreadPool &parallel, const std::string &scratch)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr int kNodes = 64;
+    constexpr std::size_t kEpochs = 4096;
+    constexpr std::uint64_t kMsgsPerEpoch = 128;
+    constexpr std::size_t kEpochsPerShard = 64;
+    constexpr std::uint64_t kSeed = 23;
+
+    optics::SerpentineLayout layout(kNodes, Meters(0.08));
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar(layout, params);
+    core::Designer designer(xbar);
+
+    core::DesignSpec spec;
+    spec.numModes = 2;
+    spec.assignment = core::Assignment::DistanceBased;
+    spec.weights = core::WeightSource::Uniform;
+    FlowMatrix flow(kNodes, kNodes, 1.0);
+    for (int i = 0; i < kNodes; ++i)
+        flow(i, i) = 0.0;
+    auto topology = designer.buildTopology(spec, flow);
+    auto design =
+        designer.buildDesign(spec, topology, flow, DecibelLoss(1.5));
+
+    // Deterministic synthetic traffic: every epoch draws its messages
+    // from its own derived PRNG stream, merged and sorted into the
+    // canonical (src, dst) cell order the capture path produces.
+    sim::Trace trace;
+    trace.workloadName = "bench_stream";
+    trace.networkName = "mnoc";
+    trace.totalTicks = 1000000;
+    trace.packets = CountMatrix(kNodes, kNodes, 0);
+    trace.flits = CountMatrix(kNodes, kNodes, 0);
+    trace.manifest = currentManifest();
+    trace.epochs.messagesPerEpoch = kMsgsPerEpoch;
+    trace.epochs.epochs.reserve(kEpochs);
+    long long total_cells = 0;
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+        Prng rng(deriveSeed(kSeed, e));
+        std::map<std::pair<int, int>,
+                 std::pair<std::uint64_t, std::uint64_t>> bucket;
+        for (std::uint64_t m = 0; m < kMsgsPerEpoch; ++m) {
+            int src = static_cast<int>(rng.below(kNodes));
+            int dst = static_cast<int>(rng.below(kNodes - 1));
+            if (dst >= src)
+                ++dst;
+            std::uint64_t flits = 1 + rng.below(8);
+            auto &cell = bucket[{src, dst}];
+            cell.first += 1;
+            cell.second += flits;
+        }
+        std::vector<noc::EpochCell> cells;
+        cells.reserve(bucket.size());
+        for (const auto &[key, counts] : bucket) {
+            cells.push_back({key.first, key.second, counts.first,
+                             counts.second});
+            trace.packets(key.first, key.second) += counts.first;
+            trace.flits(key.first, key.second) += counts.second;
+        }
+        total_cells += static_cast<long long>(cells.size());
+        trace.epochs.epochs.push_back(std::move(cells));
+    }
+
+    std::string file = scratch + "/stream.trace";
+    std::string dir = scratch + "/stream.mshards";
+    sim::saveTrace(file, trace);
+    sim::saveShardedTrace(dir, trace, kEpochsPerShard);
+
+    auto t0 = Clock::now();
+    auto whole = sim::loadTrace(file);
+    auto serial_ledger =
+        designer.model().buildLedger(design, whole);
+    auto t1 = Clock::now();
+
+    auto t2 = Clock::now();
+    sim::TraceReader reader(dir);
+    auto streamed_ledger = designer.model().buildLedger(
+        design, reader, nullptr, &parallel);
+    auto t3 = Clock::now();
+
+    bench::ParallelRecord record;
+    record.name = "streamed_ledger_build";
+    record.workItems = total_cells;
+    record.serialSeconds = seconds(t0, t1);
+    record.parallelSeconds = seconds(t2, t3);
+    record.bitIdentical = sameLedger(serial_ledger, streamed_ledger);
+    double cells = static_cast<double>(total_cells);
+    std::cout << "  streamed ledger: "
+              << static_cast<long long>(
+                     cells / record.serialSeconds)
+              << " msgs/s whole-file, "
+              << static_cast<long long>(
+                     cells / record.parallelSeconds)
+              << " msgs/s streamed\n";
+    return record;
+}
+
 void
 printRecord(const bench::ParallelRecord &record)
 {
@@ -233,6 +376,9 @@ main()
     records.push_back(benchQapMultiStart(serial, parallel));
     printRecord(records.back());
     records.push_back(benchSuite(serial, parallel, scratch));
+    printRecord(records.back());
+    std::filesystem::create_directories(scratch);
+    records.push_back(benchStreamedLedger(parallel, scratch));
     printRecord(records.back());
     std::filesystem::remove_all(scratch);
 

@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/trace_span.hh"
 #include "core/energy_ledger.hh"
 #include "optics/link_budget.hh"
+#include "sim/trace_stream.hh"
 
 namespace mnoc::core {
 
@@ -290,6 +292,27 @@ Designer::buildLedger(const MnocDesign &design,
 {
     sim::Trace mapped = sim::mapTrace(thread_trace, thread_to_core);
     return model_.buildLedger(design, mapped);
+}
+
+EnergyLedger
+Designer::buildLedgerStreamed(
+    const MnocDesign &design, const std::string &trace_path,
+    const std::vector<int> &thread_to_core, ThreadPool *pool) const
+{
+    TraceSpan span("buildLedgerStreamed", "power");
+    sim::TraceReader reader(trace_path);
+    sim::checkCoreMapping(thread_to_core, reader.header().numNodes);
+    return model_.buildLedger(design, reader, &thread_to_core, pool);
+}
+
+PowerBreakdown
+Designer::evaluateStreamed(
+    const MnocDesign &design, const std::string &trace_path,
+    const std::vector<int> &thread_to_core, ThreadPool *pool) const
+{
+    return buildLedgerStreamed(design, trace_path, thread_to_core,
+                               pool)
+        .averagePower();
 }
 
 } // namespace mnoc::core

@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "common/metrics.hh"
+#include "common/thread_pool.hh"
+#include "sim/trace_stream.hh"
 
 namespace mnoc::core {
 
@@ -134,6 +136,145 @@ EnergyLedger::sourceEpochPower() const
     return out;
 }
 
+namespace {
+
+/**
+ * Precomputed SoA accrual tables shared by the whole-file and
+ * streamed ledger builds.  The gathers -- flat per-(source, dest)
+ * mode ids, per-(source, mode) drive watts and receiver populations
+ * -- replace the per-message pointer chases through the topology and
+ * design structures with contiguous array reads; the stored doubles
+ * are the very values the original expressions produced, and the
+ * accrual arithmetic keeps its association order, so the accrued
+ * energies are bit-identical to the pre-SoA code.
+ */
+class AccrualPlan
+{
+  public:
+    AccrualPlan(const MnocDesign &design, const PowerParams &params,
+                const optics::DeviceParams &optics_params, int n,
+                EnergyLedger &ledger)
+        : ledger_(ledger), n_(n),
+          numModes_(design.topology.numModes),
+          flitTime_(1.0 / params.net.clockHz),
+          oneToZeroRatio_(optics_params.oneToZeroRatio),
+          qdLedEfficiency_(optics_params.qdLedEfficiency),
+          oePerReceiver_(
+              params.oePowerPerReceiver(optics_params
+                                            .photodetectorMiop)
+                  .watts()),
+          bufferEnergyPerFlit_(params.bufferEnergyPerFlit)
+    {
+        auto sn = static_cast<std::size_t>(n);
+        auto sm = static_cast<std::size_t>(numModes_);
+        modeOf_.assign(sn * sn, -1);
+        reach_.assign(sn * sm, 0);
+        modePowerW_.assign(sn * sm, 0.0);
+        for (int s = 0; s < n; ++s) {
+            const auto &local = design.topology.local(s);
+            auto row = static_cast<std::size_t>(s) * sn;
+            for (int d = 0; d < n; ++d) {
+                if (d == s)
+                    continue;
+                modeOf_[row + static_cast<std::size_t>(d)] =
+                    local.modeOfDest[d];
+            }
+            auto slot = static_cast<std::size_t>(s) * sm;
+            for (int m = 0; m < numModes_; ++m) {
+                reach_[slot + static_cast<std::size_t>(m)] =
+                    local.reachableCount(m);
+                modePowerW_[slot + static_cast<std::size_t>(m)] =
+                    design.sources[s].modePower[m].watts();
+            }
+        }
+    }
+
+    void
+    accrue(int src, int dst, std::uint64_t flit_count,
+           std::size_t epoch) const
+    {
+        if (flit_count == 0 || dst == src)
+            return;
+        auto row = static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(n_);
+        int mode = modeOf_[row + static_cast<std::size_t>(dst)];
+        auto slot = static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(numModes_) +
+                    static_cast<std::size_t>(mode);
+        auto flits = static_cast<double>(flit_count);
+        double tx_time = flits * flitTime_;
+        LedgerCell &cell = ledger_.cell(src, mode, epoch);
+        cell.flits += flit_count;
+        cell.txSeconds += tx_time;
+        // QD LED electrical drive, derated by the 1-to-0 ratio.
+        cell.sourceEnergy += tx_time * modePowerW_[slot] *
+            oneToZeroRatio_ / qdLedEfficiency_;
+        // Every receiver reachable in this mode sees the light and
+        // burns O/E power for the packet duration.
+        cell.oeEnergy += tx_time * reach_[slot] * oePerReceiver_;
+        // Injection + ejection buffers.
+        cell.electricalEnergy +=
+            flits * 2.0 * bufferEnergyPerFlit_;
+    }
+
+  private:
+    EnergyLedger &ledger_;
+    int n_;
+    int numModes_;
+    double flitTime_;
+    double oneToZeroRatio_;
+    double qdLedEfficiency_;
+    double oePerReceiver_;
+    double bufferEnergyPerFlit_;
+    std::vector<int> modeOf_;
+    std::vector<int> reach_;
+    std::vector<double> modePowerW_;
+};
+
+} // namespace
+
+void
+MnocPowerModel::attachLosses(const MnocDesign &design,
+                             EnergyLedger &ledger,
+                             ThreadPool *pool) const
+{
+    // Per-(source, mode) optical loss attribution at that mode's
+    // injected power.  lossBreakdown() self-checks that the buckets
+    // sum to the injected power (photon conservation).  Every task
+    // writes only its own source's slots, so fanning the chain walks
+    // across the pool is bit-identical to the serial loop.
+    int n = crossbar_.numNodes();
+    int num_modes = design.topology.numModes;
+    ThreadPool &workers = pool ? *pool : ThreadPool::global();
+    workers.parallelFor(n, [&](long long s_index) {
+        int s = static_cast<int>(s_index);
+        const auto &source = design.sources[s];
+        for (int m = 0; m < num_modes; ++m) {
+            std::size_t slot =
+                static_cast<std::size_t>(s) *
+                    static_cast<std::size_t>(num_modes) +
+                static_cast<std::size_t>(m);
+            ledger.losses_[slot] = crossbar_.chain(s).lossBreakdown(
+                source.chain, source.modePower[m]);
+        }
+    });
+}
+
+void
+MnocPowerModel::recordLedgerMetrics(const EnergyLedger &ledger) const
+{
+    auto &metrics = MetricsRegistry::global();
+    metrics.counter("ledger.builds").add();
+    Series &epoch_flits = metrics.series("ledger.epoch_flits");
+    for (std::size_t e = 0; e < ledger.numEpochs(); ++e) {
+        std::uint64_t flits = 0;
+        for (int s = 0; s < ledger.numSources(); ++s)
+            for (int m = 0; m < ledger.numModes(); ++m)
+                flits += ledger.cell(s, m, e).flits;
+        epoch_flits.add(e, flits);
+    }
+}
+
 EnergyLedger
 MnocPowerModel::buildLedger(const MnocDesign &design,
                             const sim::Trace &trace) const
@@ -144,21 +285,8 @@ MnocPowerModel::buildLedger(const MnocDesign &design,
             "trace size mismatch");
     fatalIf(trace.totalTicks == 0, "trace has zero duration");
 
-    const auto &optics_params = crossbar_.params();
-    double flit_time = 1.0 / params_.net.clockHz; // one flit per cycle
     double duration =
         static_cast<double>(trace.totalTicks) / params_.net.clockHz;
-    double oe_per_receiver =
-        params_.oePowerPerReceiver(optics_params.photodetectorMiop)
-            .watts();
-
-    // Receiver population per (source, mode).
-    std::vector<std::vector<int>> reach(n);
-    for (int s = 0; s < n; ++s) {
-        reach[s].resize(design.topology.numModes);
-        for (int m = 0; m < design.topology.numModes; ++m)
-            reach[s][m] = design.topology.local(s).reachableCount(m);
-    }
 
     // An epoch-free trace (MNOC_LEDGER was off at capture, or a
     // version-2 file) attributes the whole run to a single epoch, so
@@ -169,65 +297,94 @@ MnocPowerModel::buildLedger(const MnocDesign &design,
                         duration);
     ledger.epochMsgs_ = trace.epochs.messagesPerEpoch;
 
-    auto accrue = [&](int src, int dst, std::uint64_t flit_count,
-                      std::size_t epoch) {
-        if (flit_count == 0 || dst == src)
-            return;
-        int mode = design.topology.local(src).modeOfDest[dst];
-        auto flits = static_cast<double>(flit_count);
-        double tx_time = flits * flit_time;
-        LedgerCell &cell = ledger.cell(src, mode, epoch);
-        cell.flits += flit_count;
-        cell.txSeconds += tx_time;
-        // QD LED electrical drive, derated by the 1-to-0 ratio.
-        cell.sourceEnergy += tx_time *
-            design.sources[src].modePower[mode].watts() *
-            optics_params.oneToZeroRatio /
-            optics_params.qdLedEfficiency;
-        // Every receiver reachable in this mode sees the light and
-        // burns O/E power for the packet duration.
-        cell.oeEnergy += tx_time * reach[src][mode] * oe_per_receiver;
-        // Injection + ejection buffers.
-        cell.electricalEnergy +=
-            flits * 2.0 * params_.bufferEnergyPerFlit;
-    };
-
+    AccrualPlan plan(design, params_, crossbar_.params(), n, ledger);
     if (trace.epochs.empty()) {
         for (int s = 0; s < n; ++s)
             for (int d = 0; d < n; ++d)
-                accrue(s, d, trace.flits(s, d), 0);
+                plan.accrue(s, d, trace.flits(s, d), 0);
     } else {
         for (std::size_t e = 0; e < num_epochs; ++e)
             for (const noc::EpochCell &cell : trace.epochs.epochs[e])
-                accrue(cell.src, cell.dst, cell.flits, e);
+                plan.accrue(cell.src, cell.dst, cell.flits, e);
     }
 
-    // Per-(source, mode) optical loss attribution at that mode's
-    // injected power.  lossBreakdown() self-checks that the buckets
-    // sum to the injected power (photon conservation).
-    for (int s = 0; s < n; ++s) {
-        const auto &source = design.sources[s];
-        for (int m = 0; m < design.topology.numModes; ++m) {
-            std::size_t slot =
-                static_cast<std::size_t>(s) *
-                    static_cast<std::size_t>(
-                        design.topology.numModes) +
-                static_cast<std::size_t>(m);
-            ledger.losses_[slot] = crossbar_.chain(s).lossBreakdown(
-                source.chain, source.modePower[m]);
+    attachLosses(design, ledger, nullptr);
+    recordLedgerMetrics(ledger);
+    return ledger;
+}
+
+EnergyLedger
+MnocPowerModel::buildLedger(const MnocDesign &design,
+                            sim::TraceReader &reader,
+                            const std::vector<int> *thread_to_core,
+                            ThreadPool *pool) const
+{
+    int n = crossbar_.numNodes();
+    const sim::TraceHeader &header = reader.header();
+    fatalIf(header.numNodes != n, "trace size mismatch");
+    fatalIf(header.totalTicks == 0, "trace has zero duration");
+
+    double duration = static_cast<double>(header.totalTicks) /
+                      params_.net.clockHz;
+    std::size_t num_epochs =
+        header.numEpochs == 0 ? 1 : header.numEpochs;
+    EnergyLedger ledger(n, design.topology.numModes, num_epochs,
+                        duration);
+    ledger.epochMsgs_ = header.messagesPerEpoch;
+
+    AccrualPlan plan(design, params_, crossbar_.params(), n, ledger);
+    if (header.numEpochs == 0) {
+        // Epoch-free trace: fold the streamed messages into a dense
+        // (mapped) flit matrix first, then accrue in (src, dst)
+        // order.  Integer folds are exact in any order, and the
+        // accrual then visits cells exactly as the whole-file path
+        // does, so the ledger is bit-identical to it.
+        CountMatrix flits(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(n), 0);
+        std::vector<sim::TraceMessage> batch;
+        while (reader.nextMessages(batch, sim::kMessageBatch) > 0) {
+            for (const sim::TraceMessage &msg : batch) {
+                int src = msg.src;
+                int dst = msg.dst;
+                if (thread_to_core) {
+                    src = (*thread_to_core)[static_cast<std::size_t>(
+                        src)];
+                    dst = (*thread_to_core)[static_cast<std::size_t>(
+                        dst)];
+                }
+                flits(static_cast<std::size_t>(src),
+                      static_cast<std::size_t>(dst)) += msg.flits;
+            }
         }
+        for (int s = 0; s < n; ++s)
+            for (int d = 0; d < n; ++d)
+                plan.accrue(s, d, flits(static_cast<std::size_t>(s),
+                                        static_cast<std::size_t>(d)),
+                            0);
+    } else {
+        // Epoch shards are disjoint epoch ranges and every epoch
+        // touches only its own (source, mode, epoch) cells, so
+        // fanning the shard parses across the pool accrues into
+        // disjoint slots -- bit-identical at any MNOC_THREADS.
+        ThreadPool &workers = pool ? *pool : ThreadPool::global();
+        auto shards = static_cast<long long>(reader.numShards());
+        workers.parallelFor(shards, [&](long long shard) {
+            reader.readShard(
+                static_cast<std::size_t>(shard),
+                [&](std::size_t epoch,
+                    std::vector<noc::EpochCell> &&cells) {
+                    if (thread_to_core)
+                        cells = sim::mapEpochCells(cells,
+                                                   *thread_to_core);
+                    for (const noc::EpochCell &cell : cells)
+                        plan.accrue(cell.src, cell.dst, cell.flits,
+                                    epoch);
+                });
+        });
     }
 
-    auto &metrics = MetricsRegistry::global();
-    metrics.counter("ledger.builds").add();
-    Series &epoch_flits = metrics.series("ledger.epoch_flits");
-    for (std::size_t e = 0; e < num_epochs; ++e) {
-        std::uint64_t flits = 0;
-        for (int s = 0; s < n; ++s)
-            for (int m = 0; m < design.topology.numModes; ++m)
-                flits += ledger.cell(s, m, e).flits;
-        epoch_flits.add(e, flits);
-    }
+    attachLosses(design, ledger, pool);
+    recordLedgerMetrics(ledger);
     return ledger;
 }
 

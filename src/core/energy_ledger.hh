@@ -12,9 +12,12 @@
  * numbers from here, so the printed tables and the power model can
  * never drift apart.
  *
- * Determinism: the ledger is a pure function of (design, trace); it
- * is built serially and contains no order-dependent folds, so its
- * CSV/JSON renderings are byte-identical at any MNOC_THREADS.
+ * Determinism: the ledger is a pure function of (design, trace) and
+ * contains no order-dependent folds.  The streamed build fans epoch
+ * shards across the thread pool, but every epoch accrues only into
+ * its own (source, mode, epoch) cells -- disjoint slots -- so its
+ * CSV/JSON renderings are byte-identical at any MNOC_THREADS, and
+ * identical to the whole-file build.
  */
 
 #ifndef MNOC_CORE_ENERGY_LEDGER_HH

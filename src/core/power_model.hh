@@ -22,6 +22,13 @@
 #include "optics/crossbar.hh"
 #include "sim/trace.hh"
 
+namespace mnoc {
+class ThreadPool;
+namespace sim {
+class TraceReader;
+} // namespace sim
+} // namespace mnoc
+
 namespace mnoc::core {
 
 class EnergyLedger;
@@ -136,6 +143,20 @@ class MnocPowerModel
     EnergyLedger buildLedger(const MnocDesign &design,
                              const sim::Trace &trace) const;
 
+    /**
+     * Streamed ledger build: attribute a trace pulled batch by batch
+     * from @p reader without ever materializing it, optionally
+     * re-expressed in core coordinates under @p thread_to_core (an
+     * already-validated permutation).  Epoch shards fan out across
+     * @p pool (the global pool when null) into disjoint ledger cells,
+     * so the result is bit-identical to the whole-file build at any
+     * thread count, while peak memory stays one epoch per worker.
+     */
+    EnergyLedger buildLedger(
+        const MnocDesign &design, sim::TraceReader &reader,
+        const std::vector<int> *thread_to_core = nullptr,
+        ThreadPool *pool = nullptr) const;
+
     const optics::OpticalCrossbar &crossbar() const { return crossbar_; }
     const PowerParams &params() const { return params_; }
 
@@ -144,6 +165,14 @@ class MnocPowerModel
         const GlobalPowerTopology &topology,
         const std::vector<std::vector<double>> &weights,
         DecibelLoss design_margin) const;
+
+    /** Fill the ledger's per-(source, mode) loss breakdowns, fanning
+     *  the chain walks across @p pool (disjoint slots). */
+    void attachLosses(const MnocDesign &design, EnergyLedger &ledger,
+                      ThreadPool *pool) const;
+
+    /** Bump the ledger build counter and the per-epoch flit series. */
+    void recordLedgerMetrics(const EnergyLedger &ledger) const;
 
     const optics::OpticalCrossbar &crossbar_;
     PowerParams params_;

@@ -8,6 +8,7 @@
 #define MNOC_NOC_NETWORK_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -94,6 +95,21 @@ class TrafficRecorder
         epochs_.messagesPerEpoch = messages_per_epoch;
     }
 
+    /**
+     * Stream sealed epochs into @p sink (e.g. a TraceShardWriter)
+     * instead of accumulating them in memory, so a capture's peak
+     * memory no longer grows with run length.  Cells arrive sorted by
+     * (src, dst), exactly as takeEpochs() would have stored them.
+     * takeEpochs() then returns only messagesPerEpoch and whatever
+     * the sink has not consumed (nothing), so callers that persist
+     * through the sink skip saveTrace()'s epoch block.
+     */
+    void
+    setEpochSink(std::function<void(std::vector<EpochCell> &&)> sink)
+    {
+        epochSink_ = std::move(sink);
+    }
+
     /** Record one delivered packet. */
     void
     record(const Packet &packet)
@@ -142,7 +158,10 @@ class TrafficRecorder
         for (const auto &[key, counts] : current_)
             cells.push_back(EpochCell{key.first, key.second,
                                       counts.first, counts.second});
-        epochs_.epochs.push_back(std::move(cells));
+        if (epochSink_)
+            epochSink_(std::move(cells));
+        else
+            epochs_.epochs.push_back(std::move(cells));
         current_.clear();
         messages_in_epoch_ = 0;
     }
@@ -150,6 +169,7 @@ class TrafficRecorder
     CountMatrix packets_;
     CountMatrix flits_;
     EpochTraffic epochs_;
+    std::function<void(std::vector<EpochCell> &&)> epochSink_;
     std::map<std::pair<int, int>,
              std::pair<std::uint64_t, std::uint64_t>>
         current_;

@@ -39,6 +39,18 @@ SplitterChain::SplitterChain(const SerpentineLayout &layout,
                      .toTransmission();
         tapAtten_[dest] = trans.inverse();
     }
+
+    // Per-segment propagation transmissions, hoisted out of the
+    // design/evaluate/lossBreakdown walks: each dB->linear conversion
+    // is a pow(), and the walks touch every segment once per call, so
+    // caching turns the inner loops into pure multiply-adds over a
+    // contiguous array.  The cached values are the same doubles the
+    // on-the-fly conversion produced.
+    segTrans_.reserve(n > 0 ? n - 1 : 0);
+    for (int a = 0; a + 1 < n; ++a)
+        segTrans_.push_back(
+            params_.propagationLoss(layout_.distanceBetween(a, a + 1))
+                .toTransmission());
 }
 
 LinearFactor
@@ -52,8 +64,7 @@ SplitterChain::tapAttenuation(int dest) const
 LinearFactor
 SplitterChain::segmentTransmission(int a) const
 {
-    return params_.propagationLoss(layout_.distanceBetween(a, a + 1))
-        .toTransmission();
+    return segTrans_[static_cast<std::size_t>(a)];
 }
 
 ChainDesign

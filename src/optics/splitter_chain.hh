@@ -169,7 +169,8 @@ class SplitterChain
 
   private:
     /** Propagation transmission of the waveguide segment between
-     *  adjacent nodes @p a and @p a+1 (no splitter insertion). */
+     *  adjacent nodes @p a and @p a+1 (no splitter insertion),
+     *  served from the cache precomputed at construction. */
     LinearFactor segmentTransmission(int a) const;
 
     const SerpentineLayout &layout_;
@@ -177,6 +178,9 @@ class SplitterChain
     int source_;
     /** Precomputed geometric attenuation per destination. */
     std::vector<LinearFactor> tapAtten_;
+    /** Precomputed segment transmissions; entry a covers the
+     *  waveguide between adjacent nodes a and a+1. */
+    std::vector<LinearFactor> segTrans_;
     /** Transmission from LED output to the waveguide arms. */
     LinearFactor sourceFeedTransmission_;
 };

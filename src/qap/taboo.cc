@@ -25,7 +25,8 @@ class DeltaTable
 {
   public:
     DeltaTable(const QapInstance &inst, const Permutation &perm)
-        : inst_(inst), n_(inst.size()), table_(n_ * n_, 0.0)
+        : inst_(inst), n_(inst.size()), table_(n_ * n_, 0.0),
+          fu_(n_, 0.0), fv_(n_, 0.0), dpu_(n_, 0.0), dpv_(n_, 0.0)
     {
         for (int u = 0; u < n_; ++u)
             for (int v = u + 1; v < n_; ++v)
@@ -45,28 +46,40 @@ class DeltaTable
         const double *d = inst_.dist().data().data();
         std::size_t pu = static_cast<std::size_t>(perm[u]);
         std::size_t pv = static_cast<std::size_t>(perm[v]);
-        const double *f_u_col = f + static_cast<std::size_t>(u);
-        const double *f_v_col = f + static_cast<std::size_t>(v);
-        const double *d_pu_col = d + pu;
-        const double *d_pv_col = d + pv;
+
+        // Gather the four strided/permuted operand columns into
+        // contiguous arrays once per swap, so the O(n^2) update loop
+        // below streams sequentially instead of striding by n and
+        // chasing perm[] per element.  The gathered values are the
+        // same doubles the strided reads produced, and the update
+        // expression keeps its shape, so the table stays bit-
+        // identical to the pre-gather code.
+        for (int k = 0; k < n_; ++k) {
+            std::size_t kn = static_cast<std::size_t>(k) * n;
+            std::size_t pk = static_cast<std::size_t>(perm[k]) * n;
+            fu_[static_cast<std::size_t>(k)] =
+                f[kn + static_cast<std::size_t>(u)];
+            fv_[static_cast<std::size_t>(k)] =
+                f[kn + static_cast<std::size_t>(v)];
+            dpu_[static_cast<std::size_t>(k)] = d[pk + pu];
+            dpv_[static_cast<std::size_t>(k)] = d[pk + pv];
+        }
 
         for (int r = 0; r < n_; ++r) {
             if (r == u || r == v)
                 continue;
             std::size_t rn = static_cast<std::size_t>(r) * n;
-            std::size_t pr = static_cast<std::size_t>(perm[r]) * n;
+            std::size_t sr = static_cast<std::size_t>(r);
             // Symmetric matrices: column reads become row reads.
-            double fr = f[rn + u] - f[rn + v];
-            double dr = d[pr + pu] - d[pr + pv];
+            double fr = fu_[sr] - fv_[sr];
+            double dr = dpu_[sr] - dpv_[sr];
             double *row = &table_[rn];
             for (int s = r + 1; s < n_; ++s) {
                 if (s == u || s == v)
                     continue;
-                std::size_t sn = static_cast<std::size_t>(s) * n;
-                std::size_t ps = static_cast<std::size_t>(perm[s]) * n;
-                row[s] += 2.0 *
-                          (fr + f_v_col[sn] - f_u_col[sn]) *
-                          (d_pv_col[ps] - d_pu_col[ps] + dr);
+                std::size_t ss = static_cast<std::size_t>(s);
+                row[s] += 2.0 * (fr + fv_[ss] - fu_[ss]) *
+                          (dpv_[ss] - dpu_[ss] + dr);
             }
         }
 
@@ -87,6 +100,8 @@ class DeltaTable
     const QapInstance &inst_;
     int n_;
     std::vector<double> table_;
+    /** Per-swap gather buffers (see applySwap), allocated once. */
+    std::vector<double> fu_, fv_, dpu_, dpv_;
 };
 
 } // namespace

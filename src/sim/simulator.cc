@@ -42,8 +42,11 @@ runSimulation(const SimConfig &config, noc::Network &network,
     noc::TrafficRecorder recorder(n);
     // Epoch bucketing feeds the energy-attribution ledger; one
     // branch per packet when MNOC_LEDGER is off.
-    if (ledgerEnabled())
+    if (ledgerEnabled()) {
         recorder.enableEpochs(ledgerEpochMessages());
+        if (config.epochSink)
+            recorder.setEpochSink(config.epochSink);
+    }
     CoherenceController coherence(n, config.memory, network, recorder);
     coherence.setHomeMap(thread_to_core);
     workload.reset(n, seed);

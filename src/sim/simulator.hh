@@ -9,6 +9,7 @@
 #define MNOC_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "common/matrix.hh"
 #include "noc/network.hh"
@@ -36,6 +37,15 @@ struct SimConfig
      * thread mappings are applied to a run.
      */
     std::vector<int> threadToCore;
+    /**
+     * When set (and the ledger is enabled), sealed attribution
+     * epochs are streamed into this sink as the run produces them --
+     * e.g. straight into a TraceShardWriter -- instead of
+     * accumulating in SimulationResult::epochs, so capture memory
+     * stays bounded on arbitrarily long runs.  Cells arrive sorted
+     * by (src, dst); the result's epoch list is then empty.
+     */
+    std::function<void(std::vector<noc::EpochCell> &&)> epochSink;
 };
 
 /** Results of one simulated run. */

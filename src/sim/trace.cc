@@ -1,35 +1,15 @@
 #include "sim/trace.hh"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 #include <tuple>
 
 #include "common/io.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/trace_span.hh"
+#include "sim/trace_stream.hh"
 
 namespace mnoc::sim {
-
-namespace {
-
-/**
- * "path:line: why [kind record at byte N]" fatal for the strict
- * trace parser.  Every failure names the record kind being parsed
- * and the byte offset where it starts (for truncation, the offset
- * where the file ends), so a cut or corrupted trace can be opened
- * at the exact damage point instead of re-parsed by hand.
- */
-[[noreturn]] void
-parseFail(const std::string &path, int line, std::size_t offset,
-          const std::string &kind, const std::string &why)
-{
-    fatal(path + ":" + std::to_string(line) + ": " + why + " [" +
-          kind + " record at byte " + std::to_string(offset) + "]");
-}
-
-} // namespace
 
 Trace
 toTrace(const SimulationResult &result)
@@ -91,13 +71,27 @@ saveTrace(const std::string &path, const Trace &trace)
     MetricsRegistry::global().counter("trace.saves").add();
 }
 
-Trace
-mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
+void
+saveShardedTrace(const std::string &dir, const Trace &trace,
+                 std::size_t epochs_per_shard)
 {
+    TraceSpan span("saveShardedTrace", "io");
     int n = static_cast<int>(trace.packets.rows());
+    TraceShardWriter writer(dir, trace.workloadName,
+                            trace.networkName, n,
+                            trace.epochs.messagesPerEpoch,
+                            epochs_per_shard);
+    for (const auto &cells : trace.epochs.epochs)
+        writer.appendEpoch(cells);
+    writer.finish(trace.totalTicks, trace.packets, trace.flits,
+                  trace.manifest);
+}
+
+void
+checkCoreMapping(const std::vector<int> &thread_to_core, int n)
+{
     fatalIf(static_cast<int>(thread_to_core.size()) != n,
             "thread mapping must cover every thread");
-
     // The mapping must be a permutation: a duplicated target core
     // would merge two threads' traffic rows, silently corrupting
     // every downstream power number.
@@ -109,6 +103,34 @@ mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
                     std::to_string(c) + " is used twice");
         used[static_cast<std::size_t>(c)] = true;
     }
+}
+
+std::vector<noc::EpochCell>
+mapEpochCells(const std::vector<noc::EpochCell> &cells,
+              const std::vector<int> &thread_to_core)
+{
+    std::vector<noc::EpochCell> mapped;
+    mapped.reserve(cells.size());
+    for (noc::EpochCell cell : cells) {
+        cell.src = thread_to_core[static_cast<std::size_t>(cell.src)];
+        cell.dst = thread_to_core[static_cast<std::size_t>(cell.dst)];
+        mapped.push_back(cell);
+    }
+    // Re-canonicalize: the permutation scrambles (src, dst) order,
+    // and downstream byte-identity depends on it.
+    std::sort(mapped.begin(), mapped.end(),
+              [](const noc::EpochCell &a, const noc::EpochCell &b) {
+                  return std::tie(a.src, a.dst) <
+                         std::tie(b.src, b.dst);
+              });
+    return mapped;
+}
+
+Trace
+mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
+{
+    int n = static_cast<int>(trace.packets.rows());
+    checkCoreMapping(thread_to_core, n);
 
     Trace out;
     out.workloadName = trace.workloadName;
@@ -126,25 +148,9 @@ mapTrace(const Trace &trace, const std::vector<int> &thread_to_core)
         }
     }
     out.epochs.messagesPerEpoch = trace.epochs.messagesPerEpoch;
-    for (const auto &cells : trace.epochs.epochs) {
-        std::vector<noc::EpochCell> mapped;
-        mapped.reserve(cells.size());
-        for (noc::EpochCell cell : cells) {
-            cell.src =
-                thread_to_core[static_cast<std::size_t>(cell.src)];
-            cell.dst =
-                thread_to_core[static_cast<std::size_t>(cell.dst)];
-            mapped.push_back(cell);
-        }
-        // Re-canonicalize: the permutation scrambles (src, dst)
-        // order, and downstream byte-identity depends on it.
-        std::sort(mapped.begin(), mapped.end(),
-                  [](const noc::EpochCell &a, const noc::EpochCell &b) {
-                      return std::tie(a.src, a.dst) <
-                             std::tie(b.src, b.dst);
-                  });
-        out.epochs.epochs.push_back(std::move(mapped));
-    }
+    for (const auto &cells : trace.epochs.epochs)
+        out.epochs.epochs.push_back(
+            mapEpochCells(cells, thread_to_core));
     return out;
 }
 
@@ -152,161 +158,23 @@ Trace
 loadTrace(const std::string &path)
 {
     TraceSpan span("loadTrace", "io");
-    std::ifstream in(path);
-    fatalIf(!in.is_open(), "cannot open trace file: " + path);
-
-    int lineno = 0;
-    std::string line;
-    // Byte bookkeeping for parseFail: line_offset is where the
-    // current line starts; offset is one past its newline, i.e. the
-    // end-of-file position when nextLine() returns false.
-    std::size_t line_offset = 0;
-    std::size_t offset = 0;
-    auto nextLine = [&]() -> bool {
-        line_offset = offset;
-        if (!std::getline(in, line))
-            return false;
-        ++lineno;
-        offset += line.size() + 1;
-        return true;
-    };
-
-    if (!nextLine())
-        parseFail(path, 1, 0, "header", "empty trace file");
-    std::string magic;
-    int version = 0;
-    {
-        std::istringstream header(line);
-        header >> magic >> version;
-        if (header.fail() || magic != "mnoc-trace" || version < 1 ||
-            version > 3)
-            parseFail(path, lineno, line_offset, "header",
-                      "unrecognized trace file header: " + line);
-    }
+    TraceReader reader(path);
+    const TraceHeader &header = reader.header();
 
     Trace t;
-    if (!nextLine())
-        parseFail(path, lineno + 1, line_offset, "workload",
-                  "missing workload name");
-    t.workloadName = line;
-    if (!nextLine())
-        parseFail(path, lineno + 1, line_offset, "network",
-                  "missing network name");
-    t.networkName = line;
-
-    if (!nextLine())
-        parseFail(path, lineno + 1, line_offset, "dimensions",
-                  "missing trace dimensions");
-    int n = 0;
-    {
-        std::istringstream dims(line);
-        dims >> n >> t.totalTicks;
-        if (dims.fail() || n <= 0)
-            parseFail(path, lineno, line_offset, "dimensions",
-                      "malformed trace dimensions: " + line);
-    }
+    t.workloadName = header.workloadName;
+    t.networkName = header.networkName;
+    t.totalTicks = header.totalTicks;
+    t.manifest = header.manifest;
+    int n = header.numNodes;
     t.packets = CountMatrix(n, n, 0);
     t.flits = CountMatrix(n, n, 0);
-
-    bool pending = nextLine();
-    if (version >= 2) {
-        if (!pending)
-            parseFail(path, lineno + 1, line_offset,
-                      "manifest-header", "missing manifest block");
-        std::istringstream head(line);
-        std::string keyword;
-        std::size_t count = 0;
-        head >> keyword >> count;
-        if (head.fail() || keyword != "manifest")
-            parseFail(path, lineno, line_offset, "manifest-header",
-                      "expected 'manifest <n>', got: " + line);
-        for (std::size_t i = 0; i < count; ++i) {
-            if (!nextLine())
-                parseFail(path, lineno + 1, line_offset,
-                          "manifest-entry",
-                          "truncated manifest block");
-            if (!parseManifestEntry(line, t.manifest))
-                parseFail(path, lineno, line_offset,
-                          "manifest-entry",
-                          "malformed manifest entry: " + line);
-        }
-        pending = nextLine();
-    }
-
-    if (version >= 3) {
-        if (!pending)
-            parseFail(path, lineno + 1, line_offset,
-                      "epochs-header", "missing epochs block");
-        std::istringstream head(line);
-        std::string keyword;
-        std::size_t num_epochs = 0;
-        head >> keyword >> num_epochs >> t.epochs.messagesPerEpoch;
-        if (head.fail() || keyword != "epochs")
-            parseFail(path, lineno, line_offset, "epochs-header",
-                      "expected 'epochs <n> <msgs>', got: " + line);
-        for (std::size_t e = 0; e < num_epochs; ++e) {
-            if (!nextLine())
-                parseFail(path, lineno + 1, line_offset,
-                          "epoch-header", "truncated epochs block");
-            std::istringstream epoch_head(line);
-            std::string epoch_keyword;
-            std::size_t cell_count = 0;
-            epoch_head >> epoch_keyword >> cell_count;
-            if (epoch_head.fail() || epoch_keyword != "epoch")
-                parseFail(path, lineno, line_offset, "epoch-header",
-                          "expected 'epoch <cells>', got: " + line);
-            std::vector<noc::EpochCell> cells;
-            cells.reserve(cell_count);
-            for (std::size_t c = 0; c < cell_count; ++c) {
-                if (!nextLine())
-                    parseFail(path, lineno + 1, line_offset,
-                              "epoch-cell",
-                              "truncated epoch cell list");
-                std::istringstream cell_line(line);
-                noc::EpochCell cell;
-                cell_line >> cell.src >> cell.dst >> cell.packets >>
-                    cell.flits;
-                if (cell_line.fail())
-                    parseFail(path, lineno, line_offset,
-                              "epoch-cell",
-                              "malformed epoch cell (expected 'src "
-                              "dst packets flits'): " + line);
-                if (cell.src < 0 || cell.src >= n || cell.dst < 0 ||
-                    cell.dst >= n)
-                    parseFail(path, lineno, line_offset,
-                              "epoch-cell",
-                              "epoch cell endpoint out of range: " +
-                                  line);
-                cells.push_back(cell);
-            }
-            t.epochs.epochs.push_back(std::move(cells));
-        }
-        pending = nextLine();
-    }
-
-    // Triplet lines.  The loop distinguishes clean end-of-file from
-    // a malformed or truncated line: only the former returns.
-    while (pending) {
-        std::istringstream triplet(line);
-        int s = 0, d = 0;
-        std::uint64_t p = 0, f = 0;
-        triplet >> s >> d >> p >> f;
-        if (triplet.fail())
-            parseFail(path, lineno, line_offset, "triplet",
-                      "malformed trace triplet (expected 'src dst "
-                      "packets flits'): " + line);
-        std::string extra;
-        if (triplet >> extra)
-            parseFail(path, lineno, line_offset, "triplet",
-                      "trailing garbage after triplet: " + line);
-        if (s < 0 || s >= n || d < 0 || d >= n)
-            parseFail(path, lineno, line_offset, "triplet",
-                      "trace endpoint out of range: " + line);
-        t.packets(s, d) = p;
-        t.flits(s, d) = f;
-        pending = nextLine();
-    }
-    fatalIf(in.bad(), "I/O error reading trace file: " + path);
+    t.epochs.messagesPerEpoch = header.messagesPerEpoch;
+    t.epochs.epochs.reserve(header.numEpochs);
+    std::vector<noc::EpochCell> cells;
+    while (reader.nextEpoch(cells))
+        t.epochs.epochs.push_back(cells);
+    reader.readMessageMatrix(t.packets, t.flits);
     MetricsRegistry::global().counter("trace.loads").add();
     return t;
 }

@@ -3,30 +3,24 @@
  * Saving and loading captured communication traces, so expensive
  * simulations can be reused across tools.
  *
- * Format "mnoc-trace 2" (version 1 files, which lack the manifest
- * block, still load):
- *
- *   mnoc-trace 2
- *   <workload name>
- *   <network name>
- *   <n> <total ticks>
- *   manifest <k>
- *   ...k provenance lines (common/manifest.hh)...
- *   <src> <dst> <packets> <flits>     (sparse triplets)
- *
- * Version 3 (written only when the trace carries epoch buckets for
+ * The on-disk formats -- single-file "mnoc-trace 1|2|3" and the
+ * sharded streaming layout "mnoc-trace-shards 1" -- are specified
+ * normatively, byte by byte, in docs/TRACE_FORMAT.md; this header
+ * only summarizes them.  Version 2 files carry a manifest block;
+ * version 3 (written only when the trace carries epoch buckets for
  * the energy-attribution ledger, so ledger-free traces stay
  * byte-identical to version 2) inserts an epochs block between the
- * manifest and the triplets:
+ * manifest and the sparse triplets.
  *
- *   epochs <e> <messages per epoch>
- *   epoch <c>                         (e times)
- *   <src> <dst> <packets> <flits>     (c cells, sorted by src, dst)
+ * These whole-file helpers are a thin layer over the streaming
+ * reader/writer in sim/trace_stream.hh; consumers that must stay
+ * bounded in memory pull epoch and message batches from a
+ * TraceReader directly instead of materializing a Trace.
  *
- * loadTrace() is strict: a truncated or garbled triplet line is a
- * fatal error naming the file and line, never a silently shortened
- * matrix, and saveTrace() verifies the stream after flushing so a
- * full disk cannot truncate a trace quietly.
+ * loadTrace() is strict: a truncated or garbled record is a fatal
+ * error naming the file, line, record kind, and byte offset, never a
+ * silently shortened matrix, and saveTrace() verifies the stream
+ * after flushing so a full disk cannot truncate a trace quietly.
  */
 
 #ifndef MNOC_SIM_TRACE_HH
@@ -67,12 +61,40 @@ Trace toTrace(const SimulationResult &result);
 void saveTrace(const std::string &path, const Trace &trace);
 
 /**
- * Read a trace previously written by saveTrace().
+ * Write @p trace to @p dir in the sharded streaming layout
+ * (docs/TRACE_FORMAT.md): an index file, epoch shard files of
+ * @p epochs_per_shard epochs each, and a triplet file.  Sharded
+ * traces load through loadTrace()/TraceReader like single files, and
+ * their epoch shards can be consumed in parallel.
+ */
+void saveShardedTrace(const std::string &dir, const Trace &trace,
+                      std::size_t epochs_per_shard = 256);
+
+/**
+ * Read a trace previously written by saveTrace() -- or a sharded
+ * trace directory written by saveShardedTrace()/TraceShardWriter.
  * @throws FatalError on malformed input, with the offending file and
  *         line in the message; clean end-of-file is the only
  *         accepted termination.
  */
 Trace loadTrace(const std::string &path);
+
+/**
+ * Validate that @p thread_to_core is a permutation of [0, @p n);
+ * fatal otherwise.  Two threads on one core would silently merge
+ * traffic rows, which is never a valid QAP assignment.
+ */
+void checkCoreMapping(const std::vector<int> &thread_to_core, int n);
+
+/**
+ * Re-express one epoch's cells in core coordinates under
+ * @p thread_to_core (already validated) and re-sort them into the
+ * canonical (src, dst) order.  The per-epoch kernel of mapTrace(),
+ * exposed so streamed consumers can map epochs one batch at a time.
+ */
+std::vector<noc::EpochCell>
+mapEpochCells(const std::vector<noc::EpochCell> &cells,
+              const std::vector<int> &thread_to_core);
 
 /**
  * Re-express a thread-granularity trace (captured with the identity

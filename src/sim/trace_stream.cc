@@ -1,0 +1,640 @@
+#include "sim/trace_stream.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/metrics.hh"
+
+namespace mnoc::sim {
+
+namespace {
+
+/** Index file of a sharded trace directory. */
+const char *const kIndexFile = "index.mtrace";
+
+/**
+ * "path:line: why [kind record at byte N]" fatal for the strict
+ * trace parser.  Every failure names the record kind being parsed
+ * and the byte offset where it starts (for truncation, the offset
+ * where the file ends), so a cut or corrupted trace can be opened
+ * at the exact damage point instead of re-parsed by hand.
+ */
+[[noreturn]] void
+parseFail(const std::string &path, int line, std::size_t offset,
+          const std::string &kind, const std::string &why)
+{
+    fatal(path + ":" + std::to_string(line) + ": " + why + " [" +
+          kind + " record at byte " + std::to_string(offset) + "]");
+}
+
+/** Shard file name for the shard starting at epoch @p first. */
+std::string
+shardFileName(std::size_t index)
+{
+    std::ostringstream name;
+    name << "epochs-";
+    std::string digits = std::to_string(index);
+    for (std::size_t i = digits.size(); i < 6; ++i)
+        name << '0';
+    name << digits << ".mshard";
+    return name.str();
+}
+
+} // namespace
+
+LineScanner::LineScanner(const std::string &path) : path_(path)
+{
+    in_.open(path);
+    fatalIf(!in_.is_open(), "cannot open trace file: " + path);
+}
+
+LineScanner::LineScanner(const std::string &path, std::size_t offset,
+                         int lineno)
+    : path_(path), lineno_(lineno), lineOffset_(offset),
+      offset_(offset)
+{
+    in_.open(path);
+    fatalIf(!in_.is_open(), "cannot open trace file: " + path);
+    in_.seekg(static_cast<std::streamoff>(offset));
+    fatalIf(in_.fail(), "cannot seek in trace file: " + path);
+}
+
+bool
+LineScanner::next()
+{
+    lineOffset_ = offset_;
+    if (!std::getline(in_, line_))
+        return false;
+    ++lineno_;
+    offset_ += line_.size() + 1;
+    return true;
+}
+
+void
+LineScanner::fail(const std::string &kind,
+                  const std::string &why) const
+{
+    parseFail(path_, lineno_, lineOffset_, kind, why);
+}
+
+void
+LineScanner::failTruncated(const std::string &kind,
+                           const std::string &why) const
+{
+    parseFail(path_, lineno_ + 1, lineOffset_, kind, why);
+}
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    if (std::filesystem::is_directory(path))
+        openSharded();
+    else
+        openSingleFile();
+    MetricsRegistry::global().counter("trace.stream_opens").add();
+}
+
+TraceReader::~TraceReader() = default;
+
+void
+TraceReader::openSingleFile()
+{
+    scanner_ = std::make_unique<LineScanner>(path_);
+    auto &sc = *scanner_;
+    if (!sc.next())
+        sc.failTruncated("header", "empty trace file");
+    std::string magic;
+    int version = 0;
+    {
+        std::istringstream header(sc.line());
+        header >> magic >> version;
+        if (header.fail() || magic != "mnoc-trace" || version < 1 ||
+            version > 3)
+            sc.fail("header",
+                    "unrecognized trace file header: " + sc.line());
+    }
+    header_.version = version;
+
+    if (!sc.next())
+        sc.failTruncated("workload", "missing workload name");
+    header_.workloadName = sc.line();
+    if (!sc.next())
+        sc.failTruncated("network", "missing network name");
+    header_.networkName = sc.line();
+
+    if (!sc.next())
+        sc.failTruncated("dimensions", "missing trace dimensions");
+    {
+        std::istringstream dims(sc.line());
+        dims >> header_.numNodes >> header_.totalTicks;
+        if (dims.fail() || header_.numNodes <= 0)
+            sc.fail("dimensions",
+                    "malformed trace dimensions: " + sc.line());
+    }
+
+    if (version >= 2) {
+        if (!sc.next())
+            sc.failTruncated("manifest-header",
+                             "missing manifest block");
+        std::istringstream head(sc.line());
+        std::string keyword;
+        std::size_t count = 0;
+        head >> keyword >> count;
+        if (head.fail() || keyword != "manifest")
+            sc.fail("manifest-header",
+                    "expected 'manifest <n>', got: " + sc.line());
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!sc.next())
+                sc.failTruncated("manifest-entry",
+                                 "truncated manifest block");
+            if (!parseManifestEntry(sc.line(), header_.manifest))
+                sc.fail("manifest-entry",
+                        "malformed manifest entry: " + sc.line());
+        }
+    }
+
+    if (version >= 3) {
+        if (!sc.next())
+            sc.failTruncated("epochs-header",
+                             "missing epochs block");
+        std::istringstream head(sc.line());
+        std::string keyword;
+        head >> keyword >> header_.numEpochs >>
+            header_.messagesPerEpoch;
+        if (head.fail() || keyword != "epochs")
+            sc.fail("epochs-header",
+                    "expected 'epochs <n> <msgs>', got: " +
+                        sc.line());
+        // Shard 0 of a single-file trace starts right here.
+        epochsOffset_ = sc.lineOffset() + sc.line().size() + 1;
+        epochsLineno_ = sc.lineno();
+        pending_ = false;
+    } else {
+        // No epoch block: the next line (if any) is the first
+        // triplet; keep it as lookahead for nextMessages().
+        pending_ = sc.next();
+    }
+}
+
+void
+TraceReader::openSharded()
+{
+    std::string index_path = path_ + "/" + kIndexFile;
+    LineScanner sc(index_path);
+    if (!sc.next())
+        sc.failTruncated("header", "empty trace file");
+    std::string magic;
+    int version = 0;
+    {
+        std::istringstream header(sc.line());
+        header >> magic >> version;
+        if (header.fail() || magic != "mnoc-trace-shards" ||
+            version != 1)
+            sc.fail("header",
+                    "unrecognized trace file header: " + sc.line());
+    }
+    header_.version = kShardedVersion;
+
+    if (!sc.next())
+        sc.failTruncated("workload", "missing workload name");
+    header_.workloadName = sc.line();
+    if (!sc.next())
+        sc.failTruncated("network", "missing network name");
+    header_.networkName = sc.line();
+
+    if (!sc.next())
+        sc.failTruncated("dimensions", "missing trace dimensions");
+    {
+        std::istringstream dims(sc.line());
+        dims >> header_.numNodes >> header_.totalTicks;
+        if (dims.fail() || header_.numNodes <= 0)
+            sc.fail("dimensions",
+                    "malformed trace dimensions: " + sc.line());
+    }
+
+    if (!sc.next())
+        sc.failTruncated("manifest-header", "missing manifest block");
+    {
+        std::istringstream head(sc.line());
+        std::string keyword;
+        std::size_t count = 0;
+        head >> keyword >> count;
+        if (head.fail() || keyword != "manifest")
+            sc.fail("manifest-header",
+                    "expected 'manifest <n>', got: " + sc.line());
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!sc.next())
+                sc.failTruncated("manifest-entry",
+                                 "truncated manifest block");
+            if (!parseManifestEntry(sc.line(), header_.manifest))
+                sc.fail("manifest-entry",
+                        "malformed manifest entry: " + sc.line());
+        }
+    }
+
+    if (!sc.next())
+        sc.failTruncated("epochs-header", "missing epochs block");
+    {
+        std::istringstream head(sc.line());
+        std::string keyword;
+        head >> keyword >> header_.numEpochs >>
+            header_.messagesPerEpoch;
+        if (head.fail() || keyword != "epochs")
+            sc.fail("epochs-header",
+                    "expected 'epochs <n> <msgs>', got: " +
+                        sc.line());
+    }
+
+    if (!sc.next())
+        sc.failTruncated("shards-header", "missing shards block");
+    std::size_t num_shards = 0;
+    {
+        std::istringstream head(sc.line());
+        std::string keyword;
+        head >> keyword >> num_shards;
+        if (head.fail() || keyword != "shards")
+            sc.fail("shards-header",
+                    "expected 'shards <n>', got: " + sc.line());
+    }
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        if (!sc.next())
+            sc.failTruncated("shard-entry",
+                             "truncated shard list");
+        std::istringstream entry(sc.line());
+        std::string keyword, file;
+        ShardRange range;
+        entry >> keyword >> file >> range.firstEpoch >> range.count;
+        if (entry.fail() || keyword != "shard" || range.count == 0)
+            sc.fail("shard-entry",
+                    "expected 'shard <file> <first> <count>', "
+                    "got: " + sc.line());
+        if (range.firstEpoch != covered)
+            sc.fail("shard-entry",
+                    "shard ranges must tile the epochs in order: " +
+                        sc.line());
+        covered += range.count;
+        shardFiles_.push_back(path_ + "/" + file);
+        shardRanges_.push_back(range);
+    }
+    if (covered != header_.numEpochs)
+        sc.fail("shards-header",
+                "shard ranges cover " + std::to_string(covered) +
+                    " epochs, index declares " +
+                    std::to_string(header_.numEpochs));
+
+    if (!sc.next())
+        sc.failTruncated("triplets-entry", "missing triplets entry");
+    {
+        std::istringstream entry(sc.line());
+        std::string keyword, file;
+        entry >> keyword >> file;
+        if (entry.fail() || keyword != "triplets")
+            sc.fail("triplets-entry",
+                    "expected 'triplets <file>', got: " + sc.line());
+        tripletFile_ = path_ + "/" + file;
+    }
+    fatalIf(sc.bad(), "I/O error reading trace file: " + index_path);
+}
+
+void
+TraceReader::parseEpochBlock(LineScanner &scanner, int num_nodes,
+                             std::vector<noc::EpochCell> &cells)
+{
+    if (!scanner.next())
+        scanner.failTruncated("epoch-header",
+                              "truncated epochs block");
+    std::istringstream epoch_head(scanner.line());
+    std::string epoch_keyword;
+    std::size_t cell_count = 0;
+    epoch_head >> epoch_keyword >> cell_count;
+    if (epoch_head.fail() || epoch_keyword != "epoch")
+        scanner.fail("epoch-header",
+                     "expected 'epoch <cells>', got: " +
+                         scanner.line());
+    cells.clear();
+    cells.reserve(cell_count);
+    for (std::size_t c = 0; c < cell_count; ++c) {
+        if (!scanner.next())
+            scanner.failTruncated("epoch-cell",
+                                  "truncated epoch cell list");
+        std::istringstream cell_line(scanner.line());
+        noc::EpochCell cell;
+        cell_line >> cell.src >> cell.dst >> cell.packets >>
+            cell.flits;
+        if (cell_line.fail())
+            scanner.fail("epoch-cell",
+                         "malformed epoch cell (expected 'src "
+                         "dst packets flits'): " + scanner.line());
+        if (cell.src < 0 || cell.src >= num_nodes || cell.dst < 0 ||
+            cell.dst >= num_nodes)
+            scanner.fail("epoch-cell",
+                         "epoch cell endpoint out of range: " +
+                             scanner.line());
+        cells.push_back(cell);
+    }
+}
+
+bool
+TraceReader::advanceEpochShard()
+{
+    while (cursorShard_ < shardFiles_.size()) {
+        if (!shardScanner_) {
+            shardScanner_ = std::make_unique<LineScanner>(
+                shardFiles_[cursorShard_]);
+            auto &sc = *shardScanner_;
+            if (!sc.next())
+                sc.failTruncated("shard-header",
+                                 "empty shard file");
+            std::istringstream head(sc.line());
+            std::string magic;
+            int version = 0;
+            std::size_t first = 0;
+            head >> magic >> version >> first;
+            if (head.fail() || magic != "mnoc-shard" || version != 1)
+                sc.fail("shard-header",
+                        "unrecognized shard header: " + sc.line());
+            if (first != shardRanges_[cursorShard_].firstEpoch)
+                sc.fail("shard-header",
+                        "shard declares first epoch " +
+                            std::to_string(first) +
+                            ", index expects " +
+                            std::to_string(
+                                shardRanges_[cursorShard_]
+                                    .firstEpoch));
+            cursorEpoch_ = 0;
+        }
+        if (cursorEpoch_ < shardRanges_[cursorShard_].count)
+            return true;
+        fatalIf(shardScanner_->bad(),
+                "I/O error reading trace file: " +
+                    shardFiles_[cursorShard_]);
+        shardScanner_.reset();
+        ++cursorShard_;
+    }
+    return false;
+}
+
+bool
+TraceReader::nextEpoch(std::vector<noc::EpochCell> &cells)
+{
+    if (epochsYielded_ >= header_.numEpochs)
+        return false;
+    if (sharded()) {
+        panicIf(!advanceEpochShard(),
+                "shard cursor exhausted before declared epochs");
+        parseEpochBlock(*shardScanner_, header_.numNodes, cells);
+        ++cursorEpoch_;
+    } else {
+        parseEpochBlock(*scanner_, header_.numNodes, cells);
+    }
+    ++epochsYielded_;
+    return true;
+}
+
+std::size_t
+TraceReader::nextMessages(std::vector<TraceMessage> &batch,
+                          std::size_t max)
+{
+    panicIf(epochsYielded_ < header_.numEpochs,
+            "trace epochs must be drained before messages");
+    batch.clear();
+    if (sharded() && !scanner_) {
+        scanner_ = std::make_unique<LineScanner>(tripletFile_);
+        auto &sc = *scanner_;
+        if (!sc.next())
+            sc.failTruncated("header", "empty trace file");
+        std::istringstream head(sc.line());
+        std::string magic;
+        int version = 0;
+        head >> magic >> version;
+        if (head.fail() || magic != "mnoc-triplets" || version != 1)
+            sc.fail("header",
+                    "unrecognized trace file header: " + sc.line());
+        pending_ = sc.next();
+    } else if (!sharded() && header_.numEpochs > 0 &&
+               epochsYielded_ == header_.numEpochs && !pending_ &&
+               !tripletsStarted_) {
+        pending_ = scanner_->next();
+    }
+    tripletsStarted_ = true;
+    auto &sc = *scanner_;
+    while (batch.size() < max && pending_) {
+        std::istringstream triplet(sc.line());
+        TraceMessage msg;
+        triplet >> msg.src >> msg.dst >> msg.packets >> msg.flits;
+        if (triplet.fail())
+            sc.fail("triplet",
+                    "malformed trace triplet (expected 'src dst "
+                    "packets flits'): " + sc.line());
+        std::string extra;
+        if (triplet >> extra)
+            sc.fail("triplet",
+                    "trailing garbage after triplet: " + sc.line());
+        if (msg.src < 0 || msg.src >= header_.numNodes ||
+            msg.dst < 0 || msg.dst >= header_.numNodes)
+            sc.fail("triplet",
+                    "trace endpoint out of range: " + sc.line());
+        batch.push_back(msg);
+        pending_ = sc.next();
+    }
+    if (!pending_)
+        fatalIf(sc.bad(),
+                "I/O error reading trace file: " + sc.path());
+    return batch.size();
+}
+
+std::size_t
+TraceReader::numShards() const
+{
+    if (sharded())
+        return shardFiles_.size();
+    return header_.numEpochs > 0 ? 1 : 0;
+}
+
+TraceReader::ShardRange
+TraceReader::shardRange(std::size_t shard) const
+{
+    panicIf(shard >= numShards(), "shard index out of range");
+    if (sharded())
+        return shardRanges_[shard];
+    return ShardRange{0, header_.numEpochs};
+}
+
+void
+TraceReader::readShard(
+    std::size_t shard,
+    const std::function<void(std::size_t epoch,
+                             std::vector<noc::EpochCell> &&cells)>
+        &sink) const
+{
+    panicIf(shard >= numShards(), "shard index out of range");
+    ShardRange range = shardRange(shard);
+    std::unique_ptr<LineScanner> scanner;
+    if (sharded()) {
+        scanner =
+            std::make_unique<LineScanner>(shardFiles_[shard]);
+        auto &sc = *scanner;
+        if (!sc.next())
+            sc.failTruncated("shard-header", "empty shard file");
+        std::istringstream head(sc.line());
+        std::string magic;
+        int version = 0;
+        std::size_t first = 0;
+        head >> magic >> version >> first;
+        if (head.fail() || magic != "mnoc-shard" || version != 1)
+            sc.fail("shard-header",
+                    "unrecognized shard header: " + sc.line());
+        if (first != range.firstEpoch)
+            sc.fail("shard-header",
+                    "shard declares first epoch " +
+                        std::to_string(first) +
+                        ", index expects " +
+                        std::to_string(range.firstEpoch));
+    } else {
+        scanner = std::make_unique<LineScanner>(
+            path_, epochsOffset_, epochsLineno_);
+    }
+    std::vector<noc::EpochCell> cells;
+    for (std::size_t e = 0; e < range.count; ++e) {
+        parseEpochBlock(*scanner, header_.numNodes, cells);
+        sink(range.firstEpoch + e, std::move(cells));
+        cells = {};
+    }
+}
+
+void
+TraceReader::readMessageMatrix(CountMatrix &packets,
+                               CountMatrix &flits)
+{
+    auto n = static_cast<std::size_t>(header_.numNodes);
+    panicIf(packets.rows() != n || packets.cols() != n ||
+                flits.rows() != n || flits.cols() != n,
+            "message matrix size mismatch");
+    // Epoch blocks sit ahead of the triplets; skip any the caller
+    // has not consumed.
+    std::vector<noc::EpochCell> discard;
+    while (nextEpoch(discard)) {
+    }
+    std::vector<TraceMessage> batch;
+    while (nextMessages(batch, kMessageBatch) > 0) {
+        for (const TraceMessage &msg : batch) {
+            packets(static_cast<std::size_t>(msg.src),
+                    static_cast<std::size_t>(msg.dst)) = msg.packets;
+            flits(static_cast<std::size_t>(msg.src),
+                  static_cast<std::size_t>(msg.dst)) = msg.flits;
+        }
+    }
+}
+
+TraceShardWriter::TraceShardWriter(const std::string &dir,
+                                   std::string workload,
+                                   std::string network,
+                                   int num_nodes,
+                                   std::uint64_t messages_per_epoch,
+                                   std::size_t epochs_per_shard)
+    : dir_(dir), workload_(std::move(workload)),
+      network_(std::move(network)), numNodes_(num_nodes),
+      messagesPerEpoch_(messages_per_epoch),
+      epochsPerShard_(epochs_per_shard)
+{
+    fatalIf(num_nodes <= 0, "shard writer needs a positive node "
+                            "count");
+    fatalIf(epochs_per_shard == 0,
+            "shard writer needs a positive epochs-per-shard");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    fatalIf(static_cast<bool>(ec),
+            "cannot create trace shard directory: " + dir_);
+}
+
+TraceShardWriter::~TraceShardWriter() = default;
+
+void
+TraceShardWriter::rollShard()
+{
+    if (shard_)
+        shard_->close();
+    std::string file = shardFileName(shardFiles_.size());
+    shardFiles_.push_back(file);
+    shardFirstEpoch_.push_back(numEpochs_);
+    shardCounts_.push_back(0);
+    shard_ = std::make_unique<FileWriter>(dir_ + "/" + file);
+    shard_->stream() << "mnoc-shard 1 " << numEpochs_ << "\n";
+}
+
+void
+TraceShardWriter::appendEpoch(
+    const std::vector<noc::EpochCell> &cells)
+{
+    panicIf(finished_, "appendEpoch after finish");
+    if (!shard_ || shardCounts_.back() == epochsPerShard_)
+        rollShard();
+    auto &out = shard_->stream();
+    out << "epoch " << cells.size() << "\n";
+    for (const noc::EpochCell &cell : cells) {
+        fatalIf(cell.src < 0 || cell.src >= numNodes_ ||
+                    cell.dst < 0 || cell.dst >= numNodes_,
+                "epoch cell endpoint out of range");
+        out << cell.src << " " << cell.dst << " " << cell.packets
+            << " " << cell.flits << "\n";
+    }
+    ++shardCounts_.back();
+    ++numEpochs_;
+}
+
+void
+TraceShardWriter::finish(noc::Tick total_ticks,
+                         const CountMatrix &packets,
+                         const CountMatrix &flits,
+                         const RunManifest &manifest)
+{
+    panicIf(finished_, "finish called twice");
+    finished_ = true;
+    if (shard_) {
+        shard_->close();
+        shard_.reset();
+    }
+    auto n = static_cast<std::size_t>(numNodes_);
+    fatalIf(packets.rows() != n || packets.cols() != n ||
+                flits.rows() != n || flits.cols() != n,
+            "message matrix size mismatch");
+
+    const std::string triplet_file = "triplets.mshard";
+    {
+        FileWriter writer(dir_ + "/" + triplet_file);
+        auto &out = writer.stream();
+        out << "mnoc-triplets 1\n";
+        for (std::size_t s = 0; s < n; ++s) {
+            for (std::size_t d = 0; d < n; ++d) {
+                if (packets(s, d) == 0 && flits(s, d) == 0)
+                    continue;
+                out << s << " " << d << " " << packets(s, d) << " "
+                    << flits(s, d) << "\n";
+            }
+        }
+        writer.close();
+    }
+
+    FileWriter writer(dir_ + "/" + kIndexFile);
+    auto &out = writer.stream();
+    out << "mnoc-trace-shards 1\n";
+    out << workload_ << "\n" << network_ << "\n";
+    out << numNodes_ << " " << total_ticks << "\n";
+    auto lines = manifestLines(manifest);
+    out << "manifest " << lines.size() << "\n";
+    for (const auto &line : lines)
+        out << line << "\n";
+    out << "epochs " << numEpochs_ << " " << messagesPerEpoch_
+        << "\n";
+    out << "shards " << shardFiles_.size() << "\n";
+    for (std::size_t s = 0; s < shardFiles_.size(); ++s)
+        out << "shard " << shardFiles_[s] << " "
+            << shardFirstEpoch_[s] << " " << shardCounts_[s] << "\n";
+    out << "triplets " << triplet_file << "\n";
+    writer.close();
+    MetricsRegistry::global().counter("trace.shard_saves").add();
+}
+
+} // namespace mnoc::sim

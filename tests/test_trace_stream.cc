@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests of the streaming trace layer (sim/trace_stream.hh): the
+ * streamed ledger build must be bit-identical to the whole-file
+ * build at every pool size, the sharded layout must round-trip
+ * through loadTrace(), the incremental TraceShardWriter must emit
+ * the same bytes as the batch writer, a truncated shard must fail
+ * naming the record kind and byte offset, and the recorder's epoch
+ * sink must see exactly the epochs the in-memory path accumulates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/prng.hh"
+#include "common/thread_pool.hh"
+#include "core/builders.hh"
+#include "core/energy_ledger.hh"
+#include "noc/network.hh"
+#include "noc/packet.hh"
+#include "sim/trace.hh"
+#include "sim/trace_stream.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+/** Bit-exact cell-by-cell ledger comparison (no tolerance: the
+ *  streamed build promises identity, not closeness). */
+void
+expectSameLedger(const EnergyLedger &a, const EnergyLedger &b)
+{
+    ASSERT_EQ(a.numSources(), b.numSources());
+    ASSERT_EQ(a.numModes(), b.numModes());
+    ASSERT_EQ(a.numEpochs(), b.numEpochs());
+    ASSERT_EQ(a.durationSeconds(), b.durationSeconds());
+    ASSERT_EQ(a.messagesPerEpoch(), b.messagesPerEpoch());
+    for (int s = 0; s < a.numSources(); ++s) {
+        for (int m = 0; m < a.numModes(); ++m) {
+            for (std::size_t e = 0; e < a.numEpochs(); ++e) {
+                const auto &x = a.cell(s, m, e);
+                const auto &y = b.cell(s, m, e);
+                ASSERT_EQ(x.flits, y.flits);
+                ASSERT_EQ(x.txSeconds, y.txSeconds);
+                ASSERT_EQ(x.sourceEnergy, y.sourceEnergy);
+                ASSERT_EQ(x.oeEnergy, y.oeEnergy);
+                ASSERT_EQ(x.electricalEnergy, y.electricalEnergy);
+            }
+        }
+    }
+    auto pa = a.averagePower();
+    auto pb = b.averagePower();
+    ASSERT_EQ(pa.total(), pb.total());
+}
+
+std::vector<int>
+identityMapping(int n)
+{
+    std::vector<int> map(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        map[static_cast<std::size_t>(i)] = i;
+    return map;
+}
+
+/** Deterministic 16-node epoch-carrying trace: every epoch draws its
+ *  cells from its own derived PRNG stream, pre-sorted by (src, dst)
+ *  like the capture path seals them. */
+sim::Trace
+epochTrace(std::size_t num_epochs = 32,
+           std::uint64_t msgs_per_epoch = 8)
+{
+    constexpr int kNodes = 16;
+    sim::Trace t;
+    t.workloadName = "stream_fixture";
+    t.networkName = "mNoC";
+    t.totalTicks = 50000;
+    t.packets = CountMatrix(kNodes, kNodes, 0);
+    t.flits = CountMatrix(kNodes, kNodes, 0);
+    t.manifest.seed = 42;
+    t.manifest.gitSha = "0000000";
+    t.manifest.threads = 1;
+    t.epochs.messagesPerEpoch = msgs_per_epoch;
+    for (std::size_t e = 0; e < num_epochs; ++e) {
+        Prng rng(deriveSeed(5, e));
+        std::map<std::pair<int, int>,
+                 std::pair<std::uint64_t, std::uint64_t>> bucket;
+        for (std::uint64_t m = 0; m < msgs_per_epoch; ++m) {
+            int src = static_cast<int>(rng.below(kNodes));
+            int dst = static_cast<int>(rng.below(kNodes - 1));
+            if (dst >= src)
+                ++dst;
+            std::uint64_t flits = 1 + rng.below(5);
+            auto &cell = bucket[{src, dst}];
+            cell.first += 1;
+            cell.second += flits;
+        }
+        std::vector<noc::EpochCell> cells;
+        for (const auto &[key, counts] : bucket) {
+            cells.push_back({key.first, key.second, counts.first,
+                             counts.second});
+            t.packets(key.first, key.second) += counts.first;
+            t.flits(key.first, key.second) += counts.second;
+        }
+        t.epochs.epochs.push_back(std::move(cells));
+    }
+    return t;
+}
+
+std::string
+scratchPath(const std::string &stem)
+{
+    return testing::TempDir() + stem;
+}
+
+/** The whole file's bytes, for byte-identity comparisons. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(TraceStream, StreamedLedgerMatchesWholeFileOnGoldenFixture)
+{
+    const std::string path =
+        std::string(MNOC_TEST_DATA_DIR) + "/golden_trace_256.trace";
+    auto whole = sim::loadTrace(path);
+
+    optics::SerpentineLayout layout(256, Meters(0.08));
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar(layout, params);
+    MnocPowerModel model(xbar, PowerParams{});
+    auto design =
+        model.designUniform(distanceBasedTopology(256, 2));
+
+    auto reference = model.buildLedger(design, whole);
+    auto mapping = identityMapping(256);
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        sim::TraceReader reader(path);
+        auto streamed =
+            model.buildLedger(design, reader, &mapping, &pool);
+        expectSameLedger(reference, streamed);
+    }
+}
+
+TEST(TraceStream, StreamedEpochLedgerMatchesAtAnyPoolSize)
+{
+    auto trace = epochTrace();
+    std::string file = scratchPath("stream_epochs.trace");
+    std::string dir = scratchPath("stream_epochs.mshards");
+    std::filesystem::remove_all(dir);
+    sim::saveTrace(file, trace);
+    sim::saveShardedTrace(dir, trace, 4);
+
+    optics::SerpentineLayout layout(16, Meters(0.05));
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar(layout, params);
+    MnocPowerModel model(xbar, PowerParams{});
+    auto design = model.designUniform(distanceBasedTopology(16, 2));
+
+    auto reference = model.buildLedger(design, trace);
+    ASSERT_EQ(reference.numEpochs(), trace.epochs.epochs.size());
+    auto mapping = identityMapping(16);
+    for (const std::string &source : {file, dir}) {
+        for (int threads : {1, 2, 8}) {
+            ThreadPool pool(threads);
+            sim::TraceReader reader(source);
+            auto streamed =
+                model.buildLedger(design, reader, &mapping, &pool);
+            expectSameLedger(reference, streamed);
+        }
+    }
+}
+
+TEST(TraceStream, ShardedRoundTripPreservesTrace)
+{
+    auto trace = epochTrace(10, 6);
+    std::string dir = scratchPath("roundtrip.mshards");
+    std::filesystem::remove_all(dir);
+    sim::saveShardedTrace(dir, trace, 3);
+
+    auto loaded = sim::loadTrace(dir);
+    EXPECT_EQ(loaded.workloadName, trace.workloadName);
+    EXPECT_EQ(loaded.networkName, trace.networkName);
+    EXPECT_EQ(loaded.totalTicks, trace.totalTicks);
+    EXPECT_EQ(loaded.manifest.seed, trace.manifest.seed);
+    EXPECT_TRUE(loaded.packets == trace.packets);
+    EXPECT_TRUE(loaded.flits == trace.flits);
+    ASSERT_EQ(loaded.epochs.messagesPerEpoch,
+              trace.epochs.messagesPerEpoch);
+    ASSERT_EQ(loaded.epochs.epochs.size(),
+              trace.epochs.epochs.size());
+    for (std::size_t e = 0; e < trace.epochs.epochs.size(); ++e) {
+        const auto &a = trace.epochs.epochs[e];
+        const auto &b = loaded.epochs.epochs[e];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].src, b[i].src);
+            EXPECT_EQ(a[i].dst, b[i].dst);
+            EXPECT_EQ(a[i].packets, b[i].packets);
+            EXPECT_EQ(a[i].flits, b[i].flits);
+        }
+    }
+}
+
+TEST(TraceStream, IncrementalWriterMatchesBatchWriter)
+{
+    auto trace = epochTrace(9, 5);
+    std::string batch_dir = scratchPath("writer_batch.mshards");
+    std::string inc_dir = scratchPath("writer_inc.mshards");
+    std::filesystem::remove_all(batch_dir);
+    std::filesystem::remove_all(inc_dir);
+
+    sim::saveShardedTrace(batch_dir, trace, 4);
+    {
+        sim::TraceShardWriter writer(
+            inc_dir, trace.workloadName, trace.networkName, 16,
+            trace.epochs.messagesPerEpoch, 4);
+        for (const auto &cells : trace.epochs.epochs)
+            writer.appendEpoch(cells);
+        writer.finish(trace.totalTicks, trace.packets, trace.flits,
+                      trace.manifest);
+    }
+
+    std::vector<std::string> names;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(batch_dir))
+        names.push_back(entry.path().filename().string());
+    ASSERT_FALSE(names.empty());
+    for (const auto &name : names) {
+        SCOPED_TRACE(name);
+        EXPECT_EQ(slurp(batch_dir + "/" + name),
+                  slurp(inc_dir + "/" + name));
+    }
+}
+
+TEST(TraceStream, TruncatedShardNamesRecordKindAndByteOffset)
+{
+    auto trace = epochTrace(4, 6);
+    std::string dir = scratchPath("truncated.mshards");
+    std::filesystem::remove_all(dir);
+    sim::saveShardedTrace(dir, trace, 4);
+
+    // Cut the shard off right after its first epoch header, on a
+    // line boundary, so the parser hits end-of-file mid-epoch: the
+    // diagnostic must name the epoch-cell record and the exact byte
+    // where the missing record would have started (the new file
+    // size).
+    std::string shard = dir + "/epochs-000000.mshard";
+    std::string body = slurp(shard);
+    std::size_t header_end = body.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    std::size_t epoch_end = body.find('\n', header_end + 1);
+    ASSERT_NE(epoch_end, std::string::npos);
+    std::string kept = body.substr(0, epoch_end + 1);
+    {
+        std::ofstream out(shard,
+                          std::ios::binary | std::ios::trunc);
+        out << kept;
+    }
+
+    try {
+        sim::loadTrace(dir); // mnoc-analyze-ok(discarded-result)
+        FAIL() << "loadTrace accepted a truncated shard";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("epoch-cell record at byte " +
+                            std::to_string(kept.size())),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("epochs-000000.mshard"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(TraceStream, EpochSinkSeesExactlyTheSealedEpochs)
+{
+    constexpr int kNodes = 8;
+    constexpr std::uint64_t kMsgsPerEpoch = 4;
+    noc::TrafficRecorder plain(kNodes);
+    noc::TrafficRecorder sunk(kNodes);
+    plain.enableEpochs(kMsgsPerEpoch);
+    sunk.enableEpochs(kMsgsPerEpoch);
+
+    std::vector<std::vector<noc::EpochCell>> captured;
+    sunk.setEpochSink([&](std::vector<noc::EpochCell> &&cells) {
+        captured.push_back(std::move(cells));
+    });
+
+    Prng rng(17);
+    for (int i = 0; i < 41; ++i) {
+        noc::Packet packet;
+        packet.src = static_cast<int>(rng.below(kNodes));
+        packet.dst = static_cast<int>(rng.below(kNodes - 1));
+        if (packet.dst >= packet.src)
+            ++packet.dst;
+        packet.flits = 1 + static_cast<int>(rng.below(4));
+        plain.record(packet);
+        sunk.record(packet);
+    }
+
+    auto accumulated = plain.takeEpochs();
+    auto drained = sunk.takeEpochs();
+    // The sink consumed every sealed epoch, so nothing accumulated.
+    EXPECT_TRUE(drained.epochs.empty());
+    EXPECT_EQ(drained.messagesPerEpoch, kMsgsPerEpoch);
+    ASSERT_EQ(captured.size(), accumulated.epochs.size());
+    for (std::size_t e = 0; e < captured.size(); ++e) {
+        const auto &a = accumulated.epochs[e];
+        const auto &b = captured[e];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].src, b[i].src);
+            EXPECT_EQ(a[i].dst, b[i].dst);
+            EXPECT_EQ(a[i].packets, b[i].packets);
+            EXPECT_EQ(a[i].flits, b[i].flits);
+        }
+    }
+}
+
+} // namespace

@@ -26,6 +26,9 @@ echo "== static analysis (mnoc-analyze) =="
     --compile-commands build/compile_commands.json \
     --baseline tools/analyze/baseline.txt
 
+echo "== documentation checks (doc_check) =="
+python3 tools/doc_check.py --root .
+
 echo "== sanitizer configuration (ASan+UBSan) =="
 run_config build-asan -DMNOC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 

@@ -3,11 +3,15 @@
  * mnocpt — command-line front end to the mNoC power-topology library.
  *
  * Subcommands:
- *   simulate  run a SPLASH kernel, write a trace file
+ *   simulate  run a SPLASH kernel, write a trace file; an --out
+ *             ending in .mshards streams sealed epochs to a sharded
+ *             trace directory as the run executes (bounded capture
+ *             memory; see docs/TRACE_FORMAT.md)
  *   map       compute a taboo thread mapping from a trace
  *   design    build a power topology + splitter design from a trace
  *             (optionally hardened to a Monte Carlo yield target)
- *   evaluate  report the power of a design over a trace
+ *   evaluate  report the power of a design over a trace, streamed
+ *             batch by batch (the trace is never materialized)
  *   budget    validate a design's link budgets / BER
  *   yield     Monte Carlo yield / margin distributions under device
  *             variation
@@ -25,8 +29,16 @@
  *             the command collected (set MNOC_METRICS=1 to collect
  *             in any command; see README "Environment knobs")
  *
+ * The report/faults/stats/evaluate verbs pull the trace through the
+ * streaming reader (sim/trace_stream.hh), so they run in bounded
+ * memory on radix-1024 and radix-4096 captures; sharded traces fan
+ * their epoch shards across the MNOC_THREADS pool, bit-identical to
+ * the single-threaded whole-file path.
+ *
  * Examples:
  *   mnocpt simulate --benchmark water_s --cores 64 --out ws.trace
+ *   mnocpt simulate --benchmark radix --cores 1024 \
+ *                   --out rx.mshards --epochs-per-shard 128
  *   mnocpt map --trace ws.trace --out ws.map
  *   mnocpt design --trace ws.trace --map ws.map --modes 4 \
  *                 --assign comm --out ws.design
@@ -78,6 +90,7 @@
 #include "runtime/degradation_controller.hh"
 #include "runtime/fault_timeline.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_stream.hh"
 #include "workloads/registry.hh"
 
 using namespace mnoc;
@@ -174,6 +187,39 @@ struct Context
     core::Designer designer;
 };
 
+/** Largest crossbar radix the scale-out analysis supports. */
+constexpr int kMaxRadix = 4096;
+
+/**
+ * Validate @p cores as a crossbar radix.  The paper's design point is
+ * radix 256; 1024 and 4096 are scale-out points, accepted after the
+ * worst-case-loss check that crossbar-topology comparisons use (e.g.
+ * "Optical Crossbars on Chip"): the geometric loss of the longest
+ * source-to-tap path must still leave the worst-case unicast a finite
+ * injected-power requirement, which is printed so the scaling cost is
+ * explicit (EXPERIMENTS.md tabulates the three radixes).
+ */
+void
+checkRadix(const Context &ctx, int cores)
+{
+    fatalIf(cores < 2, "need at least 2 cores");
+    fatalIf(cores > kMaxRadix,
+            "radix " + std::to_string(cores) +
+                " exceeds the supported scale-out maximum " +
+                std::to_string(kMaxRadix));
+    if (cores <= 256)
+        return;
+    // Worst case: an end-of-serpentine source driving the far end.
+    auto atten = ctx.crossbar.chain(0).tapAttenuation(cores - 1);
+    double loss_db = ratioToDb(atten.value());
+    WattPower worst = ctx.crossbar.params().pminAtTap() * atten;
+    std::cout << "radix " << cores << " scale-out: worst-case chain "
+              << "loss " << TextTable::num(loss_db, 2)
+              << " dB; worst-case unicast needs "
+              << TextTable::num(worst.watts() * 1e3, 3)
+              << " mW injected\n";
+}
+
 std::vector<int>
 loadMapping(const std::string &path, int cores)
 {
@@ -212,6 +258,16 @@ identity(int cores)
     return map;
 }
 
+/** True when @p out names a sharded trace directory (.mshards). */
+bool
+wantsShardedTrace(const std::string &out)
+{
+    const std::string suffix = ".mshards";
+    return out.size() > suffix.size() &&
+           out.compare(out.size() - suffix.size(), suffix.size(),
+                       suffix) == 0;
+}
+
 int
 cmdSimulate(const Args &args)
 {
@@ -220,6 +276,7 @@ cmdSimulate(const Args &args)
     std::string out = args.get("out");
 
     Context ctx(cores);
+    checkRadix(ctx, cores);
     noc::NetworkConfig net_config;
     noc::MnocNetwork network(ctx.layout, net_config);
     sim::SimConfig config;
@@ -227,9 +284,34 @@ cmdSimulate(const Args &args)
     workloads::WorkloadScale scale;
     scale.opsPerThread = args.getInt("ops", 4000);
     auto workload = workloads::makeWorkload(benchmark, scale);
+
+    // An --out ending in .mshards streams sealed epochs straight into
+    // shard files while the run executes, so capture memory stays
+    // bounded however long the run is; the index (with the final tick
+    // count and manifest) is written after the run completes.
+    std::unique_ptr<sim::TraceShardWriter> shards;
+    if (wantsShardedTrace(out)) {
+        int epochs_per_shard = args.getInt("epochs-per-shard", 256);
+        fatalIf(epochs_per_shard < 1,
+                "--epochs-per-shard must be positive");
+        shards = std::make_unique<sim::TraceShardWriter>(
+            out, workload->name(), network.name(), cores,
+            ledgerEnabled() ? ledgerEpochMessages() : 0,
+            static_cast<std::size_t>(epochs_per_shard));
+        config.epochSink =
+            [&shards](std::vector<noc::EpochCell> &&cells) {
+                shards->appendEpoch(cells);
+            };
+    }
+
     auto result = sim::runSimulation(config, network, *workload,
                                      args.getInt("seed", 1));
-    sim::saveTrace(out, sim::toTrace(result));
+    auto trace = sim::toTrace(result);
+    if (shards)
+        shards->finish(trace.totalTicks, trace.packets, trace.flits,
+                       trace.manifest);
+    else
+        sim::saveTrace(out, trace);
     std::cout << benchmark << ": " << result.coherence.accesses
               << " ops, " << result.coherence.packetsSent
               << " packets, " << result.totalTicks
@@ -387,6 +469,7 @@ cmdDesign(const Args &args)
     auto trace = sim::loadTrace(args.get("trace"));
     int cores = static_cast<int>(trace.flits.rows());
     Context ctx(cores);
+    checkRadix(ctx, cores);
 
     auto mapping = args.has("map")
                        ? loadMapping(args.get("map"), cores)
@@ -447,14 +530,14 @@ int
 cmdEvaluate(const Args &args)
 {
     auto design = core::loadDesign(args.get("design"));
-    auto trace = sim::loadTrace(args.get("trace"));
     int cores = design.topology.numNodes;
     Context ctx(cores);
 
     auto mapping = args.has("map")
                        ? loadMapping(args.get("map"), cores)
                        : identity(cores);
-    auto breakdown = ctx.designer.evaluate(design, trace, mapping);
+    auto breakdown = ctx.designer.evaluateStreamed(
+        design, args.get("trace"), mapping);
 
     TextTable table;
     table.addRow({"component", "power (W)"});
@@ -553,14 +636,19 @@ int
 cmdFaults(const Args &args)
 {
     auto design = core::loadDesign(args.get("design"));
-    auto trace = sim::loadTrace(args.get("trace"));
     int cores = design.topology.numNodes;
     Context ctx(cores);
 
     auto mapping = args.has("map")
                        ? loadMapping(args.get("map"), cores)
                        : identity(cores);
-    auto ledger = ctx.designer.buildLedger(design, trace, mapping);
+    // Streamed attribution: the trace is pulled epoch by epoch, never
+    // materialized, so fault replays scale to radix-4096 captures.
+    sim::TraceReader reader(args.get("trace"));
+    sim::checkCoreMapping(mapping, reader.header().numNodes);
+    auto ledger =
+        ctx.designer.model().buildLedger(design, reader, &mapping);
+    const RunManifest trace_manifest = reader.header().manifest;
 
     std::uint64_t seed =
         args.has("seed")
@@ -619,7 +707,7 @@ cmdFaults(const Args &args)
     std::filesystem::create_directories(dir);
     std::string prefix = args.get("prefix", "mnoc_");
     std::string base = dir + "/" + prefix;
-    std::string stamp = manifestJson(trace.manifest);
+    std::string stamp = manifestJson(trace_manifest);
 
     std::string events_csv = base + "fault_events.csv";
     {
@@ -652,14 +740,20 @@ int
 cmdReport(const Args &args)
 {
     auto design = core::loadDesign(args.get("design"));
-    auto trace = sim::loadTrace(args.get("trace"));
     int cores = design.topology.numNodes;
     Context ctx(cores);
 
     auto mapping = args.has("map")
                        ? loadMapping(args.get("map"), cores)
                        : identity(cores);
-    auto ledger = ctx.designer.buildLedger(design, trace, mapping);
+    // Streamed attribution: epoch shards fan out across the
+    // MNOC_THREADS pool; the rendered bytes are identical to the
+    // whole-file path at any thread count.
+    sim::TraceReader reader(args.get("trace"));
+    const sim::TraceHeader &trace_header = reader.header();
+    sim::checkCoreMapping(mapping, trace_header.numNodes);
+    auto ledger =
+        ctx.designer.model().buildLedger(design, reader, &mapping);
 
     // MNOC_FAULTS=1 replays the epochs under the default fault
     // timeline (seeded by MNOC_FAULT_SEED) before the averages are
@@ -691,7 +785,7 @@ cmdReport(const Args &args)
     // Stamp artifacts with the *trace's* embedded manifest: the
     // report describes that captured run, not this invocation, and
     // the stamp stays stable when the same trace is re-rendered.
-    std::string stamp = manifestJson(trace.manifest);
+    std::string stamp = manifestJson(trace_header.manifest);
 
     int modes = ledger.numModes();
     std::size_t num_epochs = ledger.numEpochs();
@@ -818,10 +912,11 @@ cmdReport(const Args &args)
         FileWriter writer(report_md);
         auto &out = writer.stream();
         out << "# mNoC energy-attribution report\n\n";
-        out << "- workload: " << trace.workloadName << "\n";
-        out << "- network: " << trace.networkName << "\n";
+        out << "- workload: " << trace_header.workloadName << "\n";
+        out << "- network: " << trace_header.networkName << "\n";
         out << "- nodes: " << cores << ", modes: " << modes << "\n";
-        out << "- cycles: " << trace.totalTicks << ", duration: "
+        out << "- cycles: " << trace_header.totalTicks
+            << ", duration: "
             << sci(ledger.durationSeconds()) << " s\n";
         out << "- epochs: " << num_epochs;
         if (ledger.messagesPerEpoch() > 0)
@@ -978,12 +1073,20 @@ cmdStats(const Args &args)
     // without MNOC_METRICS in the environment.
     MetricsRegistry::setEnabled(true);
     if (args.has("trace")) {
-        auto trace = sim::loadTrace(args.get("trace"));
+        // Header-only streamed open: the manifest and dimensions sit
+        // ahead of the bulk data, so stats never reads the epochs or
+        // triplets of an arbitrarily large trace.
+        sim::TraceReader reader(args.get("trace"));
+        const sim::TraceHeader &header = reader.header();
         std::cout << "trace " << args.get("trace") << ": "
-                  << trace.workloadName << " on " << trace.networkName
-                  << ", " << trace.packets.rows() << " nodes, "
-                  << trace.totalTicks << " cycles\n";
-        std::cout << "manifest: " << manifestJson(trace.manifest)
+                  << header.workloadName << " on "
+                  << header.networkName << ", " << header.numNodes
+                  << " nodes, " << header.totalTicks << " cycles\n";
+        if (header.numEpochs > 0)
+            std::cout << "epochs: " << header.numEpochs << " ("
+                      << header.messagesPerEpoch
+                      << " messages each)\n";
+        std::cout << "manifest: " << manifestJson(header.manifest)
                   << "\n";
     }
     auto &metrics = MetricsRegistry::global();
@@ -1008,6 +1111,9 @@ usage()
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
            "[--seed N] --out FILE\n"
+           "           (FILE ending in .mshards streams epochs to a "
+           "sharded trace directory;\n"
+           "           [--epochs-per-shard N] sets the shard size)\n"
            "  map      --trace FILE [--iterations N] --out FILE\n"
            "  design   --trace FILE [--map FILE] [--modes N] "
            "[--assign comm|distance|clustered]\n"
