@@ -23,9 +23,9 @@ namespace mnoc {
 /**
  * Verbosity threshold for the non-fatal log helpers, from the
  * MNOC_LOG_LEVEL environment variable: "quiet" silences warn() and
- * inform(), "warn" silences only inform(), "info" (the default, and
- * any unrecognized value) prints both.  fatal()/panic() are never
- * suppressed.
+ * inform(), "warn" silences only inform(), "info" (the default)
+ * prints both; any other value is a fatal configuration error.
+ * fatal()/panic() are never suppressed.
  */
 enum class LogLevel
 {
@@ -34,19 +34,38 @@ enum class LogLevel
     Info = 2,
 };
 
+[[noreturn]] inline void fatal(const std::string &msg);
+
+/**
+ * Strict parser for MNOC_LOG_LEVEL-style knobs: "quiet", "warn" and
+ * "info" map to their levels, unset/empty means the Info default,
+ * and anything else is a fatal configuration error naming the knob
+ * (a typo like "qiuet" must not silently re-enable warnings).
+ * Pure function, exposed for the knob tests.
+ */
+inline LogLevel
+parseLogLevelKnob(const char *text, const std::string &knob)
+{
+    std::string raw = text != nullptr ? text : "";
+    if (raw.empty() || raw == "info")
+        return LogLevel::Info;
+    if (raw == "quiet")
+        return LogLevel::Quiet;
+    if (raw == "warn")
+        return LogLevel::Warn;
+    fatal(knob + " must be quiet, warn, or info, got '" + raw +
+          "'");
+}
+
 namespace log_detail {
 
 inline std::atomic<int> &
 levelFlag()
 {
     static std::atomic<int> level = [] {
-        const char *value = std::getenv("MNOC_LOG_LEVEL");
-        std::string raw = value != nullptr ? value : "";
-        if (raw == "quiet")
-            return static_cast<int>(LogLevel::Quiet);
-        if (raw == "warn")
-            return static_cast<int>(LogLevel::Warn);
-        return static_cast<int>(LogLevel::Info);
+        return static_cast<int>(
+            parseLogLevelKnob(std::getenv("MNOC_LOG_LEVEL"),
+                              "MNOC_LOG_LEVEL"));
     }();
     return level;
 }

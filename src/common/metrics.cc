@@ -295,6 +295,23 @@ faultSeed()
     return cached;
 }
 
+bool
+adaptEnabled()
+{
+    static bool cached =
+        parseBoolKnob(std::getenv("MNOC_ADAPT"), "MNOC_ADAPT");
+    return cached;
+}
+
+std::uint64_t
+adaptWindow()
+{
+    static std::uint64_t cached =
+        parsePositiveCount(std::getenv("MNOC_ADAPT_WINDOW"),
+                           "MNOC_ADAPT_WINDOW", 32);
+    return cached;
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {

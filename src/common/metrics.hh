@@ -235,6 +235,17 @@ bool faultsEnabled();
  *  garbage, zero or negative values are a fatal error). */
 std::uint64_t faultSeed();
 
+/** True when the traffic-adaptive controller should fold its
+ *  static-vs-adaptive comparison into `mnocpt report` (MNOC_ADAPT:
+ *  unset, empty or "0" disables, "1" enables; any other value is a
+ *  fatal configuration error). */
+bool adaptEnabled();
+
+/** Trailing traffic window of the adaptive controller, in epochs
+ *  (MNOC_ADAPT_WINDOW, default 32; garbage, zero or negative values
+ *  are a fatal error). */
+std::uint64_t adaptWindow();
+
 /**
  * Process-wide registry of named metrics.  Registration is
  * mutex-guarded and handles are stable for the registry's lifetime,

@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/thread_pool.hh"
+#include "core/accrual.hh"
 #include "sim/trace_stream.hh"
 
 namespace mnoc::core {
@@ -136,103 +137,6 @@ EnergyLedger::sourceEpochPower() const
     return out;
 }
 
-namespace {
-
-/**
- * Precomputed SoA accrual tables shared by the whole-file and
- * streamed ledger builds.  The gathers -- flat per-(source, dest)
- * mode ids, per-(source, mode) drive watts and receiver populations
- * -- replace the per-message pointer chases through the topology and
- * design structures with contiguous array reads; the stored doubles
- * are the very values the original expressions produced, and the
- * accrual arithmetic keeps its association order, so the accrued
- * energies are bit-identical to the pre-SoA code.
- */
-class AccrualPlan
-{
-  public:
-    AccrualPlan(const MnocDesign &design, const PowerParams &params,
-                const optics::DeviceParams &optics_params, int n,
-                EnergyLedger &ledger)
-        : ledger_(ledger), n_(n),
-          numModes_(design.topology.numModes),
-          flitTime_(1.0 / params.net.clockHz),
-          oneToZeroRatio_(optics_params.oneToZeroRatio),
-          qdLedEfficiency_(optics_params.qdLedEfficiency),
-          oePerReceiver_(
-              params.oePowerPerReceiver(optics_params
-                                            .photodetectorMiop)
-                  .watts()),
-          bufferEnergyPerFlit_(params.bufferEnergyPerFlit)
-    {
-        auto sn = static_cast<std::size_t>(n);
-        auto sm = static_cast<std::size_t>(numModes_);
-        modeOf_.assign(sn * sn, -1);
-        reach_.assign(sn * sm, 0);
-        modePowerW_.assign(sn * sm, 0.0);
-        for (int s = 0; s < n; ++s) {
-            const auto &local = design.topology.local(s);
-            auto row = static_cast<std::size_t>(s) * sn;
-            for (int d = 0; d < n; ++d) {
-                if (d == s)
-                    continue;
-                modeOf_[row + static_cast<std::size_t>(d)] =
-                    local.modeOfDest[d];
-            }
-            auto slot = static_cast<std::size_t>(s) * sm;
-            for (int m = 0; m < numModes_; ++m) {
-                reach_[slot + static_cast<std::size_t>(m)] =
-                    local.reachableCount(m);
-                modePowerW_[slot + static_cast<std::size_t>(m)] =
-                    design.sources[s].modePower[m].watts();
-            }
-        }
-    }
-
-    void
-    accrue(int src, int dst, std::uint64_t flit_count,
-           std::size_t epoch) const
-    {
-        if (flit_count == 0 || dst == src)
-            return;
-        auto row = static_cast<std::size_t>(src) *
-                   static_cast<std::size_t>(n_);
-        int mode = modeOf_[row + static_cast<std::size_t>(dst)];
-        auto slot = static_cast<std::size_t>(src) *
-                        static_cast<std::size_t>(numModes_) +
-                    static_cast<std::size_t>(mode);
-        auto flits = static_cast<double>(flit_count);
-        double tx_time = flits * flitTime_;
-        LedgerCell &cell = ledger_.cell(src, mode, epoch);
-        cell.flits += flit_count;
-        cell.txSeconds += tx_time;
-        // QD LED electrical drive, derated by the 1-to-0 ratio.
-        cell.sourceEnergy += tx_time * modePowerW_[slot] *
-            oneToZeroRatio_ / qdLedEfficiency_;
-        // Every receiver reachable in this mode sees the light and
-        // burns O/E power for the packet duration.
-        cell.oeEnergy += tx_time * reach_[slot] * oePerReceiver_;
-        // Injection + ejection buffers.
-        cell.electricalEnergy +=
-            flits * 2.0 * bufferEnergyPerFlit_;
-    }
-
-  private:
-    EnergyLedger &ledger_;
-    int n_;
-    int numModes_;
-    double flitTime_;
-    double oneToZeroRatio_;
-    double qdLedEfficiency_;
-    double oePerReceiver_;
-    double bufferEnergyPerFlit_;
-    std::vector<int> modeOf_;
-    std::vector<int> reach_;
-    std::vector<double> modePowerW_;
-};
-
-} // namespace
-
 void
 MnocPowerModel::attachLosses(const MnocDesign &design,
                              EnergyLedger &ledger,
@@ -297,15 +201,16 @@ MnocPowerModel::buildLedger(const MnocDesign &design,
                         duration);
     ledger.epochMsgs_ = trace.epochs.messagesPerEpoch;
 
-    AccrualPlan plan(design, params_, crossbar_.params(), n, ledger);
+    AccrualPlan plan(design, params_, crossbar_.params(), n);
     if (trace.epochs.empty()) {
         for (int s = 0; s < n; ++s)
             for (int d = 0; d < n; ++d)
-                plan.accrue(s, d, trace.flits(s, d), 0);
+                plan.accrue(ledger, s, d, trace.flits(s, d), 0);
     } else {
         for (std::size_t e = 0; e < num_epochs; ++e)
             for (const noc::EpochCell &cell : trace.epochs.epochs[e])
-                plan.accrue(cell.src, cell.dst, cell.flits, e);
+                plan.accrue(ledger, cell.src, cell.dst, cell.flits,
+                            e);
     }
 
     attachLosses(design, ledger, nullptr);
@@ -332,7 +237,7 @@ MnocPowerModel::buildLedger(const MnocDesign &design,
                         duration);
     ledger.epochMsgs_ = header.messagesPerEpoch;
 
-    AccrualPlan plan(design, params_, crossbar_.params(), n, ledger);
+    AccrualPlan plan(design, params_, crossbar_.params(), n);
     if (header.numEpochs == 0) {
         // Epoch-free trace: fold the streamed messages into a dense
         // (mapped) flit matrix first, then accrue in (src, dst)
@@ -358,8 +263,9 @@ MnocPowerModel::buildLedger(const MnocDesign &design,
         }
         for (int s = 0; s < n; ++s)
             for (int d = 0; d < n; ++d)
-                plan.accrue(s, d, flits(static_cast<std::size_t>(s),
-                                        static_cast<std::size_t>(d)),
+                plan.accrue(ledger, s, d,
+                            flits(static_cast<std::size_t>(s),
+                                  static_cast<std::size_t>(d)),
                             0);
     } else {
         // Epoch shards are disjoint epoch ranges and every epoch
@@ -377,8 +283,8 @@ MnocPowerModel::buildLedger(const MnocDesign &design,
                         cells = sim::mapEpochCells(cells,
                                                    *thread_to_core);
                     for (const noc::EpochCell &cell : cells)
-                        plan.accrue(cell.src, cell.dst, cell.flits,
-                                    epoch);
+                        plan.accrue(ledger, cell.src, cell.dst,
+                                    cell.flits, epoch);
                 });
         });
     }

@@ -157,6 +157,17 @@ class MnocPowerModel
         const std::vector<int> *thread_to_core = nullptr,
         ThreadPool *pool = nullptr) const;
 
+    /**
+     * Fill @p ledger's per-(source, mode) loss breakdowns from
+     * @p design's splitter chains, fanning the chain walks across
+     * @p pool (disjoint slots; the global pool when null).  The
+     * ledger builds call this themselves; the adaptive controller
+     * calls it to re-attribute losses under the design it finished
+     * the run with.
+     */
+    void attachLosses(const MnocDesign &design, EnergyLedger &ledger,
+                      ThreadPool *pool = nullptr) const;
+
     const optics::OpticalCrossbar &crossbar() const { return crossbar_; }
     const PowerParams &params() const { return params_; }
 
@@ -165,11 +176,6 @@ class MnocPowerModel
         const GlobalPowerTopology &topology,
         const std::vector<std::vector<double>> &weights,
         DecibelLoss design_margin) const;
-
-    /** Fill the ledger's per-(source, mode) loss breakdowns, fanning
-     *  the chain walks across @p pool (disjoint slots). */
-    void attachLosses(const MnocDesign &design, EnergyLedger &ledger,
-                      ThreadPool *pool) const;
 
     /** Bump the ledger build counter and the per-epoch flit series. */
     void recordLedgerMetrics(const EnergyLedger &ledger) const;

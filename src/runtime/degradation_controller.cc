@@ -10,6 +10,7 @@
 #include "core/power_topology.hh"
 #include "optics/link_budget.hh"
 #include "optics/splitter_chain.hh"
+#include "runtime/hysteresis.hh"
 
 namespace mnoc::runtime {
 
@@ -134,7 +135,15 @@ runDegradationController(const optics::SerpentineLayout &layout,
     std::vector<std::uint32_t> prev_dead(
         static_cast<std::size_t>(n), 0u);
     RuntimeFaultState state;
-    int healthy_streak = 0;
+    // One hysteresis gate per source: a relax must be re-earned by
+    // *that* source after any of its own unhealthy epochs or
+    // dead-mode liveness changes.  A single die-wide counter here
+    // let a just-restored source be relaxed on the next epoch (the
+    // failover's broadcast reroute keeps the die-wide margin
+    // comfortable, so the shared streak never reset).
+    std::vector<StreakGate> relax_gates(
+        static_cast<std::size_t>(n),
+        StreakGate(policy.healthyEpochsToRelax));
 
     std::vector<SourceHealth> health(static_cast<std::size_t>(n));
 
@@ -285,37 +294,45 @@ runDegradationController(const optics::SerpentineLayout &layout,
                     record(ActionKind::Restore, s, m, trims[slot],
                            policy.failoverEnergy);
             }
+            // A liveness change reroutes the source's traffic, so
+            // its relax streak restarts from zero: a restored mode
+            // must re-earn the full trip count before any trim on
+            // that source is relaxed.
+            if ((newly | recovered) != 0u)
+                relax_gates[slot].reset();
             prev_dead[slot] = state.deadModes[slot];
         }
 
         evaluate_all();
         DecibelLoss before = worst_margin();
 
-        // Hysteresis: relax one trim step only after a streak of
-        // epochs with comfortable headroom, so a marginal die does
-        // not chatter between trim and relax.
-        if (before >=
-            policy.requiredMargin + policy.restoreHysteresis)
-            ++healthy_streak;
-        else
-            healthy_streak = 0;
-        if (healthy_streak >= policy.healthyEpochsToRelax) {
+        // Hysteresis: relax one trim step on a source only after a
+        // streak of epochs where that source held comfortable
+        // headroom, so a marginal die does not chatter between trim
+        // and relax.  Per-source gates: one source's trouble (or a
+        // failover/restore on it) never rides on another source's
+        // healthy streak.
+        {
             std::vector<int> dirty;
             for (int s = 0; s < n; ++s) {
                 auto slot = static_cast<std::size_t>(s);
-                if (trims[slot] <= DecibelLoss(0.0))
+                relax_gates[slot].observe(
+                    health[slot].worstMargin >=
+                    policy.requiredMargin +
+                        policy.restoreHysteresis);
+                if (!relax_gates[slot].ready() ||
+                    trims[slot] <= DecibelLoss(0.0))
                     continue;
                 DecibelLoss step =
                     std::min(trims[slot], policy.trimStep);
                 trims[slot] -= step;
                 record(ActionKind::Relax, s, -1, trims[slot],
                        policy.trimEnergyPerDb * step.dB());
+                relax_gates[slot].consume();
                 dirty.push_back(s);
             }
-            if (!dirty.empty()) {
+            if (!dirty.empty())
                 evaluate_subset(dirty);
-                healthy_streak = 0;
-            }
         }
 
         // Rules 2-4: defend the margin requirement before the epoch

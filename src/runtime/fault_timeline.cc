@@ -177,6 +177,47 @@ FaultTimeline::FaultTimeline(const FaultTimelineSpec &spec,
               });
 }
 
+FaultTimeline::FaultTimeline(std::vector<FaultEvent> events,
+                             int num_nodes, int num_modes,
+                             std::size_t num_epochs)
+    : numNodes_(num_nodes), numModes_(num_modes),
+      numEpochs_(num_epochs), seed_(0),
+      events_(std::move(events))
+{
+    fatalIf(num_nodes < 1, "fault timeline needs at least one node");
+    fatalIf(num_modes < 1, "fault timeline needs at least one mode");
+    fatalIf(num_modes > 32,
+            "fault timeline supports at most 32 modes");
+    fatalIf(num_epochs < 1,
+            "fault timeline needs at least one epoch");
+
+    for (const FaultEvent &event : events_) {
+        fatalIf(event.startEpoch >= event.endEpoch ||
+                    event.endEpoch > num_epochs,
+                "fault event window must lie inside the run");
+        bool die_wide = event.kind == FaultKind::ReceiverDrift;
+        fatalIf(die_wide ? event.node != -1
+                         : (event.node < 0 ||
+                            event.node >= num_nodes),
+                "fault event node out of range");
+        if (event.kind == FaultKind::DeadMode)
+            fatalIf(event.mode < 0 || event.mode > num_modes - 2,
+                    "dead-mode event must target a mode below "
+                    "broadcast");
+        else
+            fatalIf(event.mode != -1,
+                    "only dead-mode events carry a mode");
+    }
+
+    std::sort(events_.begin(), events_.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  return std::tie(a.startEpoch, a.kind, a.node,
+                                  a.mode, a.magnitude) <
+                         std::tie(b.startEpoch, b.kind, b.node,
+                                  b.mode, b.magnitude);
+              });
+}
+
 RuntimeFaultState
 FaultTimeline::stateAt(std::size_t epoch) const
 {

@@ -150,6 +150,17 @@ class FaultTimeline
                   int num_modes, std::size_t num_epochs,
                   std::uint64_t seed);
 
+    /**
+     * Build a timeline from an explicit, hand-crafted event list
+     * (regression scenarios, replayed schedules).  Events are
+     * validated -- epoch windows inside the run, nodes/modes in
+     * range, the broadcast mode never dead -- and re-sorted into
+     * the same canonical order the seeded constructor produces.
+     * seed() reports 0.
+     */
+    FaultTimeline(std::vector<FaultEvent> events, int num_nodes,
+                  int num_modes, std::size_t num_epochs);
+
     const std::vector<FaultEvent> &events() const { return events_; }
     int numNodes() const { return numNodes_; }
     int numModes() const { return numModes_; }

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared hysteresis machinery for the epoch-boundary controllers.
+ *
+ * Both runtime controllers -- the fault-driven DegradationController
+ * and the traffic-driven AdaptiveController -- gate their "undo" and
+ * "switch" rules behind the same streak discipline: an action fires
+ * only after a configured number of *consecutive* favorable epochs,
+ * and any unfavorable epoch (or an external disturbance such as a
+ * failover/restore on the same source) resets the count to zero, so
+ * a marginal die cannot chatter between opposing rules.
+ *
+ * StreakGate is a pure counter: deterministic, trivially copyable,
+ * no clocks, no RNG -- safe to keep one per source in controller
+ * loops that must stay bit-identical at any MNOC_THREADS.
+ */
+
+#ifndef MNOC_RUNTIME_HYSTERESIS_HH
+#define MNOC_RUNTIME_HYSTERESIS_HH
+
+#include "common/log.hh"
+
+namespace mnoc::runtime {
+
+/** Consecutive-epoch trip counter with a maturity threshold. */
+class StreakGate
+{
+  public:
+    /** @param epochs_to_mature Consecutive favorable observations
+     *  required before ready() holds; must be at least 1. */
+    explicit StreakGate(int epochs_to_mature = 1)
+        : epochsToMature_(epochs_to_mature)
+    {
+        fatalIf(epochs_to_mature < 1,
+                "hysteresis streak must be at least one epoch");
+    }
+
+    /** Record one epoch: a favorable epoch lengthens the streak, an
+     *  unfavorable one resets it. */
+    void observe(bool favorable)
+    {
+        streak_ = favorable ? streak_ + 1 : 0;
+    }
+
+    /** Reset the streak without observing an epoch (external
+     *  disturbance: the protected state changed under us). */
+    void reset() { streak_ = 0; }
+
+    /** True once the streak has matured. */
+    bool ready() const { return streak_ >= epochsToMature_; }
+
+    /** Consume a matured streak: the gated action fired, so the
+     *  next one must re-earn the full count. */
+    void consume() { streak_ = 0; }
+
+    int streak() const { return streak_; }
+
+  private:
+    int epochsToMature_;
+    int streak_ = 0;
+};
+
+} // namespace mnoc::runtime
+
+#endif // MNOC_RUNTIME_HYSTERESIS_HH

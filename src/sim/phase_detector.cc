@@ -1,0 +1,80 @@
+#include "sim/phase_detector.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mnoc::sim {
+
+PhaseDetector::PhaseDetector(int num_nodes, std::size_t window,
+                             double threshold)
+    : numNodes_(num_nodes), window_(window), threshold_(threshold)
+{
+    fatalIf(num_nodes < 2,
+            "phase detector needs at least two nodes");
+    fatalIf(window < 1,
+            "phase detector window must be at least one epoch");
+    fatalIf(threshold <= 0.0 || threshold > 2.0,
+            "phase change threshold must lie in (0, 2]");
+    // Ring distances span [1, n/2]; one bucket per log2 magnitude.
+    int buckets = 1;
+    while ((1 << buckets) <= num_nodes / 2)
+        ++buckets;
+    numBuckets_ = buckets;
+}
+
+bool
+PhaseDetector::observe(const std::vector<noc::EpochCell> &cells)
+{
+    auto buckets = static_cast<std::size_t>(numBuckets_);
+    std::vector<std::uint64_t> counts(buckets, 0);
+    std::uint64_t total = 0;
+    for (const noc::EpochCell &cell : cells) {
+        if (cell.flits == 0 || cell.dst == cell.src)
+            continue;
+        int apart = cell.dst > cell.src ? cell.dst - cell.src
+                                        : cell.src - cell.dst;
+        int d = std::min(apart, numNodes_ - apart);
+        panicIf(d < 1 || d > numNodes_ / 2,
+                "epoch cell endpoints out of range");
+        std::size_t b = 0;
+        while ((2u << b) <= static_cast<unsigned>(d))
+            ++b;
+        counts[b] += cell.flits;
+        total += cell.flits;
+    }
+
+    lastSignature_.assign(buckets, 0.0);
+    if (total > 0)
+        for (std::size_t b = 0; b < buckets; ++b)
+            lastSignature_[b] = static_cast<double>(counts[b]) /
+                                static_cast<double>(total);
+
+    bool change = false;
+    lastDistance_ = 0.0;
+    if (history_.size() >= window_) {
+        double distance = 0.0;
+        for (std::size_t b = 0; b < buckets; ++b) {
+            double mean = 0.0;
+            for (const std::vector<double> &sig : history_)
+                mean += sig[b];
+            mean /= static_cast<double>(history_.size());
+            distance += std::abs(lastSignature_[b] - mean);
+        }
+        lastDistance_ = distance;
+        if (distance > threshold_) {
+            change = true;
+            // Restart the reference so the transition fires once;
+            // the new phase becomes the baseline from here on.
+            history_.clear();
+        }
+    }
+
+    history_.push_back(lastSignature_);
+    if (history_.size() > window_)
+        history_.pop_front();
+    ++epochsObserved_;
+    return change;
+}
+
+} // namespace mnoc::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Topology-free traffic phase detection over streamed epoch cells.
+ *
+ * The adaptive runtime needs to know *when* a workload's
+ * communication pattern shifts (barnes-style neighbor exchange
+ * giving way to radix-style all-to-all, say) without knowing
+ * anything about power topologies -- the sim layer sits below core.
+ * The detector therefore summarizes each epoch as a normalized flit
+ * histogram over log2 ring-distance buckets on the serpentine
+ * (distance min(|dst - src|, n - |dst - src|), bucket floor(log2 d)):
+ * a signature that is invariant to traffic volume and cheap to
+ * compare, yet separates neighbor-heavy from long-haul phases.
+ *
+ * A phase change is declared when the L1 distance between the
+ * current epoch's signature and the mean signature of the trailing
+ * window exceeds a threshold; the window then restarts so one
+ * transition fires one detection, not `window` of them.  Pure
+ * sequential arithmetic over integer flit counts -- bit-identical
+ * at any MNOC_THREADS.
+ */
+
+#ifndef MNOC_SIM_PHASE_DETECTOR_HH
+#define MNOC_SIM_PHASE_DETECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace mnoc::sim {
+
+/** Streaming epoch-signature phase detector (see file docs). */
+class PhaseDetector
+{
+  public:
+    /**
+     * @param num_nodes Crossbar radix (at least 2).
+     * @param window Trailing epochs forming the reference signature;
+     *        the first @p window epochs only build it (no
+     *        detections).  Must be at least 1.
+     * @param threshold L1 signature distance declaring a phase
+     *        change, in (0, 2] (2 is the maximum L1 distance of two
+     *        normalized histograms).
+     */
+    PhaseDetector(int num_nodes, std::size_t window,
+                  double threshold);
+
+    /**
+     * Fold one epoch's traffic in and report whether it opened a new
+     * phase.  Self-traffic and zero-flit cells are ignored; cell
+     * order does not matter (integer folds are exact).
+     */
+    bool observe(const std::vector<noc::EpochCell> &cells);
+
+    /** Signature of the most recent epoch (empty before the first
+     *  observe()). */
+    const std::vector<double> &lastSignature() const
+    {
+        return lastSignature_;
+    }
+
+    /** L1 distance of the most recent epoch to its reference window
+     *  (0 while the window is still filling). */
+    double lastDistance() const { return lastDistance_; }
+
+    /** Distance buckets in a signature. */
+    int numBuckets() const { return numBuckets_; }
+
+    /** Epochs observed so far. */
+    std::size_t epochsObserved() const { return epochsObserved_; }
+
+  private:
+    int numNodes_;
+    int numBuckets_;
+    std::size_t window_;
+    double threshold_;
+    std::size_t epochsObserved_ = 0;
+    double lastDistance_ = 0.0;
+    std::vector<double> lastSignature_;
+    /** Trailing signatures, oldest first; at most window_ entries. */
+    std::deque<std::vector<double>> history_;
+};
+
+} // namespace mnoc::sim
+
+#endif // MNOC_SIM_PHASE_DETECTOR_HH

@@ -181,6 +181,9 @@ void
 TraceReader::openSharded()
 {
     std::string index_path = path_ + "/" + kIndexFile;
+    fatalIf(!std::filesystem::exists(index_path),
+            "not a sharded trace directory (missing " +
+                std::string(kIndexFile) + "): " + path_);
     LineScanner sc(index_path);
     if (!sc.next())
         sc.failTruncated("header", "empty trace file");
@@ -413,9 +416,15 @@ TraceReader::nextMessages(std::vector<TraceMessage> &batch,
             sc.fail("header",
                     "unrecognized trace file header: " + sc.line());
         pending_ = sc.next();
-    } else if (!sharded() && header_.numEpochs > 0 &&
+    } else if (!sharded() && header_.version >= 3 &&
                epochsYielded_ == header_.numEpochs && !pending_ &&
                !tripletsStarted_) {
+        // A v3+ single-file trace always carries an epoch block,
+        // even a zero-epoch one ("epochs 0 ..."), and openSingleFile
+        // leaves no lookahead for it; pull the first triplet line
+        // here.  Gating on numEpochs > 0 instead of the version
+        // silently dropped the whole triplet section of zero-epoch
+        // v3 captures.
         pending_ = scanner_->next();
     }
     tripletsStarted_ = true;

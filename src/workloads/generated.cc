@@ -38,6 +38,15 @@ GeneratedWorkload::totalOps() const
 }
 
 void
+GeneratedWorkload::emitOp(int thread, const sim::MemOp &op)
+{
+    panicIf(thread < 0 ||
+            thread >= static_cast<int>(streams_.size()),
+            "emitting thread out of range");
+    streams_[thread].push_back(op);
+}
+
+void
 GeneratedWorkload::emit(int thread, int owner, std::uint64_t line_index,
                         bool is_write, bool non_blocking,
                         std::uint32_t compute)

@@ -91,6 +91,14 @@ class GeneratedWorkload : public sim::Workload
         write(thread, owner, line_index, 0);
     }
 
+    /**
+     * Append an already-built operation to @p thread's stream.  The
+     * phase-splice workload replays child kernels' streams through
+     * this, so spliced phases keep exactly the ops the standalone
+     * kernels would generate.
+     */
+    void emitOp(int thread, const sim::MemOp &op);
+
     WorkloadScale scale_;
 
   private:

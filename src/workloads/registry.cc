@@ -1,6 +1,7 @@
 #include "workloads/registry.hh"
 
 #include "common/log.hh"
+#include "workloads/phase_splice.hh"
 #include "workloads/splash.hh"
 
 namespace mnoc::workloads {
@@ -28,6 +29,28 @@ sampledBenchmarks()
 std::unique_ptr<GeneratedWorkload>
 makeWorkload(const std::string &name, const WorkloadScale &scale)
 {
+    // "splice:a+b[+c...]" concatenates known kernels into one
+    // phase-changing run (workloads/phase_splice.hh).
+    if (name.rfind("splice:", 0) == 0) {
+        std::vector<std::string> phases;
+        std::string rest = name.substr(7);
+        std::size_t start = 0;
+        while (start <= rest.size()) {
+            std::size_t plus = rest.find('+', start);
+            std::string phase =
+                rest.substr(start, plus == std::string::npos
+                                       ? std::string::npos
+                                       : plus - start);
+            fatalIf(phase.empty(),
+                    "malformed phase splice (empty phase): " + name);
+            phases.push_back(phase);
+            if (plus == std::string::npos)
+                break;
+            start = plus + 1;
+        }
+        return std::make_unique<PhaseSpliceWorkload>(
+            std::move(phases), scale);
+    }
     if (name == "barnes")
         return std::make_unique<BarnesWorkload>(scale);
     if (name == "radix")

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests of the adaptive runtime (runtime/adaptive_controller.hh) and
+ * its phase-detection substrate: the detector must fire once per
+ * signature shift and reject bad knobs, the controller must retarget
+ * and switch on a synthetic two-phase trace, the whole run --
+ * decisions, log, ledger -- must be bit-identical at any pool size,
+ * the static-vs-adaptive reconciliation identity must hold, an
+ * epoch-free trace must be fatal, and the phase-splice workload
+ * feeding the acceptance fixtures must be deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+#include "core/designer.hh"
+#include "core/energy_ledger.hh"
+#include "runtime/adaptive_controller.hh"
+#include "sim/phase_detector.hh"
+#include "sim/simulator.hh"
+#include "sim/trace.hh"
+#include "sim/trace_stream.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace mnoc;
+using namespace mnoc::core;
+
+constexpr int kNodes = 16;
+
+/** One epoch of nearest-neighbor ring traffic. */
+std::vector<noc::EpochCell>
+neighborEpoch()
+{
+    std::vector<noc::EpochCell> cells;
+    for (int s = 0; s < kNodes; ++s)
+        cells.push_back({s, (s + 1) % kNodes, 2, 6});
+    return cells;
+}
+
+/** One epoch of diameter-haul traffic (distance n/2). */
+std::vector<noc::EpochCell>
+longHaulEpoch()
+{
+    std::vector<noc::EpochCell> cells;
+    for (int s = 0; s < kNodes; ++s)
+        cells.push_back({s, (s + kNodes / 2) % kNodes, 2, 6});
+    return cells;
+}
+
+/** Two-phase trace: @p neighbor epochs of ring traffic followed by
+ *  @p long_haul epochs of diameter traffic, constant within each
+ *  phase so controller decisions are exactly reproducible. */
+sim::Trace
+twoPhaseTrace(std::size_t neighbor, std::size_t long_haul)
+{
+    sim::Trace t;
+    t.workloadName = "two_phase_fixture";
+    t.networkName = "mNoC";
+    t.totalTicks = 40000;
+    t.packets = CountMatrix(kNodes, kNodes, 0);
+    t.flits = CountMatrix(kNodes, kNodes, 0);
+    t.manifest.seed = 7;
+    t.manifest.gitSha = "0000000";
+    t.manifest.threads = 1;
+    t.epochs.messagesPerEpoch = kNodes * 2;
+    for (std::size_t e = 0; e < neighbor + long_haul; ++e) {
+        auto cells = e < neighbor ? neighborEpoch() : longHaulEpoch();
+        for (const noc::EpochCell &cell : cells) {
+            t.packets(cell.src, cell.dst) += cell.packets;
+            t.flits(cell.src, cell.dst) += cell.flits;
+        }
+        t.epochs.epochs.push_back(std::move(cells));
+    }
+    return t;
+}
+
+std::vector<int>
+identityMapping(int n)
+{
+    std::vector<int> map(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        map[static_cast<std::size_t>(i)] = i;
+    return map;
+}
+
+/** 16-node two-mode fixture whose static design is solved for the
+ *  neighbor phase, so the long-haul phase has adaptation headroom. */
+struct AdaptiveFixture
+{
+    optics::SerpentineLayout layout{kNodes, Meters(0.05)};
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar{layout, params};
+    Designer designer{xbar};
+
+    MnocDesign
+    design() const
+    {
+        DesignSpec spec;
+        spec.numModes = 2;
+        spec.assignment = Assignment::DistanceBased;
+        spec.weights = WeightSource::DesignFlow;
+        FlowMatrix flow(kNodes, kNodes, 0.1);
+        for (int i = 0; i < kNodes; ++i) {
+            flow(i, i) = 0.0;
+            flow(i, (i + 1) % kNodes) = 50.0;
+        }
+        auto topology = designer.buildTopology(spec, flow);
+        return designer.buildDesign(spec, topology, flow,
+                                    DecibelLoss(2.0));
+    }
+
+    runtime::AdaptivePolicy
+    policy() const
+    {
+        runtime::AdaptivePolicy out;
+        out.trafficWindow = 8;
+        out.phaseChangeThreshold = 0.5;
+        out.epochsToSwitch = 2;
+        out.maxCandidates = 4;
+        out.candidateSpec.numModes = 2;
+        out.candidateSpec.assignment = Assignment::CommAware;
+        out.candidateSpec.weights = WeightSource::DesignFlow;
+        out.candidateMargin = DecibelLoss(2.0);
+        return out;
+    }
+};
+
+std::string
+scratchPath(const std::string &stem)
+{
+    return testing::TempDir() + stem;
+}
+
+/** Bit-exact cell-by-cell ledger comparison. */
+void
+expectSameLedger(const EnergyLedger &a, const EnergyLedger &b)
+{
+    ASSERT_EQ(a.numSources(), b.numSources());
+    ASSERT_EQ(a.numModes(), b.numModes());
+    ASSERT_EQ(a.numEpochs(), b.numEpochs());
+    for (int s = 0; s < a.numSources(); ++s)
+        for (int m = 0; m < a.numModes(); ++m)
+            for (std::size_t e = 0; e < a.numEpochs(); ++e) {
+                const auto &x = a.cell(s, m, e);
+                const auto &y = b.cell(s, m, e);
+                ASSERT_EQ(x.flits, y.flits);
+                ASSERT_EQ(x.txSeconds, y.txSeconds);
+                ASSERT_EQ(x.sourceEnergy, y.sourceEnergy);
+                ASSERT_EQ(x.oeEnergy, y.oeEnergy);
+                ASSERT_EQ(x.electricalEnergy, y.electricalEnergy);
+            }
+    ASSERT_EQ(a.totalReconfigEnergy(), b.totalReconfigEnergy());
+}
+
+TEST(PhaseDetector, CtorRejectsBadKnobs)
+{
+    EXPECT_THROW(sim::PhaseDetector(1, 4, 0.5), FatalError);
+    EXPECT_THROW(sim::PhaseDetector(16, 0, 0.5), FatalError);
+    EXPECT_THROW(sim::PhaseDetector(16, 4, 0.0), FatalError);
+    EXPECT_THROW(sim::PhaseDetector(16, 4, -0.1), FatalError);
+    EXPECT_THROW(sim::PhaseDetector(16, 4, 2.5), FatalError);
+}
+
+TEST(PhaseDetector, FiresOncePerSignatureShift)
+{
+    sim::PhaseDetector detector(kNodes, 4, 0.5);
+    auto near = neighborEpoch();
+    auto far = longHaulEpoch();
+
+    // Warm-up and steady state: no detections on constant traffic.
+    for (int e = 0; e < 10; ++e)
+        EXPECT_FALSE(detector.observe(near));
+
+    // The shift fires exactly once; the restarted window then treats
+    // the new phase as the reference.
+    EXPECT_TRUE(detector.observe(far));
+    EXPECT_GT(detector.lastDistance(), 0.5);
+    for (int e = 0; e < 10; ++e)
+        EXPECT_FALSE(detector.observe(far));
+
+    // Shifting back is a new phase again.
+    EXPECT_TRUE(detector.observe(near));
+    EXPECT_EQ(detector.epochsObserved(), 22u);
+}
+
+TEST(AdaptivePolicy, ValidateRejectsBadKnobs)
+{
+    AdaptiveFixture fx;
+    auto good = fx.policy();
+    good.validate();
+
+    auto bad = good;
+    bad.phaseChangeThreshold = 0.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.phaseChangeThreshold = 2.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.trafficWindow = 0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.switchGainThreshold = 0.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.epochsToSwitch = 0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.maxCandidates = 1;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.switchEnergyPerSource = -1.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.candidateSpec.weights = WeightSource::Uniform;
+    EXPECT_THROW(bad.validate(), FatalError);
+    bad = good;
+    bad.candidateMargin = DecibelLoss(-0.5);
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(Adaptive, ControllerAdaptsToThePhaseChange)
+{
+    AdaptiveFixture fx;
+    auto design = fx.design();
+    auto trace = twoPhaseTrace(32, 32);
+    std::string file = scratchPath("adaptive_two_phase.trace");
+    sim::saveTrace(file, trace);
+    auto mapping = identityMapping(kNodes);
+
+    sim::TraceReader static_reader(file);
+    ThreadPool pool(2);
+    auto static_ledger = fx.designer.model().buildLedger(
+        design, static_reader, &mapping, &pool);
+
+    EnergyLedger adaptive_ledger(kNodes, 2,
+                                 static_ledger.numEpochs(),
+                                 static_ledger.durationSeconds());
+    sim::TraceReader reader(file);
+    auto log = runtime::runAdaptiveController(
+        fx.designer, design, fx.policy(), reader, &mapping,
+        &adaptive_ledger, &pool);
+
+    ASSERT_EQ(log.epochs.size(), trace.epochs.epochs.size());
+    using runtime::AdaptiveActionKind;
+    // Exactly one phase change, at the splice epoch.
+    EXPECT_EQ(log.countActions(AdaptiveActionKind::PhaseChange), 1);
+    for (const auto &action : log.actions)
+        if (action.kind == AdaptiveActionKind::PhaseChange) {
+            EXPECT_EQ(action.epoch, 32u);
+        }
+    // A warm-up retarget and a post-change retarget at least.
+    EXPECT_GE(log.countActions(AdaptiveActionKind::Retarget), 2);
+    // The long-haul phase must win a switch (an earlier comm-aware
+    // retarget may also beat the distance-based static design on the
+    // neighbor phase itself), and every switch must clear the gain
+    // threshold and book its reconfiguration energy.
+    ASSERT_GE(log.countActions(AdaptiveActionKind::Switch), 1);
+    EXPECT_NE(log.finalDesign, 0);
+    double booked = 0.0;
+    bool post_splice_switch = false;
+    for (const auto &action : log.actions)
+        if (action.kind == AdaptiveActionKind::Switch) {
+            post_splice_switch |= action.epoch > 32u;
+            EXPECT_GT(action.gain,
+                      fx.policy().switchGainThreshold);
+            EXPECT_EQ(action.energyCost,
+                      kNodes * fx.policy().switchEnergyPerSource);
+            booked += action.energyCost;
+        }
+    EXPECT_TRUE(post_splice_switch);
+    EXPECT_EQ(log.totalReconfigEnergy, booked);
+    EXPECT_EQ(adaptive_ledger.totalReconfigEnergy(), booked);
+
+    // Causality: the epoch of a switch still accrues under the
+    // incumbent; the target takes over one epoch later.
+    for (const auto &action : log.actions)
+        if (action.kind == AdaptiveActionKind::Switch) {
+            EXPECT_NE(log.epochs[action.epoch].activeDesign,
+                      action.design);
+            EXPECT_EQ(log.epochs[action.epoch + 1].activeDesign,
+                      action.design);
+        }
+
+    // The reconciliation identity must hold (panic inside otherwise)
+    // and the adaptive run must beat the static design on this
+    // fixture even after reconfiguration charges.
+    auto cmp = runtime::reconcileAdaptive(static_ledger,
+                                          adaptive_ledger, log);
+    EXPECT_EQ(cmp.staticEnergy, static_ledger.totalEnergy());
+    EXPECT_EQ(cmp.adaptiveEnergy, adaptive_ledger.totalEnergy());
+    EXPECT_EQ(cmp.reconfigEnergy, booked);
+    EXPECT_GT(cmp.savings, 0.0);
+    EXPECT_GT(cmp.netSavings, 0.0);
+    EXPECT_NEAR(cmp.netSavings, cmp.savings - cmp.reconfigEnergy,
+                1e-12 * cmp.staticEnergy);
+}
+
+TEST(Adaptive, RunIsBitIdenticalAcrossPoolSizes)
+{
+    AdaptiveFixture fx;
+    auto design = fx.design();
+    auto trace = twoPhaseTrace(24, 24);
+    std::string file = scratchPath("adaptive_pools.trace");
+    sim::saveTrace(file, trace);
+    auto mapping = identityMapping(kNodes);
+
+    std::vector<runtime::AdaptiveLog> logs;
+    std::vector<EnergyLedger> ledgers;
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        sim::TraceReader reader(file);
+        EnergyLedger ledger(kNodes, 2, trace.epochs.epochs.size(),
+                            1.0e-3);
+        logs.push_back(runtime::runAdaptiveController(
+            fx.designer, design, fx.policy(), reader, &mapping,
+            &ledger, &pool));
+        ledgers.push_back(std::move(ledger));
+    }
+
+    for (std::size_t i = 1; i < logs.size(); ++i) {
+        const auto &a = logs[0];
+        const auto &b = logs[i];
+        EXPECT_EQ(a.numCandidates, b.numCandidates);
+        EXPECT_EQ(a.finalDesign, b.finalDesign);
+        EXPECT_EQ(a.totalReconfigEnergy, b.totalReconfigEnergy);
+        ASSERT_EQ(a.epochs.size(), b.epochs.size());
+        for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+            EXPECT_EQ(a.epochs[e].activeDesign,
+                      b.epochs[e].activeDesign);
+            EXPECT_EQ(a.epochs[e].phaseChange,
+                      b.epochs[e].phaseChange);
+            EXPECT_EQ(a.epochs[e].actions, b.epochs[e].actions);
+            EXPECT_EQ(a.epochs[e].staticEnergy,
+                      b.epochs[e].staticEnergy);
+            EXPECT_EQ(a.epochs[e].adaptiveEnergy,
+                      b.epochs[e].adaptiveEnergy);
+            EXPECT_EQ(a.epochs[e].reconfigEnergy,
+                      b.epochs[e].reconfigEnergy);
+        }
+        ASSERT_EQ(a.actions.size(), b.actions.size());
+        for (std::size_t k = 0; k < a.actions.size(); ++k) {
+            EXPECT_EQ(a.actions[k].kind, b.actions[k].kind);
+            EXPECT_EQ(a.actions[k].epoch, b.actions[k].epoch);
+            EXPECT_EQ(a.actions[k].design, b.actions[k].design);
+            EXPECT_EQ(a.actions[k].gain, b.actions[k].gain);
+            EXPECT_EQ(a.actions[k].energyCost,
+                      b.actions[k].energyCost);
+        }
+        expectSameLedger(ledgers[0], ledgers[i]);
+    }
+    // The shared fixture must actually exercise the controller.
+    EXPECT_FALSE(logs[0].actions.empty());
+}
+
+TEST(Adaptive, EpochFreeTraceIsFatal)
+{
+    AdaptiveFixture fx;
+    auto design = fx.design();
+    auto trace = twoPhaseTrace(4, 4);
+    trace.epochs.epochs.clear();
+    trace.epochs.messagesPerEpoch = 0;
+    std::string file = scratchPath("adaptive_no_epochs.trace");
+    sim::saveTrace(file, trace);
+
+    sim::TraceReader reader(file);
+    try {
+        runtime::runAdaptiveController(fx.designer, design,
+                                       fx.policy(), reader);
+        FAIL() << "epoch-free trace accepted";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("epoch-bucketed trace"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Adaptive, LedgerShapeMismatchIsFatal)
+{
+    AdaptiveFixture fx;
+    auto design = fx.design();
+    auto trace = twoPhaseTrace(4, 4);
+    std::string file = scratchPath("adaptive_shape.trace");
+    sim::saveTrace(file, trace);
+
+    // Wrong epoch count.
+    {
+        sim::TraceReader reader(file);
+        EnergyLedger ledger(kNodes, 2, 3, 1.0e-3);
+        EXPECT_THROW(runtime::runAdaptiveController(
+                         fx.designer, design, fx.policy(), reader,
+                         nullptr, &ledger),
+                     FatalError);
+    }
+    // Wrong mode count.
+    {
+        sim::TraceReader reader(file);
+        EnergyLedger ledger(kNodes, 3, 8, 1.0e-3);
+        EXPECT_THROW(runtime::runAdaptiveController(
+                         fx.designer, design, fx.policy(), reader,
+                         nullptr, &ledger),
+                     FatalError);
+    }
+    // Candidate mode count must match the deployed design.
+    {
+        sim::TraceReader reader(file);
+        auto policy = fx.policy();
+        policy.candidateSpec.numModes = 3;
+        EXPECT_THROW(runtime::runAdaptiveController(
+                         fx.designer, design, policy, reader),
+                     FatalError);
+    }
+}
+
+TEST(Adaptive, PhaseSpliceStreamIsDeterministicPerSeed)
+{
+    auto a = workloads::makeWorkload("splice:barnes+radix");
+    auto b = workloads::makeWorkload("splice:barnes+radix");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->name(), "splice:barnes+radix");
+    a->reset(8, 42);
+    b->reset(8, 42);
+    sim::MemOp opa, opb;
+    for (int i = 0; i < 2000; ++i) {
+        bool more_a = a->next(i % 8, opa);
+        bool more_b = b->next(i % 8, opb);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        EXPECT_EQ(opa.addr, opb.addr);
+        EXPECT_EQ(opa.write, opb.write);
+    }
+}
+
+TEST(Adaptive, MalformedSpliceNamesAreFatal)
+{
+    EXPECT_THROW(workloads::makeWorkload("splice:barnes"),
+                 FatalError);
+    EXPECT_THROW(workloads::makeWorkload("splice:barnes+"),
+                 FatalError);
+    EXPECT_THROW(workloads::makeWorkload("splice:barnes+quicksort"),
+                 FatalError);
+}
+
+} // namespace

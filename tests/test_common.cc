@@ -488,4 +488,73 @@ TEST(Knobs, FaultKnobsDefaultOffWithSeedOne)
     EXPECT_EQ(faultSeed(), 1u);
 }
 
+TEST(Knobs, AdaptKnobsDefaultOffWithWindowThirtyTwo)
+{
+    // The test runner leaves MNOC_ADAPT/MNOC_ADAPT_WINDOW unset, so
+    // the cached getters must land on their documented defaults.
+    EXPECT_FALSE(adaptEnabled());
+    EXPECT_EQ(adaptWindow(), 32u);
+}
+
+TEST(Knobs, AdaptKnobsAreStrictFromDayOne)
+{
+    // MNOC_ADAPT shares the 0/1 contract, MNOC_ADAPT_WINDOW the
+    // positive-count contract; both must fatal on garbage naming the
+    // knob and the value rather than fall back to a default.
+    for (const char *bad : {"2", "yes", "on", "banana"}) {
+        try {
+            parseBoolKnob(bad, "MNOC_ADAPT");
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find("MNOC_ADAPT"),
+                      std::string::npos);
+            EXPECT_NE(std::string(err.what()).find(bad),
+                      std::string::npos);
+        }
+    }
+    for (const char *bad : {"0", "-4", "8.5", "wide", "16x"}) {
+        try {
+            parsePositiveCount(bad, "MNOC_ADAPT_WINDOW", 32);
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find(
+                          "MNOC_ADAPT_WINDOW"),
+                      std::string::npos);
+            EXPECT_NE(std::string(err.what()).find(bad),
+                      std::string::npos);
+        }
+    }
+    EXPECT_EQ(parsePositiveCount("16", "MNOC_ADAPT_WINDOW", 32),
+              16u);
+}
+
+TEST(Knobs, ParseLogLevelKnobIsStrict)
+{
+    EXPECT_EQ(parseLogLevelKnob(nullptr, "MNOC_LOG_LEVEL"),
+              LogLevel::Info);
+    EXPECT_EQ(parseLogLevelKnob("", "MNOC_LOG_LEVEL"),
+              LogLevel::Info);
+    EXPECT_EQ(parseLogLevelKnob("info", "MNOC_LOG_LEVEL"),
+              LogLevel::Info);
+    EXPECT_EQ(parseLogLevelKnob("warn", "MNOC_LOG_LEVEL"),
+              LogLevel::Warn);
+    EXPECT_EQ(parseLogLevelKnob("quiet", "MNOC_LOG_LEVEL"),
+              LogLevel::Quiet);
+
+    // A typo like "qiuet" must not silently re-enable warnings, and
+    // the casing is part of the contract.
+    for (const char *bad : {"qiuet", "INFO", "verbose", "2", "Warn"}) {
+        try {
+            parseLogLevelKnob(bad, "MNOC_LOG_LEVEL");
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find(
+                          "MNOC_LOG_LEVEL"),
+                      std::string::npos);
+            EXPECT_NE(std::string(err.what()).find(bad),
+                      std::string::npos);
+        }
+    }
+}
+
 } // namespace

@@ -400,6 +400,108 @@ TEST(Controller, HysteresisRelaxesTrimsAfterHealthyStreak)
     }
 }
 
+TEST(FaultTimeline, ExplicitEventListIsValidatedAndCanonical)
+{
+    std::vector<FaultEvent> events;
+    FaultEvent droop;
+    droop.kind = FaultKind::LaserDroop;
+    droop.startEpoch = 4;
+    droop.endEpoch = 8;
+    droop.node = 3;
+    droop.magnitude = 0.1;
+    FaultEvent dead;
+    dead.kind = FaultKind::DeadMode;
+    dead.startEpoch = 1;
+    dead.endEpoch = 3;
+    dead.node = 0;
+    dead.mode = 0;
+    events.push_back(droop);
+    events.push_back(dead);
+
+    FaultTimeline timeline(events, 16, 2, 10);
+    ASSERT_EQ(timeline.events().size(), 2u);
+    // Re-sorted into canonical (startEpoch, ...) order.
+    EXPECT_EQ(timeline.events()[0].kind, FaultKind::DeadMode);
+    EXPECT_EQ(timeline.events()[1].kind, FaultKind::LaserDroop);
+    EXPECT_EQ(timeline.seed(), 0u);
+
+    // Window outside the run, out-of-range node, and a dead
+    // broadcast mode are all rejected.
+    auto bad = events;
+    bad[0].endEpoch = 11;
+    EXPECT_THROW(FaultTimeline(bad, 16, 2, 10), FatalError);
+    bad = events;
+    bad[0].startEpoch = bad[0].endEpoch;
+    EXPECT_THROW(FaultTimeline(bad, 16, 2, 10), FatalError);
+    bad = events;
+    bad[0].node = 16;
+    EXPECT_THROW(FaultTimeline(bad, 16, 2, 10), FatalError);
+    bad = events;
+    bad[1].mode = 1; // the broadcast mode of a 2-mode design
+    EXPECT_THROW(FaultTimeline(bad, 16, 2, 10), FatalError);
+}
+
+TEST(Controller, RestoredSourceMustReearnItsRelaxStreak)
+{
+    // Regression: the relax rule used to build one die-wide healthy
+    // streak, so a source whose mode had just failed over and
+    // restored could have its trim relaxed immediately afterwards --
+    // the broadcast reroute keeps the die-wide margin comfortable,
+    // so the global streak never noticed the disruption.  The streak
+    // is per-source now, and a liveness change resets it.
+    RuntimeFixture fx;
+    auto design = fx.twoModeDesign(DecibelLoss(2.0));
+    auto variation = fx.identityVariation();
+
+    // A thermal excursion on source 0 forces trims that outlast it,
+    // then a dead-mode outage on the same source fails over at epoch
+    // 6 and restores at epoch 8, in the middle of what would
+    // otherwise be its healthy streak.
+    std::vector<FaultEvent> events;
+    FaultEvent ramp;
+    ramp.kind = FaultKind::ThermalDrift;
+    ramp.startEpoch = 1;
+    ramp.endEpoch = 5;
+    ramp.node = 0;
+    ramp.magnitude = 3.0;
+    FaultEvent outage;
+    outage.kind = FaultKind::DeadMode;
+    outage.startEpoch = 6;
+    outage.endEpoch = 8;
+    outage.node = 0;
+    outage.mode = 0;
+    events.push_back(ramp);
+    events.push_back(outage);
+    constexpr std::size_t kEpochs = 16;
+    FaultTimeline timeline(events, RuntimeFixture::kNodes, 2,
+                           kEpochs);
+
+    DegradationPolicy policy;
+    policy.requiredMargin = DecibelLoss(1.0);
+    policy.restoreHysteresis = DecibelLoss(0.9);
+    ThreadPool pool(1);
+    auto log = runDegradationController(fx.layout, design, variation,
+                                        timeline, policy, nullptr,
+                                        &pool);
+
+    EXPECT_GT(log.countActions(ActionKind::Trim), 0);
+    EXPECT_EQ(log.countActions(ActionKind::Failover), 1);
+    EXPECT_EQ(log.countActions(ActionKind::Restore), 1);
+    ASSERT_GT(log.countActions(ActionKind::Relax), 0);
+    // Source 0's relax may fire no earlier than a full healthy
+    // streak after its restore at epoch 8; the buggy die-wide streak
+    // relaxed at epoch 8 (counting from the excursion's end).
+    for (const auto &action : log.actions) {
+        if (action.kind != ActionKind::Relax)
+            continue;
+        ASSERT_EQ(action.source, 0);
+        EXPECT_GE(action.epoch,
+                  8 + static_cast<std::size_t>(
+                          policy.healthyEpochsToRelax) -
+                      1);
+    }
+}
+
 TEST(Controller, ChargesReconfigurationEnergyIntoLedger)
 {
     RuntimeFixture fx;

@@ -285,6 +285,97 @@ TEST(TraceStream, TruncatedShardNamesRecordKindAndByteOffset)
     }
 }
 
+TEST(TraceStream, ZeroEpochV3TraceKeepsItsTripletSection)
+{
+    // Regression: nextMessages() used to gate its v3 lookahead on
+    // numEpochs > 0, silently dropping the whole triplet section of
+    // a zero-epoch v3 capture.  saveTrace() writes epoch-free traces
+    // as v2, so the fixture is crafted by hand.
+    std::string path = scratchPath("zero_epoch_v3.trace");
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "mnoc-trace 3\n"
+            << "zero_epoch_fixture\n"
+            << "mNoC\n"
+            << "4 1000\n"
+            << "manifest 0\n"
+            << "epochs 0 64\n"
+            << "0 1 3 9\n"
+            << "2 3 2 4\n";
+    }
+
+    auto loaded = sim::loadTrace(path);
+    EXPECT_TRUE(loaded.epochs.empty());
+    EXPECT_EQ(loaded.epochs.messagesPerEpoch, 64u);
+    EXPECT_EQ(loaded.packets(0, 1), 3u);
+    EXPECT_EQ(loaded.flits(0, 1), 9u);
+    EXPECT_EQ(loaded.packets(2, 3), 2u);
+    EXPECT_EQ(loaded.flits(2, 3), 4u);
+
+    sim::TraceReader reader(path);
+    EXPECT_EQ(reader.header().numEpochs, 0u);
+    std::vector<noc::EpochCell> cells;
+    EXPECT_FALSE(reader.nextEpoch(cells));
+    std::vector<sim::TraceMessage> batch;
+    std::size_t messages = 0;
+    while (reader.nextMessages(batch, 64))
+        messages += batch.size();
+    EXPECT_EQ(messages, 2u);
+}
+
+TEST(TraceStream, NonTraceDirectoryNamesTheMissingIndex)
+{
+    // Regression: pointing the reader at a directory that is not a
+    // sharded capture used to surface as an unreadable-file error on
+    // the directory itself; it must name the missing index file.
+    std::string dir = scratchPath("not_a_trace_dir");
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    try {
+        sim::TraceReader reader(dir);
+        FAIL() << "non-trace directory accepted";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("index.mtrace"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find(dir), std::string::npos) << what;
+    }
+}
+
+TEST(TraceStream, TruncatedLastShardNamesItsOwnFile)
+{
+    // Like TruncatedShardNamesRecordKindAndByteOffset, but cutting a
+    // later shard: the diagnostic must name the shard that actually
+    // broke, not shard 0.
+    auto trace = epochTrace(10, 6);
+    std::string dir = scratchPath("truncated_last.mshards");
+    std::filesystem::remove_all(dir);
+    sim::saveShardedTrace(dir, trace, 4);
+
+    std::string shard = dir + "/epochs-000002.mshard";
+    ASSERT_TRUE(std::filesystem::exists(shard));
+    std::string body = slurp(shard);
+    std::size_t header_end = body.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    std::size_t epoch_end = body.find('\n', header_end + 1);
+    ASSERT_NE(epoch_end, std::string::npos);
+    {
+        std::ofstream out(shard,
+                          std::ios::binary | std::ios::trunc);
+        out << body.substr(0, epoch_end + 1);
+    }
+
+    try {
+        sim::loadTrace(dir); // mnoc-analyze-ok(discarded-result)
+        FAIL() << "loadTrace accepted a truncated last shard";
+    } catch (const FatalError &error) {
+        std::string what = error.what();
+        EXPECT_NE(what.find("epochs-000002.mshard"),
+                  std::string::npos)
+            << what;
+    }
+}
+
 TEST(TraceStream, EpochSinkSeesExactlyTheSealedEpochs)
 {
     constexpr int kNodes = 8;

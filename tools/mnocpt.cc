@@ -19,6 +19,11 @@
  *             timeline with the graceful-degradation controller;
  *             write the fault event log and the per-epoch
  *             reliability (margin/action/energy) time series
+ *   adapt     replay a trace's epochs under the traffic-driven
+ *             adaptive controller (phase detection, retargeting,
+ *             hysteretic switching); print the static-vs-adaptive
+ *             energy comparison and write the per-epoch adaptive
+ *             series and action log
  *   report    render a design + trace into the energy-attribution
  *             report: markdown summary, per-(source, mode) and
  *             per-epoch CSV tables, and a source-power heatmap, all
@@ -50,6 +55,7 @@
  *                --csv ws_yield.csv
  *   mnocpt faults --design ws.design --trace ws.trace --seed 7 \
  *                 --dir faults_out
+ *   mnocpt adapt --design ws.design --trace ws.trace --dir adapt_out
  *   mnocpt report --design ws.design --trace ws.trace --map ws.map \
  *                 --dir report_out
  *   mnocpt profile --spans mnoc_spans.json --top 20
@@ -87,6 +93,7 @@
 #include "faults/yield.hh"
 #include "noc/mnoc_network.hh"
 #include "optics/link_budget.hh"
+#include "runtime/adaptive_controller.hh"
 #include "runtime/degradation_controller.hh"
 #include "runtime/fault_timeline.hh"
 #include "sim/simulator.hh"
@@ -736,6 +743,163 @@ cmdFaults(const Args &args)
     return 0;
 }
 
+/** Rule-table knobs shared by `adapt` and the MNOC_ADAPT report
+ *  section: struct defaults, the pricing/phase window from
+ *  MNOC_ADAPT_WINDOW, and retarget candidates re-partitioned
+ *  comm-aware with design-flow weighting at the deployed design's
+ *  mode count. */
+runtime::AdaptivePolicy
+adaptivePolicy(const core::MnocDesign &design)
+{
+    runtime::AdaptivePolicy policy;
+    policy.trafficWindow = static_cast<std::size_t>(adaptWindow());
+    policy.candidateSpec.numModes = design.topology.numModes;
+    policy.candidateSpec.assignment = core::Assignment::CommAware;
+    policy.candidateSpec.weights = core::WeightSource::DesignFlow;
+    return policy;
+}
+
+/** Per-epoch adaptive time series: active candidate, actions fired,
+ *  and the epoch priced under the static vs the active design. */
+void
+writeAdaptiveCsv(const std::string &path, const std::string &stamp,
+                 const runtime::AdaptiveLog &log)
+{
+    CsvWriter csv(path);
+    csv.writeRow({"# " + stamp});
+    csv.writeRow({"epoch", "active_design", "phase_change",
+                  "actions", "static_energy_j", "adaptive_energy_j",
+                  "reconfig_energy_j"});
+    for (const auto &epoch : log.epochs) {
+        csv.cell(static_cast<long long>(epoch.epoch))
+            .cell(static_cast<long long>(epoch.activeDesign))
+            .cell(static_cast<long long>(epoch.phaseChange ? 1 : 0))
+            .cell(static_cast<long long>(epoch.actions))
+            .cell(epoch.staticEnergy)
+            .cell(epoch.adaptiveEnergy)
+            .cell(epoch.reconfigEnergy);
+        csv.endRow();
+    }
+    csv.close();
+}
+
+int
+cmdAdapt(const Args &args)
+{
+    auto design = core::loadDesign(args.get("design"));
+    int cores = design.topology.numNodes;
+    Context ctx(cores);
+
+    auto mapping = args.has("map")
+                       ? loadMapping(args.get("map"), cores)
+                       : identity(cores);
+
+    // Pass 1 -- static baseline: the deployed design accrues the
+    // whole trace, exactly as `report` would attribute it.
+    sim::TraceReader static_reader(args.get("trace"));
+    sim::checkCoreMapping(mapping, static_reader.header().numNodes);
+    auto static_ledger = ctx.designer.model().buildLedger(
+        design, static_reader, &mapping);
+    const RunManifest trace_manifest =
+        static_reader.header().manifest;
+
+    runtime::AdaptivePolicy policy = adaptivePolicy(design);
+    policy.phaseChangeThreshold = args.getDouble(
+        "phase-threshold", policy.phaseChangeThreshold);
+    if (args.has("window"))
+        policy.trafficWindow =
+            static_cast<std::size_t>(args.getInt("window", 4));
+    policy.switchGainThreshold =
+        args.getDouble("gain-threshold", policy.switchGainThreshold);
+    policy.epochsToSwitch =
+        args.getInt("switch-epochs", policy.epochsToSwitch);
+    policy.maxCandidates =
+        args.getInt("max-candidates", policy.maxCandidates);
+    policy.switchEnergyPerSource = args.getDouble(
+        "switch-energy", policy.switchEnergyPerSource);
+    policy.candidateMargin =
+        DecibelLoss(args.getDouble("margin", 0.0));
+
+    // Pass 2 -- the adaptive run, accruing into its own ledger.
+    sim::TraceReader reader(args.get("trace"));
+    core::EnergyLedger adaptive_ledger(
+        cores, design.topology.numModes, static_ledger.numEpochs(),
+        static_ledger.durationSeconds());
+    auto log = runtime::runAdaptiveController(
+        ctx.designer, design, policy, reader, &mapping,
+        &adaptive_ledger);
+    auto comparison = runtime::reconcileAdaptive(
+        static_ledger, adaptive_ledger, log);
+
+    using runtime::AdaptiveActionKind;
+    TextTable table;
+    table.addRow({"metric", "value"});
+    table.addRow({"epochs", std::to_string(log.epochs.size())});
+    table.addRow({"traffic window",
+                  std::to_string(policy.trafficWindow)});
+    table.addRow({"phase changes",
+                  std::to_string(log.countActions(
+                      AdaptiveActionKind::PhaseChange))});
+    table.addRow({"retargets",
+                  std::to_string(log.countActions(
+                      AdaptiveActionKind::Retarget))});
+    table.addRow({"switches",
+                  std::to_string(log.countActions(
+                      AdaptiveActionKind::Switch))});
+    table.addRow({"candidates built",
+                  std::to_string(log.numCandidates)});
+    table.addRow({"final design",
+                  log.finalDesign == 0
+                      ? std::string("0 (static)")
+                      : std::to_string(log.finalDesign) +
+                            " (retarget)"});
+    table.addRow({"static energy (J)",
+                  sci(comparison.staticEnergy)});
+    table.addRow({"adaptive energy (J)",
+                  sci(comparison.adaptiveEnergy)});
+    table.addRow({"savings before reconfig (J)",
+                  sci(comparison.savings)});
+    table.addRow({"reconfig energy (J)",
+                  sci(comparison.reconfigEnergy)});
+    table.addRow({"net savings (J)", sci(comparison.netSavings)});
+    if (comparison.staticEnergy > 0.0)
+        table.addRow({"net savings (%)",
+                      TextTable::num(100.0 * comparison.netSavings /
+                                         comparison.staticEnergy,
+                                     3)});
+    table.print(std::cout);
+
+    std::string dir = args.get("dir", ".");
+    std::filesystem::create_directories(dir);
+    std::string prefix = args.get("prefix", "mnoc_");
+    std::string base = dir + "/" + prefix;
+    std::string stamp = manifestJson(trace_manifest);
+
+    std::string adaptive_csv = base + "adaptive.csv";
+    writeAdaptiveCsv(adaptive_csv, stamp, log);
+
+    std::string actions_csv = base + "adaptive_actions.csv";
+    {
+        CsvWriter csv(actions_csv);
+        csv.writeRow({"# " + stamp});
+        csv.writeRow(
+            {"epoch", "kind", "design", "gain", "energy_cost_j"});
+        for (const auto &action : log.actions) {
+            csv.cell(static_cast<long long>(action.epoch))
+                .cell(runtime::adaptiveActionKindName(action.kind))
+                .cell(static_cast<long long>(action.design))
+                .cell(action.gain)
+                .cell(action.energyCost);
+            csv.endRow();
+        }
+        csv.close();
+    }
+
+    std::cout << "adaptive series written to " << adaptive_csv
+              << ", action log to " << actions_csv << "\n";
+    return 0;
+}
+
 int
 cmdReport(const Args &args)
 {
@@ -777,6 +941,27 @@ cmdReport(const Args &args)
             runtime::DegradationPolicy{}, &ledger);
     }
     auto power = ledger.averagePower();
+
+    // MNOC_ADAPT=1 replays the epochs a second time under the
+    // traffic-driven adaptive controller and adds a static-vs-
+    // adaptive comparison section.  Off by default: the static
+    // report stays byte-identical.
+    bool adapt_on = adaptEnabled();
+    runtime::AdaptiveLog adapt_log;
+    runtime::AdaptiveComparison adapt_cmp;
+    if (adapt_on) {
+        runtime::AdaptivePolicy policy = adaptivePolicy(design);
+        sim::TraceReader adapt_reader(args.get("trace"));
+        core::EnergyLedger adaptive_ledger(
+            cores, design.topology.numModes, ledger.numEpochs(),
+            ledger.durationSeconds());
+        adapt_log = runtime::runAdaptiveController(
+            ctx.designer, design, policy, adapt_reader, &mapping,
+            &adaptive_ledger);
+        adapt_cmp = runtime::reconcileAdaptive(ledger,
+                                               adaptive_ledger,
+                                               adapt_log);
+    }
 
     std::string dir = args.get("dir", ".");
     std::filesystem::create_directories(dir);
@@ -906,6 +1091,11 @@ cmdReport(const Args &args)
     if (faults_on)
         writeReliabilityCsv(reliability_csv, stamp, ledger, deg_log);
 
+    // Per-epoch adaptive time series (MNOC_ADAPT=1 runs only).
+    std::string adaptive_csv = base + "adaptive.csv";
+    if (adapt_on)
+        writeAdaptiveCsv(adaptive_csv, stamp, adapt_log);
+
     // Markdown summary.
     std::string report_md = base + "report.md";
     {
@@ -992,6 +1182,53 @@ cmdReport(const Args &args)
                 << sci(deg_log.totalReconfigEnergy) << " |\n\n";
         }
 
+        if (adapt_on) {
+            using runtime::AdaptiveActionKind;
+            out << "## Adaptive runtime (MNOC_ADAPT=1)\n\n";
+            out << "Epochs replayed under the traffic-driven "
+                   "mode-re-selection controller ("
+                << adapt_log.epochs.size()
+                << " epochs, MNOC_ADAPT_WINDOW=" << adaptWindow()
+                << "); candidates re-partition the deployed mode "
+                   "count against the trailing traffic window.\n\n";
+            out << "| metric | value |\n";
+            out << "|---|---|\n";
+            out << "| phase changes | "
+                << adapt_log.countActions(
+                       AdaptiveActionKind::PhaseChange)
+                << " |\n";
+            out << "| retargets | "
+                << adapt_log.countActions(
+                       AdaptiveActionKind::Retarget)
+                << " |\n";
+            out << "| switches | "
+                << adapt_log.countActions(AdaptiveActionKind::Switch)
+                << " |\n";
+            out << "| candidates built | " << adapt_log.numCandidates
+                << " |\n";
+            out << "| final design | " << adapt_log.finalDesign
+                << (adapt_log.finalDesign == 0 ? " (static)"
+                                               : " (retarget)")
+                << " |\n";
+            out << "| static energy (J) | "
+                << sci(adapt_cmp.staticEnergy) << " |\n";
+            out << "| adaptive energy (J) | "
+                << sci(adapt_cmp.adaptiveEnergy) << " |\n";
+            out << "| savings before reconfig (J) | "
+                << sci(adapt_cmp.savings) << " |\n";
+            out << "| reconfiguration energy (J) | "
+                << sci(adapt_cmp.reconfigEnergy) << " |\n";
+            out << "| net savings (J) | " << sci(adapt_cmp.netSavings)
+                << " |\n";
+            if (adapt_cmp.staticEnergy > 0.0)
+                out << "| net savings (%) | "
+                    << TextTable::num(100.0 * adapt_cmp.netSavings /
+                                          adapt_cmp.staticEnergy,
+                                      3)
+                    << " |\n";
+            out << "\n";
+        }
+
         out << "## Artifacts\n\n";
         out << "- per-(source, mode) attribution: " << prefix
             << "power.csv\n";
@@ -1002,6 +1239,9 @@ cmdReport(const Args &args)
         if (faults_on)
             out << "- per-epoch reliability series: " << prefix
                 << "reliability.csv\n";
+        if (adapt_on)
+            out << "- per-epoch adaptive series: " << prefix
+                << "adaptive.csv\n";
         writer.close();
     }
 
@@ -1010,6 +1250,8 @@ cmdReport(const Args &args)
               << prefix << "source_power.pgm";
     if (faults_on)
         std::cout << ", " << prefix << "reliability.csv";
+    if (adapt_on)
+        std::cout << ", " << prefix << "adaptive.csv";
     std::cout << ")\n";
     return 0;
 }
@@ -1106,7 +1348,7 @@ usage()
 {
     std::cerr
         << "usage: mnocpt "
-           "<simulate|map|design|evaluate|budget|yield|faults|"
+           "<simulate|map|design|evaluate|budget|yield|faults|adapt|"
            "report|profile|stats> "
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
@@ -1129,6 +1371,12 @@ usage()
            "  faults   --design FILE --trace FILE [--map FILE] "
            "[--seed N] [--fault-scale F]\n"
            "           [--vtol F] [--vseed N] [--link-margin DB] "
+           "[--dir DIR] [--prefix P]\n"
+           "  adapt    --design FILE --trace FILE [--map FILE] "
+           "[--window N] [--phase-threshold F]\n"
+           "           [--gain-threshold F] [--switch-epochs N] "
+           "[--max-candidates N]\n"
+           "           [--switch-energy J] [--margin DB] "
            "[--dir DIR] [--prefix P]\n"
            "  report   --design FILE --trace FILE [--map FILE] "
            "[--dir DIR] [--prefix P]\n"
@@ -1162,6 +1410,8 @@ main(int argc, char **argv)
             return cmdYield(args);
         if (command == "faults")
             return cmdFaults(args);
+        if (command == "adapt")
+            return cmdAdapt(args);
         if (command == "report")
             return cmdReport(args);
         if (command == "profile")
