@@ -8,10 +8,10 @@
  * Every file also embeds the run manifest (seed, git SHA, thread
  * count, env knobs) so a stored artifact is reproducible.
  *
- * Schema "mnoc-bench-parallel-v2":
+ * Schema "mnoc-bench-parallel-v3":
  *
  *   {
- *     "schema": "mnoc-bench-parallel-v2",
+ *     "schema": "mnoc-bench-parallel-v3",
  *     "threads": <int>,            // pool size used for parallel runs
  *     "manifest": {                // provenance (common/manifest.hh)
  *       "seed": <int>, "git": <string>, "threads": <int>,
@@ -28,6 +28,16 @@
  *       }, ...
  *     ]
  *   }
+ *
+ * v3 adds the "journal_overhead" section, which reuses the fields
+ * with a twist: serial_seconds is the adaptive run with MNOC_JOURNAL
+ * off (the hot path must pay only one relaxed atomic load per
+ * emission point), parallel_seconds is the same run with the journal
+ * recording, so speedup ~ 1 means journaling is cheap and the delta
+ * over work_items (epochs) is the enabled-path cost per epoch.  Its
+ * bit_identical additionally requires that the disabled run recorded
+ * nothing and that the journal bytes are identical across pool
+ * sizes.
  */
 
 #ifndef MNOC_BENCH_BENCH_JSON_HH
@@ -74,7 +84,7 @@ writeParallelJson(const std::string &path, int threads,
     out.precision(6);
     out << std::fixed;
     out << "{\n";
-    out << "  \"schema\": \"mnoc-bench-parallel-v2\",\n";
+    out << "  \"schema\": \"mnoc-bench-parallel-v3\",\n";
     out << "  \"threads\": " << threads << ",\n";
     out << "  \"manifest\": " << manifestJson(manifest) << ",\n";
     out << "  \"sections\": [\n";

@@ -10,7 +10,10 @@
  * BENCH_parallel.json (schema in bench/bench_json.hh) so the perf
  * trajectory accumulates run over run.  The streaming record's
  * workItems is the epoch-cell (message) count, so messages/sec for
- * either path is workItems / *Seconds.
+ * either path is workItems / *Seconds.  The journal_overhead record
+ * pins the decision journal's cost contract: disabled-path overhead
+ * ~0 and an enabled-path cost per epoch, with bit-identical journal
+ * bytes across pool sizes.
  *
  * Scale knobs: MNOC_THREADS sets the parallel pool; the suite
  * section honors MNOC_BENCH_CORES / MNOC_BENCH_OPS but defaults to a
@@ -26,6 +29,7 @@
 #include <utility>
 
 #include "bench_json.hh"
+#include "common/journal.hh"
 #include "common/manifest.hh"
 #include "common/prng.hh"
 #include "common/thread_pool.hh"
@@ -347,6 +351,59 @@ benchStreamedLedger(ThreadPool &parallel, const std::string &scratch)
  * part; the epoch loop itself is sequential by design.  workItems is
  * the epoch count, so epochs/sec falls out of the record directly.
  */
+/**
+ * Deterministic two-phase synthetic trace shared by the adaptive and
+ * journal sections: a neighbor-heavy first half and a uniform second
+ * half, each epoch drawn from its own derived stream so the trace is
+ * reproducible run over run.
+ */
+sim::Trace
+twoPhaseTrace(int nodes, std::size_t epochs,
+              std::uint64_t msgs_per_epoch, std::uint64_t seed)
+{
+    sim::Trace trace;
+    trace.workloadName = "bench_adaptive";
+    trace.networkName = "mnoc";
+    trace.totalTicks = 1000000;
+    trace.packets = CountMatrix(nodes, nodes, 0);
+    trace.flits = CountMatrix(nodes, nodes, 0);
+    trace.manifest = currentManifest();
+    trace.epochs.messagesPerEpoch = msgs_per_epoch;
+    trace.epochs.epochs.reserve(epochs);
+    for (std::size_t e = 0; e < epochs; ++e) {
+        Prng rng(deriveSeed(seed, e));
+        bool neighbor_phase = e < epochs / 2;
+        std::map<std::pair<int, int>,
+                 std::pair<std::uint64_t, std::uint64_t>> bucket;
+        for (std::uint64_t m = 0; m < msgs_per_epoch; ++m) {
+            int src = static_cast<int>(rng.below(nodes));
+            int dst;
+            if (neighbor_phase) {
+                dst = (src + 1 +
+                       static_cast<int>(rng.below(3))) % nodes;
+            } else {
+                dst = static_cast<int>(rng.below(nodes - 1));
+                if (dst >= src)
+                    ++dst;
+            }
+            std::uint64_t flits = 1 + rng.below(8);
+            auto &cell = bucket[{src, dst}];
+            cell.first += 1;
+            cell.second += flits;
+        }
+        std::vector<noc::EpochCell> cells;
+        cells.reserve(bucket.size());
+        for (const auto &[key, counts] : bucket) {
+            cells.push_back({key.first, key.second, counts.first,
+                             counts.second});
+            trace.packets(key.first, key.second) += counts.first;
+            trace.flits(key.first, key.second) += counts.second;
+        }
+        trace.epochs.epochs.push_back(std::move(cells));
+    }
+    return trace;
+}
+
 bench::ParallelRecord
 benchAdaptiveEpochStep(ThreadPool &serial, ThreadPool &parallel,
                        const std::string &scratch)
@@ -373,49 +430,8 @@ benchAdaptiveEpochStep(ThreadPool &serial, ThreadPool &parallel,
     auto design =
         designer.buildDesign(spec, topology, flow, DecibelLoss(1.5));
 
-    // Two synthetic phases: a neighbor-heavy first half and a
-    // uniform second half, each epoch drawn from its own derived
-    // stream so the trace is reproducible run over run.
-    sim::Trace trace;
-    trace.workloadName = "bench_adaptive";
-    trace.networkName = "mnoc";
-    trace.totalTicks = 1000000;
-    trace.packets = CountMatrix(kNodes, kNodes, 0);
-    trace.flits = CountMatrix(kNodes, kNodes, 0);
-    trace.manifest = currentManifest();
-    trace.epochs.messagesPerEpoch = kMsgsPerEpoch;
-    trace.epochs.epochs.reserve(kEpochs);
-    for (std::size_t e = 0; e < kEpochs; ++e) {
-        Prng rng(deriveSeed(kSeed, e));
-        bool neighbor_phase = e < kEpochs / 2;
-        std::map<std::pair<int, int>,
-                 std::pair<std::uint64_t, std::uint64_t>> bucket;
-        for (std::uint64_t m = 0; m < kMsgsPerEpoch; ++m) {
-            int src = static_cast<int>(rng.below(kNodes));
-            int dst;
-            if (neighbor_phase) {
-                dst = (src + 1 +
-                       static_cast<int>(rng.below(3))) % kNodes;
-            } else {
-                dst = static_cast<int>(rng.below(kNodes - 1));
-                if (dst >= src)
-                    ++dst;
-            }
-            std::uint64_t flits = 1 + rng.below(8);
-            auto &cell = bucket[{src, dst}];
-            cell.first += 1;
-            cell.second += flits;
-        }
-        std::vector<noc::EpochCell> cells;
-        cells.reserve(bucket.size());
-        for (const auto &[key, counts] : bucket) {
-            cells.push_back({key.first, key.second, counts.first,
-                             counts.second});
-            trace.packets(key.first, key.second) += counts.first;
-            trace.flits(key.first, key.second) += counts.second;
-        }
-        trace.epochs.epochs.push_back(std::move(cells));
-    }
+    sim::Trace trace =
+        twoPhaseTrace(kNodes, kEpochs, kMsgsPerEpoch, kSeed);
 
     std::string file = scratch + "/adaptive.trace";
     sim::saveTrace(file, trace);
@@ -491,6 +507,104 @@ benchAdaptiveEpochStep(ThreadPool &serial, ThreadPool &parallel,
     return record;
 }
 
+/**
+ * The journal_overhead section: the adaptive-controller run with the
+ * decision journal (common/journal.hh) off and on, over the same
+ * deterministic two-phase trace.  serialSeconds is the disabled run
+ * -- every emission point must cost one relaxed atomic load and
+ * nothing else -- and parallelSeconds is the recording run, so
+ * speedup ~ 1 pins "MNOC_JOURNAL=0 is free" and the time delta over
+ * workItems is the enabled cost per epoch.  bitIdentical requires
+ * the disabled run to have recorded nothing and the enabled run's
+ * journal bytes to be identical on a pool of one and on the
+ * configured pool (the flight recorder's thread-count-invariance
+ * contract).
+ */
+bench::ParallelRecord
+benchJournalOverhead(ThreadPool &serial, ThreadPool &parallel,
+                     const std::string &scratch)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr int kNodes = 64;
+    constexpr std::size_t kEpochs = 256;
+    constexpr std::uint64_t kMsgsPerEpoch = 128;
+    constexpr std::uint64_t kSeed = 37;
+
+    optics::SerpentineLayout layout(kNodes, Meters(0.08));
+    optics::DeviceParams params;
+    optics::OpticalCrossbar xbar(layout, params);
+    core::Designer designer(xbar);
+
+    core::DesignSpec spec;
+    spec.numModes = 2;
+    spec.assignment = core::Assignment::DistanceBased;
+    spec.weights = core::WeightSource::Uniform;
+    FlowMatrix flow(kNodes, kNodes, 1.0);
+    for (int i = 0; i < kNodes; ++i)
+        flow(i, i) = 0.0;
+    auto topology = designer.buildTopology(spec, flow);
+    auto design =
+        designer.buildDesign(spec, topology, flow, DecibelLoss(1.5));
+
+    sim::Trace trace =
+        twoPhaseTrace(kNodes, kEpochs, kMsgsPerEpoch, kSeed);
+    std::string file = scratch + "/journal.trace";
+    sim::saveTrace(file, trace);
+
+    runtime::AdaptivePolicy policy;
+    policy.candidateSpec.numModes = 2;
+    policy.candidateSpec.assignment = core::Assignment::CommAware;
+    policy.candidateSpec.weights = core::WeightSource::DesignFlow;
+    policy.candidateMargin = DecibelLoss(1.5);
+
+    auto run = [&](ThreadPool &pool) {
+        sim::TraceReader reader(file);
+        core::EnergyLedger ledger(kNodes, 2, kEpochs, 1.0e-3);
+        runtime::runAdaptiveController(designer, design, policy,
+                                       reader, nullptr, &ledger,
+                                       &pool);
+    };
+
+    bool was_enabled = journalEnabled();
+    Journal::setEnabled(false);
+    Journal::global().reset();
+    auto t0 = Clock::now();
+    run(parallel);
+    auto t1 = Clock::now();
+    bool off_silent = Journal::global().size() == 0;
+
+    Journal::setEnabled(true);
+    Journal::global().reset();
+    auto t2 = Clock::now();
+    run(parallel);
+    auto t3 = Clock::now();
+    std::string parallel_bytes = Journal::global().toBinary();
+    std::size_t journal_records = Journal::global().size();
+
+    Journal::global().reset();
+    run(serial);
+    std::string serial_bytes = Journal::global().toBinary();
+
+    Journal::setEnabled(was_enabled);
+    Journal::global().reset();
+
+    bench::ParallelRecord record;
+    record.name = "journal_overhead";
+    record.workItems = static_cast<long long>(kEpochs);
+    record.serialSeconds = seconds(t0, t1);
+    record.parallelSeconds = seconds(t2, t3);
+    record.bitIdentical =
+        off_silent && serial_bytes == parallel_bytes;
+    double per_epoch_us =
+        (record.parallelSeconds - record.serialSeconds) * 1.0e6 /
+        static_cast<double>(kEpochs);
+    std::cout << "  journal: " << journal_records << " records over "
+              << kEpochs << " epochs, enabled cost "
+              << per_epoch_us << " us/epoch, disabled run recorded "
+              << (off_silent ? "nothing" : "RECORDS (bug)") << "\n";
+    return record;
+}
+
 void
 printRecord(const bench::ParallelRecord &record)
 {
@@ -537,6 +651,9 @@ main()
     printRecord(records.back());
     records.push_back(benchAdaptiveEpochStep(serial, parallel,
                                              scratch));
+    printRecord(records.back());
+    records.push_back(benchJournalOverhead(serial, parallel,
+                                           scratch));
     printRecord(records.back());
     std::filesystem::remove_all(scratch);
 

@@ -89,6 +89,8 @@ Histogram::Histogram(std::string name, std::vector<double> edges)
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity())
 {
+    fatalIf(edges_.empty(), "histogram '" + name_ +
+                                "' needs at least one bucket edge");
     for (std::size_t i = 1; i < edges_.size(); ++i)
         fatalIf(edges_[i] <= edges_[i - 1],
                 "histogram '" + name_ +

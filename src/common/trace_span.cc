@@ -242,20 +242,27 @@ extractUint(const std::string &obj, const std::string &key,
 } // namespace
 
 std::vector<SpanEvent>
-parseSpanJson(const std::string &text)
+parseSpanJson(const std::string &text, const std::string &path)
 {
+    const std::string where = path.empty() ? "span input" : path;
     std::size_t array_at = text.find("\"traceEvents\"");
     fatalIf(array_at == std::string::npos,
-            "span file has no traceEvents array");
+            where + ": span file has no traceEvents array");
 
     // Walk the document, collecting the depth-2 objects (the events
     // inside the traceEvents array) while respecting strings so a
-    // brace inside a span name cannot derail the scan.
+    // brace inside a span name cannot derail the scan.  Top-level
+    // keys are tracked so an unknown trailer section from a newer
+    // writer is named with its byte offset rather than silently
+    // consumed (or worse, its nested objects mistaken for events).
     std::vector<SpanEvent> out;
     int depth = 0;
     bool in_string = false;
     bool escaped = false;
     std::size_t start = 0;
+    std::size_t string_start = 0;
+    int string_depth = 0;
+    std::string section;
     for (std::size_t i = 0; i < text.size(); ++i) {
         char c = text[i];
         if (in_string) {
@@ -263,17 +270,41 @@ parseSpanJson(const std::string &text)
                 escaped = false;
             else if (c == '\\')
                 escaped = true;
-            else if (c == '"')
+            else if (c == '"') {
                 in_string = false;
+                if (string_depth == 1) {
+                    // A root-level string followed by ':' names a
+                    // section of the document.
+                    std::size_t after = i + 1;
+                    while (after < text.size() &&
+                           (text[after] == ' ' ||
+                            text[after] == '\n' ||
+                            text[after] == '\t' ||
+                            text[after] == '\r'))
+                        ++after;
+                    if (after < text.size() && text[after] == ':') {
+                        section = text.substr(
+                            string_start + 1, i - string_start - 1);
+                        fatalIf(section != "traceEvents" &&
+                                    section != "displayTimeUnit",
+                                where + ": unknown span-file "
+                                        "section \"" +
+                                    section + "\" at byte " +
+                                    std::to_string(string_start));
+                    }
+                }
+            }
             continue;
         }
         if (c == '"') {
             in_string = true;
+            string_start = i;
+            string_depth = depth;
         } else if (c == '{') {
             if (++depth == 2)
                 start = i;
         } else if (c == '}') {
-            if (depth-- != 2)
+            if (depth-- != 2 || section != "traceEvents")
                 continue;
             std::string obj = text.substr(start, i - start + 1);
             std::string ph = extractString(obj, "ph");

@@ -100,12 +100,22 @@ class SpanRecorder
  * Parse Chrome trace-event JSON back into SpanEvents (`mnocpt
  * profile` reads files written by SpanRecorder::writeJson or any
  * other ph="X" producer).  A tolerant extractor, not a full JSON
- * parser: it collects the complete-event objects and reads their
- * name/cat/tid/ts/dur fields, skipping events without a duration.
+ * parser: it collects the complete-event objects inside the
+ * traceEvents array and reads their name/cat/tid/ts/dur fields,
+ * skipping events without a duration (counter/instant overlays such
+ * as the `mnocpt explain` output compose cleanly).
  *
- * @throws FatalError when @p text contains no traceEvents array.
+ * Unknown top-level sections -- trailers from newer writers -- are
+ * named, with their byte offset, in the same diagnostic style as the
+ * TraceReader, instead of being silently consumed.
+ *
+ * @param path File name used in diagnostics ("span input" when
+ *        empty).
+ * @throws FatalError when @p text contains no traceEvents array or
+ *         carries an unknown top-level section.
  */
-std::vector<SpanEvent> parseSpanJson(const std::string &text);
+std::vector<SpanEvent> parseSpanJson(const std::string &text,
+                                     const std::string &path = "");
 
 /** One aggregated hotspot of a span profile. */
 struct ProfileRow

@@ -117,6 +117,16 @@ EnergyLedger::totalEnergy() const
     return total + totalReconfigEnergy();
 }
 
+double
+EnergyLedger::epochAttributedEnergy(std::size_t epoch) const
+{
+    double total = 0.0;
+    for (int s = 0; s < numSources_; ++s)
+        for (int m = 0; m < numModes_; ++m)
+            total += cell(s, m, epoch).totalEnergy();
+    return total;
+}
+
 FlowMatrix
 EnergyLedger::sourceEpochPower() const
 {

@@ -106,6 +106,12 @@ class EnergyLedger
     /** Total attributed energy across every cell, in joules. */
     double totalEnergy() const;
 
+    /** Attributed (non-reconfig) cell energy of one epoch, summed in
+     *  (source, mode) order -- the per-epoch term of the
+     *  static-vs-adaptive reconciliation and of the journal's
+     *  reconcile records. */
+    double epochAttributedEnergy(std::size_t epoch) const;
+
     /** (epoch, source) matrix of average source power per epoch, in
      *  watts -- the `mnocpt report` heatmap. */
     FlowMatrix sourceEpochPower() const;

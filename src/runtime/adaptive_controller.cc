@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/journal.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/thread_pool.hh"
@@ -62,18 +63,6 @@ priceEpoch(const core::AccrualPlan &plan,
     double energy = 0.0;
     for (const noc::EpochCell &cell : cells)
         energy += plan.quote(cell.src, cell.dst, cell.flits);
-    return energy;
-}
-
-/** Attributed (non-reconfig) cell energy of one ledger epoch, in
- *  (source, mode) order. */
-double
-epochCellEnergy(const core::EnergyLedger &ledger, std::size_t epoch)
-{
-    double energy = 0.0;
-    for (int s = 0; s < ledger.numSources(); ++s)
-        for (int m = 0; m < ledger.numModes(); ++m)
-            energy += ledger.cell(s, m, epoch).totalEnergy();
     return energy;
 }
 
@@ -288,6 +277,15 @@ runAdaptiveController(const core::Designer &designer,
         action.epoch = epoch;
         action.design = slot;
         log.actions.push_back(action);
+        if (journalEnabled()) {
+            JournalRecord rec(JournalKind::Retarget, epoch);
+            rec.addInt(slot)
+                .addInt(static_cast<std::int64_t>(
+                    window_epochs.front()))
+                .addInt(static_cast<std::int64_t>(
+                    window_epochs.back()));
+            Journal::global().record(rec);
+        }
     };
 
     std::vector<noc::EpochCell> cells;
@@ -329,6 +327,11 @@ runAdaptiveController(const core::Designer &designer,
             action.epoch = e;
             action.gain = detector.lastDistance();
             log.actions.push_back(action);
+            if (journalEnabled()) {
+                JournalRecord rec(JournalKind::PhaseChange, e);
+                rec.addReal(detector.lastDistance());
+                Journal::global().record(rec);
+            }
             // The old phase's traffic must not leak into the new
             // phase's retarget flow or pricing window: a candidate
             // built from a straddling window lands in traffic it was
@@ -363,8 +366,15 @@ runAdaptiveController(const core::Designer &designer,
             4 * static_cast<long long>(policy.trafficWindow);
         for (std::size_t c = 1; c < candidates.size(); ++c)
             if (!retired[c] && static_cast<int>(c) != active &&
-                static_cast<long long>(e) > built_at[c] + expiry)
+                static_cast<long long>(e) > built_at[c] + expiry) {
                 retired[c] = 1;
+                if (journalEnabled()) {
+                    JournalRecord rec(JournalKind::Expire, e);
+                    rec.addInt(static_cast<std::int64_t>(c))
+                        .addInt(built_at[c]);
+                    Journal::global().record(rec);
+                }
+            }
 
         // Rule S: price every challenger against the trailing
         // window, *out-of-sample*: a retarget candidate is solved to
@@ -405,6 +415,15 @@ runAdaptiveController(const core::Designer &designer,
                     priceWindow(plans[c], traffic, workers);
                 double c_gain =
                     (active_cost - challenger_cost) / active_cost;
+                if (journalEnabled()) {
+                    JournalRecord rec(JournalKind::Price, e);
+                    rec.addInt(static_cast<std::int64_t>(c))
+                        .addInt(static_cast<std::int64_t>(suffix));
+                    rec.addReal(active_cost)
+                        .addReal(challenger_cost)
+                        .addReal(c_gain);
+                    Journal::global().record(rec);
+                }
                 if (best < 0 || c_gain > gain) {
                     best = static_cast<int>(c);
                     gain = c_gain;
@@ -432,8 +451,22 @@ runAdaptiveController(const core::Designer &designer,
                 log.actions.push_back(action);
                 if (adaptive_ledger != nullptr)
                     adaptive_ledger->addReconfigEnergy(e, cost);
-                if (active != 0)
+                if (journalEnabled()) {
+                    JournalRecord rec(JournalKind::Switch, e);
+                    rec.addInt(active)
+                        .addInt(pending_target)
+                        .addInt(switch_gate.streak());
+                    rec.addReal(gain).addReal(cost);
+                    Journal::global().record(rec);
+                }
+                if (active != 0) {
                     retired[static_cast<std::size_t>(active)] = 1;
+                    if (journalEnabled()) {
+                        JournalRecord rec(JournalKind::Retire, e);
+                        rec.addInt(active);
+                        Journal::global().record(rec);
+                    }
+                }
                 active = pending_target;
                 pending_target = -1;
                 switch_gate.consume();
@@ -484,9 +517,24 @@ reconcileAdaptive(const core::EnergyLedger &static_ledger,
     out.staticEnergy = static_ledger.totalEnergy();
     out.adaptiveEnergy = adaptive_ledger.totalEnergy();
     out.reconfigEnergy = adaptive_ledger.totalReconfigEnergy();
-    for (std::size_t e = 0; e < static_ledger.numEpochs(); ++e)
-        out.savings += epochCellEnergy(static_ledger, e) -
-                       epochCellEnergy(adaptive_ledger, e);
+    for (std::size_t e = 0; e < static_ledger.numEpochs(); ++e) {
+        double static_cell = static_ledger.epochAttributedEnergy(e);
+        double adaptive_cell =
+            adaptive_ledger.epochAttributedEnergy(e);
+        out.savings += static_cell - adaptive_cell;
+        if (journalEnabled()) {
+            // Residual between what the ledger attributed to the
+            // epoch and what the controller's pricing log recorded
+            // for it -- should sit at rounding noise; the journal
+            // makes any drift auditable per epoch.
+            JournalRecord rec(JournalKind::Reconcile, e);
+            rec.addReal(adaptive_cell)
+                .addReal(log.epochs[e].adaptiveEnergy)
+                .addReal(adaptive_cell -
+                         log.epochs[e].adaptiveEnergy);
+            Journal::global().record(rec);
+        }
+    }
     out.netSavings = out.staticEnergy - out.adaptiveEnergy;
 
     // Conservation: the adaptive run may move joules between modes

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/journal.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/trace_span.hh"
@@ -261,6 +262,7 @@ runDegradationController(const optics::SerpentineLayout &layout,
 
     for (std::size_t e = 0; e < num_epochs; ++e) {
         state = timeline.stateAt(e);
+        timeline.journalFirings(e);
         std::size_t first_action = log.actions.size();
 
         auto record = [&](ActionKind kind, int source, int mode,
@@ -273,6 +275,36 @@ runDegradationController(const optics::SerpentineLayout &layout,
             action.trimAfter = trim_after;
             action.energyCost = cost;
             log.actions.push_back(action);
+            if (journalEnabled()) {
+                JournalKind jkind = JournalKind::Trim;
+                switch (kind) {
+                case ActionKind::Trim:
+                    jkind = JournalKind::Trim;
+                    break;
+                case ActionKind::Relax:
+                    jkind = JournalKind::Relax;
+                    break;
+                case ActionKind::Failover:
+                    jkind = JournalKind::Failover;
+                    break;
+                case ActionKind::Restore:
+                    jkind = JournalKind::Restore;
+                    break;
+                case ActionKind::Collapse:
+                    jkind = JournalKind::Collapse;
+                    break;
+                }
+                JournalRecord rec(jkind, e);
+                int streak =
+                    source >= 0
+                        ? relax_gates[static_cast<std::size_t>(
+                                          source)]
+                              .streak()
+                        : 0;
+                rec.addInt(source).addInt(mode).addInt(streak);
+                rec.addReal(trim_after.dB()).addReal(cost);
+                Journal::global().record(rec);
+            }
         };
 
         // Rule 1: dead-mode failover, and restore on recovery.  The
@@ -409,6 +441,16 @@ runDegradationController(const optics::SerpentineLayout &layout,
         log.totalReconfigEnergy += epoch.reconfigEnergy;
         if (ledger != nullptr)
             ledger->addReconfigEnergy(e, epoch.reconfigEnergy);
+        if (journalEnabled()) {
+            JournalRecord rec(JournalKind::Margin, e);
+            rec.addInt(epoch.activeFaults)
+                .addInt(epoch.actions)
+                .addInt(epoch.numModes);
+            rec.addReal(before.dB())
+                .addReal(now.dB())
+                .addReal(epoch.reconfigEnergy);
+            Journal::global().record(rec);
+        }
 
         // Deterministic epoch series: worst-case margin after the
         // rules ran (non-negative by the invariant above), in

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <tuple>
 
+#include "common/journal.hh"
 #include "common/log.hh"
 #include "common/prng.hh"
 
@@ -273,6 +274,29 @@ FaultTimeline::stateAt(std::size_t epoch) const
         }
     }
     return state;
+}
+
+void
+FaultTimeline::journalFirings(std::size_t epoch) const
+{
+    if (!journalEnabled())
+        return;
+    for (const FaultEvent &event : events_) {
+        bool starts = event.startEpoch == epoch;
+        // endEpoch is one past the last active epoch: the event is
+        // gone *entering* epoch endEpoch.
+        bool ends = event.endEpoch == epoch && event.endEpoch > 0;
+        if (!starts && !ends)
+            continue;
+        JournalRecord rec(starts ? JournalKind::FaultStart
+                                 : JournalKind::FaultEnd,
+                          epoch);
+        rec.addInt(static_cast<std::int64_t>(event.kind))
+            .addInt(event.node)
+            .addInt(event.mode);
+        rec.addReal(event.magnitude);
+        Journal::global().record(rec);
+    }
 }
 
 } // namespace mnoc::runtime

@@ -171,6 +171,12 @@ class FaultTimeline
      *  the event list; O(events) per call). */
     RuntimeFaultState stateAt(std::size_t epoch) const;
 
+    /** Journal the events that start or end at @p epoch (fault_start
+     *  / fault_end records, in canonical event order).  No-op unless
+     *  MNOC_JOURNAL is on; called by the degradation controller at
+     *  each epoch boundary. */
+    void journalFirings(std::size_t epoch) const;
+
   private:
     int numNodes_;
     int numModes_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/journal.hh"
 #include "common/log.hh"
 
 namespace mnoc::sim {
@@ -73,6 +74,20 @@ PhaseDetector::observe(const std::vector<noc::EpochCell> &cells)
     history_.push_back(lastSignature_);
     if (history_.size() > window_)
         history_.pop_front();
+
+    if (journalEnabled()) {
+        // One observe() call per epoch, in epoch order, so the
+        // pre-increment count is the epoch index.
+        JournalRecord rec(JournalKind::PhaseSignature, epochsObserved_);
+        rec.addInt(static_cast<std::int64_t>(buckets));
+        rec.addReal(lastDistance_);
+        std::size_t keep =
+            std::min(buckets, JournalRecord::kMaxReals - 1);
+        for (std::size_t b = 0; b < keep; ++b)
+            rec.addReal(lastSignature_[b]);
+        Journal::global().record(rec);
+    }
+
     ++epochsObserved_;
     return change;
 }

@@ -5,11 +5,36 @@
 #include <utility>
 #include <vector>
 
+#include "common/journal.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
 #include "common/trace_span.hh"
 
 namespace mnoc::sim {
+
+namespace {
+
+/** Journal one sealed traffic epoch (cell count plus packet/flit
+ *  totals).  Epochs seal in delivery order on the capture path, so
+ *  the record sequence is deterministic. */
+void
+journalEpochBoundary(std::size_t epoch,
+                     const std::vector<noc::EpochCell> &cells)
+{
+    std::uint64_t packets = 0;
+    std::uint64_t flits = 0;
+    for (const noc::EpochCell &cell : cells) {
+        packets += cell.packets;
+        flits += cell.flits;
+    }
+    JournalRecord rec(JournalKind::EpochBoundary, epoch);
+    rec.addInt(static_cast<std::int64_t>(cells.size()))
+        .addInt(static_cast<std::int64_t>(packets))
+        .addInt(static_cast<std::int64_t>(flits));
+    Journal::global().record(rec);
+}
+
+} // namespace
 
 SimulationResult
 runSimulation(const SimConfig &config, noc::Network &network,
@@ -44,8 +69,19 @@ runSimulation(const SimConfig &config, noc::Network &network,
     // branch per packet when MNOC_LEDGER is off.
     if (ledgerEnabled()) {
         recorder.enableEpochs(ledgerEpochMessages());
-        if (config.epochSink)
-            recorder.setEpochSink(config.epochSink);
+        if (config.epochSink) {
+            if (journalEnabled()) {
+                auto inner = config.epochSink;
+                recorder.setEpochSink(
+                    [inner, epoch = std::size_t(0)](
+                        std::vector<noc::EpochCell> &&cells) mutable {
+                        journalEpochBoundary(epoch++, cells);
+                        inner(std::move(cells));
+                    });
+            } else {
+                recorder.setEpochSink(config.epochSink);
+            }
+        }
     }
     CoherenceController coherence(n, config.memory, network, recorder);
     coherence.setHomeMap(thread_to_core);
@@ -108,6 +144,9 @@ runSimulation(const SimConfig &config, noc::Network &network,
     result.workloadName = workload.name();
     result.seed = seed;
     result.epochs = recorder.takeEpochs();
+    if (journalEnabled() && !config.epochSink)
+        for (std::size_t e = 0; e < result.epochs.epochs.size(); ++e)
+            journalEpochBoundary(e, result.epochs.epochs[e]);
 
     // Deterministic observability: pure tallies of the (already
     // deterministic) run, safe under any thread interleaving.

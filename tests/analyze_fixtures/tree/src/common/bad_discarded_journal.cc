@@ -1,0 +1,13 @@
+#include <string>
+
+#include "common/journal.hh"
+
+namespace mnoc {
+
+void
+preloadJournal(const std::string &path)
+{
+    loadJournal(path);
+}
+
+} // namespace mnoc

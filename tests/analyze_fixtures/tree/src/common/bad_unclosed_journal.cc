@@ -1,0 +1,14 @@
+#include <string>
+
+#include "common/journal.hh"
+
+namespace mnoc {
+
+void
+appendMarker(const std::string &path)
+{
+    JournalWriter writer(path, "{}");
+    writer.append(JournalRecord(JournalKind::EpochBoundary, 0));
+}
+
+} // namespace mnoc

@@ -1,0 +1,15 @@
+#include <string>
+
+#include "common/journal.hh"
+
+namespace mnoc {
+
+void
+appendMarkerAndClose(const std::string &path)
+{
+    JournalWriter writer(path, "{}");
+    writer.append(JournalRecord(JournalKind::EpochBoundary, 0));
+    writer.close();
+}
+
+} // namespace mnoc

@@ -111,6 +111,35 @@ if MNOC_FAULTS=2 "$MNOCPT" report --design "$DIR/t.design" \
     2>"$DIR/err_knob.txt"; then exit 1; fi
 grep -q "MNOC_FAULTS" "$DIR/err_knob.txt"
 
+# Flight recorder: an adaptive replay under MNOC_JOURNAL records an
+# epoch-anchored decision journal whose bytes are stamped with the
+# trace's manifest and therefore do not depend on the pool size;
+# `mnocpt explain` renders it into a per-epoch decision timeline.
+MNOC_JOURNAL="$DIR/j1.mjrn" MNOC_THREADS=1 "$MNOCPT" adapt \
+    --design "$DIR/t.design" --trace "$DIR/e.trace" \
+    --map "$DIR/t.map" | grep -q "net savings"
+MNOC_JOURNAL="$DIR/j4.mjrn" MNOC_THREADS=4 "$MNOCPT" adapt \
+    --design "$DIR/t.design" --trace "$DIR/e.trace" \
+    --map "$DIR/t.map" > /dev/null
+cmp -s "$DIR/j1.mjrn" "$DIR/j4.mjrn"
+"$MNOCPT" explain --journal "$DIR/j1.mjrn" --dir "$DIR/explain" \
+    --jsonl "$DIR/explain/journal.jsonl" \
+    | grep -q "decision timeline written"
+grep -q "phase_signature" "$DIR/explain/mnoc_explain.md"
+grep -q "epoch,kind,detail" "$DIR/explain/mnoc_timeline.csv"
+grep -q "reconcile" "$DIR/explain/journal.jsonl"
+# The Chrome-trace overlay composes with the span profiler (counter
+# and instant events carry no duration, so profile skips them).
+"$MNOCPT" profile --spans "$DIR/explain/mnoc_explain_trace.json" \
+    > /dev/null
+
+# A truncated journal must fail loudly, naming the byte offset.
+head -c 40 "$DIR/j1.mjrn" > "$DIR/jbad.mjrn"
+if "$MNOCPT" explain --journal "$DIR/jbad.mjrn" \
+    --dir "$DIR/explain_bad" 2>"$DIR/err_journal.txt"
+then exit 1; fi
+grep -q "truncated journal" "$DIR/err_journal.txt"
+
 # Unknown subcommands and missing/malformed options must fail cleanly,
 # with a diagnostic that names the offender.
 if "$MNOCPT" frobnicate 2>"$DIR/err_verb.txt"; then exit 1; fi

@@ -59,7 +59,9 @@ bad_unseeded_rng.cc:8: \[unseeded-rng\]
 bad_raw_thread.cc:9: \[raw-thread\]
 bad_shared_prng.cc:12: \[shared-prng\]
 bad_discarded_result.cc:10: \[discarded-result\]
+bad_discarded_journal.cc:10: \[discarded-result\]
 bad_unclosed_writer.cc:10: \[unclosed-writer\]
+bad_unclosed_journal.cc:10: \[unclosed-writer\]
 bad_raw_ofstream.cc:9: \[raw-ofstream\]
 bad_layering.cc:1: \[layering\]
 ring.hh:4: \[include-cycle\]

@@ -44,6 +44,7 @@ const std::set<std::string> kStdRng = {
 /** Functions whose return value reports work the caller must keep
  *  (discarding them is either dead I/O or a swallowed result). */
 const std::set<std::string> kMustUseCalls = {
+    "loadJournal",
     "loadTrace",
     "mapTrace",
     "toTrace",
@@ -63,7 +64,8 @@ const std::vector<RuleInfo> kCatalog = {
     {"shared-prng", "determinism", "error",
      "Prng shared by reference across ThreadPool tasks"},
     {"unclosed-writer", "error-handling", "warning",
-     "FileWriter is never close()d on the checked path"},
+     "FileWriter/JournalWriter is never close()d on the checked "
+     "path"},
     {"unordered-iteration", "determinism", "error",
      "unordered-container iteration reaches a serialization sink"},
     {"unseeded-rng", "determinism", "error",
@@ -567,11 +569,19 @@ class FileChecker
     checkUnclosedWriter()
     {
         if (category_ == "tests" ||
-            pathIsOneOf({"src/common/io.hh", "src/common/io.cc"}))
+            pathIsOneOf({"src/common/io.hh", "src/common/io.cc",
+                         "src/common/journal.hh",
+                         "src/common/journal.cc"}))
             return;
         for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
-            if (toks_[i].kind != TokKind::Identifier ||
-                !endsWithWord(toks_[i].text, "FileWriter"))
+            if (toks_[i].kind != TokKind::Identifier)
+                continue;
+            std::string writer_type;
+            if (endsWithWord(toks_[i].text, "FileWriter"))
+                writer_type = "FileWriter";
+            else if (endsWithWord(toks_[i].text, "JournalWriter"))
+                writer_type = "JournalWriter";
+            else
                 continue;
             const Token &name = toks_[i + 1];
             if (name.kind != TokKind::Identifier ||
@@ -589,7 +599,7 @@ class FileChecker
                 }
             if (!closed)
                 add(name.line, "unclosed-writer",
-                    "FileWriter '" + name.text +
+                    writer_type + " '" + name.text +
                         "' is never close()d; its destructor only "
                         "warn()s, so a full disk would truncate "
                         "the artifact silently");

@@ -28,6 +28,10 @@
  *             report: markdown summary, per-(source, mode) and
  *             per-epoch CSV tables, and a source-power heatmap, all
  *             stamped with the trace's embedded manifest
+ *   explain   render a decision journal (MNOC_JOURNAL output) into a
+ *             per-epoch timeline: markdown narrative, timeline CSV,
+ *             a Chrome-trace counter/instant overlay, and optional
+ *             JSONL
  *   profile   aggregate a span trace (MNOC_TRACE_SPANS output) into
  *             an inclusive/exclusive hotspot table
  *   stats     print a trace's embedded run manifest and the metrics
@@ -56,12 +60,14 @@
  *   mnocpt faults --design ws.design --trace ws.trace --seed 7 \
  *                 --dir faults_out
  *   mnocpt adapt --design ws.design --trace ws.trace --dir adapt_out
+ *   mnocpt explain --journal mnoc_journal.mjrn --dir explain_out
  *   mnocpt report --design ws.design --trace ws.trace --map ws.map \
  *                 --dir report_out
  *   mnocpt profile --spans mnoc_spans.json --top 20
  *   mnocpt stats --trace ws.trace --json ws_metrics.json
  */
 
+#include <array>
 #include <cerrno>
 #include <climits>
 #include <cmath>
@@ -79,6 +85,7 @@
 
 #include "common/csv.hh"
 #include "common/io.hh"
+#include "common/journal.hh"
 #include "common/log.hh"
 #include "common/manifest.hh"
 #include "common/metrics.hh"
@@ -621,11 +628,8 @@ writeReliabilityCsv(const std::string &path, const std::string &stamp,
                   "margin_after_db", "actions", "num_modes",
                   "reconfig_energy_j", "total_energy_j"});
     for (const auto &epoch : log.epochs) {
-        double window = ledger.reconfigEnergy(epoch.epoch);
-        for (int s = 0; s < ledger.numSources(); ++s)
-            for (int m = 0; m < ledger.numModes(); ++m)
-                window +=
-                    ledger.cell(s, m, epoch.epoch).totalEnergy();
+        double window = ledger.reconfigEnergy(epoch.epoch) +
+                        ledger.epochAttributedEnergy(epoch.epoch);
         csv.cell(static_cast<long long>(epoch.epoch))
             .cell(static_cast<long long>(epoch.activeFaults))
             .cell(epoch.marginBefore.dB())
@@ -656,6 +660,11 @@ cmdFaults(const Args &args)
     auto ledger =
         ctx.designer.model().buildLedger(design, reader, &mapping);
     const RunManifest trace_manifest = reader.header().manifest;
+    // Journal bytes must not depend on the rendering process's pool
+    // size, so the header is stamped with the trace's manifest, the
+    // same provenance the CSV artifacts carry.
+    if (journalEnabled())
+        Journal::global().setManifest(manifestJson(trace_manifest));
 
     std::uint64_t seed =
         args.has("seed")
@@ -802,6 +811,10 @@ cmdAdapt(const Args &args)
         design, static_reader, &mapping);
     const RunManifest trace_manifest =
         static_reader.header().manifest;
+    // Same rule as the CSV artifacts: stamp the journal with the
+    // trace's manifest so its bytes are thread-count-invariant.
+    if (journalEnabled())
+        Journal::global().setManifest(manifestJson(trace_manifest));
 
     runtime::AdaptivePolicy policy = adaptivePolicy(design);
     policy.phaseChangeThreshold = args.getDouble(
@@ -916,6 +929,9 @@ cmdReport(const Args &args)
     sim::TraceReader reader(args.get("trace"));
     const sim::TraceHeader &trace_header = reader.header();
     sim::checkCoreMapping(mapping, trace_header.numNodes);
+    if (journalEnabled())
+        Journal::global().setManifest(
+            manifestJson(trace_header.manifest));
     auto ledger =
         ctx.designer.model().buildLedger(design, reader, &mapping);
 
@@ -1266,7 +1282,7 @@ cmdProfile(const Args &args)
     buffer << in.rdbuf();
     fatalIf(in.bad(), "I/O error reading span file: " + path);
 
-    auto events = parseSpanJson(buffer.str());
+    auto events = parseSpanJson(buffer.str(), path);
     auto rows = profileSpans(std::move(events));
 
     int top = args.getInt("top", 0);
@@ -1305,6 +1321,65 @@ cmdProfile(const Args &args)
         csv.close();
         std::cout << "profile written to " << args.get("csv") << "\n";
     }
+    return 0;
+}
+
+int
+cmdExplain(const Args &args)
+{
+    std::string journal_path = args.get("journal");
+    JournalFile journal = loadJournal(journal_path);
+
+    std::string dir = args.get("dir", ".");
+    std::filesystem::create_directories(dir);
+    std::string prefix = args.get("prefix", "mnoc_");
+    std::string base = dir + "/" + prefix;
+
+    std::string md_path = base + "explain.md";
+    {
+        FileWriter writer(md_path);
+        writer.stream() << renderExplainMarkdown(journal);
+        writer.close();
+    }
+    std::string csv_path = base + "timeline.csv";
+    {
+        FileWriter writer(csv_path);
+        writer.stream() << renderExplainTimelineCsv(journal);
+        writer.close();
+    }
+    // Counter/instant overlay for chrome://tracing; composes with a
+    // MNOC_TRACE_SPANS capture of the same run (profile skips the
+    // non-"X" phases).
+    std::string trace_path = base + "explain_trace.json";
+    {
+        FileWriter writer(trace_path);
+        writer.stream() << renderExplainTrace(journal);
+        writer.close();
+    }
+    if (args.has("jsonl")) {
+        FileWriter writer(args.get("jsonl"));
+        writer.stream() << journalToJsonl(journal);
+        writer.close();
+    }
+
+    std::array<std::size_t, kJournalKindCount + 1> counts{};
+    for (const JournalRecord &rec : journal.records)
+        ++counts[static_cast<std::uint32_t>(rec.kind)];
+    TextTable table;
+    table.addRow({"kind", "records"});
+    for (std::uint32_t k = 1; k <= kJournalKindCount; ++k)
+        if (counts[k] > 0)
+            table.addRow(
+                {journalKindName(static_cast<JournalKind>(k)),
+                 std::to_string(counts[k])});
+    table.addRow({"total", std::to_string(journal.records.size())});
+    table.print(std::cout);
+
+    std::cout << "decision timeline written to " << md_path << ", "
+              << csv_path << ", " << trace_path;
+    if (args.has("jsonl"))
+        std::cout << ", " << args.get("jsonl");
+    std::cout << "\n";
     return 0;
 }
 
@@ -1349,7 +1424,7 @@ usage()
     std::cerr
         << "usage: mnocpt "
            "<simulate|map|design|evaluate|budget|yield|faults|adapt|"
-           "report|profile|stats> "
+           "report|explain|profile|stats> "
            "[--option value ...]\n"
            "  simulate --benchmark NAME [--cores N] [--ops N] "
            "[--seed N] --out FILE\n"
@@ -1380,6 +1455,8 @@ usage()
            "[--dir DIR] [--prefix P]\n"
            "  report   --design FILE --trace FILE [--map FILE] "
            "[--dir DIR] [--prefix P]\n"
+           "  explain  --journal FILE [--dir DIR] [--prefix P] "
+           "[--jsonl FILE]\n"
            "  profile  --spans FILE [--top N] [--csv FILE]\n"
            "  stats    [--trace FILE] [--json FILE]\n";
 }
@@ -1414,6 +1491,8 @@ main(int argc, char **argv)
             return cmdAdapt(args);
         if (command == "report")
             return cmdReport(args);
+        if (command == "explain")
+            return cmdExplain(args);
         if (command == "profile")
             return cmdProfile(args);
         if (command == "stats")
